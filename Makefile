@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test ./internal/task/ -fuzz FuzzReadJSON -fuzztime 30s
+	$(GO) test ./internal/task/ -fuzz FuzzReadPeriodicJSON -fuzztime 30s
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	@for e in quickstart admission xscale leakage periodic online reclaim multiproc; do \
+		echo "=== examples/$$e ==="; \
+		$(GO) run ./examples/$$e; \
+		echo; \
+	done
+
+clean:
+	$(GO) clean ./...

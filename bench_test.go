@@ -1,0 +1,171 @@
+package dvsreject
+
+// The benchmark harness: one BenchmarkExpN per reconstructed table/figure
+// (E1..E15 in DESIGN.md §4), each running the experiment in quick mode so
+// `go test -bench=.` regenerates every result series, plus microbenchmarks
+// of the individual solvers and substrates. For full-size tables use
+// `go run ./cmd/experiments`.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/exper"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/multiproc"
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exper.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(exper.Options{Quick: true, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkExp1(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkExp2(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkExp3(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkExp4(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkExp5(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkExp6(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkExp7(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkExp8(b *testing.B)  { benchExperiment(b, "E8") }
+func BenchmarkExp9(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkExp10(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkExp11(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkExp12(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkExp13(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkExp14(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkExp15(b *testing.B) { benchExperiment(b, "E15") }
+
+// benchInstance builds one deterministic contested instance.
+func benchInstance(b *testing.B, n int, load float64) core.Instance {
+	b.Helper()
+	set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{
+		N: n, Load: load, Deadline: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}}
+}
+
+func benchSolver(b *testing.B, s core.Solver, n int) {
+	in := benchInstance(b, n, 1.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverDP(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSolver(b, core.DP{}, n) })
+	}
+}
+
+func BenchmarkSolverApproxDP(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSolver(b, core.ApproxDP{Eps: 0.1}, n) })
+	}
+}
+
+func BenchmarkSolverGreedyDensity(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSolver(b, core.GreedyDensity{}, n) })
+	}
+}
+
+func BenchmarkSolverGreedyMarginal(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSolver(b, core.GreedyMarginal{}, n) })
+	}
+}
+
+func BenchmarkSolverExhaustive(b *testing.B) {
+	for _, n := range []int{12, 16, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSolver(b, core.Exhaustive{}, n) })
+	}
+}
+
+func BenchmarkMultiprocLTFRejectLS(b *testing.B) {
+	set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{N: 64, Load: 6, Deadline: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := multiproc.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}, M: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (multiproc.LTFRejectLS{}).Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEDFSimulate(b *testing.B) {
+	ps, err := gen.Periodic(rand.New(rand.NewSource(42)), gen.PeriodicConfig{N: 20, Utilization: 0.9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := ps.Hyperperiod()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := edf.PeriodicJobs(ps, l)
+	profile := speed.Constant(0.95, 0, float64(l))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := edf.Simulate(jobs, profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Feasible() {
+			b.Fatal("infeasible bench schedule")
+		}
+	}
+}
+
+func BenchmarkSpeedAssignDiscrete(b *testing.B) {
+	proc := XScaleProcessor(true, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := proc.Assign(float64(i%900)+1, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	in := benchInstance(b, 100, 1.2)
+	ids := make([]int, 0, 50)
+	for i := 0; i < 50; i++ {
+		ids = append(ids, in.Tasks.Tasks[i].ID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(in, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

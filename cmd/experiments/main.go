@@ -1,0 +1,53 @@
+// Command experiments regenerates the evaluation tables of DESIGN.md §4 /
+// EXPERIMENTS.md. Each experiment prints a plain-text table; fixed seeds
+// make the output reproducible.
+//
+// Usage:
+//
+//	experiments [-run E4] [-trials 25] [-seed 1] [-quick]
+//
+// Without -run, every experiment E1..E10 runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvsreject/internal/exper"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment ID to run (e.g. E3); empty runs all")
+	trials := flag.Int("trials", 0, "random instances per table cell (0 = per-experiment default)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	quick := flag.Bool("quick", false, "shrunken sweeps for a fast smoke run")
+	flag.Parse()
+
+	opts := exper.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+
+	var list []exper.Experiment
+	if *run == "" {
+		list = exper.All()
+	} else {
+		e, ok := exper.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; known:", *run)
+			for _, e := range exper.All() {
+				fmt.Fprintf(os.Stderr, " %s", e.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		list = []exper.Experiment{e}
+	}
+
+	for _, e := range list {
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Format())
+	}
+}

@@ -1,0 +1,279 @@
+// Command rejectsched solves one frame-based rejection instance: it reads
+// the JSON interchange format (see cmd/taskgen), runs the selected solver,
+// validates the result through the EDF simulator, and prints the admission
+// decision with its cost breakdown.
+//
+// Usage:
+//
+//	taskgen -n 20 -load 2 | rejectsched -solver DP
+//	rejectsched -solver S-GREEDY -model xscale -discrete -esw 0.5 < inst.json
+//	rejectsched -all < inst.json       # compare every solver
+//	rejectsched -trace < inst.json     # ASCII Gantt of the schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"dvsreject"
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+	"dvsreject/internal/trace"
+)
+
+// options are the command's flags, separated for testability.
+type options struct {
+	Solver    string
+	Model     string
+	Discrete  bool
+	Esw       float64
+	All       bool
+	ShowTrace bool
+	Periodic  bool
+	Frontier  bool
+	BreakEven bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.Solver, "solver", "DP", "solver: DP | OPT | GREEDY | S-GREEDY | ROUNDING | ACCEPT-ALL | REJECT-ALL | RAND | APPROX")
+	flag.StringVar(&o.Model, "model", "cubic", "power model: cubic | xscale")
+	flag.BoolVar(&o.Discrete, "discrete", false, "use the XScale discrete frequency ladder")
+	flag.Float64Var(&o.Esw, "esw", -1, "dormant-mode switch energy (< 0 disables the dormant mode)")
+	flag.BoolVar(&o.All, "all", false, "run every solver and print a comparison table")
+	flag.BoolVar(&o.ShowTrace, "trace", false, "render an ASCII Gantt chart of the schedule")
+	flag.BoolVar(&o.Periodic, "periodic", false, "read a periodic instance (see taskgen -periodic)")
+	flag.BoolVar(&o.Frontier, "frontier", false, "print the exact energy/penalty Pareto frontier")
+	flag.BoolVar(&o.BreakEven, "breakeven", false, "print each task's admission-threshold penalty")
+	flag.Parse()
+
+	if err := run(os.Stdin, os.Stdout, o); err != nil {
+		fmt.Fprintf(os.Stderr, "rejectsched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// allSolverNames is the -all lineup, cheapest-exact first.
+var allSolverNames = []string{"DP", "APPROX", "APPROX-V", "ROUNDING", "S-GREEDY", "GREEDY", "ACCEPT-ALL", "RAND", "REJECT-ALL"}
+
+// buildProc assembles the processor from the model flags and the
+// instance's speed range.
+func buildProc(o options, smin, smax float64) (dvsreject.Processor, error) {
+	var proc dvsreject.Processor
+	switch o.Model {
+	case "cubic":
+		proc = dvsreject.IdealProcessor(smax)
+		proc.SMin = smin
+		if o.Discrete {
+			return proc, fmt.Errorf("-discrete requires -model xscale")
+		}
+		if o.Esw >= 0 {
+			proc.Model = power.Cubic() // no leakage: dormant mode is free anyway
+			proc.DormantEnable = true
+			proc.Esw = o.Esw
+		}
+	case "xscale":
+		proc = dvsreject.XScaleProcessor(o.Discrete, o.Esw)
+		if !o.Discrete {
+			proc.SMax = smax
+			proc.SMin = smin
+		}
+	default:
+		return proc, fmt.Errorf("unknown power model %q", o.Model)
+	}
+	return proc, nil
+}
+
+func run(r io.Reader, w io.Writer, o options) error {
+	if o.Periodic {
+		return runPeriodic(r, w, o)
+	}
+	inst, err := task.ReadJSON(r)
+	if err != nil {
+		return err
+	}
+	proc, err := buildProc(o, inst.SMin, inst.SMax)
+	if err != nil {
+		return err
+	}
+
+	in, err := dvsreject.NewInstance(inst.Set, proc)
+	if err != nil {
+		return err
+	}
+
+	if o.Frontier {
+		fr, err := dvsreject.ParetoFrontier(in)
+		if err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "workload\tenergy\tpenalty\tcost")
+		for _, p := range fr {
+			fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", p.Workload, p.Energy, p.Penalty, p.Cost)
+		}
+		return tw.Flush()
+	}
+
+	if o.BreakEven {
+		opt, err := dvsreject.DP{}.Solve(in)
+		if err != nil {
+			return err
+		}
+		acc := opt.AcceptedSet()
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "task\tcycles\tpenalty\tthreshold\tdecision")
+		for _, tk := range inst.Set.Tasks {
+			th, err := dvsreject.BreakEven(in, tk.ID, 0)
+			if err != nil {
+				return err
+			}
+			decision := "reject"
+			if acc[tk.ID] {
+				decision = "accept"
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.4f\t%s\n", tk.ID, tk.Cycles, tk.Penalty, th, decision)
+		}
+		return tw.Flush()
+	}
+
+	if o.All {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "solver\taccepted\trejected\tenergy\tpenalty\tcost")
+		for _, name := range allSolverNames {
+			s, err := dvsreject.SolverByName(name)
+			if err != nil {
+				return err
+			}
+			sol, err := s.Solve(in)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
+				s.Name(), len(sol.Accepted), len(sol.Rejected), sol.Energy, sol.Penalty, sol.Cost)
+		}
+		return tw.Flush()
+	}
+
+	solver, err := dvsreject.SolverByName(o.Solver)
+	if err != nil {
+		return err
+	}
+	sol, err := solver.Solve(in)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "solver      %s\n", solver.Name())
+	fmt.Fprintf(w, "processor   %s", proc.Model)
+	if proc.Levels != nil {
+		fmt.Fprintf(w, ", levels %v", proc.Levels)
+	}
+	if proc.DormantEnable {
+		fmt.Fprintf(w, ", dormant (Esw=%g)", proc.Esw)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "tasks       %d accepted, %d rejected of %d\n",
+		len(sol.Accepted), len(sol.Rejected), len(inst.Set.Tasks))
+	fmt.Fprintf(w, "accepted    %v\n", sol.Accepted)
+	fmt.Fprintf(w, "rejected    %v\n", sol.Rejected)
+	switch {
+	case sol.Assignment.HiTime > 0:
+		fmt.Fprintf(w, "speeds      %.4f for %.4f, then %.4f for %.4f\n",
+			sol.Assignment.LoSpeed, sol.Assignment.LoTime,
+			sol.Assignment.HiSpeed, sol.Assignment.HiTime)
+	case len(sol.PerTaskSpeeds) > 0:
+		fmt.Fprintf(w, "speeds      per-task %v\n", sol.PerTaskSpeeds)
+	default:
+		fmt.Fprintf(w, "speed       %.4f for %.4f of %g\n",
+			sol.Assignment.LoSpeed, sol.Assignment.LoTime, inst.Set.Deadline)
+	}
+	fmt.Fprintf(w, "energy      %.6f\n", sol.Energy)
+	fmt.Fprintf(w, "penalty     %.6f\n", sol.Penalty)
+	fmt.Fprintf(w, "total cost  %.6f\n", sol.Cost)
+
+	// Replay through the EDF oracle (homogeneous instances only: the
+	// heterogeneous per-task speed schedule is validated inside Evaluate).
+	if len(sol.PerTaskSpeeds) == 0 && len(sol.Accepted) > 0 {
+		jobs := edf.FrameJobs(inst.Set, sol.Accepted)
+		profile := sol.Assignment.Profile(0)
+		r, err := edf.Simulate(jobs, profile)
+		if err != nil {
+			return fmt.Errorf("EDF validation: %w", err)
+		}
+		if r.Feasible() {
+			fmt.Fprintln(w, "EDF check   all accepted tasks meet the deadline")
+		} else {
+			return fmt.Errorf("EDF validation failed: %d deadline misses", r.Misses)
+		}
+		if o.ShowTrace {
+			fmt.Fprintln(w)
+			fmt.Fprint(w, trace.Gantt(r, profile, inst.Set.Deadline, 72))
+		}
+	}
+	return nil
+}
+
+// runPeriodic handles -periodic: hyper-period reduction, solve, EDF replay
+// over the hyper-period.
+func runPeriodic(r io.Reader, w io.Writer, o options) error {
+	inst, err := task.ReadPeriodicJSON(r)
+	if err != nil {
+		return err
+	}
+	proc, err := buildProc(o, inst.SMin, inst.SMax)
+	if err != nil {
+		return err
+	}
+	solver, err := dvsreject.SolverByName(o.Solver)
+	if err != nil {
+		return err
+	}
+	pi := dvsreject.PeriodicInstance{Tasks: inst.Set, Proc: proc}
+	sol, err := dvsreject.SolvePeriodic(solver, pi)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "solver        %s\n", solver.Name())
+	fmt.Fprintf(w, "hyper-period  %d\n", sol.Hyper)
+	fmt.Fprintf(w, "utilization   %.4f offered, %.4f accepted\n", inst.Set.Utilization(), sol.Speed)
+	fmt.Fprintf(w, "accepted      %v\n", sol.Accepted)
+	fmt.Fprintf(w, "rejected      %v\n", sol.Rejected)
+	fmt.Fprintf(w, "energy        %.6f per hyper-period\n", sol.Energy)
+	fmt.Fprintf(w, "penalty       %.6f per hyper-period\n", sol.Penalty)
+	fmt.Fprintf(w, "total cost    %.6f\n", sol.Cost)
+
+	if len(sol.Accepted) > 0 {
+		accSet := map[int]bool{}
+		for _, id := range sol.Accepted {
+			accSet[id] = true
+		}
+		var accepted task.PeriodicSet
+		for _, t := range inst.Set.Tasks {
+			if accSet[t.ID] {
+				accepted.Tasks = append(accepted.Tasks, t)
+			}
+		}
+		jobs := edf.PeriodicJobs(accepted, sol.Hyper)
+		profile := speed.Constant(sol.Speed+1e-9, 0, float64(sol.Hyper))
+		res, err := edf.Simulate(jobs, profile)
+		if err != nil {
+			return fmt.Errorf("EDF validation: %w", err)
+		}
+		if !res.Feasible() {
+			return fmt.Errorf("EDF validation failed: %d deadline misses", res.Misses)
+		}
+		fmt.Fprintf(w, "EDF check     %d jobs per hyper-period, no deadline misses\n", len(jobs))
+		if o.ShowTrace {
+			fmt.Fprintln(w)
+			fmt.Fprint(w, trace.Gantt(res, profile, float64(sol.Hyper), 72))
+		}
+	}
+	return nil
+}

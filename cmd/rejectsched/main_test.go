@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testInstance = `{
+  "deadline": 10,
+  "smax": 1,
+  "tasks": [
+    {"id": 1, "cycles": 4, "penalty": 2.0},
+    {"id": 2, "cycles": 4, "penalty": 0.3},
+    {"id": 3, "cycles": 5, "penalty": 0.6}
+  ]
+}`
+
+func TestRunDP(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testInstance), &out, options{Solver: "DP", Model: "cubic", Esw: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"solver      DP", "accepted", "total cost", "EDF check"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testInstance), &out, options{Model: "cubic", Esw: -1, All: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// The table prints Solver.Name(), which for APPROX differs from the
+	// lookup key.
+	for _, name := range []string{"DP", "ApproxDP(ε=0.1)", "ApproxDP-V(ε=0.1)", "ROUNDING", "S-GREEDY", "GREEDY", "ACCEPT-ALL", "RAND", "REJECT-ALL"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("comparison table missing %s:\n%s", name, s)
+		}
+	}
+	if lines := strings.Count(s, "\n"); lines != len(allSolverNames)+1 {
+		t.Errorf("table has %d lines, want %d", lines, len(allSolverNames)+1)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testInstance), &out, options{Solver: "DP", Model: "cubic", Esw: -1, ShowTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Errorf("trace output missing execution marks:\n%s", out.String())
+	}
+}
+
+func TestRunXScaleVariants(t *testing.T) {
+	for _, o := range []options{
+		{Solver: "S-GREEDY", Model: "xscale", Esw: -1},
+		{Solver: "S-GREEDY", Model: "xscale", Discrete: true, Esw: -1},
+		{Solver: "S-GREEDY", Model: "xscale", Discrete: true, Esw: 0.5},
+	} {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(testInstance), &out, o); err != nil {
+			t.Errorf("%+v: %v", o, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		o    options
+	}{
+		{"bad json", "{", options{Solver: "DP", Model: "cubic", Esw: -1}},
+		{"unknown solver", testInstance, options{Solver: "NOPE", Model: "cubic", Esw: -1}},
+		{"unknown model", testInstance, options{Solver: "DP", Model: "mystery", Esw: -1}},
+		{"discrete cubic", testInstance, options{Solver: "DP", Model: "cubic", Discrete: true, Esw: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(strings.NewReader(tc.in), &out, tc.o); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+const testPeriodicInstance = `{
+  "type": "periodic",
+  "smax": 1,
+  "tasks": [
+    {"id": 1, "cycles": 5, "period": 20, "penalty": 6.0},
+    {"id": 2, "cycles": 9, "period": 30, "penalty": 9.0},
+    {"id": 3, "cycles": 12, "period": 40, "penalty": 1.5}
+  ]
+}`
+
+func TestRunPeriodic(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testPeriodicInstance), &out, options{Solver: "DP", Model: "cubic", Esw: -1, Periodic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"hyper-period  120", "accepted", "EDF check"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("periodic output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunPeriodicTrace(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testPeriodicInstance), &out, options{Solver: "S-GREEDY", Model: "cubic", Esw: -1, Periodic: true, ShowTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Errorf("periodic trace missing execution marks:\n%s", out.String())
+	}
+}
+
+func TestRunPeriodicBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(testInstance), &out, options{Solver: "DP", Model: "cubic", Esw: -1, Periodic: true}); err == nil {
+		t.Error("frame instance accepted in periodic mode")
+	}
+}
+
+func TestRunFrontier(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testInstance), &out, options{Model: "cubic", Esw: -1, Frontier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "workload") || strings.Count(s, "\n") < 3 {
+		t.Errorf("frontier output malformed:\n%s", s)
+	}
+}
+
+func TestRunBreakEven(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testInstance), &out, options{Model: "cubic", Esw: -1, BreakEven: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "threshold") || !strings.Contains(s, "accept") || !strings.Contains(s, "reject") {
+		t.Errorf("break-even output malformed:\n%s", s)
+	}
+}

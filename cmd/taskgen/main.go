@@ -1,0 +1,85 @@
+// Command taskgen generates random frame-based rejection instances in the
+// JSON interchange format consumed by rejectsched.
+//
+// Usage:
+//
+//	taskgen -n 30 -load 1.5 -deadline 200 -penalty uniform -seed 7 > inst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/task"
+)
+
+// options are the command's flags, separated for testability.
+type options struct {
+	N            int
+	Load         float64
+	Deadline     float64
+	SMax         float64
+	Penalty      string
+	PenaltyScale float64
+	Hetero       bool
+	Seed         int64
+	Periodic     bool
+	Utilization  float64
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.N, "n", 20, "number of tasks")
+	flag.Float64Var(&o.Load, "load", 1.5, "system load Σci/(smax·D)")
+	flag.Float64Var(&o.Deadline, "deadline", 1000, "frame length D")
+	flag.Float64Var(&o.SMax, "smax", 1, "maximum speed")
+	flag.StringVar(&o.Penalty, "penalty", "uniform", "penalty model: uniform | proportional | inverse")
+	flag.Float64Var(&o.PenaltyScale, "penalty-scale", 1, "penalty scale factor κ")
+	flag.BoolVar(&o.Hetero, "hetero", false, "draw per-task power coefficients from [0.5, 2]")
+	flag.Int64Var(&o.Seed, "seed", 1, "RNG seed")
+	flag.BoolVar(&o.Periodic, "periodic", false, "generate a periodic instance instead of a frame instance")
+	flag.Float64Var(&o.Utilization, "util", 1.2, "total utilization of the periodic instance (with -periodic)")
+	flag.Parse()
+
+	if err := generate(os.Stdout, o); err != nil {
+		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(w io.Writer, o options) error {
+	var pm gen.PenaltyModel
+	switch o.Penalty {
+	case "uniform":
+		pm = gen.PenaltyUniform
+	case "proportional":
+		pm = gen.PenaltyProportional
+	case "inverse":
+		pm = gen.PenaltyInverse
+	default:
+		return fmt.Errorf("unknown penalty model %q", o.Penalty)
+	}
+
+	if o.Periodic {
+		ps, err := gen.Periodic(rand.New(rand.NewSource(o.Seed)), gen.PeriodicConfig{
+			N: o.N, Utilization: o.Utilization, Penalty: pm, PenaltyScale: o.PenaltyScale,
+		})
+		if err != nil {
+			return err
+		}
+		return task.PeriodicInstance{Set: ps, SMax: o.SMax}.WriteJSON(w)
+	}
+
+	set, err := gen.Frame(rand.New(rand.NewSource(o.Seed)), gen.Config{
+		N: o.N, Load: o.Load, Deadline: o.Deadline, SMax: o.SMax,
+		Penalty: pm, PenaltyScale: o.PenaltyScale, HeteroRho: o.Hetero,
+	})
+	if err != nil {
+		return err
+	}
+	return task.Instance{Set: set, SMax: o.SMax}.WriteJSON(w)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"dvsreject/internal/task"
+)
+
+func TestGenerateRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	o := options{N: 15, Load: 1.8, Deadline: 100, SMax: 1, Penalty: "proportional", PenaltyScale: 2, Seed: 9}
+	if err := generate(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := task.ReadJSON(&out)
+	if err != nil {
+		t.Fatalf("generated JSON does not parse: %v", err)
+	}
+	if len(inst.Set.Tasks) != 15 {
+		t.Errorf("tasks = %d, want 15", len(inst.Set.Tasks))
+	}
+	if inst.Set.Deadline != 100 || inst.SMax != 1 {
+		t.Errorf("instance header = %+v", inst)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	o := options{N: 5, Load: 1, Deadline: 50, SMax: 1, Penalty: "uniform", PenaltyScale: 1, Seed: 4}
+	var a, b bytes.Buffer
+	if err := generate(&a, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := generate(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestGenerateHetero(t *testing.T) {
+	var out bytes.Buffer
+	o := options{N: 8, Load: 1, Deadline: 50, SMax: 1, Penalty: "inverse", PenaltyScale: 1, Hetero: true, Seed: 2}
+	if err := generate(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := task.ReadJSON(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRho := false
+	for _, tk := range inst.Set.Tasks {
+		if tk.Rho != 0 {
+			sawRho = true
+		}
+	}
+	if !sawRho {
+		t.Error("hetero instance carries no power coefficients")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := generate(&out, options{N: 5, Penalty: "bogus", SMax: 1, Deadline: 10, Load: 1, PenaltyScale: 1}); err == nil {
+		t.Error("unknown penalty model accepted")
+	}
+	if err := generate(&out, options{N: 0, Penalty: "uniform", SMax: 1, Deadline: 10, Load: 1, PenaltyScale: 1}); err == nil {
+		t.Error("zero task count accepted")
+	}
+}
+
+func TestGeneratePeriodic(t *testing.T) {
+	var out bytes.Buffer
+	o := options{N: 10, SMax: 1, Penalty: "uniform", PenaltyScale: 1, Seed: 6, Periodic: true, Utilization: 1.3}
+	if err := generate(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := task.ReadPeriodicJSON(&out)
+	if err != nil {
+		t.Fatalf("generated periodic JSON does not parse: %v", err)
+	}
+	if len(pi.Set.Tasks) != 10 {
+		t.Errorf("tasks = %d, want 10", len(pi.Set.Tasks))
+	}
+}

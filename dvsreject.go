@@ -1,0 +1,207 @@
+// Package dvsreject is an energy-efficient real-time task scheduler with
+// task rejection for DVS (dynamic voltage scaling) processors — a
+// reproduction of "Energy-Efficient Real-Time Task Scheduling with Task
+// Rejection" (Chen, Kuo, Yang, King; DATE 2007).
+//
+// Given frame-based (or periodic) real-time tasks with worst-case execution
+// cycles and per-task rejection penalties, the library decides which tasks
+// to admit and at which speeds to run them so that all admitted tasks meet
+// the common deadline and the total of execution energy plus rejection
+// penalties is minimized. The admission problem is NP-hard; the library
+// ships two exact solvers (branch-and-bound, pseudo-polynomial DP), a
+// capacity-rounding approximation scheme with an accuracy knob, and fast
+// greedy heuristics, together with the DVS power/speed substrate (convex
+// power models, critical speed, discrete speed levels, dormant-mode
+// accounting) and an EDF simulator to validate produced schedules.
+//
+// # Quick start
+//
+//	proc := dvsreject.IdealProcessor(1.0)                  // smax = 1, P(s) = s³
+//	set := dvsreject.TaskSet{
+//		Deadline: 10,
+//		Tasks: []dvsreject.Task{
+//			{ID: 1, Cycles: 4, Penalty: 1.0},
+//			{ID: 2, Cycles: 4, Penalty: 0.2},
+//		},
+//	}
+//	in, err := dvsreject.NewInstance(set, proc)
+//	// handle err
+//	sol, err := dvsreject.DP{}.Solve(in)
+//	// sol.Accepted, sol.Rejected, sol.Energy, sol.Penalty, sol.Cost
+//
+// See the examples/ directory for runnable scenarios and DESIGN.md for the
+// system inventory.
+package dvsreject
+
+import (
+	"fmt"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// Core model types, re-exported from the internal packages so downstream
+// users need only import dvsreject.
+type (
+	// Task is one frame-based real-time task (cycles, rejection penalty,
+	// optional power coefficient).
+	Task = task.Task
+	// TaskSet is a frame-based task set with a common deadline.
+	TaskSet = task.Set
+	// PeriodicTask is one periodic task with an implicit deadline.
+	PeriodicTask = task.Periodic
+	// PeriodicSet is a set of periodic tasks under EDF.
+	PeriodicSet = task.PeriodicSet
+	// Processor describes a DVS processor (power model, speed range or
+	// discrete levels, dormant-mode capability).
+	Processor = speed.Proc
+	// PowerModel is the polynomial power model P(s) = Pind + Coeff·s^Alpha.
+	PowerModel = power.Polynomial
+	// LevelSet is a discrete speed ladder for non-ideal processors.
+	LevelSet = power.LevelSet
+
+	// Instance is a solvable frame-based rejection problem.
+	Instance = core.Instance
+	// Solution is a solved instance: admission decision, speed assignment
+	// and cost breakdown.
+	Solution = core.Solution
+	// Solver is one admission/scheduling algorithm.
+	Solver = core.Solver
+	// PeriodicInstance is a periodic rejection problem.
+	PeriodicInstance = core.PeriodicInstance
+	// PeriodicSolution is a solved periodic instance.
+	PeriodicSolution = core.PeriodicSolution
+	// SubsetSum is the NP-hardness reduction gadget.
+	SubsetSum = core.SubsetSum
+	// FrontierPoint is one Pareto-optimal energy/penalty trade.
+	FrontierPoint = core.FrontierPoint
+)
+
+// ParetoFrontier computes the exact energy-versus-penalty Pareto frontier
+// of a homogeneous instance (one DP pass). The overall optimum is the
+// frontier point with minimum Cost.
+func ParetoFrontier(in Instance) ([]FrontierPoint, error) {
+	return core.ParetoFrontier(in)
+}
+
+// BreakEven computes the penalty threshold at which a task enters the
+// optimal admission — the price of its SLA slot. See core.BreakEven.
+func BreakEven(in Instance, taskID int, tol float64) (float64, error) {
+	return core.BreakEven(in, taskID, tol)
+}
+
+// Solvers, re-exported.
+type (
+	// Exhaustive is the exact branch-and-bound reference solver (n ≲ 24).
+	Exhaustive = core.Exhaustive
+	// DP is the exact pseudo-polynomial dynamic program.
+	DP = core.DP
+	// ApproxDP is the (1+ε)-style capacity-rounding approximation scheme.
+	ApproxDP = core.ApproxDP
+	// ApproxDPPenalty is the penalty-axis scaling scheme whose table size
+	// is independent of cycle magnitudes (the FPTAS shape).
+	ApproxDPPenalty = core.ApproxDPPenalty
+	// GreedyDensity is the single-pass penalty-density heuristic.
+	GreedyDensity = core.GreedyDensity
+	// GreedyMarginal is GreedyDensity plus toggle/swap local search.
+	GreedyMarginal = core.GreedyMarginal
+	// AcceptAll is the energy-oblivious admit-everything baseline.
+	AcceptAll = core.AcceptAll
+	// RejectAll is the degenerate reject-everything anchor.
+	RejectAll = core.RejectAll
+	// RandomAdmission is the seeded random-permutation baseline.
+	RandomAdmission = core.RandomAdmission
+	// Rounding is the relaxation-and-round solver (E-GREEDY style).
+	Rounding = core.Rounding
+)
+
+// NewInstance validates and bundles a task set with a processor.
+func NewInstance(set TaskSet, proc Processor) (Instance, error) {
+	in := Instance{Tasks: set, Proc: proc}
+	if err := in.Validate(); err != nil {
+		return Instance{}, err
+	}
+	return in, nil
+}
+
+// Evaluate costs a specific admission decision exactly (optimal speed
+// assignment for the accepted IDs plus rejection penalties).
+func Evaluate(in Instance, accepted []int) (Solution, error) {
+	return core.Evaluate(in, accepted)
+}
+
+// SolvePeriodic reduces a periodic instance to its equivalent frame
+// instance (hyper-period reduction), solves it, and maps back.
+func SolvePeriodic(s Solver, pi PeriodicInstance) (PeriodicSolution, error) {
+	return core.SolvePeriodic(s, pi)
+}
+
+// IdealProcessor returns a continuous-speed, leakage-free processor with
+// the cubic power model P(s) = s³ and the given top speed.
+func IdealProcessor(smax float64) Processor {
+	return Processor{Model: power.Cubic(), SMax: smax}
+}
+
+// XScaleProcessor returns the Intel XScale model (P(s) = 0.08 + 1.52·s³,
+// speeds normalized to the 1 GHz top level). With discrete = true the five
+// hardware frequency levels are enforced; otherwise the speed spectrum is
+// continuous. esw ≥ 0 enables the dormant mode with the given
+// shutdown/wakeup energy overhead; pass a negative esw for a
+// dormant-disable processor.
+func XScaleProcessor(discrete bool, esw float64) Processor {
+	p := Processor{Model: power.XScale(), SMax: 1}
+	if discrete {
+		p.Levels = power.XScaleLevels()
+	}
+	if esw >= 0 {
+		p.DormantEnable = true
+		p.Esw = esw
+	}
+	return p
+}
+
+// StandardSolvers returns the full lineup the experiment suite compares,
+// with the given seed for the randomized baseline and ε for the
+// approximation scheme.
+func StandardSolvers(seed int64, eps float64) []Solver {
+	return []Solver{
+		DP{},
+		ApproxDP{Eps: eps},
+		GreedyMarginal{},
+		GreedyDensity{},
+		AcceptAll{},
+		RandomAdmission{Seed: seed},
+	}
+}
+
+// SolverByName resolves the experiment-table names ("DP", "GREEDY",
+// "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL", "RAND", "OPT", "APPROX-V",
+// "APPROX") to a solver. APPROX takes ε = 0.1.
+func SolverByName(name string) (Solver, error) {
+	switch name {
+	case "DP":
+		return DP{}, nil
+	case "OPT":
+		return Exhaustive{}, nil
+	case "GREEDY":
+		return GreedyDensity{}, nil
+	case "S-GREEDY":
+		return GreedyMarginal{}, nil
+	case "ACCEPT-ALL":
+		return AcceptAll{}, nil
+	case "REJECT-ALL":
+		return RejectAll{}, nil
+	case "RAND":
+		return RandomAdmission{Seed: 1}, nil
+	case "APPROX":
+		return ApproxDP{Eps: 0.1}, nil
+	case "ROUNDING":
+		return Rounding{}, nil
+	case "APPROX-V":
+		return ApproxDPPenalty{Eps: 0.1}, nil
+	default:
+		return nil, fmt.Errorf("dvsreject: unknown solver %q", name)
+	}
+}

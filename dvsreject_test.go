@@ -1,0 +1,142 @@
+package dvsreject
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The doc-comment example, executed.
+	proc := IdealProcessor(1.0)
+	set := TaskSet{
+		Deadline: 10,
+		Tasks: []Task{
+			{ID: 1, Cycles: 4, Penalty: 1.0},
+			{ID: 2, Cycles: 4, Penalty: 0.2},
+		},
+	}
+	in, err := NewInstance(set, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := (DP{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accept task 1 (E(4) = 0.64 < 1.0), reject task 2
+	// (E(8)−E(4) = 4.48 > 0.2).
+	if got := sol.AcceptedSet(); !got[1] || got[2] {
+		t.Errorf("accepted = %v, want [1]", sol.Accepted)
+	}
+	if math.Abs(sol.Cost-(0.64+0.2)) > 1e-9 {
+		t.Errorf("cost = %v, want 0.84", sol.Cost)
+	}
+}
+
+func TestNewInstanceRejectsInvalid(t *testing.T) {
+	if _, err := NewInstance(TaskSet{}, IdealProcessor(1)); err == nil {
+		t.Error("empty deadline accepted")
+	}
+	set := TaskSet{Deadline: 10, Tasks: []Task{{ID: 1, Cycles: 4}}}
+	if _, err := NewInstance(set, Processor{}); err == nil {
+		t.Error("zero processor accepted")
+	}
+}
+
+func TestXScaleProcessorFlavours(t *testing.T) {
+	cont := XScaleProcessor(false, -1)
+	if cont.Levels != nil || cont.DormantEnable {
+		t.Errorf("continuous dormant-disable expected, got %+v", cont)
+	}
+	disc := XScaleProcessor(true, 0.5)
+	if disc.Levels == nil || !disc.DormantEnable || disc.Esw != 0.5 {
+		t.Errorf("discrete dormant-enable expected, got %+v", disc)
+	}
+	if err := disc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverByName(t *testing.T) {
+	for _, name := range []string{"DP", "OPT", "GREEDY", "S-GREEDY", "ACCEPT-ALL", "REJECT-ALL", "RAND", "APPROX", "APPROX-V"} {
+		s, err := SolverByName(name)
+		if err != nil {
+			t.Errorf("SolverByName(%q): %v", name, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("SolverByName(%q) = nil", name)
+		}
+	}
+	if _, err := SolverByName("NOPE"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestStandardSolvers(t *testing.T) {
+	ss := StandardSolvers(7, 0.25)
+	if len(ss) != 6 {
+		t.Fatalf("len = %d, want 6", len(ss))
+	}
+	set := TaskSet{Deadline: 10, Tasks: []Task{
+		{ID: 1, Cycles: 3, Penalty: 1},
+		{ID: 2, Cycles: 5, Penalty: 2},
+		{ID: 3, Cycles: 6, Penalty: 0.5},
+	}}
+	in, err := NewInstance(set, IdealProcessor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		if _, err := s.Solve(in); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestSolvePeriodicFacade(t *testing.T) {
+	pi := PeriodicInstance{
+		Tasks: PeriodicSet{Tasks: []PeriodicTask{
+			{ID: 1, Cycles: 1, Period: 2, Penalty: 10},
+			{ID: 2, Cycles: 2, Period: 5, Penalty: 10},
+		}},
+		Proc: IdealProcessor(1),
+	}
+	sol, err := SolvePeriodic(DP{}, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Rejected) != 0 {
+		t.Errorf("rejected = %v, want none at high penalties", sol.Rejected)
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	set := TaskSet{Deadline: 10, Tasks: []Task{{ID: 1, Cycles: 5, Penalty: 2}}}
+	in, err := NewInstance(set, IdealProcessor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Evaluate(in, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Energy-1.25) > 1e-9 { // 5³/100
+		t.Errorf("energy = %v, want 1.25", sol.Energy)
+	}
+}
+
+func TestHardnessGadgetExported(t *testing.T) {
+	ss := SubsetSum{Items: []int64{3, 5, 7}, Target: 8}
+	in, err := ss.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := (DP{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Decode(opt) {
+		t.Error("3+5 = 8 not decoded as yes")
+	}
+}

@@ -1,0 +1,160 @@
+package dvsreject_test
+
+import (
+	"fmt"
+
+	"dvsreject"
+)
+
+// The core flow: build an instance, solve it exactly, read the decision.
+func ExampleDP_Solve() {
+	in, err := dvsreject.NewInstance(dvsreject.TaskSet{
+		Deadline: 10,
+		Tasks: []dvsreject.Task{
+			{ID: 1, Cycles: 4, Penalty: 2.0},
+			{ID: 2, Cycles: 4, Penalty: 0.3},
+		},
+	}, dvsreject.IdealProcessor(1.0))
+	if err != nil {
+		panic(err)
+	}
+	sol, err := dvsreject.DP{}.Solve(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accepted %v, rejected %v\n", sol.Accepted, sol.Rejected)
+	fmt.Printf("energy %.2f + penalty %.2f = cost %.2f\n", sol.Energy, sol.Penalty, sol.Cost)
+	// Output:
+	// accepted [1], rejected [2]
+	// energy 0.64 + penalty 0.30 = cost 0.94
+}
+
+// Evaluating a caller-chosen admission decision.
+func ExampleEvaluate() {
+	in, _ := dvsreject.NewInstance(dvsreject.TaskSet{
+		Deadline: 10,
+		Tasks: []dvsreject.Task{
+			{ID: 1, Cycles: 4, Penalty: 2.0},
+			{ID: 2, Cycles: 4, Penalty: 0.3},
+		},
+	}, dvsreject.IdealProcessor(1.0))
+	sol, err := dvsreject.Evaluate(in, []int{1, 2}) // force-accept both
+	if err != nil {
+		panic(err)
+	}
+	// W = 8 over D = 10: speed 0.8, energy 0.8²·8.
+	fmt.Printf("speed %.1f, energy %.2f\n", sol.Assignment.LoSpeed, sol.Energy)
+	// Output:
+	// speed 0.8, energy 5.12
+}
+
+// Periodic tasks reduce to the frame problem over the hyper-period.
+func ExampleSolvePeriodic() {
+	pi := dvsreject.PeriodicInstance{
+		Tasks: dvsreject.PeriodicSet{Tasks: []dvsreject.PeriodicTask{
+			{ID: 1, Cycles: 1, Period: 2, Penalty: 10},
+			{ID: 2, Cycles: 2, Period: 5, Penalty: 10},
+		}},
+		Proc: dvsreject.IdealProcessor(1.0),
+	}
+	sol, err := dvsreject.SolvePeriodic(dvsreject.DP{}, pi)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hyper-period %d, speed %.2f, accepted %v\n", sol.Hyper, sol.Speed, sol.Accepted)
+	// Output:
+	// hyper-period 10, speed 0.90, accepted [1 2]
+}
+
+// Overload forces rejection even at infinite penalties.
+func ExampleGreedyMarginal_Solve() {
+	in, _ := dvsreject.NewInstance(dvsreject.TaskSet{
+		Deadline: 10, // capacity: 10 cycles at smax = 1
+		Tasks: []dvsreject.Task{
+			{ID: 1, Cycles: 7, Penalty: 100},
+			{ID: 2, Cycles: 7, Penalty: 1},
+		},
+	}, dvsreject.IdealProcessor(1.0))
+	sol, err := dvsreject.GreedyMarginal{}.Solve(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accepted %v (capacity admits only one)\n", sol.Accepted)
+	// Output:
+	// accepted [1] (capacity admits only one)
+}
+
+// The NP-hardness gadget doubles as a subset-sum solver.
+func ExampleSubsetSum() {
+	ss := dvsreject.SubsetSum{Items: []int64{3, 5, 7}, Target: 8}
+	in, err := ss.Reduce()
+	if err != nil {
+		panic(err)
+	}
+	opt, err := dvsreject.DP{}.Solve(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("subset summing to 8 exists:", ss.Decode(opt))
+	// Output:
+	// subset summing to 8 exists: true
+}
+
+// Discrete-speed processors split execution between adjacent levels.
+func ExampleXScaleProcessor() {
+	proc := dvsreject.XScaleProcessor(true, -1) // 5-level ladder, no dormant mode
+	in, _ := dvsreject.NewInstance(dvsreject.TaskSet{
+		Deadline: 10,
+		Tasks:    []dvsreject.Task{{ID: 1, Cycles: 7, Penalty: 100}},
+	}, proc)
+	sol, err := dvsreject.DP{}.Solve(in)
+	if err != nil {
+		panic(err)
+	}
+	// Ideal speed 0.7 sits between the 0.6 and 0.8 levels.
+	fmt.Printf("run %.0f time units at %.1f, then %.0f at %.1f\n",
+		sol.Assignment.LoTime, sol.Assignment.LoSpeed,
+		sol.Assignment.HiTime, sol.Assignment.HiSpeed)
+	// Output:
+	// run 5 time units at 0.6, then 5 at 0.8
+}
+
+// The exact energy/penalty trade curve, from one DP pass.
+func ExampleParetoFrontier() {
+	in, _ := dvsreject.NewInstance(dvsreject.TaskSet{
+		Deadline: 10,
+		Tasks: []dvsreject.Task{
+			{ID: 1, Cycles: 4, Penalty: 1.0},
+			{ID: 2, Cycles: 4, Penalty: 2.0},
+		},
+	}, dvsreject.IdealProcessor(1.0))
+	frontier, err := dvsreject.ParetoFrontier(in)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range frontier {
+		fmt.Printf("accept %d cycles: energy %.2f, penalties %.2f\n", p.Workload, p.Energy, p.Penalty)
+	}
+	// Output:
+	// accept 0 cycles: energy 0.00, penalties 3.00
+	// accept 4 cycles: energy 0.64, penalties 1.00
+	// accept 8 cycles: energy 5.12, penalties 0.00
+}
+
+// Pricing a task's admission: the penalty at which it enters the optimal
+// schedule.
+func ExampleBreakEven() {
+	in, _ := dvsreject.NewInstance(dvsreject.TaskSet{
+		Deadline: 10,
+		Tasks:    []dvsreject.Task{{ID: 1, Cycles: 4, Penalty: 0.1}},
+	}, dvsreject.IdealProcessor(1.0))
+	threshold, err := dvsreject.BreakEven(in, 1, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+	// The task needs E(4) = 4³/10² = 0.64 of energy; below that penalty,
+	// rejection is cheaper.
+	fmt.Printf("admission threshold ≈ %.2f\n", threshold)
+	// Output:
+	// admission threshold ≈ 0.64
+}

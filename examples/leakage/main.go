@@ -1,0 +1,60 @@
+// Leakage-aware scheduling: when static (leakage) power is significant,
+// running slower is not always better. Below the critical speed the energy
+// per cycle rises again, so a lightly loaded processor should sprint at the
+// critical speed and then sleep — if entering the sleep state is cheap
+// enough. This example sweeps the shutdown overhead Esw and shows the
+// scheduler switching strategy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvsreject"
+	"dvsreject/internal/power"
+)
+
+func main() {
+	star := power.XScale().CriticalSpeed()
+	fmt.Printf("XScale model P(s) = 0.08 + 1.52·s³ → critical speed s* = %.4f\n\n", star)
+
+	// A lightly loaded frame: W/D = 0.05, far below s*.
+	set := dvsreject.TaskSet{
+		Deadline: 200,
+		Tasks: []dvsreject.Task{
+			{ID: 1, Cycles: 4, Penalty: 50},
+			{ID: 2, Cycles: 3, Penalty: 50},
+			{ID: 3, Cycles: 3, Penalty: 50},
+		},
+	}
+
+	fmt.Println("Esw      strategy                          speed   busy   idle-energy   total")
+	for _, esw := range []float64{0, 2, 8, 16, -1} {
+		proc := dvsreject.XScaleProcessor(false, esw)
+		in, err := dvsreject.NewInstance(set, proc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := dvsreject.DP{}.Solve(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := sol.Assignment
+		strategy := "stretch to the deadline"
+		if a.Shutdown {
+			strategy = "sprint at s*, then sleep"
+		} else if esw < 0 {
+			strategy = "stretch (no dormant mode)"
+		}
+		label := fmt.Sprintf("%g", esw)
+		if esw < 0 {
+			label = "none"
+		}
+		fmt.Printf("%-8s %-33s %.4f  %6.1f  %11.4f  %9.4f\n",
+			label, strategy, a.LoSpeed, a.BusyTime(), a.IdleEnergy, sol.Cost)
+	}
+
+	fmt.Println("\nWith cheap shutdown the scheduler executes at the critical speed and")
+	fmt.Println("sleeps through the slack; as Esw grows past the break-even point it")
+	fmt.Println("stays awake and stretches the execution across the whole frame instead.")
+}

@@ -1,0 +1,75 @@
+// Multiprocessor rejection (extension): a four-core DVS system under 6×
+// overload must shed work and partition the rest. Convex power makes
+// balanced partitions cheap, and the admission decision interacts with the
+// placement — this example compares the constructive heuristic, the
+// local-search refinement, and (on a trimmed instance) the exact optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dvsreject"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+	set := dvsreject.TaskSet{Deadline: 50}
+	for i := 0; i < 24; i++ {
+		set.Tasks = append(set.Tasks, dvsreject.Task{
+			ID:      i,
+			Cycles:  int64(5 + rng.Intn(21)),
+			Penalty: 1 + rng.Float64()*14,
+		})
+	}
+	in := dvsreject.MultiprocInstance{
+		Tasks: set,
+		Proc:  dvsreject.IdealProcessor(1),
+		M:     4,
+	}
+	fmt.Printf("%d tasks, %d cycles offered, capacity %d×%g — load %.0f%%\n\n",
+		len(set.Tasks), set.TotalCycles(), in.M, in.Proc.SMax*set.Deadline,
+		100*float64(set.TotalCycles())/(float64(in.M)*in.Proc.SMax*set.Deadline))
+
+	for _, s := range []interface {
+		Name() string
+		Solve(dvsreject.MultiprocInstance) (dvsreject.MultiprocSolution, error)
+	}{
+		dvsreject.LTFReject{},
+		dvsreject.LTFRejectLS{},
+	} {
+		sol, err := s.Solve(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s cost %.3f (energy %.3f + penalties %.3f), rejected %d\n",
+			s.Name(), sol.Cost, sol.Energy, sol.Penalty, len(sol.Rejected))
+		for m, ids := range sol.PerProc {
+			var w int64
+			for _, id := range ids {
+				tk, _ := set.ByID(id)
+				w += tk.Cycles
+			}
+			fmt.Printf("%14s core %d: %2d tasks, %3d cycles (%.0f%% busy), E = %.3f\n",
+				"", m, len(ids), w, 100*float64(w)/(in.Proc.SMax*set.Deadline), sol.Energies[m])
+		}
+	}
+
+	// Exact reference on a small slice of the same workload.
+	small := in
+	small.Tasks.Tasks = set.Tasks[:9]
+	small.M = 3
+	opt, err := dvsreject.MultiprocExhaustive{}.Solve(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ls, err := dvsreject.LTFRejectLS{}.Solve(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n9-task / 3-core slice: OPT %.3f vs LTF-REJECT-LS %.3f (%.1f%% above)\n",
+		opt.Cost, ls.Cost, 100*(ls.Cost-opt.Cost)/opt.Cost)
+	fmt.Println("\nThe local search's compound moves (evict-one-admit-another, cross-core")
+	fmt.Println("exchange) are what close most of the constructive heuristic's gap.")
+}

@@ -1,0 +1,67 @@
+// Periodic sensor fusion on one DVS core: an overloaded set of periodic
+// tasks (total utilization 130%) must shed jobs. The library reduces the
+// periodic problem to its frame equivalent over the hyper-period, solves
+// it exactly, and this example replays the result through the EDF
+// simulator to demonstrate the schedule is real.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvsreject"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+func main() {
+	tasks := []dvsreject.PeriodicTask{
+		{ID: 1, Cycles: 5, Period: 20, Penalty: 6.0},   // IMU fusion, u = 0.25
+		{ID: 2, Cycles: 9, Period: 30, Penalty: 9.0},   // camera pipeline, u = 0.30
+		{ID: 3, Cycles: 12, Period: 40, Penalty: 1.5},  // map refinement, u = 0.30
+		{ID: 4, Cycles: 6, Period: 40, Penalty: 5.0},   // telemetry, u = 0.15
+		{ID: 5, Cycles: 12, Period: 120, Penalty: 0.4}, // diagnostics, u = 0.10
+	}
+	pi := dvsreject.PeriodicInstance{
+		Tasks: dvsreject.PeriodicSet{Tasks: tasks},
+		Proc:  dvsreject.IdealProcessor(1.0),
+	}
+
+	fmt.Printf("total utilization %.2f (overloaded: > 1.0 even at top speed)\n\n",
+		pi.Tasks.Utilization())
+
+	sol, err := dvsreject.SolvePeriodic(dvsreject.DP{}, pi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hyper-period %d, accepted %v, rejected %v\n", sol.Hyper, sol.Accepted, sol.Rejected)
+	fmt.Printf("EDF speed %.4f, energy/hyper-period %.3f, penalties %.3f, cost %.3f\n\n",
+		sol.Speed, sol.Energy, sol.Penalty, sol.Cost)
+
+	// Replay: release every job of the accepted tasks across the
+	// hyper-period and run preemptive EDF at the chosen constant speed.
+	accSet := map[int]bool{}
+	for _, id := range sol.Accepted {
+		accSet[id] = true
+	}
+	var accepted dvsreject.PeriodicSet
+	for _, t := range tasks {
+		if accSet[t.ID] {
+			accepted.Tasks = append(accepted.Tasks, t)
+		}
+	}
+	jobs := edf.PeriodicJobs(accepted, sol.Hyper)
+	r, err := edf.Simulate(jobs, speed.Constant(sol.Speed, 0, float64(sol.Hyper)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EDF replay: %d jobs released in one hyper-period, %d deadline misses\n",
+		len(r.Jobs), r.Misses)
+	for _, jr := range r.Jobs[:min(6, len(r.Jobs))] {
+		fmt.Printf("  task %d: [%5.1f, %5.1f) finished %6.2f\n",
+			jr.TaskID, jr.Release, jr.Deadline, jr.Finish)
+	}
+	if r.Feasible() {
+		fmt.Println("\nEvery admitted job met its deadline — the reduction is sound.")
+	}
+}

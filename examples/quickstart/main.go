@@ -1,0 +1,51 @@
+// Quickstart: admit-or-reject a handful of frame-based tasks on an ideal
+// DVS processor and compare the exact optimum with the fast heuristics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvsreject"
+)
+
+func main() {
+	// A frame of 10 ms on a processor normalized to smax = 1 (so at most
+	// 10 "cycles" fit), with the textbook cubic power model P(s) = s³.
+	proc := dvsreject.IdealProcessor(1.0)
+	set := dvsreject.TaskSet{
+		Deadline: 10,
+		Tasks: []dvsreject.Task{
+			{ID: 1, Cycles: 4, Penalty: 2.0}, // important: expensive to drop
+			{ID: 2, Cycles: 4, Penalty: 0.3}, // cheap to drop
+			{ID: 3, Cycles: 3, Penalty: 1.0},
+			{ID: 4, Cycles: 5, Penalty: 0.6},
+		},
+	}
+	in, err := dvsreject.NewInstance(set, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("frame deadline %g, capacity %g cycles, offered load %d cycles (%.0f%%)\n\n",
+		set.Deadline, in.Capacity(), set.TotalCycles(),
+		100*float64(set.TotalCycles())/in.Capacity())
+
+	for _, solver := range []dvsreject.Solver{
+		dvsreject.DP{},             // exact optimum
+		dvsreject.GreedyMarginal{}, // greedy + local search
+		dvsreject.GreedyDensity{},  // single-pass greedy
+		dvsreject.AcceptAll{},      // energy-oblivious baseline
+	} {
+		sol, err := solver.Solve(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s accepted %v  rejected %v\n", solver.Name(), sol.Accepted, sol.Rejected)
+		fmt.Printf("             energy %.4f + penalty %.4f = cost %.4f (speed %.3f)\n",
+			sol.Energy, sol.Penalty, sol.Cost, sol.Assignment.LoSpeed)
+	}
+
+	fmt.Println("\nThe optimum drops the cheap-to-reject tasks and runs the rest slowly;")
+	fmt.Println("ACCEPT-ALL keeps everything and pays cubic energy for the speed-up.")
+}

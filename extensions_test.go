@@ -1,0 +1,137 @@
+package dvsreject
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeMultiproc(t *testing.T) {
+	in := MultiprocInstance{
+		Tasks: TaskSet{Deadline: 10, Tasks: []Task{
+			{ID: 1, Cycles: 5, Penalty: 100},
+			{ID: 2, Cycles: 5, Penalty: 100},
+		}},
+		Proc: IdealProcessor(1),
+		M:    2,
+	}
+	sol, err := (LTFRejectLS{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convexity: one 5-cycle task per processor, E = 2·(0.5²·5) = 2.5.
+	if math.Abs(sol.Cost-2.5) > 1e-9 {
+		t.Errorf("cost = %v, want 2.5", sol.Cost)
+	}
+	opt, err := (MultiprocExhaustive{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt.Cost-sol.Cost) > 1e-9 {
+		t.Errorf("heuristic %v != OPT %v on the trivial split", sol.Cost, opt.Cost)
+	}
+}
+
+func TestFacadeOnline(t *testing.T) {
+	jobs := []OnlineJob{
+		{ID: 1, Arrival: 0, Deadline: 10, Cycles: 5, Penalty: 2},
+	}
+	r, err := SimulateOnline(jobs, IdealProcessor(1), MarginalCostPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 1 || r.Misses != 0 {
+		t.Errorf("online result = %+v", r)
+	}
+	off, err := OfflineOptimal(jobs, IdealProcessor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(off.Cost-r.Cost) > 1e-9 {
+		t.Errorf("single-job online %v != offline %v", r.Cost, off.Cost)
+	}
+}
+
+func TestFacadeEDFAndYDS(t *testing.T) {
+	jobs := []Job{
+		{TaskID: 1, Release: 0, Deadline: 10, Cycles: 4},
+		{TaskID: 2, Release: 4, Deadline: 6, Cycles: 2},
+	}
+	sched, err := ComputeYDS(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateEDF(jobs, sched.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Errorf("YDS schedule infeasible under EDF: %+v", r)
+	}
+}
+
+func TestFacadeReclaim(t *testing.T) {
+	tasks := []ReclaimTask{{ID: 1, WCET: 4, Actual: 2}, {ID: 2, WCET: 4, Actual: 2}}
+	var last float64
+	for _, pol := range []ReclaimPolicy{ReclaimStatic, ReclaimCycleConserving, ReclaimOracle} {
+		tr, err := RunReclaim(tasks, 10, IdealProcessor(1).Model, 1, pol)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if last != 0 && tr.Energy > last+1e-9 {
+			t.Errorf("%v energy %v not ≤ previous %v", pol, tr.Energy, last)
+		}
+		last = tr.Energy
+	}
+}
+
+func TestFacadeIdleModes(t *testing.T) {
+	jobs := []Job{
+		{TaskID: 1, Release: 0, Deadline: 20, Cycles: 4},
+		{TaskID: 2, Release: 10, Deadline: 20, Cycles: 4},
+	}
+	proc := XScaleProcessor(false, 0.5)
+	asap, alap, err := CompareIdleModes(jobs, 1, 20, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(asap.TotalIdle-alap.TotalIdle) > 1e-9 {
+		t.Errorf("idle mismatch: %v vs %v", asap.TotalIdle, alap.TotalIdle)
+	}
+	if alap.IdleEnergy > asap.IdleEnergy+1e-9 {
+		t.Errorf("ALAP (%v) worse than ASAP (%v) on the staggered instance", alap.IdleEnergy, asap.IdleEnergy)
+	}
+	if ExecASAP.String() != "ASAP" || ExecALAP.String() != "ALAP(PROC)" {
+		t.Error("mode names changed")
+	}
+}
+
+func TestFacadeParetoFrontier(t *testing.T) {
+	in, err := NewInstance(TaskSet{
+		Deadline: 10,
+		Tasks:    []Task{{ID: 1, Cycles: 4, Penalty: 1}, {ID: 2, Cycles: 4, Penalty: 2}},
+	}, IdealProcessor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ParetoFrontier(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 3 {
+		t.Fatalf("frontier = %+v, want 3 points", fr)
+	}
+	// The minimum-cost point must match the DP optimum.
+	opt, err := (DP{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := fr[0].Cost
+	for _, p := range fr {
+		if p.Cost < best {
+			best = p.Cost
+		}
+	}
+	if math.Abs(best-opt.Cost) > 1e-9 {
+		t.Errorf("frontier best %v != optimum %v", best, opt.Cost)
+	}
+}

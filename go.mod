@@ -1,0 +1,3 @@
+module dvsreject
+
+go 1.22

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/task"
+)
+
+func TestApproxDPPenaltyInvalidEps(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1})
+	for _, eps := range []float64{0, -1, math.NaN()} {
+		if _, err := (ApproxDPPenalty{Eps: eps}).Solve(in); err == nil {
+			t.Errorf("ε = %v accepted", eps)
+		}
+	}
+}
+
+func TestApproxDPPenaltyRejectsHeterogeneous(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1, Rho: 2})
+	if _, err := (ApproxDPPenalty{Eps: 0.1}).Solve(in); !errors.Is(err, ErrHeterogeneous) {
+		t.Errorf("error = %v, want ErrHeterogeneous", err)
+	}
+}
+
+func TestApproxDPPenaltyGuarantee(t *testing.T) {
+	// cost ≤ OPT + ε·UB on randomized instances, never below OPT.
+	for _, eps := range []float64{0.05, 0.1, 0.3, 0.7} {
+		for seed := int64(0); seed < 10; seed++ {
+			for _, load := range []float64{0.8, 1.5, 2.5} {
+				in := randomInstance(t, seed, 20, load, testProcs["ideal-cubic"], gen.PenaltyModel(seed%3))
+				opt, err := (DP{}).Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ub, err := (GreedyDensity{}).Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sol, err := (ApproxDPPenalty{Eps: eps}).Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sol.Cost < opt.Cost-1e-6*(1+opt.Cost) {
+					t.Errorf("ε=%v seed=%d: %v beats OPT %v", eps, seed, sol.Cost, opt.Cost)
+				}
+				if bound := opt.Cost + eps*ub.Cost; sol.Cost > bound+1e-6*(1+bound) {
+					t.Errorf("ε=%v seed=%d load=%v: cost %v breaches OPT+ε·UB = %v", eps, seed, load, sol.Cost, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestApproxDPPenaltySmallEpsNearExact(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in := randomInstance(t, seed, 14, 1.5, testProcs["ideal-cubic"], gen.PenaltyUniform)
+		opt, err := (DP{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := (ApproxDPPenalty{Eps: 0.001}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := (sol.Cost - opt.Cost) / (1 + opt.Cost); rel > 0.002 {
+			t.Errorf("seed %d: ε=0.001 cost %v too far from OPT %v", seed, sol.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestApproxDPPenaltyMagnitudeIndependence(t *testing.T) {
+	// The table size is O(n²/ε) regardless of cycle magnitudes — an
+	// instance whose capacity DP would need billions of cells must still
+	// solve under a modest state budget.
+	in := Instance{
+		Tasks: task.Set{Deadline: 1e8},
+		Proc:  testProcs["ideal-cubic"],
+	}
+	for i := 0; i < 12; i++ {
+		in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{
+			ID: i, Cycles: 9_000_000 + int64(i)*1_000_003, Penalty: float64(1+i) * 1e10,
+		})
+	}
+	budget := int64(100_000)
+	if _, err := (DP{MaxStates: budget}).Solve(in); err == nil {
+		t.Fatal("capacity DP unexpectedly fit the budget")
+	}
+	sol, err := (ApproxDPPenalty{Eps: 0.2, MaxStates: budget}).Solve(in)
+	if err != nil {
+		t.Fatalf("penalty-axis scheme failed under the same budget: %v", err)
+	}
+	// Huge penalties: everything feasible should be accepted.
+	if len(sol.Accepted) == 0 {
+		t.Error("no tasks accepted despite huge penalties")
+	}
+}
+
+func TestApproxDPPenaltyZeroPenalties(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 3, Penalty: 0},
+		task.Task{ID: 2, Cycles: 3, Penalty: 0},
+	)
+	sol, err := (ApproxDPPenalty{Eps: 0.1}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 0 {
+		t.Errorf("cost = %v, want 0 (reject everything free)", sol.Cost)
+	}
+}
+
+func TestApproxDPPenaltyStateLimit(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 1},
+	)
+	if _, err := (ApproxDPPenalty{Eps: 0.0001, MaxStates: 100}).Solve(in); err == nil {
+		t.Error("state limit not enforced")
+	}
+}
+
+func TestApproxDPPenaltyUnfittableHugePenaltyTask(t *testing.T) {
+	// Regression: a task larger than the capacity with an enormous penalty
+	// must not collapse the scheme to its fallback — the other tasks still
+	// deserve an (essentially) exact decision.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 50, Penalty: 1e6}, // cannot fit, huge penalty
+		task.Task{ID: 2, Cycles: 4, Penalty: 1},    // worth accepting: E(4) = 0.64 < 1
+		task.Task{ID: 3, Cycles: 4, Penalty: 0.1},  // worth rejecting
+	)
+	opt, err := (DP{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := (ApproxDPPenalty{Eps: 0.05}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε·UB here is dominated by the 1e6 penalty, so the raw envelope is
+	// loose; the point of the regression is that the DECISION structure
+	// matches the optimum exactly.
+	if got, want := sol.AcceptedSet(), opt.AcceptedSet(); got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		t.Errorf("accepted %v, optimum accepted %v", sol.Accepted, opt.Accepted)
+	}
+	if math.Abs(sol.Cost-opt.Cost) > 1e-9*(1+opt.Cost) {
+		t.Errorf("cost %v != OPT %v", sol.Cost, opt.Cost)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/task"
+)
+
+func TestApproxDPInvalidEps(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1})
+	for _, eps := range []float64{0, -0.5, math.NaN()} {
+		if _, err := (ApproxDP{Eps: eps}).Solve(in); err == nil {
+			t.Errorf("ε = %v accepted", eps)
+		}
+	}
+}
+
+func TestApproxDPRejectsHeterogeneous(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1, Rho: 2})
+	if _, err := (ApproxDP{Eps: 0.1}).Solve(in); !errors.Is(err, ErrHeterogeneous) {
+		t.Errorf("error = %v, want ErrHeterogeneous", err)
+	}
+}
+
+func TestApproxDPTinyEpsIsExact(t *testing.T) {
+	// With ε small enough that K = 1, the scheme degenerates to the exact
+	// DP on every instance.
+	for seed := int64(0); seed < 6; seed++ {
+		in := randomInstance(t, seed, 12, 1.5, testProcs["ideal-cubic"], gen.PenaltyUniform)
+		exact, err := DP{}.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := (ApproxDP{Eps: 1e-9}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact.Cost-approx.Cost) > 1e-9 {
+			t.Errorf("seed %d: ApproxDP(ε→0) cost %v != DP cost %v", seed, approx.Cost, exact.Cost)
+		}
+	}
+}
+
+func TestApproxDPQualityEnvelope(t *testing.T) {
+	// The scheme's documented envelope: cost ≤ (1+5ε)·OPT + ε·E(C).
+	for _, eps := range []float64{0.05, 0.1, 0.25, 0.5} {
+		for seed := int64(0); seed < 10; seed++ {
+			for _, load := range []float64{0.8, 1.5, 2.5} {
+				in := randomInstance(t, seed, 20, load, testProcs["ideal-cubic"], gen.PenaltyModel(seed%3))
+				opt, err := DP{}.Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				approx, err := (ApproxDP{Eps: eps}).Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bound := (1+5*eps)*opt.Cost + eps*in.energyOf(in.Capacity())
+				if approx.Cost > bound+1e-9 {
+					t.Errorf("ε=%v seed=%d load=%v: cost %v breaches envelope %v (OPT %v)",
+						eps, seed, load, approx.Cost, bound, opt.Cost)
+				}
+				if approx.Cost < opt.Cost-1e-9 {
+					t.Errorf("ε=%v seed=%d: ApproxDP beat the optimum: %v < %v", eps, seed, approx.Cost, opt.Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestApproxDPFeasibilityConservative(t *testing.T) {
+	// Even at coarse ε, the accepted set must fit the true capacity.
+	for seed := int64(0); seed < 10; seed++ {
+		in := randomInstance(t, seed, 25, 3.0, testProcs["ideal-cubic"], gen.PenaltyProportional)
+		sol, err := (ApproxDP{Eps: 0.7}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w int64
+		acc := sol.AcceptedSet()
+		for _, tk := range in.Tasks.Tasks {
+			if acc[tk.ID] {
+				w += tk.Cycles
+			}
+		}
+		if !in.Fits(float64(w)) {
+			t.Errorf("seed %d: accepted workload %d exceeds capacity %v", seed, w, in.Capacity())
+		}
+	}
+}
+
+func TestApproxDPStateLimit(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 1},
+	)
+	if _, err := (ApproxDP{Eps: 0.01, MaxStates: 4}).Solve(in); err == nil {
+		t.Error("state limit not enforced")
+	}
+}
+
+func TestApproxDPShrinksTable(t *testing.T) {
+	// A big-capacity instance that the exact DP would refuse under a tight
+	// state budget must still be solvable by ApproxDP under the same
+	// budget.
+	in := Instance{
+		Tasks: task.Set{Deadline: 1e6},
+		Proc:  testProcs["ideal-cubic"],
+	}
+	for i := 0; i < 10; i++ {
+		in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{ID: i, Cycles: 90000, Penalty: 5000})
+	}
+	budget := int64(100_000)
+	if _, err := (DP{MaxStates: budget}).Solve(in); err == nil {
+		t.Fatal("exact DP unexpectedly fit the state budget")
+	}
+	if _, err := (ApproxDP{Eps: 0.2, MaxStates: budget}).Solve(in); err != nil {
+		t.Errorf("ApproxDP under the same budget failed: %v", err)
+	}
+}

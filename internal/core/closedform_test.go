@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsreject/internal/task"
+)
+
+// For n identical tasks (c, v) on the ideal cubic processor the optimum is
+// a pure count: accept k* = argmin_k E(k·c) + (n−k)·v over feasible k.
+// This closed form cross-checks the DP (and through earlier tests, every
+// other solver) on a family where the answer is computable independently.
+func identicalOptimum(n int, c int64, v, d, smax float64) (bestK int, bestCost float64) {
+	bestCost = math.Inf(1)
+	for k := 0; k <= n; k++ {
+		w := float64(k) * float64(c)
+		if w > smax*d {
+			break
+		}
+		e := math.Pow(w, 3) / (d * d)
+		if cost := e + float64(n-k)*v; cost < bestCost {
+			bestCost, bestK = cost, k
+		}
+	}
+	return bestK, bestCost
+}
+
+func TestDPMatchesIdenticalClosedForm(t *testing.T) {
+	cases := []struct {
+		n int
+		c int64
+		v float64
+		d float64
+	}{
+		{5, 4, 1, 10},
+		{10, 3, 0.5, 20},
+		{8, 7, 10, 25},
+		{20, 2, 0.05, 15},
+		{12, 5, 2.4, 30},
+		{30, 1, 0.0009, 12},
+	}
+	for _, tc := range cases {
+		in := Instance{Tasks: task.Set{Deadline: tc.d}, Proc: testProcs["ideal-cubic"]}
+		for i := 0; i < tc.n; i++ {
+			in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{ID: i, Cycles: tc.c, Penalty: tc.v})
+		}
+		wantK, wantCost := identicalOptimum(tc.n, tc.c, tc.v, tc.d, 1)
+		sol, err := (DP{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sol.Accepted) != wantK {
+			t.Errorf("n=%d c=%d v=%v: accepted %d, closed form %d", tc.n, tc.c, tc.v, len(sol.Accepted), wantK)
+		}
+		if math.Abs(sol.Cost-wantCost) > 1e-9*(1+wantCost) {
+			t.Errorf("n=%d c=%d v=%v: cost %v, closed form %v", tc.n, tc.c, tc.v, sol.Cost, wantCost)
+		}
+	}
+}
+
+// Property: the closed form holds for arbitrary identical-task families,
+// and the continuous relaxation's interior optimum k ≈ D/c·√(v/(3c)) (from
+// d/dk [k³c³/D² + (n−k)v] = 0) brackets the discrete optimum.
+func TestQuickIdenticalClosedForm(t *testing.T) {
+	f := func(nn, cc uint8, vv uint16) bool {
+		n := 2 + int(nn%20)
+		c := 1 + int64(cc%9)
+		v := 0.01 + float64(vv)/500
+		d := 40.0
+		in := Instance{Tasks: task.Set{Deadline: d}, Proc: testProcs["ideal-cubic"]}
+		for i := 0; i < n; i++ {
+			in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{ID: i, Cycles: c, Penalty: v})
+		}
+		wantK, wantCost := identicalOptimum(n, c, v, d, 1)
+		sol, err := (DP{}).Solve(in)
+		if err != nil {
+			return false
+		}
+		if math.Abs(sol.Cost-wantCost) > 1e-9*(1+wantCost) {
+			return false
+		}
+		// The discrete optimum sits within one task of the unconstrained
+		// continuous stationary point k = (D/c)·√(v/(3c)) (from
+		// d/dk [(kc)³/D² + (n−k)v] = 0), clamped to [0, min(n, D/c)].
+		kCont := d * math.Sqrt(v/(3*float64(c))) / float64(c)
+		kStar := math.Min(math.Max(kCont, 0), math.Min(float64(n), d/float64(c)))
+		return math.Abs(float64(wantK)-kStar) <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

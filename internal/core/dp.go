@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DP is the exact pseudo-polynomial solver: dynamic programming over the
+// integer accepted workload. State f[w] is the minimum rejection penalty
+// over decisions for the first i tasks whose accepted cycles total exactly
+// w; the answer is min over w ≤ smax·D of E(w) + f[w]. Exact for every
+// homogeneous instance flavour (the energy curve may be non-convex), in
+// O(n·smax·D) time and O(n·smax·D) bits for reconstruction.
+type DP struct {
+	// MaxStates bounds n·(capacity+1); 0 means the default of 2^28.
+	MaxStates int64
+}
+
+// Name implements Solver.
+func (DP) Name() string { return "DP" }
+
+// DefaultMaxDPStates is DP's work limit (n·capacity table cells).
+const DefaultMaxDPStates = int64(1) << 28
+
+// Solve implements Solver. It returns ErrHeterogeneous for instances with
+// per-task power coefficients: their energy is not a function of a single
+// integer workload.
+func (d DP) Solve(in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if in.Heterogeneous() {
+		return Solution{}, ErrHeterogeneous
+	}
+	its := in.items()
+	cap64 := int64(math.Floor(in.Capacity() * (1 + 1e-12)))
+	limit := d.MaxStates
+	if limit == 0 {
+		limit = DefaultMaxDPStates
+	}
+	if work := int64(len(its)) * (cap64 + 1); work > limit {
+		return Solution{}, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
+	}
+
+	accepted, err := rejectionDP(its, cap64, in.energyOf, 1)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Evaluate(in, accepted)
+}
+
+// takeTable is the reconstruction bitset: one bit per (task, workload)
+// cell, 8× smaller than a [][]bool and friendlier to the cache on large
+// grids.
+type takeTable struct {
+	words []uint64
+	width int64 // cells per task row
+}
+
+func newTakeTable(n int, width int64) takeTable {
+	perRow := (width + 63) / 64
+	return takeTable{words: make([]uint64, int64(n)*perRow), width: perRow}
+}
+
+func (t takeTable) set(i int, w int64) {
+	t.words[int64(i)*t.width+w/64] |= 1 << uint(w%64)
+}
+
+func (t takeTable) get(i int, w int64) bool {
+	return t.words[int64(i)*t.width+w/64]&(1<<uint(w%64)) != 0
+}
+
+// rejectionDP solves min energy(scale·w) + Σ rejected v over subsets with
+// Σ item.c ≤ cap64. Callers pass items whose c field is already expressed
+// in DP grid units; scale converts grid units back to true cycles for the
+// energy evaluation (1 for the exact DP). It returns the accepted IDs.
+func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64) ([]int, error) {
+	if cap64 < 0 {
+		return nil, fmt.Errorf("core: negative DP capacity %d", cap64)
+	}
+	n := len(its)
+	width := cap64 + 1
+
+	f := make([]float64, width)
+	for w := range f {
+		f[w] = math.Inf(1)
+	}
+	f[0] = 0
+
+	// take records, per reachable workload, whether task i is accepted on
+	// the optimal path reaching it.
+	take := newTakeTable(n, width)
+
+	for i, it := range its {
+		c := it.c
+		if c > cap64 {
+			// Can never be accepted: pay the penalty on every path.
+			for w := int64(0); w < width; w++ {
+				if !math.IsInf(f[w], 1) {
+					f[w] += it.v
+				}
+			}
+			continue
+		}
+		// Descend so each task is used at most once.
+		for w := cap64; w >= 0; w-- {
+			rejectCost := math.Inf(1)
+			if !math.IsInf(f[w], 1) {
+				rejectCost = f[w] + it.v
+			}
+			acceptCost := math.Inf(1)
+			if w >= c && !math.IsInf(f[w-c], 1) {
+				acceptCost = f[w-c]
+			}
+			if acceptCost < rejectCost {
+				f[w] = acceptCost
+				take.set(i, w)
+			} else {
+				f[w] = rejectCost
+			}
+		}
+	}
+
+	// Pick the best workload level.
+	bestW, bestCost := int64(-1), math.Inf(1)
+	for w := int64(0); w < width; w++ {
+		if math.IsInf(f[w], 1) {
+			continue
+		}
+		if c := energy(float64(w)*scale) + f[w]; c < bestCost {
+			bestCost, bestW = c, w
+		}
+	}
+	if bestW < 0 {
+		return nil, fmt.Errorf("core: DP found no feasible workload")
+	}
+
+	// Reconstruct.
+	var ids []int
+	w := bestW
+	for i := n - 1; i >= 0; i-- {
+		if take.get(i, w) {
+			ids = append(ids, its[i].id)
+			w -= its[i].c
+		}
+	}
+	if w != 0 {
+		return nil, fmt.Errorf("core: DP reconstruction left workload %d", w)
+	}
+	return ids, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/task"
+)
+
+func TestDPHandComputed(t *testing.T) {
+	// D = 10, smax = 1, cubic. Three equal tasks c = 4, v = 1:
+	//   accept 0: cost 3; accept 1: 0.64/…  E(4) = 64/100 = 0.64 → 2.64;
+	//   accept 2: E(8) = 5.12 → 6.12. Optimum: accept exactly one.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 1},
+		task.Task{ID: 3, Cycles: 4, Penalty: 1},
+	)
+	sol, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Accepted) != 1 {
+		t.Errorf("accepted = %v, want exactly one task", sol.Accepted)
+	}
+	if math.Abs(sol.Cost-2.64) > 1e-9 {
+		t.Errorf("cost = %v, want 2.64", sol.Cost)
+	}
+}
+
+func TestDPPrefersSmallerTaskUnderOverload(t *testing.T) {
+	// c = {6, 5}, v = {3, 3}, capacity 10: both together infeasible.
+	// accept 6: 2.16+3 = 5.16; accept 5: 1.25+3 = 4.25; none: 6.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 6, Penalty: 3},
+		task.Task{ID: 2, Cycles: 5, Penalty: 3},
+	)
+	sol, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Accepted) != 1 || sol.Accepted[0] != 2 {
+		t.Errorf("accepted = %v, want [2]", sol.Accepted)
+	}
+	if math.Abs(sol.Cost-4.25) > 1e-9 {
+		t.Errorf("cost = %v, want 4.25", sol.Cost)
+	}
+}
+
+func TestDPHighPenaltiesAcceptEverythingFeasible(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 3, Penalty: 100},
+		task.Task{ID: 2, Cycles: 3, Penalty: 100},
+		task.Task{ID: 3, Cycles: 3, Penalty: 100},
+	)
+	sol, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Accepted) != 3 {
+		t.Errorf("accepted = %v, want all three", sol.Accepted)
+	}
+	// W = 9 → E = 9³/100 = 7.29.
+	if math.Abs(sol.Cost-7.29) > 1e-9 {
+		t.Errorf("cost = %v, want 7.29", sol.Cost)
+	}
+}
+
+func TestDPZeroPenaltiesRejectEverything(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 3, Penalty: 0},
+		task.Task{ID: 2, Cycles: 3, Penalty: 0},
+	)
+	sol, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Accepted) != 0 || sol.Cost != 0 {
+		t.Errorf("solution = %+v, want empty at zero cost", sol)
+	}
+}
+
+func TestDPTaskLargerThanCapacity(t *testing.T) {
+	// A task that can never fit must be rejected, not break the DP.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 50, Penalty: 100},
+		task.Task{ID: 2, Cycles: 4, Penalty: 5},
+	)
+	sol, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.AcceptedSet(); got[1] || !got[2] {
+		t.Errorf("accepted = %v, want only task 2", sol.Accepted)
+	}
+	// Cost = E(4) + v1 = 0.64 + 100.
+	if math.Abs(sol.Cost-100.64) > 1e-9 {
+		t.Errorf("cost = %v, want 100.64", sol.Cost)
+	}
+}
+
+func TestDPRejectsHeterogeneous(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1, Rho: 2})
+	if _, err := (DP{}).Solve(in); !errors.Is(err, ErrHeterogeneous) {
+		t.Errorf("error = %v, want ErrHeterogeneous", err)
+	}
+}
+
+func TestDPStateLimit(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 1},
+	)
+	if _, err := (&DP{MaxStates: 10}).Solve(in); err == nil {
+		t.Error("state limit not enforced")
+	}
+}
+
+func TestDPOnDiscreteProcessor(t *testing.T) {
+	// The DP optimizes against any single-workload energy curve, including
+	// the two-level discrete one.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 2},
+		task.Task{ID: 2, Cycles: 5, Penalty: 2},
+	)
+	in.Proc.Levels = power.XScaleLevels()
+	sol, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against exhaustive enumeration of all 4 subsets.
+	best := math.Inf(1)
+	for _, ids := range [][]int{nil, {1}, {2}, {1, 2}} {
+		if s, err := Evaluate(in, ids); err == nil && s.Cost < best {
+			best = s.Cost
+		}
+	}
+	if math.Abs(sol.Cost-best) > 1e-9 {
+		t.Errorf("DP cost = %v, enumeration optimum = %v", sol.Cost, best)
+	}
+}
+
+func TestDPOnLeakyDormantProcessor(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 2, Penalty: 0.5},
+		task.Task{ID: 2, Cycles: 3, Penalty: 0.7},
+		task.Task{ID: 3, Cycles: 4, Penalty: 0.2},
+	)
+	in.Proc.Model = power.XScale()
+	in.Proc.DormantEnable = true
+	in.Proc.Esw = 0.1
+	sol, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 8; mask++ {
+		var ids []int
+		for b := 0; b < 3; b++ {
+			if mask&(1<<b) != 0 {
+				ids = append(ids, b+1)
+			}
+		}
+		if s, err := Evaluate(in, ids); err == nil && s.Cost < best {
+			best = s.Cost
+		}
+	}
+	if math.Abs(sol.Cost-best) > 1e-9 {
+		t.Errorf("DP cost = %v, enumeration optimum = %v", sol.Cost, best)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Exhaustive is the exact reference solver: a depth-first branch-and-bound
+// over all 2ⁿ admission decisions. It is exact for every instance flavour
+// (including heterogeneous power characteristics, discrete speeds and
+// leakage) because leaves are costed by Evaluate. Intended for n ≲ 24 —
+// the role the paper family's "optimal task assignment by exhaustive
+// search" plays in their figures.
+type Exhaustive struct {
+	// MaxTasks bounds the instance size; 0 means the default of 28.
+	MaxTasks int
+	// WeakBoundOnly disables the convex marginal-cost pruning term,
+	// falling back to the always-valid E(w)+V bound. Exposed for the
+	// pruning ablation (experiment E12); results are identical, only the
+	// explored node count changes.
+	WeakBoundOnly bool
+}
+
+// Name implements Solver.
+func (Exhaustive) Name() string { return "OPT" }
+
+// DefaultMaxExhaustiveTasks is the instance size limit of Exhaustive.
+const DefaultMaxExhaustiveTasks = 28
+
+// Solve implements Solver.
+func (e Exhaustive) Solve(in Instance) (Solution, error) {
+	sol, _, err := e.SolveStats(in)
+	return sol, err
+}
+
+// SolveStats is Solve plus the number of search nodes explored — the
+// instrumentation the pruning ablation reads.
+func (e Exhaustive) SolveStats(in Instance) (Solution, int64, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, 0, err
+	}
+	limit := e.MaxTasks
+	if limit == 0 {
+		limit = DefaultMaxExhaustiveTasks
+	}
+	if n := len(in.Tasks.Tasks); n > limit {
+		return Solution{}, 0, fmt.Errorf("core: exhaustive search over %d tasks exceeds the limit %d", n, limit)
+	}
+
+	its := in.items()
+	// Branch on large, expensive tasks first: their decisions move the
+	// bound the most.
+	sort.Slice(its, func(a, b int) bool { return its[a].ce > its[b].ce })
+
+	s := &searcher{in: in, items: its, convex: in.convexEnergy() && !e.WeakBoundOnly}
+	// Seed the incumbent with the density greedy so pruning bites early.
+	if seed, err := (GreedyDensity{}).Solve(in); err == nil {
+		s.bestCost = seed.Cost
+		s.best = append([]int(nil), seed.Accepted...)
+		s.haveBest = true
+	} else {
+		s.bestCost = math.Inf(1)
+	}
+
+	s.accepted = make([]bool, len(its))
+	s.dfs(0, 0, 0, 0)
+
+	if !s.haveBest {
+		return Solution{}, s.nodes, fmt.Errorf("core: exhaustive search found no feasible solution")
+	}
+	sol, err := Evaluate(in, s.best)
+	return sol, s.nodes, err
+}
+
+type searcher struct {
+	in     Instance
+	items  []item
+	convex bool
+
+	accepted []bool
+	best     []int
+	bestCost float64
+	haveBest bool
+	nodes    int64
+}
+
+// costEps breaks ties in favour of the incumbent to keep results stable.
+const costEps = 1e-9
+
+// dfs explores admission decisions for items[idx:], with wTrue/wEff the
+// accepted workloads so far and vRej the accumulated rejection penalty.
+func (s *searcher) dfs(idx int, wTrue int64, wEff, vRej float64) {
+	s.nodes++
+	if lb := s.lowerBound(idx, wEff, vRej); lb >= s.bestCost-costEps {
+		return
+	}
+	if idx == len(s.items) {
+		s.leaf(wEff, vRej)
+		return
+	}
+	it := s.items[idx]
+
+	// Accept, when capacity allows.
+	if s.in.Fits(float64(wTrue + it.c)) {
+		s.accepted[idx] = true
+		s.dfs(idx+1, wTrue+it.c, wEff+it.ce, vRej)
+		s.accepted[idx] = false
+	}
+	// Reject.
+	s.dfs(idx+1, wTrue, wEff, vRej+it.v)
+}
+
+// lowerBound computes a valid optimistic cost for any completion of the
+// current partial decision. The surrogate energy is monotone in the
+// accepted workload, so E(wEff) + vRej is always valid; with a convex
+// curve every remaining task additionally costs at least
+// min(vi, E(w+ci)−E(w)) because convex increments are superadditive.
+func (s *searcher) lowerBound(idx int, wEff, vRej float64) float64 {
+	base := s.in.surrogateEnergy(wEff)
+	lb := base + vRej
+	if !s.convex || math.IsInf(base, 1) {
+		return lb
+	}
+	for _, it := range s.items[idx:] {
+		marginal := s.in.surrogateEnergy(wEff+it.ce) - base
+		lb += math.Min(it.v, marginal)
+	}
+	return lb
+}
+
+// leaf costs a complete decision exactly and updates the incumbent.
+func (s *searcher) leaf(wEff, vRej float64) {
+	var ids []int
+	for i, acc := range s.accepted {
+		if acc {
+			ids = append(ids, s.items[i].id)
+		}
+	}
+	cost := s.in.surrogateEnergy(wEff) + vRej
+	if s.in.Heterogeneous() {
+		// The surrogate underestimates when speed clamping binds; re-cost
+		// exactly before comparing.
+		sol, err := Evaluate(s.in, ids)
+		if err != nil {
+			return
+		}
+		cost = sol.Cost
+	}
+	if cost < s.bestCost-costEps {
+		s.bestCost = cost
+		s.best = ids
+		s.haveBest = true
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FrontierPoint is one Pareto-optimal energy/penalty trade: no admission
+// decision achieves both lower energy and lower penalty.
+type FrontierPoint struct {
+	Workload int64   // accepted cycles
+	Energy   float64 // E(Workload)
+	Penalty  float64 // minimum rejected penalty at that workload
+	Cost     float64 // Energy + Penalty
+}
+
+// ParetoFrontier computes the exact energy-versus-penalty Pareto frontier
+// of the instance from one DP pass: for every achievable accepted workload
+// w the minimum rejected penalty f(w), reduced to the non-dominated points
+// (energy strictly increasing, penalty strictly decreasing along the
+// curve). The overall optimum is the frontier point with minimum Cost.
+//
+// This is the curve a deployer inspects to price SLAs: it answers "how
+// much energy does the next unit of admitted work cost, and what penalty
+// does it save" without committing to a single trade-off. Homogeneous
+// instances only (as with DP).
+func ParetoFrontier(in Instance) ([]FrontierPoint, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Heterogeneous() {
+		return nil, ErrHeterogeneous
+	}
+	its := in.items()
+	cap64 := int64(math.Floor(in.Capacity() * (1 + 1e-12)))
+	if work := int64(len(its)) * (cap64 + 1); work > DefaultMaxDPStates {
+		return nil, fmt.Errorf("core: frontier needs %d states, over the limit %d", work, DefaultMaxDPStates)
+	}
+	width := cap64 + 1
+
+	f := make([]float64, width)
+	for w := range f {
+		f[w] = math.Inf(1)
+	}
+	f[0] = 0
+	for _, it := range its {
+		if it.c > cap64 {
+			for w := int64(0); w < width; w++ {
+				if !math.IsInf(f[w], 1) {
+					f[w] += it.v
+				}
+			}
+			continue
+		}
+		for w := cap64; w >= 0; w-- {
+			reject := math.Inf(1)
+			if !math.IsInf(f[w], 1) {
+				reject = f[w] + it.v
+			}
+			accept := math.Inf(1)
+			if w >= it.c && !math.IsInf(f[w-it.c], 1) {
+				accept = f[w-it.c]
+			}
+			f[w] = math.Min(reject, accept)
+		}
+	}
+
+	// Non-dominated sweep: walk w upward (energy non-decreasing) and keep
+	// points that strictly lower the penalty.
+	var frontier []FrontierPoint
+	bestPenalty := math.Inf(1)
+	for w := int64(0); w < width; w++ {
+		if math.IsInf(f[w], 1) || f[w] >= bestPenalty-costEps {
+			continue
+		}
+		e := in.energyOf(float64(w))
+		if math.IsInf(e, 1) {
+			continue
+		}
+		bestPenalty = f[w]
+		frontier = append(frontier, FrontierPoint{
+			Workload: w,
+			Energy:   e,
+			Penalty:  f[w],
+			Cost:     e + f[w],
+		})
+	}
+
+	// E(w) can plateau (e.g. dormant-mode break-even regions): collapse
+	// runs of equal energy to their lowest-penalty point, so every kept
+	// point is strictly non-dominated.
+	out := frontier[:0]
+	for _, p := range frontier {
+		if n := len(out); n > 0 && p.Energy <= out[n-1].Energy+costEps {
+			out[n-1] = p // same energy, strictly lower penalty: replace
+			continue
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/task"
+)
+
+func TestParetoFrontierBasic(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 2},
+	)
+	fr, err := ParetoFrontier(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Achievable workloads: 0 (penalty 3), 4 (min penalty 1 by accepting
+	// task 2... accepting task 2 rejects task 1: penalty 1; accepting
+	// task 1 rejects 2: penalty 2 → min 1), 8 (penalty 0).
+	want := []FrontierPoint{
+		{Workload: 0, Penalty: 3},
+		{Workload: 4, Penalty: 1},
+		{Workload: 8, Penalty: 0},
+	}
+	if len(fr) != len(want) {
+		t.Fatalf("frontier = %+v, want 3 points", fr)
+	}
+	for i := range want {
+		if fr[i].Workload != want[i].Workload || math.Abs(fr[i].Penalty-want[i].Penalty) > 1e-12 {
+			t.Errorf("point %d = %+v, want workload %d penalty %v", i, fr[i], want[i].Workload, want[i].Penalty)
+		}
+		if wantE := in.energyOf(float64(want[i].Workload)); math.Abs(fr[i].Energy-wantE) > 1e-12 {
+			t.Errorf("point %d energy = %v, want %v", i, fr[i].Energy, wantE)
+		}
+	}
+}
+
+func TestParetoFrontierMonotone(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := randomInstance(t, seed, 15, 1.5, testProcs["ideal-cubic"], gen.PenaltyModel(seed%3))
+		fr, err := ParetoFrontier(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fr) == 0 {
+			t.Fatal("empty frontier")
+		}
+		for i := 1; i < len(fr); i++ {
+			if !(fr[i].Energy > fr[i-1].Energy) {
+				t.Errorf("seed %d: energy not increasing at %d: %+v", seed, i, fr[i-1:i+1])
+			}
+			if !(fr[i].Penalty < fr[i-1].Penalty) {
+				t.Errorf("seed %d: penalty not decreasing at %d: %+v", seed, i, fr[i-1:i+1])
+			}
+		}
+	}
+}
+
+func TestParetoFrontierContainsOptimum(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := randomInstance(t, seed, 15, 1.8, testProcs["ideal-cubic"], gen.PenaltyUniform)
+		fr, err := ParetoFrontier(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := (DP{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for _, p := range fr {
+			if p.Cost < best {
+				best = p.Cost
+			}
+		}
+		if math.Abs(best-opt.Cost) > 1e-6*(1+opt.Cost) {
+			t.Errorf("seed %d: frontier minimum %v != DP optimum %v", seed, best, opt.Cost)
+		}
+	}
+}
+
+func TestParetoFrontierPointsAchievable(t *testing.T) {
+	// Small n: every frontier point must correspond to a real subset with
+	// exactly that workload and rejected penalty.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 2, Penalty: 0.5},
+		task.Task{ID: 2, Cycles: 3, Penalty: 1.1},
+		task.Task{ID: 3, Cycles: 4, Penalty: 0.3},
+		task.Task{ID: 4, Cycles: 5, Penalty: 2.0},
+	)
+	fr, err := ParetoFrontier(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(in.Tasks.Tasks)
+	for _, p := range fr {
+		found := false
+		for mask := 0; mask < 1<<n && !found; mask++ {
+			var w int64
+			var rej float64
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					w += in.Tasks.Tasks[b].Cycles
+				} else {
+					rej += in.Tasks.Tasks[b].Penalty
+				}
+			}
+			if w == p.Workload && math.Abs(rej-p.Penalty) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("frontier point %+v is not achievable by any subset", p)
+		}
+	}
+}
+
+func TestParetoFrontierLeakyPlateaus(t *testing.T) {
+	// Dormant-enable with large Esw can flatten E(w); the frontier must
+	// still be strictly monotone after plateau collapsing.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 2, Penalty: 0.5},
+		task.Task{ID: 2, Cycles: 3, Penalty: 0.8},
+		task.Task{ID: 3, Cycles: 5, Penalty: 0.2},
+	)
+	in.Proc.Model = power.XScale()
+	in.Proc.DormantEnable = true
+	in.Proc.Esw = 2
+	fr, err := ParetoFrontier(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fr); i++ {
+		if !(fr[i].Energy > fr[i-1].Energy && fr[i].Penalty < fr[i-1].Penalty) {
+			t.Errorf("non-monotone frontier at %d: %+v", i, fr[i-1:i+1])
+		}
+	}
+}
+
+func TestParetoFrontierErrors(t *testing.T) {
+	het := cubicInstance(task.Task{ID: 1, Cycles: 2, Penalty: 1, Rho: 2})
+	if _, err := ParetoFrontier(het); !errors.Is(err, ErrHeterogeneous) {
+		t.Errorf("error = %v, want ErrHeterogeneous", err)
+	}
+	bad := cubicInstance(task.Task{ID: 1, Cycles: -2, Penalty: 1})
+	if _, err := ParetoFrontier(bad); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GreedyDensity is the single-pass admission heuristic: consider tasks in
+// non-increasing order of penalty density vi/c̃i (the most expensive tasks
+// to turn away, per cycle, first) and accept a task when it fits the
+// remaining capacity AND the marginal energy of running it is below its
+// penalty. O(n log n) plus n energy evaluations.
+type GreedyDensity struct{}
+
+// Name implements Solver.
+func (GreedyDensity) Name() string { return "GREEDY" }
+
+// Solve implements Solver.
+func (GreedyDensity) Solve(in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	its := in.items()
+	sort.SliceStable(its, func(a, b int) bool {
+		return its[a].v*float64(its[b].c) > its[b].v*float64(its[a].c)
+	})
+
+	var accepted []int
+	var wTrue int64
+	var wEff float64
+	for _, it := range its {
+		if !in.Fits(float64(wTrue + it.c)) {
+			continue
+		}
+		marginal := in.surrogateEnergy(wEff+it.ce) - in.surrogateEnergy(wEff)
+		if marginal < it.v {
+			accepted = append(accepted, it.id)
+			wTrue += it.c
+			wEff += it.ce
+		}
+	}
+	return Evaluate(in, accepted)
+}
+
+// GreedyMarginal refines an initial admission by steepest-descent local
+// search over single-task toggles and pairwise swaps: repeatedly apply the
+// accept/reject flip — or the (evict one, admit one) swap — with the
+// largest cost improvement until none improves. Swaps are what escape the
+// capacity-bound local optima the single-pass greedy gets trapped in. Each
+// move is costed with the surrogate energy curve; the final solution is
+// re-costed exactly.
+type GreedyMarginal struct {
+	// MaxIterations bounds the move count; 0 means 10·n.
+	MaxIterations int
+	// DisableSwaps restricts the neighbourhood to single-task toggles.
+	// Exposed for the move-set ablation (experiment E12).
+	DisableSwaps bool
+}
+
+// Name implements Solver.
+func (GreedyMarginal) Name() string { return "S-GREEDY" }
+
+// Solve implements Solver.
+func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
+	seed, err := GreedyDensity{}.Solve(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	its := in.items()
+	n := len(its)
+	limit := g.MaxIterations
+	if limit == 0 {
+		limit = 10 * n
+	}
+
+	acc := seed.AcceptedSet()
+	var wTrue int64
+	var wEff float64
+	for _, it := range its {
+		if acc[it.id] {
+			wTrue += it.c
+			wEff += it.ce
+		}
+	}
+
+	for iter := 0; iter < limit; iter++ {
+		bestGain := costEps
+		bestOut, bestIn := -1, -1 // indices to evict / admit (-1 = none)
+		base := in.surrogateEnergy(wEff)
+
+		for i, it := range its {
+			var gain float64
+			if acc[it.id] {
+				// Reject it: save its energy share, pay its penalty.
+				gain = base - in.surrogateEnergy(wEff-it.ce) - it.v
+				if gain > bestGain {
+					bestGain, bestOut, bestIn = gain, i, -1
+				}
+			} else {
+				if in.Fits(float64(wTrue + it.c)) {
+					// Accept it: save its penalty, pay marginal energy.
+					gain = it.v - (in.surrogateEnergy(wEff+it.ce) - base)
+					if gain > bestGain {
+						bestGain, bestOut, bestIn = gain, -1, i
+					}
+				}
+				if g.DisableSwaps {
+					continue
+				}
+				// Swap it in for each currently accepted task.
+				for j, jt := range its {
+					if !acc[jt.id] {
+						continue
+					}
+					if !in.Fits(float64(wTrue - jt.c + it.c)) {
+						continue
+					}
+					newEff := wEff - jt.ce + it.ce
+					gain = it.v - jt.v - (in.surrogateEnergy(newEff) - base)
+					if gain > bestGain {
+						bestGain, bestOut, bestIn = gain, j, i
+					}
+				}
+			}
+		}
+		if bestOut < 0 && bestIn < 0 {
+			break
+		}
+		if bestOut >= 0 {
+			it := its[bestOut]
+			delete(acc, it.id)
+			wTrue -= it.c
+			wEff -= it.ce
+		}
+		if bestIn >= 0 {
+			it := its[bestIn]
+			acc[it.id] = true
+			wTrue += it.c
+			wEff += it.ce
+		}
+	}
+
+	ids := make([]int, 0, len(acc))
+	for id := range acc {
+		ids = append(ids, id)
+	}
+	return Evaluate(in, ids)
+}
+
+// AcceptAll is the energy-oblivious baseline: admit every task, and only
+// when the set exceeds capacity shed tasks in increasing penalty density
+// until it fits. It models a scheduler that rejects solely for
+// feasibility, never to save energy.
+type AcceptAll struct{}
+
+// Name implements Solver.
+func (AcceptAll) Name() string { return "ACCEPT-ALL" }
+
+// Solve implements Solver.
+func (AcceptAll) Solve(in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	its := in.items()
+	// Shed the cheapest penalty per freed cycle first.
+	sort.SliceStable(its, func(a, b int) bool {
+		return its[a].v*float64(its[b].c) < its[b].v*float64(its[a].c)
+	})
+	wTrue := int64(0)
+	for _, it := range its {
+		wTrue += it.c
+	}
+	acc := make(map[int]bool, len(its))
+	for _, it := range its {
+		acc[it.id] = true
+	}
+	for _, it := range its {
+		if in.Fits(float64(wTrue)) {
+			break
+		}
+		delete(acc, it.id)
+		wTrue -= it.c
+	}
+	if !in.Fits(float64(wTrue)) {
+		return Solution{}, fmt.Errorf("core: AcceptAll could not shed to feasibility")
+	}
+	ids := make([]int, 0, len(acc))
+	for id := range acc {
+		ids = append(ids, id)
+	}
+	return Evaluate(in, ids)
+}
+
+// RejectAll is the degenerate anchor: admit nothing, pay every penalty.
+type RejectAll struct{}
+
+// Name implements Solver.
+func (RejectAll) Name() string { return "REJECT-ALL" }
+
+// Solve implements Solver.
+func (RejectAll) Solve(in Instance) (Solution, error) {
+	return Evaluate(in, nil)
+}
+
+// RandomAdmission mirrors the RAND reference of the paper family's plots:
+// admit a random permutation greedily under the capacity constraint,
+// repeat for Restarts trials, keep the best. Deterministic for a fixed
+// Seed.
+type RandomAdmission struct {
+	Seed     int64
+	Restarts int // 0 means 8
+}
+
+// Name implements Solver.
+func (RandomAdmission) Name() string { return "RAND" }
+
+// Solve implements Solver.
+func (r RandomAdmission) Solve(in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	restarts := r.Restarts
+	if restarts == 0 {
+		restarts = 8
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	its := in.items()
+
+	best := Solution{Cost: math.Inf(1)}
+	found := false
+	for trial := 0; trial < restarts; trial++ {
+		perm := rng.Perm(len(its))
+		var wTrue int64
+		var wEff float64
+		var ids []int
+		for _, pi := range perm {
+			it := its[pi]
+			if !in.Fits(float64(wTrue + it.c)) {
+				continue
+			}
+			marginal := in.surrogateEnergy(wEff+it.ce) - in.surrogateEnergy(wEff)
+			if marginal < it.v {
+				ids = append(ids, it.id)
+				wTrue += it.c
+				wEff += it.ce
+			}
+		}
+		sol, err := Evaluate(in, ids)
+		if err != nil {
+			return Solution{}, err
+		}
+		if sol.Cost < best.Cost {
+			best = sol
+			found = true
+		}
+	}
+	if !found {
+		return Solution{}, fmt.Errorf("core: RandomAdmission produced no solution")
+	}
+	return best, nil
+}

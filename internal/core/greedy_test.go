@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/task"
+)
+
+func TestGreedyDensityAcceptsWorthwhileTask(t *testing.T) {
+	// Marginal energy of the single task is 0.64 < penalty 1: accept.
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1})
+	sol, err := (GreedyDensity{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Accepted) != 1 {
+		t.Errorf("accepted = %v, want [1]", sol.Accepted)
+	}
+}
+
+func TestGreedyDensityRejectsWorthlessTask(t *testing.T) {
+	// Marginal energy 0.64 > penalty 0.1: reject.
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 0.1})
+	sol, err := (GreedyDensity{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Accepted) != 0 {
+		t.Errorf("accepted = %v, want none", sol.Accepted)
+	}
+	if math.Abs(sol.Cost-0.1) > 1e-12 {
+		t.Errorf("cost = %v, want 0.1", sol.Cost)
+	}
+}
+
+func TestGreedyDensityHonorsCapacityUnderOverload(t *testing.T) {
+	// Load 2: roughly half the work must be turned away no matter what.
+	in := randomInstance(t, 1, 30, 2.0, testProcs["ideal-cubic"], gen.PenaltyProportional)
+	sol, err := (GreedyDensity{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w int64
+	acc := sol.AcceptedSet()
+	for _, tk := range in.Tasks.Tasks {
+		if acc[tk.ID] {
+			w += tk.Cycles
+		}
+	}
+	if !in.Fits(float64(w)) {
+		t.Errorf("accepted workload %d exceeds capacity %v", w, in.Capacity())
+	}
+	if len(sol.Rejected) == 0 {
+		t.Error("overloaded instance rejected nothing")
+	}
+}
+
+func TestGreedyDensityOrderMatters(t *testing.T) {
+	// Two tasks, capacity for one: the denser penalty must win the slot.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 8, Penalty: 4},  // density 0.5
+		task.Task{ID: 2, Cycles: 8, Penalty: 40}, // density 5
+	)
+	sol, err := (GreedyDensity{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.AcceptedSet(); !got[2] || got[1] {
+		t.Errorf("accepted = %v, want [2]", sol.Accepted)
+	}
+}
+
+func TestGreedyMarginalImprovesOnGreedy(t *testing.T) {
+	// Local search must never be worse than its greedy seed, and on some
+	// adversarial instances strictly better somewhere across seeds.
+	improved := false
+	for seed := int64(0); seed < 20; seed++ {
+		in := randomInstance(t, seed, 16, 1.5, testProcs["ideal-cubic"], gen.PenaltyProportional)
+		g, err := (GreedyDensity{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := (GreedyMarginal{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cost > g.Cost+1e-9 {
+			t.Errorf("seed %d: local search worsened greedy: %v > %v", seed, m.Cost, g.Cost)
+		}
+		if m.Cost < g.Cost-1e-9 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("local search never improved the greedy seed across 20 instances")
+	}
+}
+
+func TestGreedyMarginalIterationCap(t *testing.T) {
+	in := randomInstance(t, 5, 12, 1.5, testProcs["ideal-cubic"], gen.PenaltyUniform)
+	if _, err := (GreedyMarginal{MaxIterations: 1}).Solve(in); err != nil {
+		t.Errorf("capped local search failed: %v", err)
+	}
+}
+
+func TestAcceptAllFeasibleLoad(t *testing.T) {
+	// Under load < 1, AcceptAll accepts everything.
+	in := randomInstance(t, 2, 15, 0.7, testProcs["ideal-cubic"], gen.PenaltyUniform)
+	sol, err := (AcceptAll{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Rejected) != 0 {
+		t.Errorf("rejected = %v, want none under load 0.7", sol.Rejected)
+	}
+	if sol.Penalty != 0 {
+		t.Errorf("penalty = %v, want 0", sol.Penalty)
+	}
+}
+
+func TestAcceptAllShedsToFeasibility(t *testing.T) {
+	in := randomInstance(t, 3, 15, 2.5, testProcs["ideal-cubic"], gen.PenaltyUniform)
+	sol, err := (AcceptAll{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w int64
+	acc := sol.AcceptedSet()
+	for _, tk := range in.Tasks.Tasks {
+		if acc[tk.ID] {
+			w += tk.Cycles
+		}
+	}
+	if !in.Fits(float64(w)) {
+		t.Errorf("accepted workload %d exceeds capacity %v", w, in.Capacity())
+	}
+	if len(sol.Rejected) == 0 {
+		t.Error("load 2.5 shed nothing")
+	}
+}
+
+func TestRejectAll(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 2},
+	)
+	sol, err := (RejectAll{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Accepted) != 0 || sol.Cost != 3 {
+		t.Errorf("solution = %+v, want empty with cost 3", sol)
+	}
+}
+
+func TestRandomAdmissionDeterministic(t *testing.T) {
+	in := randomInstance(t, 4, 20, 1.5, testProcs["ideal-cubic"], gen.PenaltyUniform)
+	a, err := (RandomAdmission{Seed: 42}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (RandomAdmission{Seed: 42}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || len(a.Accepted) != len(b.Accepted) {
+		t.Errorf("same seed, different results: %v vs %v", a.Cost, b.Cost)
+	}
+}
+
+func TestRandomAdmissionMoreRestartsNoWorse(t *testing.T) {
+	in := randomInstance(t, 6, 20, 1.5, testProcs["ideal-cubic"], gen.PenaltyInverse)
+	one, err := (RandomAdmission{Seed: 9, Restarts: 1}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := (RandomAdmission{Seed: 9, Restarts: 32}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Cost > one.Cost+1e-9 {
+		t.Errorf("32 restarts (%v) worse than 1 restart (%v)", many.Cost, one.Cost)
+	}
+}
+
+func TestGreedySolversValidateInstance(t *testing.T) {
+	bad := cubicInstance(task.Task{ID: 1, Cycles: -1, Penalty: 1})
+	for _, s := range []Solver{GreedyDensity{}, GreedyMarginal{}, AcceptAll{}, RejectAll{}, RandomAdmission{}} {
+		if _, err := s.Solve(bad); err == nil {
+			t.Errorf("%s accepted an invalid instance", s.Name())
+		}
+	}
+}
+
+func TestGreedyHeterogeneousWorks(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 3, Penalty: 1, Rho: 2},
+		task.Task{ID: 2, Cycles: 5, Penalty: 0.2, Rho: 0.5},
+	)
+	for _, s := range []Solver{GreedyDensity{}, GreedyMarginal{}, RandomAdmission{Seed: 1}} {
+		sol, err := s.Solve(in)
+		if err != nil {
+			t.Errorf("%s on heterogeneous instance: %v", s.Name(), err)
+			continue
+		}
+		// Whatever the admission, the cost must be what Evaluate reports.
+		check, err := Evaluate(in, sol.Accepted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(check.Cost-sol.Cost) > 1e-9 {
+			t.Errorf("%s: reported cost %v != evaluated cost %v", s.Name(), sol.Cost, check.Cost)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// This file carries the paper's hardness analysis as executable artifacts:
+// the reduction from SUBSET-SUM that makes MIN-COST-REJECT NP-hard, in the
+// form of an instance generator plus a decoder. The test suite drives
+// known yes/no SUBSET-SUM instances through the exact solvers and checks
+// the decoded answers, which pins down that the solvers genuinely optimize
+// the NP-hard objective (and documents the reduction far more durably than
+// prose).
+//
+// Reduction. Given positive integers a1..an and a target B, build a frame
+// with deadline B on a unit-speed (smax = 1) cubic processor, one task per
+// integer with ci = ai, and penalties vi = M·ai for a large common factor
+// M. The capacity constraint is Σ accepted ai ≤ B, and because M dominates
+// any energy difference, an optimal solution accepts a maximum-weight
+// subset under the capacity — i.e. cost = E(w*) + M·(A − w*) where w* is
+// the largest subset sum ≤ B and A = Σ ai. The subset sums to B exactly
+// iff the optimal cost is at most E(B) + M·(A − B).
+
+// SubsetSum is one SUBSET-SUM instance.
+type SubsetSum struct {
+	Items  []int64 // positive integers
+	Target int64   // target sum B, 0 < B ≤ Σ Items
+}
+
+// Validate reports whether the instance is well-formed.
+func (ss SubsetSum) Validate() error {
+	if len(ss.Items) == 0 {
+		return fmt.Errorf("core: subset-sum with no items")
+	}
+	var sum int64
+	for i, a := range ss.Items {
+		if a <= 0 {
+			return fmt.Errorf("core: subset-sum item %d = %d, want > 0", i, a)
+		}
+		sum += a
+	}
+	if ss.Target <= 0 || ss.Target > sum {
+		return fmt.Errorf("core: subset-sum target %d, want in (0, %d]", ss.Target, sum)
+	}
+	return nil
+}
+
+// hardnessPenaltyFactor dominates every possible energy difference within
+// the gadget: energies live in [0, E(B)] = [0, B] on the cubic model with
+// D = B and smax = 1, so M = 4·B per unit of workload is ample.
+func (ss SubsetSum) hardnessPenaltyFactor() float64 {
+	return 4 * float64(ss.Target)
+}
+
+// Reduce builds the MIN-COST-REJECT instance encoding the subset-sum
+// question.
+func (ss SubsetSum) Reduce() (Instance, error) {
+	if err := ss.Validate(); err != nil {
+		return Instance{}, err
+	}
+	m := ss.hardnessPenaltyFactor()
+	in := Instance{
+		Tasks: task.Set{Deadline: float64(ss.Target)},
+		Proc:  speed.Proc{Model: power.Cubic(), SMax: 1},
+	}
+	for i, a := range ss.Items {
+		in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{
+			ID:      i,
+			Cycles:  a,
+			Penalty: m * float64(a),
+		})
+	}
+	return in, in.Validate()
+}
+
+// Decode answers the subset-sum question from an optimal solution of the
+// reduced instance: yes iff the optimum packs the capacity exactly.
+func (ss SubsetSum) Decode(opt Solution) bool {
+	m := ss.hardnessPenaltyFactor()
+	var total int64
+	for _, a := range ss.Items {
+		total += a
+	}
+	b := float64(ss.Target)
+	// E(B) on the cubic with D = B: B³/B² = B.
+	threshold := b + m*(float64(total)-b)
+	return opt.Cost <= threshold+costEps
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// subsetSumBrute answers the question by enumeration (n ≤ 20).
+func subsetSumBrute(ss SubsetSum) bool {
+	n := len(ss.Items)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sum int64
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				sum += ss.Items[b]
+			}
+		}
+		if sum == ss.Target {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSubsetSumValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		ss      SubsetSum
+		wantErr bool
+	}{
+		{"valid", SubsetSum{Items: []int64{3, 5, 7}, Target: 8}, false},
+		{"empty", SubsetSum{Target: 1}, true},
+		{"zero item", SubsetSum{Items: []int64{0, 3}, Target: 3}, true},
+		{"negative item", SubsetSum{Items: []int64{-2, 3}, Target: 1}, true},
+		{"zero target", SubsetSum{Items: []int64{3}, Target: 0}, true},
+		{"target too large", SubsetSum{Items: []int64{3}, Target: 4}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.ss.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHardnessGadgetKnownInstances(t *testing.T) {
+	tests := []struct {
+		name string
+		ss   SubsetSum
+		want bool
+	}{
+		{"yes: 3+5", SubsetSum{Items: []int64{3, 5, 7}, Target: 8}, true},
+		{"no: nothing sums to 4", SubsetSum{Items: []int64{3, 5, 7}, Target: 4}, false},
+		{"yes: singleton", SubsetSum{Items: []int64{9}, Target: 9}, true},
+		{"yes: full set", SubsetSum{Items: []int64{2, 4, 6}, Target: 12}, true},
+		{"no: parity", SubsetSum{Items: []int64{2, 4, 6}, Target: 5}, false},
+		{"yes: classic", SubsetSum{Items: []int64{1, 5, 11, 5}, Target: 11}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in, err := tt.ss.Reduce()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := (DP{}).Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tt.ss.Decode(opt); got != tt.want {
+				t.Errorf("Decode = %v, want %v (opt cost %v)", got, tt.want, opt.Cost)
+			}
+		})
+	}
+}
+
+func TestHardnessGadgetRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		ss := SubsetSum{}
+		var total int64
+		for i := 0; i < n; i++ {
+			a := int64(1 + rng.Intn(25))
+			ss.Items = append(ss.Items, a)
+			total += a
+		}
+		ss.Target = 1 + rng.Int63n(total)
+		in, err := ss.Reduce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := (DP{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ss.Decode(opt), subsetSumBrute(ss); got != want {
+			t.Errorf("trial %d: %+v: Decode = %v, brute force = %v", trial, ss, got, want)
+		}
+	}
+}
+
+func TestHardnessGadgetViaExhaustive(t *testing.T) {
+	// The decoder must work with either exact solver.
+	ss := SubsetSum{Items: []int64{4, 6, 9}, Target: 13}
+	in, err := ss.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := (Exhaustive{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Decode(opt) {
+		t.Error("4+9 = 13 not decoded as yes")
+	}
+}

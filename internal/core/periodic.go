@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// Periodic task rejection reduces exactly to the frame-based problem.
+//
+// Accepting a set A of periodic tasks under EDF on one DVS processor is
+// feasible at constant speed s iff Σ_A ci/pi ≤ s (Liu & Layland, scaled by
+// the speed). Over the hyper-period L the accepted work is Σ_A ci·L/pi
+// cycles and a rejected task τi forfeits its per-job penalty L/pi times.
+// Substituting D → L, ci → ci·L/pi and vi → vi·L/pi therefore turns the
+// periodic instance into a frame instance with identical cost structure —
+// any frame solver applies unchanged. The EDF simulator in
+// internal/sched/edf verifies the resulting schedules in tests.
+
+// PeriodicInstance is a periodic rejection problem.
+type PeriodicInstance struct {
+	Tasks task.PeriodicSet
+	Proc  speed.Proc
+}
+
+// PeriodicSolution reports a solved periodic instance. Costs are per
+// hyper-period.
+type PeriodicSolution struct {
+	Accepted []int
+	Rejected []int
+	Speed    float64 // constant EDF execution speed for the accepted set
+	Energy   float64 // energy per hyper-period
+	Penalty  float64 // rejected-job penalties per hyper-period
+	Cost     float64
+	Hyper    int64 // hyper-period length
+}
+
+// Reduce converts the periodic instance to its equivalent frame instance.
+// The frame task IDs coincide with the periodic task IDs.
+func (pi PeriodicInstance) Reduce() (Instance, error) {
+	if err := pi.Tasks.Validate(); err != nil {
+		return Instance{}, err
+	}
+	if err := pi.Proc.Validate(); err != nil {
+		return Instance{}, err
+	}
+	l, err := pi.Tasks.Hyperperiod()
+	if err != nil {
+		return Instance{}, err
+	}
+	in := Instance{
+		Tasks: task.Set{Deadline: float64(l)},
+		Proc:  pi.Proc,
+	}
+	for _, t := range pi.Tasks.Tasks {
+		jobs := l / t.Period
+		in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{
+			ID:      t.ID,
+			Cycles:  t.Cycles * jobs,
+			Penalty: t.Penalty * float64(jobs),
+			Rho:     t.Rho,
+		})
+	}
+	return in, in.Validate()
+}
+
+// SolvePeriodic reduces, solves with the given frame solver, and maps the
+// solution back to the periodic view.
+func SolvePeriodic(s Solver, pi PeriodicInstance) (PeriodicSolution, error) {
+	in, err := pi.Reduce()
+	if err != nil {
+		return PeriodicSolution{}, err
+	}
+	sol, err := s.Solve(in)
+	if err != nil {
+		return PeriodicSolution{}, fmt.Errorf("core: periodic solve with %s: %w", s.Name(), err)
+	}
+	l := int64(in.Tasks.Deadline)
+
+	ps := PeriodicSolution{
+		Accepted: sol.Accepted,
+		Rejected: sol.Rejected,
+		Energy:   sol.Energy,
+		Penalty:  sol.Penalty,
+		Cost:     sol.Cost,
+		Hyper:    l,
+	}
+	// The constant EDF speed is the accepted cycle utilization, clamped to
+	// the assignment's execution speed when the critical speed or smin
+	// forces faster-than-utilization execution.
+	var u float64
+	accSet := sol.AcceptedSet()
+	for _, t := range pi.Tasks.Tasks {
+		if accSet[t.ID] {
+			u += t.Utilization()
+		}
+	}
+	ps.Speed = math.Max(u, sol.Assignment.LoSpeed)
+	return ps, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+func idealProc() speed.Proc {
+	return speed.Proc{Model: power.Cubic(), SMax: 1}
+}
+
+func TestPeriodicReduce(t *testing.T) {
+	// p1 = 2 (5 jobs in L = 10), p2 = 5 (2 jobs).
+	pi := PeriodicInstance{
+		Tasks: task.PeriodicSet{Tasks: []task.Periodic{
+			{ID: 1, Cycles: 1, Period: 2, Penalty: 0.3},
+			{ID: 2, Cycles: 2, Period: 5, Penalty: 0.7},
+		}},
+		Proc: idealProc(),
+	}
+	in, err := pi.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks.Deadline != 10 {
+		t.Errorf("frame deadline = %v, want hyper-period 10", in.Tasks.Deadline)
+	}
+	t1, _ := in.Tasks.ByID(1)
+	t2, _ := in.Tasks.ByID(2)
+	if t1.Cycles != 5 || math.Abs(t1.Penalty-1.5) > 1e-12 {
+		t.Errorf("task 1 reduced to (%d cycles, %v penalty), want (5, 1.5)", t1.Cycles, t1.Penalty)
+	}
+	if t2.Cycles != 4 || math.Abs(t2.Penalty-1.4) > 1e-12 {
+		t.Errorf("task 2 reduced to (%d cycles, %v penalty), want (4, 1.4)", t2.Cycles, t2.Penalty)
+	}
+}
+
+func TestPeriodicReduceErrors(t *testing.T) {
+	bad := PeriodicInstance{
+		Tasks: task.PeriodicSet{Tasks: []task.Periodic{{ID: 1, Cycles: 0, Period: 2}}},
+		Proc:  idealProc(),
+	}
+	if _, err := bad.Reduce(); err == nil {
+		t.Error("invalid periodic set accepted")
+	}
+	badProc := PeriodicInstance{
+		Tasks: task.PeriodicSet{Tasks: []task.Periodic{{ID: 1, Cycles: 1, Period: 2}}},
+		Proc:  speed.Proc{Model: power.Cubic(), SMax: -1},
+	}
+	if _, err := badProc.Reduce(); err == nil {
+		t.Error("invalid processor accepted")
+	}
+}
+
+func TestSolvePeriodicHighPenalty(t *testing.T) {
+	// Penalties so high everything feasible is kept: utilization 0.9 fits,
+	// so nothing is rejected and the speed is the utilization.
+	pi := PeriodicInstance{
+		Tasks: task.PeriodicSet{Tasks: []task.Periodic{
+			{ID: 1, Cycles: 1, Period: 2, Penalty: 100},
+			{ID: 2, Cycles: 2, Period: 5, Penalty: 100},
+		}},
+		Proc: idealProc(),
+	}
+	sol, err := SolvePeriodic(DP{}, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Rejected) != 0 {
+		t.Errorf("rejected = %v, want none", sol.Rejected)
+	}
+	if math.Abs(sol.Speed-0.9) > 1e-9 {
+		t.Errorf("speed = %v, want utilization 0.9", sol.Speed)
+	}
+	// Energy per hyper-period: run at 0.9 for W/s = 9/0.9 = 10 time units:
+	// E = 0.9³·10 = 7.29 = W³/L² = 9³/100.
+	if math.Abs(sol.Energy-7.29) > 1e-9 {
+		t.Errorf("energy = %v, want 7.29", sol.Energy)
+	}
+}
+
+func TestSolvePeriodicOverloadMustReject(t *testing.T) {
+	// Total utilization 1.3 > 1: some task must go even at top speed.
+	pi := PeriodicInstance{
+		Tasks: task.PeriodicSet{Tasks: []task.Periodic{
+			{ID: 1, Cycles: 3, Period: 4, Penalty: 10},  // u = 0.75
+			{ID: 2, Cycles: 11, Period: 20, Penalty: 5}, // u = 0.55
+		}},
+		Proc: idealProc(),
+	}
+	sol, err := SolvePeriodic(DP{}, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Rejected) != 1 {
+		t.Fatalf("rejected = %v, want exactly one", sol.Rejected)
+	}
+	if sol.Speed > 1+1e-9 {
+		t.Errorf("speed = %v exceeds smax", sol.Speed)
+	}
+}
+
+func TestSolvePeriodicEDFValidation(t *testing.T) {
+	// End-to-end: random periodic instances, solve, replay through EDF at
+	// the solution speed over the hyper-period.
+	for seed := int64(0); seed < 8; seed++ {
+		ps, err := gen.Periodic(rand.New(rand.NewSource(seed)), gen.PeriodicConfig{
+			N: 10, Utilization: 1.3, Penalty: gen.PenaltyModel(seed % 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi := PeriodicInstance{Tasks: ps, Proc: idealProc()}
+		sol, err := SolvePeriodic(GreedyMarginal{}, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := task.PeriodicSet{}
+		accSet := map[int]bool{}
+		for _, id := range sol.Accepted {
+			accSet[id] = true
+		}
+		for _, tk := range ps.Tasks {
+			if accSet[tk.ID] {
+				accepted.Tasks = append(accepted.Tasks, tk)
+			}
+		}
+		if len(accepted.Tasks) == 0 {
+			continue
+		}
+		jobs := edf.PeriodicJobs(accepted, sol.Hyper)
+		r, err := edf.Simulate(jobs, speed.Constant(sol.Speed+1e-9, 0, float64(sol.Hyper)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Feasible() {
+			t.Errorf("seed %d: periodic solution missed %d deadlines at speed %v", seed, r.Misses, sol.Speed)
+		}
+	}
+}
+
+func TestSolvePeriodicCostConsistency(t *testing.T) {
+	// The periodic cost must equal the reduced frame cost.
+	pi := PeriodicInstance{
+		Tasks: task.PeriodicSet{Tasks: []task.Periodic{
+			{ID: 1, Cycles: 1, Period: 2, Penalty: 0.1},
+			{ID: 2, Cycles: 2, Period: 5, Penalty: 0.9},
+			{ID: 3, Cycles: 3, Period: 10, Penalty: 0.4},
+		}},
+		Proc: idealProc(),
+	}
+	psol, err := SolvePeriodic(DP{}, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := pi.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsol, err := (DP{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(psol.Cost-fsol.Cost) > 1e-9 {
+		t.Errorf("periodic cost %v != frame cost %v", psol.Cost, fsol.Cost)
+	}
+}

@@ -1,0 +1,242 @@
+// Package core implements the paper's contribution: energy-efficient
+// real-time task scheduling with task rejection on a DVS processor.
+//
+// Problem (MIN-COST-REJECT). Given frame-based tasks τi with worst-case
+// execution cycles ci and rejection penalties vi, a common deadline D and a
+// DVS processor, choose an accepted subset A and a feasible speed
+// assignment minimizing
+//
+//	cost(A) = E(A) + Σ_{τi ∉ A} vi,
+//
+// where every accepted task completes by D. Because the minimum-energy
+// execution of an accepted set depends only on its total (effective)
+// workload W — run at the slowest deadline-feasible, critical-speed-clamped
+// speed — the combinatorial core is selecting A under the capacity
+// constraint W(A) ≤ smax·D against the convex energy curve E(W). The
+// problem is NP-hard (see hardness.go); the package provides exact solvers
+// (branch-and-bound, pseudo-polynomial dynamic programming), a
+// capacity-rounding approximation scheme, and the greedy heuristics the
+// paper family evaluates.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// Instance is one solvable problem: a frame-based task set plus the
+// processor it is scheduled on.
+type Instance struct {
+	Tasks task.Set
+	Proc  speed.Proc
+}
+
+// ErrHeterogeneous is returned by solvers that require homogeneous power
+// characteristics (all task Rho unset or 1).
+var ErrHeterogeneous = errors.New("core: solver requires homogeneous power characteristics")
+
+// Validate checks the task set, the processor, and their combination.
+// Heterogeneous power coefficients are only supported on ideal
+// (continuous-speed) leakage-free processors, matching the scope of the
+// effective-cycles analysis.
+func (in Instance) Validate() error {
+	if err := in.Tasks.Validate(); err != nil {
+		return err
+	}
+	if err := in.Proc.Validate(); err != nil {
+		return err
+	}
+	if in.Heterogeneous() {
+		if in.Proc.Levels != nil {
+			return fmt.Errorf("core: heterogeneous power characteristics require a continuous-speed processor")
+		}
+		if in.Proc.Model.Static() != 0 || in.Proc.DormantEnable {
+			return fmt.Errorf("core: heterogeneous power characteristics require a leakage-free processor")
+		}
+	}
+	return nil
+}
+
+// Heterogeneous reports whether any task carries a non-trivial power
+// coefficient.
+func (in Instance) Heterogeneous() bool {
+	for _, t := range in.Tasks.Tasks {
+		if c := t.PowerCoeff(); c != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Capacity returns the largest schedulable workload smax·D in true cycles.
+func (in Instance) Capacity() float64 {
+	return in.Proc.Capacity(in.Tasks.Deadline)
+}
+
+// Solution is a solved instance: the admission decision, the speed
+// assignment for the accepted set, and the cost breakdown.
+type Solution struct {
+	Accepted []int // accepted task IDs, ascending
+	Rejected []int // rejected task IDs, ascending
+
+	Assignment speed.Assignment // speed assignment of the accepted workload
+	// PerTaskSpeeds is set only for heterogeneous instances: the optimal
+	// per-task execution speeds in Accepted order.
+	PerTaskSpeeds []float64
+
+	Energy  float64 // energy of executing the accepted set for one frame
+	Penalty float64 // Σ penalties of rejected tasks
+	Cost    float64 // Energy + Penalty
+}
+
+// AcceptedSet reports membership of a task ID in the accepted set.
+func (s Solution) AcceptedSet() map[int]bool {
+	m := make(map[int]bool, len(s.Accepted))
+	for _, id := range s.Accepted {
+		m[id] = true
+	}
+	return m
+}
+
+// Solver is one admission/scheduling algorithm.
+type Solver interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Solve returns a feasible solution for the instance.
+	Solve(in Instance) (Solution, error)
+}
+
+// Evaluate builds the full Solution for a given accepted ID set: it
+// computes the optimal speed assignment of the accepted workload and the
+// cost breakdown. It is the single source of truth all solvers (and tests)
+// share. Accepting an over-capacity set returns speed.ErrInfeasible.
+func Evaluate(in Instance, accepted []int) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	acc := make(map[int]bool, len(accepted))
+	for _, id := range accepted {
+		if _, ok := in.Tasks.ByID(id); !ok {
+			return Solution{}, fmt.Errorf("core: accepted ID %d not in task set", id)
+		}
+		if acc[id] {
+			return Solution{}, fmt.Errorf("core: accepted ID %d listed twice", id)
+		}
+		acc[id] = true
+	}
+
+	sol := Solution{}
+	var cycles []int64
+	var rhos []float64
+	for _, t := range in.Tasks.Tasks {
+		if acc[t.ID] {
+			sol.Accepted = append(sol.Accepted, t.ID)
+			cycles = append(cycles, t.Cycles)
+			rhos = append(rhos, t.PowerCoeff())
+		} else {
+			sol.Rejected = append(sol.Rejected, t.ID)
+			sol.Penalty += t.Penalty
+		}
+	}
+	slices.Sort(sol.Accepted)
+	slices.Sort(sol.Rejected)
+
+	if in.Heterogeneous() {
+		h, err := speed.AssignHeterogeneous(in.Proc.Model, cycles, rhos, in.Tasks.Deadline, in.Proc.SMax)
+		if err != nil {
+			return Solution{}, err
+		}
+		sol.PerTaskSpeeds = h.Speeds
+		sol.Energy = h.Energy
+		var busy float64
+		for _, t := range h.Times {
+			busy += t
+		}
+		sol.Assignment = speed.Assignment{Total: h.Energy, ExecEnergy: h.Energy}
+		if len(h.Times) > 0 {
+			sol.Assignment.LoTime = busy
+		}
+	} else {
+		var w int64
+		for _, c := range cycles {
+			w += c
+		}
+		a, err := in.Proc.Assign(float64(w), in.Tasks.Deadline)
+		if err != nil {
+			return Solution{}, err
+		}
+		sol.Assignment = a
+		sol.Energy = a.Total
+	}
+	sol.Cost = sol.Energy + sol.Penalty
+	return sol, nil
+}
+
+// energyOf returns the energy of a homogeneous workload of w cycles, +Inf
+// when infeasible. It is the E(W) curve the combinatorial solvers optimize
+// against.
+func (in Instance) energyOf(w float64) float64 {
+	return in.Proc.Energy(w, in.Tasks.Deadline)
+}
+
+// Fits reports whether a workload of w true cycles is schedulable.
+func (in Instance) Fits(w float64) bool {
+	return w <= in.Capacity()*(1+1e-9)
+}
+
+// Cost of rejecting every task (the RejectAll anchor); useful as an upper
+// bound. An empty frame still pays the idle-frame energy.
+func (in Instance) rejectAllCost() float64 {
+	idle := in.energyOf(0)
+	if math.IsInf(idle, 1) {
+		idle = 0
+	}
+	return in.Tasks.TotalPenalty() + idle
+}
+
+// item is the compact per-task view the combinatorial solvers work on.
+type item struct {
+	id int
+	c  int64   // true cycles (feasibility)
+	ce float64 // effective cycles ci·ρi^(1/α) (energy)
+	v  float64 // rejection penalty
+}
+
+// items flattens the instance's tasks.
+func (in Instance) items() []item {
+	its := make([]item, 0, len(in.Tasks.Tasks))
+	alpha := in.Proc.Model.Alpha
+	for _, t := range in.Tasks.Tasks {
+		it := item{id: t.ID, c: t.Cycles, v: t.Penalty}
+		it.ce = float64(t.Cycles) * math.Pow(t.PowerCoeff(), 1/alpha)
+		its = append(its, it)
+	}
+	return its
+}
+
+// surrogateEnergy estimates the energy of an accepted set from its
+// effective workload. For homogeneous instances this is the exact curve
+// E(W); for heterogeneous ones it is the unconstrained closed form
+// Coeff·W̃^α/D^(α−1), a lower bound on the true (speed-clamped) energy.
+// Solvers use it for incremental decisions and pruning; final solutions are
+// always re-costed exactly by Evaluate.
+func (in Instance) surrogateEnergy(wEff float64) float64 {
+	if !in.Heterogeneous() {
+		return in.energyOf(wEff)
+	}
+	d := in.Tasks.Deadline
+	return in.Proc.Model.Coeff * math.Pow(wEff, in.Proc.Model.Alpha) / math.Pow(d, in.Proc.Model.Alpha-1)
+}
+
+// convexEnergy reports whether the surrogate energy curve is convex, which
+// enables the stronger branch-and-bound pruning term. It holds for
+// continuous-speed leakage-free processors (E(W) = Coeff·W^α/D^(α−1), plus
+// an smin plateau which preserves convexity).
+func (in Instance) convexEnergy() bool {
+	return in.Proc.Levels == nil && in.Proc.Model.Static() == 0 && !in.Proc.DormantEnable
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// cubicInstance builds the standard test bed: cubic power, smax = 1,
+// deadline 10.
+func cubicInstance(tasks ...task.Task) Instance {
+	return Instance{
+		Tasks: task.Set{Deadline: 10, Tasks: tasks},
+		Proc:  speed.Proc{Model: power.Cubic(), SMax: 1},
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	ok := cubicInstance(task.Task{ID: 1, Cycles: 5, Penalty: 1})
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := ok
+	bad.Tasks.Deadline = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero deadline accepted")
+	}
+
+	bad = ok
+	bad.Proc.SMax = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero smax accepted")
+	}
+}
+
+func TestInstanceValidateHeterogeneousRules(t *testing.T) {
+	het := task.Task{ID: 1, Cycles: 5, Penalty: 1, Rho: 2}
+
+	// Continuous leakage-free: fine.
+	in := cubicInstance(het)
+	if err := in.Validate(); err != nil {
+		t.Errorf("hetero on ideal processor rejected: %v", err)
+	}
+
+	// Discrete processor: rejected.
+	in = cubicInstance(het)
+	in.Proc.Levels = power.XScaleLevels()
+	if err := in.Validate(); err == nil {
+		t.Error("hetero on discrete processor accepted")
+	}
+
+	// Leaky processor: rejected.
+	in = cubicInstance(het)
+	in.Proc.Model = power.XScale()
+	if err := in.Validate(); err == nil {
+		t.Error("hetero on leaky processor accepted")
+	}
+
+	// Dormant-enable: rejected.
+	in = cubicInstance(het)
+	in.Proc.DormantEnable = true
+	if err := in.Validate(); err == nil {
+		t.Error("hetero on dormant-enable processor accepted")
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	if cubicInstance(task.Task{ID: 1, Cycles: 5}).Heterogeneous() {
+		t.Error("unset rho counted as heterogeneous")
+	}
+	if cubicInstance(task.Task{ID: 1, Cycles: 5, Rho: 1}).Heterogeneous() {
+		t.Error("rho = 1 counted as heterogeneous")
+	}
+	if !cubicInstance(task.Task{ID: 1, Cycles: 5, Rho: 2}).Heterogeneous() {
+		t.Error("rho = 2 not counted as heterogeneous")
+	}
+}
+
+func TestEvaluateBasic(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 2},
+		task.Task{ID: 3, Cycles: 4, Penalty: 3},
+	)
+	sol, err := Evaluate(in, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W = 8, D = 10 → s = 0.8, E = 0.8²·8 = 5.12; penalty = 2.
+	if math.Abs(sol.Energy-5.12) > 1e-9 {
+		t.Errorf("energy = %v, want 5.12", sol.Energy)
+	}
+	if sol.Penalty != 2 {
+		t.Errorf("penalty = %v, want 2", sol.Penalty)
+	}
+	if math.Abs(sol.Cost-7.12) > 1e-9 {
+		t.Errorf("cost = %v, want 7.12", sol.Cost)
+	}
+	if len(sol.Accepted) != 2 || sol.Accepted[0] != 1 || sol.Accepted[1] != 3 {
+		t.Errorf("accepted = %v, want [1 3]", sol.Accepted)
+	}
+	if len(sol.Rejected) != 1 || sol.Rejected[0] != 2 {
+		t.Errorf("rejected = %v, want [2]", sol.Rejected)
+	}
+}
+
+func TestEvaluateEmptyAccepted(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1.5})
+	sol, err := Evaluate(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Energy != 0 || sol.Penalty != 1.5 || sol.Cost != 1.5 {
+		t.Errorf("reject-all solution = %+v", sol)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1})
+	if _, err := Evaluate(in, []int{9}); err == nil {
+		t.Error("unknown ID accepted")
+	}
+	if _, err := Evaluate(in, []int{1, 1}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	over := cubicInstance(
+		task.Task{ID: 1, Cycles: 8, Penalty: 1},
+		task.Task{ID: 2, Cycles: 8, Penalty: 1},
+	)
+	if _, err := Evaluate(over, []int{1, 2}); !errors.Is(err, speed.ErrInfeasible) {
+		t.Errorf("over-capacity evaluation error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEvaluateHeterogeneous(t *testing.T) {
+	// ρ = 8, α = 3 → effective cycles 2·c. One task c = 3, D = 10:
+	// unconstrained speed W̃/D = 0.6, energy = 8·0.6²·3 = 8.64? No:
+	// per-task speed si = K·ρ^(−1/α) with K = W̃/D = 0.6, ρ^(−1/3) = 0.5
+	// → s1 = 0.3, E = ρ·s²·c = 8·0.09·3 = 2.16 = W̃³/D² = 6³/100.
+	in := cubicInstance(task.Task{ID: 1, Cycles: 3, Penalty: 10, Rho: 8})
+	sol, err := Evaluate(in, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Energy-2.16) > 1e-9 {
+		t.Errorf("hetero energy = %v, want 2.16", sol.Energy)
+	}
+	if len(sol.PerTaskSpeeds) != 1 || math.Abs(sol.PerTaskSpeeds[0]-0.3) > 1e-9 {
+		t.Errorf("per-task speeds = %v, want [0.3]", sol.PerTaskSpeeds)
+	}
+}
+
+func TestAcceptedSet(t *testing.T) {
+	s := Solution{Accepted: []int{2, 5}}
+	m := s.AcceptedSet()
+	if !m[2] || !m[5] || m[3] {
+		t.Errorf("AcceptedSet() = %v", m)
+	}
+}
+
+func TestSurrogateEnergyHomogeneousExact(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1})
+	for w := 0.0; w <= 10; w += 1.5 {
+		if got, want := in.surrogateEnergy(w), in.energyOf(w); got != want {
+			t.Errorf("surrogate(%v) = %v, energyOf = %v", w, got, want)
+		}
+	}
+}
+
+func TestSurrogateEnergyHeteroLowerBound(t *testing.T) {
+	// The closed form must lower-bound the exact clamped energy.
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 5, Penalty: 1, Rho: 0.01},
+		task.Task{ID: 2, Cycles: 4, Penalty: 1, Rho: 3},
+	)
+	sol, err := Evaluate(in, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wEff := 5*math.Pow(0.01, 1.0/3) + 4*math.Pow(3, 1.0/3)
+	if lb := in.surrogateEnergy(wEff); lb > sol.Cost-sol.Penalty+1e-9 {
+		t.Errorf("surrogate %v exceeds exact energy %v", lb, sol.Energy)
+	}
+}
+
+func TestConvexEnergyFlag(t *testing.T) {
+	if !cubicInstance().convexEnergy() {
+		t.Error("ideal cubic not flagged convex")
+	}
+	leaky := cubicInstance()
+	leaky.Proc.Model = power.XScale()
+	if leaky.convexEnergy() {
+		t.Error("leaky processor flagged convex")
+	}
+	disc := cubicInstance()
+	disc.Proc.Levels = power.XScaleLevels()
+	if disc.convexEnergy() {
+		t.Error("discrete processor flagged convex")
+	}
+}
+
+func TestRejectAllCost(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 4, Penalty: 1},
+		task.Task{ID: 2, Cycles: 4, Penalty: 2.5},
+	)
+	if got := in.rejectAllCost(); got != 3.5 {
+		t.Errorf("rejectAllCost = %v, want 3.5", got)
+	}
+	// Leaky dormant-disable: idle frame adds Pind·D.
+	leaky := in
+	leaky.Proc.Model = power.XScale()
+	if got, want := leaky.rejectAllCost(), 3.5+0.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("leaky rejectAllCost = %v, want %v", got, want)
+	}
+}

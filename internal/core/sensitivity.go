@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dvsreject/internal/task"
+)
+
+// BreakEven computes the admission threshold of one task: the penalty
+// value at which it enters an optimal solution, everything else held
+// fixed. Acceptance is monotone in the task's own penalty (raising vᵢ
+// penalizes exactly the solutions that reject τᵢ, so once accepted it
+// stays accepted), which makes the threshold well-defined; it is located
+// by binary search over DP solves to within tol (default 1e-6 of the
+// search range).
+//
+// The returned threshold prices the task's admission SLA: a penalty above
+// it buys the task a slot in the optimal schedule, one below it does not.
+// +Inf means the task can never be admitted (it does not fit the capacity
+// at all); 0 means it is admitted even for free.
+func BreakEven(in Instance, taskID int, tol float64) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if in.Heterogeneous() {
+		return 0, ErrHeterogeneous
+	}
+	target, ok := in.Tasks.ByID(taskID)
+	if !ok {
+		return 0, fmt.Errorf("core: no task with ID %d", taskID)
+	}
+	if !in.Fits(float64(target.Cycles)) {
+		return math.Inf(1), nil
+	}
+
+	acceptedAt := func(v float64) (bool, error) {
+		probe := in
+		probe.Tasks.Tasks = append([]task.Task(nil), in.Tasks.Tasks...)
+		for i := range probe.Tasks.Tasks {
+			if probe.Tasks.Tasks[i].ID == taskID {
+				probe.Tasks.Tasks[i].Penalty = v
+			}
+		}
+		sol, err := (DP{}).Solve(probe)
+		if err != nil {
+			return false, err
+		}
+		return sol.AcceptedSet()[taskID], nil
+	}
+
+	// Bracket: at v = 0 rejection is free; find an upper bound where the
+	// task is surely accepted. The marginal energy of squeezing the task
+	// in at full capacity bounds any rational threshold.
+	lo := 0.0
+	hi := in.energyOf(in.Capacity()) + in.Tasks.TotalPenalty() + 1
+	if accepted, err := acceptedAt(lo); err != nil {
+		return 0, err
+	} else if accepted {
+		return 0, nil
+	}
+	if accepted, err := acceptedAt(hi); err != nil {
+		return 0, err
+	} else if !accepted {
+		// Feasible alone but never optimal to accept even at an extreme
+		// penalty: only possible when capacity interactions always favour
+		// other tasks; report the bracket top as the effective threshold.
+		return math.Inf(1), nil
+	}
+
+	if tol <= 0 {
+		tol = 1e-6 * hi
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		accepted, err := acceptedAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if accepted {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/task"
+)
+
+func TestBreakEvenSingleTask(t *testing.T) {
+	// One task c = 4, D = 10: marginal energy E(4) = 0.64, so the
+	// threshold must be 0.64 — below it rejection wins, above acceptance.
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 0.1})
+	v, err := BreakEven(in, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.64) > 1e-6 {
+		t.Errorf("threshold = %v, want 0.64", v)
+	}
+}
+
+func TestBreakEvenAlreadyFree(t *testing.T) {
+	// A task whose admission costs nothing extra relative to rejection
+	// has threshold ≈ 0... with positive cycles the marginal energy is
+	// positive, so use a huge-penalty neighbour to check the "accepted at
+	// zero" path never triggers spuriously: here it must NOT be zero.
+	in := cubicInstance(task.Task{ID: 1, Cycles: 1, Penalty: 5})
+	v, err := BreakEven(in, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || v > 0.011 { // E(1) = 0.01
+		t.Errorf("threshold = %v, want ≈ 0.01", v)
+	}
+}
+
+func TestBreakEvenInfeasibleTask(t *testing.T) {
+	in := cubicInstance(
+		task.Task{ID: 1, Cycles: 50, Penalty: 1},
+		task.Task{ID: 2, Cycles: 2, Penalty: 1},
+	)
+	v, err := BreakEven(in, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v, 1) {
+		t.Errorf("threshold of an infeasible task = %v, want +Inf", v)
+	}
+}
+
+func TestBreakEvenFlipsDecision(t *testing.T) {
+	// On random instances, re-solving with the task's penalty just below
+	// (above) the threshold must reject (accept) it.
+	for seed := int64(0); seed < 8; seed++ {
+		set, err := gen.Frame(rand.New(rand.NewSource(seed)), gen.Config{N: 10, Load: 1.6, Deadline: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := Instance{Tasks: set, Proc: testProcs["ideal-cubic"]}
+		id := set.Tasks[int(seed)%len(set.Tasks)].ID
+		v, err := BreakEven(in, id, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(v, 1) || v == 0 {
+			continue
+		}
+		check := func(penalty float64) bool {
+			probe := in
+			probe.Tasks.Tasks = append([]task.Task(nil), in.Tasks.Tasks...)
+			for i := range probe.Tasks.Tasks {
+				if probe.Tasks.Tasks[i].ID == id {
+					probe.Tasks.Tasks[i].Penalty = penalty
+				}
+			}
+			sol, err := (DP{}).Solve(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sol.AcceptedSet()[id]
+		}
+		delta := math.Max(1e-6, v*1e-6) * 4
+		if check(v - delta) {
+			t.Errorf("seed %d task %d: accepted just below threshold %v", seed, id, v)
+		}
+		if !check(v + delta) {
+			t.Errorf("seed %d task %d: rejected just above threshold %v", seed, id, v)
+		}
+	}
+}
+
+func TestBreakEvenMonotoneAcceptance(t *testing.T) {
+	// The property the search relies on: acceptance is monotone in the
+	// task's own penalty.
+	set, err := gen.Frame(rand.New(rand.NewSource(5)), gen.Config{N: 8, Load: 1.8, Deadline: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{Tasks: set, Proc: testProcs["ideal-cubic"]}
+	id := set.Tasks[0].ID
+	prev := false
+	for _, v := range []float64{0, 0.5, 1, 2, 5, 10, 50, 200, 1000} {
+		probe := in
+		probe.Tasks.Tasks = append([]task.Task(nil), in.Tasks.Tasks...)
+		for i := range probe.Tasks.Tasks {
+			if probe.Tasks.Tasks[i].ID == id {
+				probe.Tasks.Tasks[i].Penalty = v
+			}
+		}
+		sol, err := (DP{}).Solve(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := sol.AcceptedSet()[id]
+		if prev && !acc {
+			t.Fatalf("acceptance not monotone: accepted below %v but rejected at it", v)
+		}
+		prev = acc
+	}
+}
+
+func TestBreakEvenErrors(t *testing.T) {
+	in := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1})
+	if _, err := BreakEven(in, 99, 0); err == nil {
+		t.Error("unknown ID accepted")
+	}
+	het := cubicInstance(task.Task{ID: 1, Cycles: 4, Penalty: 1, Rho: 2})
+	if _, err := BreakEven(het, 1, 0); !errors.Is(err, ErrHeterogeneous) {
+		t.Errorf("error = %v, want ErrHeterogeneous", err)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/sched/edf"
+)
+
+// TestSoakExactAgreementAndFeasibility is the heavy randomized
+// cross-validation pass: hundreds of instances across every processor
+// flavour, penalty structure and load regime, checking (1) the two exact
+// solvers agree, (2) no heuristic beats them, and (3) every solution
+// replays cleanly through EDF. Skipped under -short.
+func TestSoakExactAgreementAndFeasibility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	heuristics := []Solver{
+		GreedyDensity{}, GreedyMarginal{}, Rounding{},
+		ApproxDP{Eps: 0.15}, ApproxDPPenalty{Eps: 0.15},
+		AcceptAll{}, RandomAdmission{Seed: 3},
+	}
+	count := 0
+	for name, proc := range testProcs {
+		for seed := int64(0); seed < 20; seed++ {
+			for _, load := range []float64{0.5, 1.0, 1.5, 2.2, 3.0} {
+				in := randomInstance(t, seed*31+int64(len(name)), 13, load, proc, gen.PenaltyModel(seed%3))
+				count++
+				dp, err := (DP{}).Solve(in)
+				if err != nil {
+					t.Fatalf("%s seed %d load %v: DP: %v", name, seed, load, err)
+				}
+				opt, err := (Exhaustive{}).Solve(in)
+				if err != nil {
+					t.Fatalf("%s seed %d load %v: OPT: %v", name, seed, load, err)
+				}
+				if math.Abs(dp.Cost-opt.Cost) > 1e-6*(1+opt.Cost) {
+					t.Errorf("%s seed %d load %v: DP %v != OPT %v", name, seed, load, dp.Cost, opt.Cost)
+				}
+				for _, h := range heuristics {
+					sol, err := h.Solve(in)
+					if err != nil {
+						t.Fatalf("%s seed %d: %s: %v", name, seed, h.Name(), err)
+					}
+					if sol.Cost < opt.Cost-1e-6*(1+opt.Cost) {
+						t.Errorf("%s seed %d: %s %v beats OPT %v", name, seed, h.Name(), sol.Cost, opt.Cost)
+					}
+				}
+				// EDF replay of the optimum.
+				if len(dp.Accepted) > 0 {
+					jobs := edf.FrameJobs(in.Tasks, dp.Accepted)
+					r, err := edf.Simulate(jobs, dp.Assignment.Profile(0))
+					if err != nil {
+						t.Fatalf("%s seed %d: simulate: %v", name, seed, err)
+					}
+					if !r.Feasible() {
+						t.Errorf("%s seed %d: optimum missed %d deadlines", name, seed, r.Misses)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("soak: %d instances cross-validated", count)
+}

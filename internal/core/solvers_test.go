@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// randomInstance draws a contested random instance on the given processor.
+func randomInstance(t *testing.T, seed int64, n int, load float64, proc speed.Proc, pm gen.PenaltyModel) Instance {
+	t.Helper()
+	set, err := gen.Frame(rand.New(rand.NewSource(seed)), gen.Config{
+		N: n, Load: load, Deadline: 200, SMax: proc.MaxSpeed(), Penalty: pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Instance{Tasks: set, Proc: proc}
+}
+
+var testProcs = map[string]speed.Proc{
+	"ideal-cubic":      {Model: power.Cubic(), SMax: 1},
+	"leaky-disable":    {Model: power.XScale(), SMax: 1},
+	"leaky-dormant":    {Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 2},
+	"discrete-xscale":  {Model: power.XScale(), Levels: power.XScaleLevels()},
+	"discrete-dormant": {Model: power.XScale(), Levels: power.XScaleLevels(), DormantEnable: true, Esw: 2},
+}
+
+// TestDPMatchesExhaustive is the central cross-validation: two independent
+// exact algorithms must agree on every instance flavour.
+func TestDPMatchesExhaustive(t *testing.T) {
+	for name, proc := range testProcs {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				for _, load := range []float64{0.6, 1.2, 2.0} {
+					in := randomInstance(t, seed, 10, load, proc, gen.PenaltyModel(seed%3))
+					dp, err := DP{}.Solve(in)
+					if err != nil {
+						t.Fatalf("seed %d load %v: DP: %v", seed, load, err)
+					}
+					opt, err := Exhaustive{}.Solve(in)
+					if err != nil {
+						t.Fatalf("seed %d load %v: OPT: %v", seed, load, err)
+					}
+					if math.Abs(dp.Cost-opt.Cost) > 1e-6*(1+opt.Cost) {
+						t.Errorf("seed %d load %v: DP cost %v != OPT cost %v", seed, load, dp.Cost, opt.Cost)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHeuristicsNeverBeatDP: no heuristic may report a cost below the
+// exact optimum, and all must stay feasible.
+func TestHeuristicsNeverBeatDP(t *testing.T) {
+	solvers := []Solver{
+		GreedyDensity{},
+		GreedyMarginal{},
+		AcceptAll{},
+		RejectAll{},
+		RandomAdmission{Seed: 1},
+		ApproxDP{Eps: 0.2},
+	}
+	for name, proc := range testProcs {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				in := randomInstance(t, seed, 14, 1.0+float64(seed)*0.2, proc, gen.PenaltyUniform)
+				opt, err := DP{}.Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range solvers {
+					sol, err := s.Solve(in)
+					if err != nil {
+						t.Fatalf("seed %d: %s: %v", seed, s.Name(), err)
+					}
+					if sol.Cost < opt.Cost-1e-6*(1+opt.Cost) {
+						t.Errorf("seed %d: %s cost %v beats OPT %v", seed, s.Name(), sol.Cost, opt.Cost)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSolutionsAreEDFFeasible replays every solver's accepted set through
+// the EDF oracle at the solution's speed assignment.
+func TestSolutionsAreEDFFeasible(t *testing.T) {
+	solvers := []Solver{
+		DP{}, GreedyDensity{}, GreedyMarginal{}, AcceptAll{},
+		RandomAdmission{Seed: 7}, ApproxDP{Eps: 0.3}, Exhaustive{},
+	}
+	for _, seed := range []int64{3, 17, 99} {
+		in := randomInstance(t, seed, 12, 1.6, testProcs["ideal-cubic"], gen.PenaltyProportional)
+		for _, s := range solvers {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if len(sol.Accepted) == 0 {
+				continue
+			}
+			jobs := edf.FrameJobs(in.Tasks, sol.Accepted)
+			profile := sol.Assignment.Profile(0)
+			r, err := edf.Simulate(jobs, profile)
+			if err != nil {
+				t.Fatalf("%s: simulate: %v", s.Name(), err)
+			}
+			if !r.Feasible() {
+				t.Errorf("%s: solution missed %d deadlines (accepted %v)", s.Name(), r.Misses, sol.Accepted)
+			}
+		}
+	}
+}
+
+// TestSolverNames pins the table labels the experiment harness prints.
+func TestSolverNames(t *testing.T) {
+	want := map[string]Solver{
+		"OPT":             Exhaustive{},
+		"DP":              DP{},
+		"GREEDY":          GreedyDensity{},
+		"S-GREEDY":        GreedyMarginal{},
+		"ACCEPT-ALL":      AcceptAll{},
+		"REJECT-ALL":      RejectAll{},
+		"RAND":            RandomAdmission{},
+		"ApproxDP(ε=0.5)": ApproxDP{Eps: 0.5},
+	}
+	for name, s := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}
+
+// TestExhaustiveHeterogeneousExact: on small heterogeneous instances the
+// branch-and-bound must match plain enumeration via Evaluate.
+func TestExhaustiveHeterogeneousExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		in := cubicInstance()
+		n := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{
+				ID:      i,
+				Cycles:  1 + int64(rng.Intn(4)),
+				Penalty: rng.Float64() * 2,
+				Rho:     0.5 + rng.Float64()*2,
+			})
+		}
+		opt, err := Exhaustive{}.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			var ids []int
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					ids = append(ids, b)
+				}
+			}
+			if s, err := Evaluate(in, ids); err == nil && s.Cost < best {
+				best = s.Cost
+			}
+		}
+		if math.Abs(opt.Cost-best) > 1e-6*(1+best) {
+			t.Errorf("trial %d: OPT %v != enumeration %v", trial, opt.Cost, best)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package dormant analyzes idle energy on dormant-enable processors for
+// job sets executed at a constant speed: where the idle gaps fall, and how
+// much each costs under the stay-awake-vs-shutdown decision.
+//
+// Scattered short gaps are the enemy: the per-gap cost min(Pind·gap, Esw)
+// is subadditive in gap length, so merging gaps (same total idle) never
+// costs more and usually costs less. Procrastination scheduling (the
+// PROC/Jejurikar line the paper family applies after task assignment)
+// exploits exactly this by executing as late as possible: the package
+// derives the ALAP schedule from the EDF simulator via time reversal —
+// running the time-mirrored job set under EDF and mirroring the resulting
+// execution trace back — and compares its idle cost with the eager (ASAP)
+// schedule's.
+package dormant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+// Gap is one idle interval of a schedule.
+type Gap struct {
+	Start, End float64
+}
+
+// Duration returns End − Start.
+func (g Gap) Duration() float64 { return g.End - g.Start }
+
+// Analysis is the idle-energy breakdown of one schedule over a horizon.
+type Analysis struct {
+	Gaps       []Gap
+	TotalIdle  float64
+	IdleEnergy float64 // Σ per-gap min(Pind·gap, Esw)
+	Shutdowns  int     // gaps where sleeping beat staying awake
+}
+
+// gapEps ignores sub-nanoscale gaps produced by float noise between
+// back-to-back slices.
+const gapEps = 1e-7
+
+// Gaps extracts the idle intervals of an execution trace within
+// [0, horizon).
+func Gaps(slices []edf.Slice, horizon float64) []Gap {
+	intervals := make([][2]float64, 0, len(slices))
+	for _, s := range slices {
+		if s.End > s.Start {
+			intervals = append(intervals, [2]float64{s.Start, s.End})
+		}
+	}
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i][0] < intervals[j][0] })
+
+	var gaps []Gap
+	cursor := 0.0
+	for _, iv := range intervals {
+		if iv[0] > cursor+gapEps {
+			gaps = append(gaps, Gap{Start: cursor, End: iv[0]})
+		}
+		if iv[1] > cursor {
+			cursor = iv[1]
+		}
+	}
+	if horizon > cursor+gapEps {
+		gaps = append(gaps, Gap{Start: cursor, End: horizon})
+	}
+	return gaps
+}
+
+// Analyze prices the idle gaps of a trace on the processor: each gap costs
+// the cheaper of staying awake (Pind·gap) and one shutdown/wakeup cycle
+// (Esw, dormant-enable only).
+func Analyze(slices []edf.Slice, horizon float64, proc speed.Proc) Analysis {
+	a := Analysis{Gaps: Gaps(slices, horizon)}
+	for _, g := range a.Gaps {
+		d := g.Duration()
+		a.TotalIdle += d
+		awake := proc.Model.Static() * d
+		if proc.DormantEnable && proc.Esw < awake {
+			a.IdleEnergy += proc.Esw
+			a.Shutdowns++
+		} else {
+			a.IdleEnergy += awake
+		}
+	}
+	return a
+}
+
+// Schedule runs the job set at constant speed s over [0, horizon) in one
+// of two modes and returns the execution trace.
+type Mode int
+
+const (
+	// ASAP executes eagerly: plain EDF from each release.
+	ASAP Mode = iota
+	// ALAP executes as late as possible (procrastination): EDF on the
+	// time-mirrored job set, mirrored back. Deadline-feasibility is
+	// preserved by symmetry — a mirrored deadline is a mirrored release.
+	ALAP
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ASAP:
+		return "ASAP"
+	case ALAP:
+		return "ALAP(PROC)"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Schedule simulates the jobs at constant speed s over [0, horizon) in the
+// given mode. The horizon must cover every deadline (the mirror reflects
+// around horizon/2). It errors when the schedule is infeasible at that
+// speed.
+func Schedule(jobs []edf.Job, s, horizon float64, mode Mode) ([]edf.Slice, error) {
+	for _, j := range jobs {
+		if j.Deadline > horizon+1e-9 {
+			return nil, fmt.Errorf("dormant: job of task %d has deadline %g beyond the horizon %g", j.TaskID, j.Deadline, horizon)
+		}
+	}
+	run := jobs
+	if mode == ALAP {
+		run = mirror(jobs, horizon)
+	} else if mode != ASAP {
+		return nil, fmt.Errorf("dormant: unknown mode %d", int(mode))
+	}
+	r, err := edf.Simulate(run, speed.Constant(s, 0, horizon))
+	if err != nil {
+		return nil, err
+	}
+	if !r.Feasible() {
+		return nil, fmt.Errorf("dormant: %v schedule at speed %g misses %d deadlines", mode, s, r.Misses)
+	}
+	slices := r.Slices
+	if mode == ALAP {
+		slices = mirrorSlices(slices, horizon)
+	}
+	return slices, nil
+}
+
+// mirror reflects the job windows around horizon/2: release ↔ deadline.
+func mirror(jobs []edf.Job, horizon float64) []edf.Job {
+	out := make([]edf.Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = edf.Job{
+			TaskID:   j.TaskID,
+			Release:  horizon - j.Deadline,
+			Deadline: horizon - j.Release,
+			Cycles:   j.Cycles,
+		}
+	}
+	return out
+}
+
+// mirrorSlices reflects an execution trace back to original time.
+func mirrorSlices(slices []edf.Slice, horizon float64) []edf.Slice {
+	out := make([]edf.Slice, len(slices))
+	for i, s := range slices {
+		out[i] = edf.Slice{
+			TaskID:   s.TaskID,
+			JobIndex: s.JobIndex,
+			Start:    horizon - s.End,
+			End:      horizon - s.Start,
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Compare runs both modes and returns their analyses; the caller picks the
+// cheaper (a real scheduler would, too — both are feasible).
+func Compare(jobs []edf.Job, s, horizon float64, proc speed.Proc) (asap, alap Analysis, err error) {
+	sa, err := Schedule(jobs, s, horizon, ASAP)
+	if err != nil {
+		return Analysis{}, Analysis{}, err
+	}
+	sl, err := Schedule(jobs, s, horizon, ALAP)
+	if err != nil {
+		return Analysis{}, Analysis{}, err
+	}
+	asap = Analyze(sa, horizon, proc)
+	alap = Analyze(sl, horizon, proc)
+	if d := math.Abs(asap.TotalIdle - alap.TotalIdle); d > 1e-6*(1+horizon) {
+		return Analysis{}, Analysis{}, fmt.Errorf("dormant: idle-time mismatch between modes: %g vs %g", asap.TotalIdle, alap.TotalIdle)
+	}
+	return asap, alap, nil
+}

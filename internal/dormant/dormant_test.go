@@ -1,0 +1,210 @@
+package dormant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+func dormantProc(esw float64) speed.Proc {
+	return speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: esw}
+}
+
+func TestGapsBasic(t *testing.T) {
+	slices := []edf.Slice{
+		{TaskID: 1, Start: 2, End: 4},
+		{TaskID: 2, Start: 6, End: 7},
+	}
+	gaps := Gaps(slices, 10)
+	want := []Gap{{0, 2}, {4, 6}, {7, 10}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %+v, want %+v", gaps, want)
+	}
+	for i := range want {
+		if math.Abs(gaps[i].Start-want[i].Start) > 1e-12 || math.Abs(gaps[i].End-want[i].End) > 1e-12 {
+			t.Errorf("gap %d = %+v, want %+v", i, gaps[i], want[i])
+		}
+	}
+}
+
+func TestGapsEdgeCases(t *testing.T) {
+	// No slices: one gap covering the horizon.
+	gaps := Gaps(nil, 5)
+	if len(gaps) != 1 || gaps[0] != (Gap{0, 5}) {
+		t.Errorf("empty trace gaps = %+v", gaps)
+	}
+	// Busy the whole horizon: no gaps.
+	gaps = Gaps([]edf.Slice{{Start: 0, End: 5}}, 5)
+	if len(gaps) != 0 {
+		t.Errorf("fully busy gaps = %+v", gaps)
+	}
+	// Sub-epsilon gaps ignored.
+	gaps = Gaps([]edf.Slice{{Start: 0, End: 2}, {Start: 2 + 1e-12, End: 5}}, 5)
+	if len(gaps) != 0 {
+		t.Errorf("float-noise gap not ignored: %+v", gaps)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	slices := []edf.Slice{{Start: 0, End: 4}} // one 6-unit gap to horizon 10
+	// Pind = 0.08: awake costs 0.48; Esw = 0.1 < 0.48 → shutdown.
+	a := Analyze(slices, 10, dormantProc(0.1))
+	if a.Shutdowns != 1 || math.Abs(a.IdleEnergy-0.1) > 1e-12 {
+		t.Errorf("analysis = %+v, want one shutdown at 0.1", a)
+	}
+	// Esw = 1 > 0.48 → stay awake.
+	a = Analyze(slices, 10, dormantProc(1))
+	if a.Shutdowns != 0 || math.Abs(a.IdleEnergy-0.48) > 1e-12 {
+		t.Errorf("analysis = %+v, want awake at 0.48", a)
+	}
+	// Dormant-disable: always awake.
+	a = Analyze(slices, 10, speed.Proc{Model: power.XScale(), SMax: 1})
+	if a.Shutdowns != 0 || math.Abs(a.IdleEnergy-0.48) > 1e-12 {
+		t.Errorf("disable analysis = %+v", a)
+	}
+}
+
+func TestALAPConsolidatesPeriodicIdle(t *testing.T) {
+	// Periodic set at utilization 0.5 run at speed 1: ASAP leaves a gap in
+	// every period; ALAP pushes work to the deadlines, merging idle time
+	// into longer stretches.
+	ps := task.PeriodicSet{Tasks: []task.Periodic{
+		{ID: 1, Cycles: 5, Period: 10},
+	}}
+	jobs := edf.PeriodicJobs(ps, 40)
+	asap, alap, err := Compare(jobs, 1, 40, dormantProc(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(asap.TotalIdle-alap.TotalIdle) > 1e-9 {
+		t.Fatalf("idle mismatch: %v vs %v", asap.TotalIdle, alap.TotalIdle)
+	}
+	// ASAP: jobs run [0,5), [10,15), … → 4 separate 5-unit gaps.
+	if len(asap.Gaps) != 4 {
+		t.Errorf("ASAP gaps = %+v, want 4", asap.Gaps)
+	}
+	// ALAP: jobs run [5,10), [15,20), … → gaps [0,5), [10,15), …: also 4.
+	// With this strictly periodic workload gap counts tie; the interesting
+	// consolidation cases are aperiodic (see the quick test). Here both
+	// modes must at least price identically.
+	if math.Abs(asap.IdleEnergy-alap.IdleEnergy) > 1e-9 {
+		t.Errorf("strictly periodic idle energies differ: %v vs %v", asap.IdleEnergy, alap.IdleEnergy)
+	}
+}
+
+func TestALAPMergesStaggeredGaps(t *testing.T) {
+	// Two jobs with nested windows: eager execution splits the idle time,
+	// lazy execution consolidates it in front.
+	jobs := []edf.Job{
+		{TaskID: 1, Release: 0, Deadline: 20, Cycles: 4},
+		{TaskID: 2, Release: 10, Deadline: 20, Cycles: 4},
+	}
+	asap, alap, err := Compare(jobs, 1, 20, dormantProc(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ASAP: busy [0,4) and [10,14) → gaps [4,10) and [14,20): two gaps.
+	if len(asap.Gaps) != 2 {
+		t.Fatalf("ASAP gaps = %+v, want 2", asap.Gaps)
+	}
+	// ALAP: busy [12,20) → a single gap [0,12).
+	if len(alap.Gaps) != 1 {
+		t.Fatalf("ALAP gaps = %+v, want 1", alap.Gaps)
+	}
+	// One shutdown instead of two: cheaper.
+	if !(alap.IdleEnergy < asap.IdleEnergy) {
+		t.Errorf("ALAP idle %v not cheaper than ASAP %v", alap.IdleEnergy, asap.IdleEnergy)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	jobs := []edf.Job{{TaskID: 1, Release: 0, Deadline: 30, Cycles: 5}}
+	if _, err := Schedule(jobs, 1, 20, ALAP); err == nil {
+		t.Error("deadline beyond horizon accepted")
+	}
+	if _, err := Schedule(jobs, 0.1, 30, ASAP); err == nil {
+		t.Error("infeasible speed accepted")
+	}
+	if _, err := Schedule(jobs, 1, 30, Mode(9)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ASAP.String() != "ASAP" || ALAP.String() != "ALAP(PROC)" || Mode(9).String() != "Mode(9)" {
+		t.Error("mode names changed")
+	}
+}
+
+// Property: both modes execute the same total work, leave the same total
+// idle, and each slice stays within its job's window.
+func TestQuickModesEquivalent(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nn%8)
+		horizon := 100.0
+		var jobs []edf.Job
+		for i := 0; i < n; i++ {
+			r := rng.Float64() * 60
+			d := r + 10 + rng.Float64()*30
+			jobs = append(jobs, edf.Job{
+				TaskID: i, Release: r, Deadline: math.Min(d, horizon),
+				Cycles: 1 + rng.Float64()*6,
+			})
+		}
+		// Ensure feasibility at speed 1 via YDS-style density check is
+		// overkill here: just demand per-window density ≤ 0.8 each.
+		for i := range jobs {
+			maxW := (jobs[i].Deadline - jobs[i].Release) * 0.5
+			if jobs[i].Cycles > maxW {
+				jobs[i].Cycles = maxW
+			}
+		}
+		asap, alap, err := Compare(jobs, 1, horizon, dormantProc(0.3))
+		if err != nil {
+			// Random storms can still be jointly infeasible at speed 1;
+			// that is not a property violation.
+			return true
+		}
+		return math.Abs(asap.TotalIdle-alap.TotalIdle) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slices of an ALAP schedule respect job windows.
+func TestQuickALAPWindows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		horizon := 80.0
+		var jobs []edf.Job
+		for i := 0; i < 5; i++ {
+			r := rng.Float64() * 40
+			jobs = append(jobs, edf.Job{
+				TaskID: i, Release: r, Deadline: r + 20 + rng.Float64()*20,
+				Cycles: 1 + rng.Float64()*4,
+			})
+		}
+		slices, err := Schedule(jobs, 1, horizon, ALAP)
+		if err != nil {
+			return true
+		}
+		for _, s := range slices {
+			j := jobs[s.JobIndex]
+			if s.Start < j.Release-1e-6 || s.End > j.Deadline+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

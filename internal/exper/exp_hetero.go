@@ -1,0 +1,105 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/stats"
+)
+
+// Exp15 — heterogeneous power characteristics (the LEET/LEUF line): tasks
+// carry per-task dynamic power coefficients ρ ∈ [0.5, 2], folded into
+// effective cycles ci·ρi^(1/α). The exact reference is the heterogeneous
+// branch-and-bound (which re-costs leaves through the KKT-clamped per-task
+// speed assignment); the heuristics decide on the effective-cycles
+// surrogate. The homogeneous column re-runs the same instances with ρ ≡ 1
+// to isolate what heterogeneity costs the heuristics.
+func Exp15(o Options) (Table, error) {
+	ns := []int{8, 10, 12}
+	if o.Quick {
+		ns = []int{8}
+	}
+	trials := o.trials(20)
+	solvers := []core.Solver{core.GreedyMarginal{}, core.GreedyDensity{}, core.RandomAdmission{Seed: o.Seed}}
+
+	t := Table{
+		ID:     "E15",
+		Title:  "heterogeneous power characteristics: cost / OPT vs n (ρ ∈ [0.5, 2], load 1.5)",
+		Header: []string{"n"},
+		Notes: []string{
+			"OPT = heterogeneous branch-and-bound with exact KKT re-costing",
+			"*-hom columns: identical instances with ρ ≡ 1 (heterogeneity cost isolation)",
+		},
+	}
+	for _, s := range solvers {
+		t.Header = append(t.Header, s.Name())
+	}
+	for _, s := range solvers[:2] {
+		t.Header = append(t.Header, s.Name()+"-hom")
+	}
+
+	for i, n := range ns {
+		het := make(map[string]*stats.Summary)
+		hom := make(map[string]*stats.Summary)
+		for _, s := range solvers {
+			het[s.Name()] = &stats.Summary{}
+			hom[s.Name()] = &stats.Summary{}
+		}
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)*1409 + int64(trial)*1009))
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200, HeteroRho: true})
+			if err != nil {
+				return Table{}, err
+			}
+			in := core.Instance{Tasks: set, Proc: idealProc()}
+			opt, err := (core.Exhaustive{}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			for _, s := range solvers {
+				sol, err := s.Solve(in)
+				if err != nil {
+					return Table{}, err
+				}
+				if opt.Cost > 0 {
+					het[s.Name()].Add(sol.Cost / opt.Cost)
+				}
+			}
+
+			// Homogeneous twin: strip the coefficients.
+			homSet := set
+			homSet.Tasks = nil
+			for _, tk := range set.Tasks {
+				tk.Rho = 0
+				homSet.Tasks = append(homSet.Tasks, tk)
+			}
+			homIn := core.Instance{Tasks: homSet, Proc: idealProc()}
+			homOpt, err := (core.DP{}).Solve(homIn)
+			if err != nil {
+				return Table{}, err
+			}
+			for _, s := range solvers[:2] {
+				sol, err := s.Solve(homIn)
+				if err != nil {
+					return Table{}, err
+				}
+				if homOpt.Cost > 0 {
+					hom[s.Name()].Add(sol.Cost / homOpt.Cost)
+				}
+			}
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range solvers {
+			sum := het[s.Name()]
+			row = append(row, fmtRatio(sum.Mean(), sum.CI95()))
+		}
+		for _, s := range solvers[:2] {
+			sum := hom[s.Name()]
+			row = append(row, fmtRatio(sum.Mean(), sum.CI95()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,267 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/stats"
+)
+
+// idealProc is the evaluation bed of the homogeneous experiments: an ideal
+// DVS processor with the cubic power model normalized to smax = 1.
+func idealProc() speed.Proc {
+	return speed.Proc{Model: power.Cubic(), SMax: 1}
+}
+
+// ratioRow measures, for one parameter point, every solver's mean cost
+// normalized to the reference solver's cost over `trials` random
+// instances. Trials run on a worker pool; aggregation order stays the
+// serial one, so tables are deterministic for a fixed seed.
+func ratioRow(seed int64, trials int, mk func(*rand.Rand) (core.Instance, error),
+	ref core.Solver, solvers []core.Solver) (map[string]*stats.Summary, error) {
+
+	rows, err := forEachTrial(trials, func(trial int) ([]float64, error) {
+		rng := rand.New(rand.NewSource(seed + int64(trial)*1009))
+		in, err := mk(rng)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := ref.Solve(in)
+		if err != nil {
+			return nil, fmt.Errorf("reference %s: %w", ref.Name(), err)
+		}
+		vals := make([]float64, len(solvers))
+		for si, s := range solvers {
+			sol, err := s.Solve(in)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name(), err)
+			}
+			if opt.Cost <= 0 {
+				vals[si] = 1
+			} else {
+				vals[si] = sol.Cost / opt.Cost
+			}
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sums := make(map[string]*stats.Summary, len(solvers))
+	for _, s := range solvers {
+		sums[s.Name()] = &stats.Summary{}
+	}
+	for _, vals := range rows {
+		for si, s := range solvers {
+			sums[s.Name()].Add(vals[si])
+		}
+	}
+	return sums, nil
+}
+
+// heuristicLineup is the solver set the cost-ratio figures compare.
+func heuristicLineup(seed int64) []core.Solver {
+	return []core.Solver{
+		core.ApproxDP{Eps: 0.1},
+		core.GreedyMarginal{},
+		core.GreedyDensity{},
+		core.Rounding{},
+		core.AcceptAll{},
+		core.RandomAdmission{Seed: seed},
+	}
+}
+
+// Exp1 — average relative cost (normalized to the exact optimum) versus
+// the number of tasks, at fixed load 1.5. Mirrors the paper family's
+// "relative energy consumption ratio vs number of tasks" figures, with the
+// optimum obtained by exhaustive-equivalent DP.
+func Exp1(o Options) (Table, error) {
+	ns := []int{8, 10, 12, 14, 16}
+	if o.Quick {
+		ns = []int{8, 10}
+	}
+	trials := o.trials(25)
+	solvers := heuristicLineup(o.Seed)
+
+	t := Table{
+		ID:     "E1",
+		Title:  "avg cost / OPT vs number of tasks (load 1.5, uniform penalties)",
+		Header: []string{"n"},
+		Notes: []string{
+			fmt.Sprintf("%d random instances per cell, ideal cubic processor, D=200", trials),
+			"OPT = exact DP; every ratio ≥ 1 by construction",
+		},
+	}
+	for _, s := range solvers {
+		t.Header = append(t.Header, s.Name())
+	}
+	for i, n := range ns {
+		mk := func(rng *rand.Rand) (core.Instance, error) {
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200})
+			return core.Instance{Tasks: set, Proc: idealProc()}, err
+		}
+		sums, err := ratioRow(o.Seed+int64(i)*77, trials, mk, core.DP{}, solvers)
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range solvers {
+			sum := sums[s.Name()]
+			row = append(row, fmtRatio(sum.Mean(), sum.CI95()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Exp2 — average relative cost versus system load Σci/(smax·D). Below
+// load 1 rejection is purely economic; above it rejection becomes
+// mandatory and the heuristics' admission order starts to matter.
+func Exp2(o Options) (Table, error) {
+	loads := []float64{0.4, 0.8, 1.2, 1.6, 2.0, 2.5, 3.0}
+	if o.Quick {
+		loads = []float64{0.8, 2.0}
+	}
+	trials := o.trials(25)
+	n := 40
+	if o.Quick {
+		n = 15
+	}
+	solvers := heuristicLineup(o.Seed)
+
+	t := Table{
+		ID:     "E2",
+		Title:  fmt.Sprintf("avg cost / OPT vs system load (n=%d, uniform penalties)", n),
+		Header: []string{"load"},
+		Notes:  []string{fmt.Sprintf("%d random instances per cell; load > 1 forces rejection", trials)},
+	}
+	for _, s := range solvers {
+		t.Header = append(t.Header, s.Name())
+	}
+	for i, load := range loads {
+		load := load
+		mk := func(rng *rand.Rand) (core.Instance, error) {
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: load, Deadline: 200})
+			return core.Instance{Tasks: set, Proc: idealProc()}, err
+		}
+		sums, err := ratioRow(o.Seed+int64(i)*131, trials, mk, core.DP{}, solvers)
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{fmt.Sprintf("%.1f", load)}
+		for _, s := range solvers {
+			sum := sums[s.Name()]
+			row = append(row, fmtRatio(sum.Mean(), sum.CI95()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Exp3 — average relative cost versus the penalty scale κ. Small κ makes
+// rejection cheap (energy-dominated regime); large κ forces near-full
+// admission, converging every reasonable heuristic to the optimum.
+func Exp3(o Options) (Table, error) {
+	scales := []float64{0.1, 0.3, 1, 3, 10}
+	if o.Quick {
+		scales = []float64{0.3, 3}
+	}
+	trials := o.trials(25)
+	n := 40
+	if o.Quick {
+		n = 15
+	}
+	solvers := heuristicLineup(o.Seed)
+
+	t := Table{
+		ID:     "E3",
+		Title:  fmt.Sprintf("avg cost / OPT vs penalty scale κ (n=%d, load 1.5)", n),
+		Header: []string{"κ"},
+		Notes:  []string{"κ multiplies every rejection penalty relative to the contested calibration"},
+	}
+	for _, s := range solvers {
+		t.Header = append(t.Header, s.Name())
+	}
+	for i, k := range scales {
+		k := k
+		mk := func(rng *rand.Rand) (core.Instance, error) {
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200, PenaltyScale: k})
+			return core.Instance{Tasks: set, Proc: idealProc()}, err
+		}
+		sums, err := ratioRow(o.Seed+int64(i)*173, trials, mk, core.DP{}, solvers)
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{fmt.Sprintf("%g", k)}
+		for _, s := range solvers {
+			sum := sums[s.Name()]
+			row = append(row, fmtRatio(sum.Mean(), sum.CI95()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Exp10 — the admission-control trade curve: the optimal acceptance ratio
+// (fraction of tasks admitted) and the energy/penalty split versus the
+// penalty scale κ, at load 1.5. This is the figure a system designer uses
+// to pick penalties.
+func Exp10(o Options) (Table, error) {
+	scales := []float64{0.05, 0.1, 0.3, 1, 3, 10, 30}
+	if o.Quick {
+		scales = []float64{0.1, 3}
+	}
+	trials := o.trials(25)
+	n := 30
+	if o.Quick {
+		n = 12
+	}
+
+	t := Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("optimal acceptance ratio and cost split vs penalty scale (n=%d, load 1.5)", n),
+		Header: []string{"κ", "accepted-frac", "accepted-load", "energy-share", "penalty-share"},
+		Notes:  []string{"all columns from the exact DP optimum; accepted-load is vs capacity smax·D"},
+	}
+	for i, k := range scales {
+		var fr, ld, es, ps stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)*211 + int64(trial)*1009))
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200, PenaltyScale: k})
+			if err != nil {
+				return Table{}, err
+			}
+			in := core.Instance{Tasks: set, Proc: idealProc()}
+			sol, err := (core.DP{}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			fr.Add(float64(len(sol.Accepted)) / float64(n))
+			var w int64
+			acc := sol.AcceptedSet()
+			for _, tk := range set.Tasks {
+				if acc[tk.ID] {
+					w += tk.Cycles
+				}
+			}
+			ld.Add(float64(w) / in.Capacity())
+			if sol.Cost > 0 {
+				es.Add(sol.Energy / sol.Cost)
+				ps.Add(sol.Penalty / sol.Cost)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", k),
+			fmt.Sprintf("%.3f", fr.Mean()),
+			fmt.Sprintf("%.3f", ld.Mean()),
+			fmt.Sprintf("%.3f", es.Mean()),
+			fmt.Sprintf("%.3f", ps.Mean()),
+		})
+	}
+	return t, nil
+}

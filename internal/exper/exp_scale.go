@@ -1,0 +1,183 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/multiproc"
+	"dvsreject/internal/stats"
+)
+
+// Exp8 — runtime scaling of every solver class versus the number of
+// tasks: heuristics up to 10⁴ tasks, exact solvers on their natural
+// ranges.
+func Exp8(o Options) (Table, error) {
+	heurNs := []int{10, 100, 1000, 10000}
+	exactNs := []int{12, 16, 20}
+	if o.Quick {
+		heurNs = []int{10, 100}
+		exactNs = []int{10}
+	}
+	trials := o.trials(5)
+
+	t := Table{
+		ID:     "E8",
+		Title:  "solver runtime (µs, mean) vs number of tasks (load 1.5)",
+		Header: []string{"n", "GREEDY", "S-GREEDY", "DP", "ApproxDP(0.1)", "OPT"},
+		Notes: []string{
+			"deadline 2000, so DP workload capacity is 2000 grid cells",
+			"— marks solvers skipped at that size (exact solvers on large n)",
+		},
+	}
+
+	timeIt := func(s core.Solver, in core.Instance) (float64, error) {
+		start := time.Now()
+		_, err := s.Solve(in)
+		return float64(time.Since(start).Microseconds()), err
+	}
+
+	allNs := append(append([]int{}, heurNs...), exactNs...)
+	seen := map[int]bool{}
+	for _, n := range allNs {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		row := []string{fmt.Sprintf("%d", n)}
+		var tg, ts, td, ta, to stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(n)*601 + int64(trial)))
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 2000})
+			if err != nil {
+				return Table{}, err
+			}
+			in := core.Instance{Tasks: set, Proc: idealProc()}
+
+			if us, err := timeIt(core.GreedyDensity{}, in); err == nil {
+				tg.Add(us)
+			} else {
+				return Table{}, err
+			}
+			// The swap-based local search is O(n²) per move: skip at 10⁴.
+			if n <= 1000 {
+				if us, err := timeIt(core.GreedyMarginal{}, in); err == nil {
+					ts.Add(us)
+				} else {
+					return Table{}, err
+				}
+			}
+			if us, err := timeIt(core.DP{}, in); err == nil {
+				td.Add(us)
+			} else {
+				return Table{}, err
+			}
+			if us, err := timeIt(core.ApproxDP{Eps: 0.1}, in); err == nil {
+				ta.Add(us)
+			} else {
+				return Table{}, err
+			}
+			if n <= 20 {
+				if us, err := timeIt(core.Exhaustive{}, in); err == nil {
+					to.Add(us)
+				} else {
+					return Table{}, err
+				}
+			}
+		}
+		cell := func(s stats.Summary, used bool) string {
+			if !used || s.N() == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.0f", s.Mean())
+		}
+		row = append(row,
+			cell(tg, true),
+			cell(ts, ts.N() > 0),
+			cell(td, true),
+			cell(ta, true),
+			cell(to, to.N() > 0),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Exp9 — the multiprocessor extension: constructive LTF-REJECT and its
+// local-search refinement versus the exact partitioned optimum on small
+// instances, and against each other at scale.
+func Exp9(o Options) (Table, error) {
+	type cfg struct {
+		m, n  int
+		exact bool
+	}
+	cfgs := []cfg{{2, 8, true}, {3, 9, true}, {4, 32, false}, {8, 64, false}}
+	if o.Quick {
+		cfgs = []cfg{{2, 6, true}, {4, 16, false}}
+	}
+	trials := o.trials(15)
+
+	t := Table{
+		ID:     "E9",
+		Title:  "multiprocessor extension: cost ratios vs M (per-processor load 1.5)",
+		Header: []string{"M", "n", "reference", "LTF-REJECT", "LS-basic", "LTF-REJECT-LS"},
+		Notes: []string{
+			"reference = OPT (exhaustive) when tractable, else LTF-REJECT-LS",
+			"LS-basic ablates the swap/exchange neighbourhood (single-task moves only)",
+			"total load scales with M so each processor sees load 1.5",
+		},
+	}
+	for ci, c := range cfgs {
+		var rLTF, rBasic, rLS stats.Summary
+		refName := "OPT"
+		if !c.exact {
+			refName = "LTF-REJECT-LS"
+		}
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(ci)*701 + int64(trial)*1009))
+			set, err := gen.Frame(rng, gen.Config{N: c.n, Load: 1.5 * float64(c.m), Deadline: 100})
+			if err != nil {
+				return Table{}, err
+			}
+			in := multiproc.Instance{Tasks: set, Proc: idealProc(), M: c.m}
+			ltf, err := (multiproc.LTFReject{}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			basic, err := (multiproc.LTFRejectLS{DisableExchange: true}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			ls, err := (multiproc.LTFRejectLS{}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			var ref float64
+			if c.exact {
+				opt, err := (multiproc.Exhaustive{}).Solve(in)
+				if err != nil {
+					return Table{}, err
+				}
+				ref = opt.Cost
+			} else {
+				ref = ls.Cost
+			}
+			if ref > 0 {
+				rLTF.Add(ltf.Cost / ref)
+				rBasic.Add(basic.Cost / ref)
+				rLS.Add(ls.Cost / ref)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.m),
+			fmt.Sprintf("%d", c.n),
+			refName,
+			fmtRatio(rLTF.Mean(), rLTF.CI95()),
+			fmtRatio(rBasic.Mean(), rBasic.CI95()),
+			fmtRatio(rLS.Mean(), rLS.CI95()),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,310 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/stats"
+)
+
+// Exp4 — the approximation scheme's measured quality (cost/DP-optimum) and
+// runtime versus ε. The envelope guarantees degrade linearly in ε; the
+// measured ratios are far tighter, which is the practical message.
+func Exp4(o Options) (Table, error) {
+	epss := []float64{0.01, 0.05, 0.1, 0.2, 0.5, 1.0}
+	if o.Quick {
+		epss = []float64{0.1, 0.5}
+	}
+	trials := o.trials(25)
+	n := 40
+	if o.Quick {
+		n = 15
+	}
+
+	t := Table{
+		ID:     "E4",
+		Title:  fmt.Sprintf("approximation schemes: quality and runtime vs ε (n=%d, load 1.5)", n),
+		Header: []string{"ε", "W-cost/OPT", "W-worst", "W-time(µs)", "V-cost/OPT", "V-worst", "V-time(µs)", "DP-time(µs)"},
+		Notes: []string{
+			"W = ApproxDP (capacity/workload rounding); V = ApproxDPPenalty (penalty-axis rounding)",
+			"same instances per row; DP column is the exact solver's runtime for scale",
+		},
+	}
+	for i, eps := range epss {
+		var ratioW, ratioV stats.Summary
+		var tW, tV, tDP stats.Summary
+		worstW, worstV := 0.0, 0.0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(trial)*1009 + int64(i)))
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 2000})
+			if err != nil {
+				return Table{}, err
+			}
+			in := core.Instance{Tasks: set, Proc: idealProc()}
+
+			start := time.Now()
+			opt, err := (core.DP{}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			tDP.Add(float64(time.Since(start).Microseconds()))
+
+			start = time.Now()
+			solW, err := (core.ApproxDP{Eps: eps}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			tW.Add(float64(time.Since(start).Microseconds()))
+
+			start = time.Now()
+			solV, err := (core.ApproxDPPenalty{Eps: eps}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			tV.Add(float64(time.Since(start).Microseconds()))
+
+			rw, rv := 1.0, 1.0
+			if opt.Cost > 0 {
+				rw = solW.Cost / opt.Cost
+				rv = solV.Cost / opt.Cost
+			}
+			ratioW.Add(rw)
+			ratioV.Add(rv)
+			worstW = math.Max(worstW, rw)
+			worstV = math.Max(worstV, rv)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", eps),
+			fmtRatio(ratioW.Mean(), ratioW.CI95()),
+			fmt.Sprintf("%.4f", worstW),
+			fmt.Sprintf("%.0f", tW.Mean()),
+			fmtRatio(ratioV.Mean(), ratioV.CI95()),
+			fmt.Sprintf("%.4f", worstV),
+			fmt.Sprintf("%.0f", tV.Mean()),
+			fmt.Sprintf("%.0f", tDP.Mean()),
+		})
+	}
+	return t, nil
+}
+
+// Exp5 — non-ideal processors: solver quality on the discrete XScale
+// frequency ladder, plus the intrinsic cost of discreteness (the DP
+// optimum on the discrete processor normalized to the DP optimum on the
+// continuous processor with the same power model).
+func Exp5(o Options) (Table, error) {
+	loads := []float64{0.4, 0.8, 1.2, 1.6, 2.0}
+	if o.Quick {
+		loads = []float64{0.8, 1.6}
+	}
+	trials := o.trials(25)
+	n := 30
+	if o.Quick {
+		n = 12
+	}
+
+	contProc := speed.Proc{Model: power.XScale(), SMax: 1}
+	discProc := speed.Proc{Model: power.XScale(), Levels: power.XScaleLevels()}
+	solvers := []core.Solver{core.GreedyMarginal{}, core.GreedyDensity{}, core.AcceptAll{}}
+
+	t := Table{
+		ID:     "E5",
+		Title:  fmt.Sprintf("discrete XScale ladder: heuristics vs DP, and discrete/continuous optimum (n=%d)", n),
+		Header: []string{"load"},
+		Notes: []string{
+			"levels {0.15, 0.4, 0.6, 0.8, 1.0}, two-level (Ishihara–Yasuura) execution",
+			"disc/cont = DP optimum on the discrete ladder / DP optimum on the continuous spectrum",
+		},
+	}
+	for _, s := range solvers {
+		t.Header = append(t.Header, s.Name())
+	}
+	t.Header = append(t.Header, "disc/cont")
+
+	for i, load := range loads {
+		sums := make(map[string]*stats.Summary)
+		for _, s := range solvers {
+			sums[s.Name()] = &stats.Summary{}
+		}
+		var gap stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)*307 + int64(trial)*1009))
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: load, Deadline: 200})
+			if err != nil {
+				return Table{}, err
+			}
+			disc := core.Instance{Tasks: set, Proc: discProc}
+			cont := core.Instance{Tasks: set, Proc: contProc}
+			dOpt, err := (core.DP{}).Solve(disc)
+			if err != nil {
+				return Table{}, err
+			}
+			cOpt, err := (core.DP{}).Solve(cont)
+			if err != nil {
+				return Table{}, err
+			}
+			if cOpt.Cost > 0 {
+				gap.Add(dOpt.Cost / cOpt.Cost)
+			}
+			for _, s := range solvers {
+				sol, err := s.Solve(disc)
+				if err != nil {
+					return Table{}, err
+				}
+				if dOpt.Cost > 0 {
+					sums[s.Name()].Add(sol.Cost / dOpt.Cost)
+				}
+			}
+		}
+		row := []string{fmt.Sprintf("%.1f", load)}
+		for _, s := range solvers {
+			sum := sums[s.Name()]
+			row = append(row, fmtRatio(sum.Mean(), sum.CI95()))
+		}
+		row = append(row, fmt.Sprintf("%.4f", gap.Mean()))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Exp6 — leakage-aware scheduling: the value of the dormant mode and the
+// effect of the switching overhead Esw, at light loads where the critical
+// speed (≈ 0.297 on XScale) dominates the decision.
+func Exp6(o Options) (Table, error) {
+	loads := []float64{0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
+	if o.Quick {
+		loads = []float64{0.1, 0.7}
+	}
+	trials := o.trials(25)
+	n := 20
+	if o.Quick {
+		n = 10
+	}
+
+	free := speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0}
+	cheap := speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 4}
+	costly := speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 12}
+	disable := speed.Proc{Model: power.XScale(), SMax: 1}
+	flavours := []struct {
+		name string
+		proc speed.Proc
+	}{
+		{"Esw=0", free}, {"Esw=4", cheap}, {"Esw=12", costly}, {"no-dormant", disable},
+	}
+
+	t := Table{
+		ID:     "E6",
+		Title:  fmt.Sprintf("leakage-aware optima normalized to the free-shutdown optimum (n=%d, D=200)", n),
+		Header: []string{"load"},
+		Notes: []string{
+			"XScale model: Pind=0.08, critical speed ≈ 0.297",
+			"every column is the DP optimum on that processor flavour / DP optimum with free shutdown",
+		},
+	}
+	for _, f := range flavours {
+		t.Header = append(t.Header, f.name)
+	}
+	for i, load := range loads {
+		sums := make([]stats.Summary, len(flavours))
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)*401 + int64(trial)*1009))
+			set, err := gen.Frame(rng, gen.Config{N: n, Load: load, Deadline: 200})
+			if err != nil {
+				return Table{}, err
+			}
+			base, err := (core.DP{}).Solve(core.Instance{Tasks: set, Proc: free})
+			if err != nil {
+				return Table{}, err
+			}
+			for fi, f := range flavours {
+				sol, err := (core.DP{}).Solve(core.Instance{Tasks: set, Proc: f.proc})
+				if err != nil {
+					return Table{}, err
+				}
+				if base.Cost > 0 {
+					sums[fi].Add(sol.Cost / base.Cost)
+				}
+			}
+		}
+		row := []string{fmt.Sprintf("%.2f", load)}
+		for fi := range flavours {
+			row = append(row, fmtRatio(sums[fi].Mean(), sums[fi].CI95()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Exp7 — periodic tasks: solver quality after the hyper-period reduction,
+// versus the total utilization, with the acceptance fraction of the
+// optimum as context.
+func Exp7(o Options) (Table, error) {
+	utils := []float64{0.6, 0.9, 1.2, 1.5, 1.8}
+	if o.Quick {
+		utils = []float64{0.9, 1.5}
+	}
+	trials := o.trials(20)
+	n := 30
+	if o.Quick {
+		n = 10
+	}
+	solvers := []core.Solver{core.GreedyMarginal{}, core.GreedyDensity{}, core.AcceptAll{}}
+
+	t := Table{
+		ID:     "E7",
+		Title:  fmt.Sprintf("periodic tasks (UUniFast, n=%d): cost / OPT vs total utilization", n),
+		Header: []string{"U"},
+		Notes:  []string{"hyper-period reduction to the frame problem; OPT = exact DP on the reduction"},
+	}
+	for _, s := range solvers {
+		t.Header = append(t.Header, s.Name())
+	}
+	t.Header = append(t.Header, "OPT-accept-frac")
+
+	for i, u := range utils {
+		sums := make(map[string]*stats.Summary)
+		for _, s := range solvers {
+			sums[s.Name()] = &stats.Summary{}
+		}
+		var accFrac stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)*509 + int64(trial)*1009))
+			ps, err := gen.Periodic(rng, gen.PeriodicConfig{N: n, Utilization: u})
+			if err != nil {
+				return Table{}, err
+			}
+			pi := core.PeriodicInstance{Tasks: ps, Proc: idealProc()}
+			in, err := pi.Reduce()
+			if err != nil {
+				return Table{}, err
+			}
+			opt, err := (core.DP{}).Solve(in)
+			if err != nil {
+				return Table{}, err
+			}
+			accFrac.Add(float64(len(opt.Accepted)) / float64(n))
+			for _, s := range solvers {
+				sol, err := s.Solve(in)
+				if err != nil {
+					return Table{}, err
+				}
+				if opt.Cost > 0 {
+					sums[s.Name()].Add(sol.Cost / opt.Cost)
+				}
+			}
+		}
+		row := []string{fmt.Sprintf("%.1f", u)}
+		for _, s := range solvers {
+			sum := sums[s.Name()]
+			row = append(row, fmtRatio(sum.Mean(), sum.CI95()))
+		}
+		row = append(row, fmt.Sprintf("%.3f", accFrac.Mean()))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

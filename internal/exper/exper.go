@@ -1,0 +1,107 @@
+// Package exper is the experiment harness: one runner per reconstructed
+// table/figure of the paper's evaluation (see DESIGN.md §4 for the index
+// and EXPERIMENTS.md for paper-vs-measured). Every experiment is
+// deterministic for a fixed seed and prints a plain-text table whose rows
+// are the series a figure would plot.
+package exper
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Trials is the number of random instances per table cell; 0 means the
+	// experiment's default (typically 25).
+	Trials int
+	// Seed is the base RNG seed; runs with equal seeds are identical.
+	Seed int64
+	// Quick shrinks sweeps and trial counts for smoke tests and benches.
+	Quick bool
+}
+
+func (o Options) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick {
+		return 3
+	}
+	return def
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s — %s\n", t.ID, t.Title)
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	sep := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(sep, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&buf, "note: %s\n", n)
+	}
+	return buf.String()
+}
+
+// Experiment is one entry of the registry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (Table, error)
+}
+
+// All lists every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "normalized cost vs number of tasks (vs exact optimum)", Exp1},
+		{"E2", "normalized cost vs system load", Exp2},
+		{"E3", "normalized cost vs penalty scale", Exp3},
+		{"E4", "approximation scheme: quality and runtime vs ε", Exp4},
+		{"E5", "non-ideal processor: discrete XScale levels vs continuous", Exp5},
+		{"E6", "leakage-aware: dormant mode and switching overhead", Exp6},
+		{"E7", "periodic tasks: normalized cost vs total utilization", Exp7},
+		{"E8", "solver runtime scaling vs number of tasks", Exp8},
+		{"E9", "multiprocessor extension: cost vs number of processors", Exp9},
+		{"E10", "acceptance ratio and energy vs penalty scale", Exp10},
+		{"E11", "online arrivals: empirical competitive ratio vs load", Exp11},
+		{"E12", "ablations: B&B pruning term and local-search swap moves", Exp12},
+		{"E13", "slack reclamation after admission: energy vs BCET/WCET", Exp13},
+		{"E14", "procrastination (ALAP) vs eager idle energy vs Esw", Exp14},
+		{"E15", "heterogeneous power characteristics: cost vs OPT", Exp15},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fmtRatio renders a mean ratio with its 95% CI half-width.
+func fmtRatio(mean, ci float64) string {
+	return fmt.Sprintf("%.4f±%.4f", mean, ci)
+}

@@ -1,0 +1,84 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table ID = %q, want %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Header) {
+					t.Errorf("%s: row width %d != header width %d", e.ID, len(r), len(tab.Header))
+				}
+			}
+			out := tab.Format()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, tab.Header[0]) {
+				t.Errorf("%s: Format() output malformed:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, err := Exp1(Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Exp1(Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Error("same seed produced different tables")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 unexpectedly found")
+	}
+}
+
+func TestRatiosAtLeastOne(t *testing.T) {
+	// Every heuristic ratio in E1 must be ≥ 1 (normalized to the optimum).
+	tab, err := Exp1(Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			mean, err := meanOfCell(cell)
+			if err != nil {
+				t.Fatalf("cell %q: %v", cell, err)
+			}
+			if mean < 1-1e-6 {
+				t.Errorf("ratio %v < 1 in row %v", mean, row)
+			}
+		}
+	}
+}
+
+// meanOfCell parses the leading float of a "mean±ci" cell.
+func meanOfCell(cell string) (float64, error) {
+	if i := strings.IndexRune(cell, '±'); i >= 0 {
+		cell = cell[:i]
+	}
+	return strconv.ParseFloat(cell, 64)
+}

@@ -1,0 +1,57 @@
+package exper
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestForEachTrialOrderAndValues(t *testing.T) {
+	got, err := forEachTrial(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachTrialError(t *testing.T) {
+	want := errors.New("boom")
+	_, err := forEachTrial(20, func(i int) (int, error) {
+		if i == 13 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachTrialZero(t *testing.T) {
+	got, err := forEachTrial(0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("zero trials = (%v, %v)", got, err)
+	}
+}
+
+// The parallel harness must not change experiment output: same seed, same
+// table, run twice (scheduling differences must be invisible).
+func TestParallelDeterminism(t *testing.T) {
+	a, err := Exp2(Options{Quick: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Exp2(Options{Quick: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Error("parallel trials broke determinism")
+	}
+}

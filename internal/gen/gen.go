@@ -1,0 +1,232 @@
+// Package gen produces the synthetic workloads the experiment suite runs
+// on. Generators are deterministic given a seed, so every table in
+// EXPERIMENTS.md is reproducible bit-for-bit.
+//
+// The setups mirror the paper family's evaluations: execution cycles drawn
+// uniformly (or log-uniformly) and scaled to hit a target system load,
+// rejection penalties drawn under three structural models (uniform,
+// proportional to the task's energy footprint, inverse to it), per-task
+// power exponents drawn from [2.5, 3] for the heterogeneous experiments,
+// and UUniFast for periodic utilizations.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dvsreject/internal/task"
+)
+
+// PenaltyModel selects how rejection penalties relate to task sizes.
+type PenaltyModel int
+
+const (
+	// PenaltyUniform draws penalties independently of task size.
+	PenaltyUniform PenaltyModel = iota
+	// PenaltyProportional makes large tasks expensive to reject
+	// (penalty ∝ cycles, with ±50% jitter).
+	PenaltyProportional
+	// PenaltyInverse makes large tasks cheap to reject
+	// (penalty ∝ 1/cycles, with ±50% jitter) — the adversarial case for
+	// greedy heuristics.
+	PenaltyInverse
+)
+
+// String implements fmt.Stringer.
+func (m PenaltyModel) String() string {
+	switch m {
+	case PenaltyUniform:
+		return "uniform"
+	case PenaltyProportional:
+		return "proportional"
+	case PenaltyInverse:
+		return "inverse"
+	default:
+		return fmt.Sprintf("PenaltyModel(%d)", int(m))
+	}
+}
+
+// Config describes one random frame-based instance family.
+type Config struct {
+	N        int          // number of tasks, > 0
+	Deadline float64      // frame length, > 0 (default 1000)
+	Load     float64      // target Σci/(smax·D), > 0 (default 1.0)
+	SMax     float64      // top speed (default 1.0)
+	Penalty  PenaltyModel // penalty structure
+	// PenaltyScale multiplies every penalty. 1.0 calibrates the mean
+	// penalty to the mean per-task energy of running the whole set at
+	// speed Load (so accept/reject decisions are genuinely contested).
+	PenaltyScale float64
+	// HeteroRho, when true, draws per-task power coefficients from
+	// [0.5, 2.0] (heterogeneous power characteristics).
+	HeteroRho bool
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Deadline == 0 {
+		c.Deadline = 1000
+	}
+	if c.Load == 0 {
+		c.Load = 1.0
+	}
+	if c.SMax == 0 {
+		c.SMax = 1.0
+	}
+	if c.PenaltyScale == 0 {
+		c.PenaltyScale = 1.0
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("gen: N = %d, want > 0", c.N)
+	case c.Deadline <= 0 || math.IsNaN(c.Deadline):
+		return fmt.Errorf("gen: Deadline = %v, want > 0", c.Deadline)
+	case c.Load <= 0 || math.IsNaN(c.Load):
+		return fmt.Errorf("gen: Load = %v, want > 0", c.Load)
+	case c.SMax <= 0 || math.IsNaN(c.SMax):
+		return fmt.Errorf("gen: SMax = %v, want > 0", c.SMax)
+	case c.PenaltyScale <= 0 || math.IsNaN(c.PenaltyScale):
+		return fmt.Errorf("gen: PenaltyScale = %v, want > 0", c.PenaltyScale)
+	}
+	return nil
+}
+
+// Frame draws one frame-based instance from the family. The task cycles are
+// drawn uniformly from [1, 2·mean] and then rescaled so the realized load
+// matches Config.Load exactly (up to integer rounding).
+func Frame(rng *rand.Rand, c Config) (task.Set, error) {
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return task.Set{}, err
+	}
+
+	targetTotal := c.Load * c.SMax * c.Deadline
+	raw := make([]float64, c.N)
+	var rawSum float64
+	for i := range raw {
+		raw[i] = rng.Float64() + 0.0001 // avoid zero-size tasks
+		rawSum += raw[i]
+	}
+
+	s := task.Set{Deadline: c.Deadline, Tasks: make([]task.Task, 0, c.N)}
+	for i, r := range raw {
+		cycles := int64(math.Max(1, math.Round(r/rawSum*targetTotal)))
+		t := task.Task{ID: i, Cycles: cycles}
+		if c.HeteroRho {
+			t.Rho = 0.5 + 1.5*rng.Float64()
+		}
+		s.Tasks = append(s.Tasks, t)
+	}
+
+	// Calibrate penalties to the energy scale: a task of size ci running as
+	// part of the whole set at speed `Load·smax` contributes roughly
+	// ci·(Load·smax)² (cubic model) of energy. Using this as the unit makes
+	// PenaltyScale ≈ 1 the contested regime.
+	unit := math.Pow(c.Load*c.SMax, 2)
+	for i := range s.Tasks {
+		var v float64
+		ci := float64(s.Tasks[i].Cycles)
+		switch c.Penalty {
+		case PenaltyUniform:
+			mean := targetTotal / float64(c.N)
+			v = rng.Float64() * 2 * mean * unit
+		case PenaltyProportional:
+			v = ci * unit * (0.5 + rng.Float64())
+		case PenaltyInverse:
+			mean := targetTotal / float64(c.N)
+			v = mean * mean / ci * unit * (0.5 + rng.Float64())
+		default:
+			return task.Set{}, fmt.Errorf("gen: unknown penalty model %d", int(c.Penalty))
+		}
+		s.Tasks[i].Penalty = v * c.PenaltyScale
+	}
+	if err := s.Validate(); err != nil {
+		return task.Set{}, fmt.Errorf("gen: generated invalid set: %w", err)
+	}
+	return s, nil
+}
+
+// UUniFast draws n utilizations summing exactly to total, uniformly over
+// the simplex (Bini & Buttazzo). total may exceed 1 for overloaded systems.
+func UUniFast(rng *rand.Rand, n int, total float64) []float64 {
+	u := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		u[i] = sum - next
+		sum = next
+	}
+	if n > 0 {
+		u[n-1] = sum
+	}
+	return u
+}
+
+// PeriodicConfig describes one random periodic instance family.
+type PeriodicConfig struct {
+	N           int     // number of tasks, > 0
+	Utilization float64 // target Σ ci/pi (may exceed 1), > 0
+	Penalty     PenaltyModel
+	// PenaltyScale multiplies every per-job penalty (default 1).
+	PenaltyScale float64
+}
+
+// periodChoices keeps hyper-periods small (all divide 72000) while leaving
+// enough cycle resolution that rounding utilizations to integer cycles
+// barely distorts them.
+var periodChoices = []int64{1000, 2000, 3000, 4000, 6000, 9000, 12000, 18000, 24000, 36000}
+
+// Periodic draws one periodic instance with UUniFast utilizations over a
+// harmonic-friendly period menu.
+func Periodic(rng *rand.Rand, c PeriodicConfig) (task.PeriodicSet, error) {
+	if c.N <= 0 {
+		return task.PeriodicSet{}, fmt.Errorf("gen: N = %d, want > 0", c.N)
+	}
+	if c.Utilization <= 0 || math.IsNaN(c.Utilization) {
+		return task.PeriodicSet{}, fmt.Errorf("gen: Utilization = %v, want > 0", c.Utilization)
+	}
+	if c.PenaltyScale == 0 {
+		c.PenaltyScale = 1
+	}
+	if c.PenaltyScale < 0 || math.IsNaN(c.PenaltyScale) {
+		return task.PeriodicSet{}, fmt.Errorf("gen: PenaltyScale = %v, want > 0", c.PenaltyScale)
+	}
+
+	utils := UUniFast(rng, c.N, c.Utilization)
+	ps := task.PeriodicSet{Tasks: make([]task.Periodic, 0, c.N)}
+	// Calibrate per-job penalties to the marginal energy scale: running at
+	// speed U on the cubic model, one extra cycle costs ≈ 3U² energy, so a
+	// job of ci cycles is "contested" when its penalty is around 3U²·ci.
+	unit := 3 * c.Utilization * c.Utilization
+	meanU := c.Utilization / float64(c.N)
+	for i, u := range utils {
+		p := periodChoices[rng.Intn(len(periodChoices))]
+		cycles := int64(math.Max(1, math.Round(u*float64(p))))
+		t := task.Periodic{ID: i, Cycles: cycles, Period: p}
+		ci := float64(cycles)
+		switch c.Penalty {
+		case PenaltyUniform:
+			t.Penalty = rng.Float64() * 2 * ci * unit
+		case PenaltyProportional:
+			t.Penalty = ci * unit * (0.5 + rng.Float64())
+		case PenaltyInverse:
+			meanCi := meanU * float64(p)
+			t.Penalty = meanCi * meanCi / ci * unit * (0.5 + rng.Float64())
+		default:
+			return task.PeriodicSet{}, fmt.Errorf("gen: unknown penalty model %d", int(c.Penalty))
+		}
+		t.Penalty *= c.PenaltyScale
+		ps.Tasks = append(ps.Tasks, t)
+	}
+	if err := ps.Validate(); err != nil {
+		return task.PeriodicSet{}, fmt.Errorf("gen: generated invalid periodic set: %w", err)
+	}
+	return ps, nil
+}

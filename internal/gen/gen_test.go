@@ -1,0 +1,263 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		c       Config
+		wantErr bool
+	}{
+		{"defaults", Config{N: 10}, false},
+		{"explicit", Config{N: 5, Deadline: 100, Load: 1.5, SMax: 1, PenaltyScale: 2}, false},
+		{"zero n", Config{N: 0}, true},
+		{"negative load", Config{N: 5, Load: -1}, true},
+		{"negative deadline", Config{N: 5, Deadline: -1}, true},
+		{"negative smax", Config{N: 5, SMax: -1}, true},
+		{"negative penalty scale", Config{N: 5, PenaltyScale: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.c.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFrameDeterministic(t *testing.T) {
+	c := Config{N: 20, Load: 1.5}
+	a, err := Frame(rand.New(rand.NewSource(42)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Frame(rand.New(rand.NewSource(42)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("same seed produced different tasks: %+v vs %+v", a.Tasks[i], b.Tasks[i])
+		}
+	}
+	c2, err := Frame(rand.New(rand.NewSource(43)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i] != c2.Tasks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestFrameHitsLoad(t *testing.T) {
+	for _, load := range []float64{0.5, 1.0, 2.0, 3.0} {
+		s, err := Frame(rand.New(rand.NewSource(7)), Config{N: 50, Load: load})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Load(1.0)
+		if math.Abs(got-load)/load > 0.05 {
+			t.Errorf("load = %v, want ≈ %v", got, load)
+		}
+	}
+}
+
+func TestFrameHeteroRho(t *testing.T) {
+	s, err := Frame(rand.New(rand.NewSource(3)), Config{N: 30, HeteroRho: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range s.Tasks {
+		if tk.Rho < 0.5 || tk.Rho > 2.0 {
+			t.Errorf("rho = %v, want in [0.5, 2.0]", tk.Rho)
+		}
+	}
+	// Without the flag, Rho stays zero (treated as 1).
+	s, err = Frame(rand.New(rand.NewSource(3)), Config{N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range s.Tasks {
+		if tk.Rho != 0 {
+			t.Errorf("rho = %v, want 0", tk.Rho)
+		}
+	}
+}
+
+func TestFramePenaltyModels(t *testing.T) {
+	for _, m := range []PenaltyModel{PenaltyUniform, PenaltyProportional, PenaltyInverse} {
+		s, err := Frame(rand.New(rand.NewSource(11)), Config{N: 40, Penalty: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for _, tk := range s.Tasks {
+			if tk.Penalty < 0 || math.IsNaN(tk.Penalty) {
+				t.Errorf("%v: penalty = %v", m, tk.Penalty)
+			}
+		}
+	}
+	if _, err := Frame(rand.New(rand.NewSource(1)), Config{N: 4, Penalty: PenaltyModel(99)}); err == nil {
+		t.Error("unknown penalty model accepted")
+	}
+}
+
+func TestPenaltyCorrelations(t *testing.T) {
+	// Proportional: larger tasks must tend to have larger penalties;
+	// inverse: the opposite. Check via rank correlation sign on a big set.
+	corr := func(m PenaltyModel) float64 {
+		s, err := Frame(rand.New(rand.NewSource(5)), Config{N: 200, Penalty: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var num float64
+		for i, a := range s.Tasks {
+			for _, b := range s.Tasks[i+1:] {
+				dc := float64(a.Cycles - b.Cycles)
+				dv := a.Penalty - b.Penalty
+				if dc*dv > 0 {
+					num++
+				} else if dc*dv < 0 {
+					num--
+				}
+			}
+		}
+		return num
+	}
+	if corr(PenaltyProportional) <= 0 {
+		t.Error("proportional penalties do not correlate positively with cycles")
+	}
+	if corr(PenaltyInverse) >= 0 {
+		t.Error("inverse penalties do not correlate negatively with cycles")
+	}
+}
+
+func TestPenaltyScaleScales(t *testing.T) {
+	base, err := Frame(rand.New(rand.NewSource(9)), Config{N: 10, PenaltyScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Frame(rand.New(rand.NewSource(9)), Config{N: 10, PenaltyScale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Tasks {
+		if math.Abs(scaled.Tasks[i].Penalty-4*base.Tasks[i].Penalty) > 1e-9 {
+			t.Fatalf("penalty scale broken: %v vs %v", scaled.Tasks[i].Penalty, base.Tasks[i].Penalty)
+		}
+	}
+}
+
+func TestUUniFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 5, 20} {
+		for _, total := range []float64{0.5, 1.0, 2.5} {
+			u := UUniFast(rng, n, total)
+			if len(u) != n {
+				t.Fatalf("len = %d, want %d", len(u), n)
+			}
+			var sum float64
+			for _, x := range u {
+				if x < 0 {
+					t.Errorf("negative utilization %v", x)
+				}
+				sum += x
+			}
+			if math.Abs(sum-total) > 1e-9 {
+				t.Errorf("sum = %v, want %v", sum, total)
+			}
+		}
+	}
+	if got := UUniFast(rng, 0, 1); len(got) != 0 {
+		t.Errorf("UUniFast(0) = %v, want empty", got)
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	ps, err := Periodic(rand.New(rand.NewSource(21)), PeriodicConfig{N: 25, Utilization: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Tasks) != 25 {
+		t.Fatalf("len = %d, want 25", len(ps.Tasks))
+	}
+	// Rounding cycles to integers distorts utilization only slightly at
+	// this period resolution; allow 2%.
+	if got := ps.Utilization(); math.Abs(got-1.4)/1.4 > 0.02 {
+		t.Errorf("utilization = %v, want ≈ 1.4", got)
+	}
+	// Hyper-period must stay bounded by the menu design (all divide 72000).
+	l, err := ps.Hyperperiod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 || l > 72000 {
+		t.Errorf("hyperperiod = %d, want ≤ 72000", l)
+	}
+}
+
+func TestPeriodicErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Periodic(rng, PeriodicConfig{N: 0, Utilization: 1}); err == nil {
+		t.Error("N = 0 accepted")
+	}
+	if _, err := Periodic(rng, PeriodicConfig{N: 5, Utilization: 0}); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := Periodic(rng, PeriodicConfig{N: 5, Utilization: 1, Penalty: PenaltyModel(99)}); err == nil {
+		t.Error("unknown penalty model accepted")
+	}
+}
+
+// Property: every generated frame instance validates and has N tasks.
+func TestQuickFrameAlwaysValid(t *testing.T) {
+	f := func(seed int64, n, load uint8) bool {
+		c := Config{
+			N:    1 + int(n%64),
+			Load: 0.2 + float64(load%30)/10,
+		}
+		s, err := Frame(rand.New(rand.NewSource(seed)), c)
+		return err == nil && s.Validate() == nil && len(s.Tasks) == c.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UUniFast marginals stay within [0, total].
+func TestQuickUUniFastRange(t *testing.T) {
+	f := func(seed int64, n uint8, tot uint8) bool {
+		total := 0.1 + float64(tot%40)/10
+		u := UUniFast(rand.New(rand.NewSource(seed)), 1+int(n%32), total)
+		for _, x := range u {
+			if x < -1e-12 || x > total+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPenaltyModelString(t *testing.T) {
+	if PenaltyUniform.String() != "uniform" || PenaltyProportional.String() != "proportional" ||
+		PenaltyInverse.String() != "inverse" {
+		t.Error("PenaltyModel.String() names wrong")
+	}
+	if PenaltyModel(9).String() != "PenaltyModel(9)" {
+		t.Errorf("unknown model String() = %q", PenaltyModel(9).String())
+	}
+}

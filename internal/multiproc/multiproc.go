@@ -1,0 +1,415 @@
+// Package multiproc extends task rejection to M identical DVS processors
+// under partitioned EDF — the composition of the target paper with the
+// research group's multiprocessor LTF partitioning line, and the natural
+// "future work" direction the overview paper sketches.
+//
+// A solution now assigns every task to one of the M processors or rejects
+// it; each processor independently runs its accepted workload at the
+// minimum-energy speed (internal/speed), and the objective remains total
+// energy plus total rejection penalty. The single-processor hardness
+// trivially carries over (M = 1), and partitioning adds bin-packing
+// structure on top.
+package multiproc
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// Instance is a multiprocessor rejection problem on M identical processors.
+type Instance struct {
+	Tasks task.Set
+	Proc  speed.Proc // every processor is identical
+	M     int        // number of processors, ≥ 1
+}
+
+// Validate checks the components. Heterogeneous power coefficients are not
+// supported in the multiprocessor extension.
+func (in Instance) Validate() error {
+	if err := in.Tasks.Validate(); err != nil {
+		return err
+	}
+	if err := in.Proc.Validate(); err != nil {
+		return err
+	}
+	if in.M < 1 {
+		return fmt.Errorf("multiproc: M = %d, want ≥ 1", in.M)
+	}
+	for _, t := range in.Tasks.Tasks {
+		if t.PowerCoeff() != 1 {
+			return fmt.Errorf("multiproc: task %d has heterogeneous power coefficient", t.ID)
+		}
+	}
+	return nil
+}
+
+// capacity is the per-processor workload limit.
+func (in Instance) capacity() float64 {
+	return in.Proc.Capacity(in.Tasks.Deadline)
+}
+
+// Solution is a partitioned admission decision with its cost breakdown.
+type Solution struct {
+	// PerProc[m] lists the task IDs accepted on processor m, ascending.
+	PerProc  [][]int
+	Rejected []int
+
+	Energies []float64 // per-processor energy (including idle frames)
+	Energy   float64   // Σ Energies
+	Penalty  float64
+	Cost     float64
+}
+
+// Assignment maps task ID → processor index, with -1 for rejected tasks.
+type Assignment map[int]int
+
+// Evaluate costs a full assignment exactly. Tasks absent from the map are
+// rejected. It errors when any processor exceeds capacity.
+func Evaluate(in Instance, assign Assignment) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	sol := Solution{
+		PerProc:  make([][]int, in.M),
+		Energies: make([]float64, in.M),
+	}
+	loads := make([]int64, in.M)
+	for _, t := range in.Tasks.Tasks {
+		m, ok := assign[t.ID]
+		if !ok || m < 0 {
+			sol.Rejected = append(sol.Rejected, t.ID)
+			sol.Penalty += t.Penalty
+			continue
+		}
+		if m >= in.M {
+			return Solution{}, fmt.Errorf("multiproc: task %d assigned to processor %d of %d", t.ID, m, in.M)
+		}
+		sol.PerProc[m] = append(sol.PerProc[m], t.ID)
+		loads[m] += t.Cycles
+	}
+	for m := 0; m < in.M; m++ {
+		slices.Sort(sol.PerProc[m])
+		a, err := in.Proc.Assign(float64(loads[m]), in.Tasks.Deadline)
+		if err != nil {
+			return Solution{}, fmt.Errorf("multiproc: processor %d: %w", m, err)
+		}
+		sol.Energies[m] = a.Total
+		sol.Energy += a.Total
+	}
+	slices.Sort(sol.Rejected)
+	sol.Cost = sol.Energy + sol.Penalty
+	return sol, nil
+}
+
+// Solver is one multiprocessor admission/partitioning algorithm.
+type Solver interface {
+	Name() string
+	Solve(in Instance) (Solution, error)
+}
+
+// LTFReject is the Largest-Task-First-style constructive heuristic with
+// admission control: consider tasks in non-increasing penalty density
+// vi/ci, tentatively place each on the least-loaded processor, and accept
+// iff it fits there and its marginal energy on that processor is below its
+// penalty.
+type LTFReject struct{}
+
+// Name implements Solver.
+func (LTFReject) Name() string { return "LTF-REJECT" }
+
+// Solve implements Solver.
+func (LTFReject) Solve(in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	tasks := append([]task.Task(nil), in.Tasks.Tasks...)
+	sort.SliceStable(tasks, func(a, b int) bool {
+		return tasks[a].Penalty*float64(tasks[b].Cycles) > tasks[b].Penalty*float64(tasks[a].Cycles)
+	})
+	loads := make([]int64, in.M)
+	assign := Assignment{}
+	for _, t := range tasks {
+		// Least-loaded processor.
+		m := 0
+		for i := 1; i < in.M; i++ {
+			if loads[i] < loads[m] {
+				m = i
+			}
+		}
+		w := loads[m]
+		if float64(w+t.Cycles) > in.capacity()*(1+1e-9) {
+			continue
+		}
+		marginal := in.Proc.Energy(float64(w+t.Cycles), in.Tasks.Deadline) -
+			in.Proc.Energy(float64(w), in.Tasks.Deadline)
+		if marginal < t.Penalty {
+			assign[t.ID] = m
+			loads[m] += t.Cycles
+		}
+	}
+	return Evaluate(in, assign)
+}
+
+// LTFRejectLS refines LTFReject with steepest-descent local search over
+// four move kinds: reject an accepted task, admit a rejected task onto its
+// best processor, migrate an accepted task to another processor, and
+// exchange two accepted tasks across processors (the move that repairs the
+// load balance convexity rewards but density-ordered placement misses).
+type LTFRejectLS struct {
+	// MaxIterations bounds the move count; 0 means 10·n.
+	MaxIterations int
+	// DisableExchange restricts the neighbourhood to single-task moves
+	// (the pre-exchange behaviour, kept for ablation).
+	DisableExchange bool
+}
+
+// Name implements Solver.
+func (LTFRejectLS) Name() string { return "LTF-REJECT-LS" }
+
+// Solve implements Solver.
+func (g LTFRejectLS) Solve(in Instance) (Solution, error) {
+	seed, err := (LTFReject{}).Solve(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	assign := Assignment{}
+	loads := make([]int64, in.M)
+	for m, ids := range seed.PerProc {
+		for _, id := range ids {
+			assign[id] = m
+			t, _ := in.Tasks.ByID(id)
+			loads[m] += t.Cycles
+		}
+	}
+	limit := g.MaxIterations
+	if limit == 0 {
+		limit = 10 * len(in.Tasks.Tasks)
+	}
+	d := in.Tasks.Deadline
+	energyAt := func(w int64) float64 { return in.Proc.Energy(float64(w), d) }
+
+	for iter := 0; iter < limit; iter++ {
+		bestGain := 1e-9
+		var apply func()
+		for _, t := range in.Tasks.Tasks {
+			t := t
+			cur, accepted := assign[t.ID]
+			if accepted {
+				// Reject.
+				gain := energyAt(loads[cur]) - energyAt(loads[cur]-t.Cycles) - t.Penalty
+				if gain > bestGain {
+					bestGain = gain
+					m := cur
+					apply = func() { delete(assign, t.ID); loads[m] -= t.Cycles }
+				}
+				// Migrate.
+				for m := 0; m < in.M; m++ {
+					if m == cur || float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+						continue
+					}
+					gain := energyAt(loads[cur]) + energyAt(loads[m]) -
+						energyAt(loads[cur]-t.Cycles) - energyAt(loads[m]+t.Cycles)
+					if gain > bestGain {
+						bestGain = gain
+						from, to := cur, m
+						apply = func() {
+							assign[t.ID] = to
+							loads[from] -= t.Cycles
+							loads[to] += t.Cycles
+						}
+					}
+				}
+			} else {
+				// Admit onto the best processor.
+				for m := 0; m < in.M; m++ {
+					if float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+						continue
+					}
+					gain := t.Penalty - (energyAt(loads[m]+t.Cycles) - energyAt(loads[m]))
+					if gain > bestGain {
+						bestGain = gain
+						to := m
+						apply = func() { assign[t.ID] = to; loads[to] += t.Cycles }
+					}
+				}
+			}
+		}
+
+		// Swap an accepted task out for a rejected one (possibly on a
+		// different processor) — the compound admission repair no pair of
+		// single moves reaches when both halves are individually losing.
+		if !g.DisableExchange {
+			for _, out := range in.Tasks.Tasks {
+				mo, okOut := assign[out.ID]
+				if !okOut {
+					continue
+				}
+				for _, inc := range in.Tasks.Tasks {
+					if _, accepted := assign[inc.ID]; accepted {
+						continue
+					}
+					for m := 0; m < in.M; m++ {
+						load := loads[m]
+						if m == mo {
+							load -= out.Cycles
+						}
+						if float64(load+inc.Cycles) > in.capacity()*(1+1e-9) {
+							continue
+						}
+						gain := inc.Penalty - out.Penalty
+						if m == mo {
+							gain += energyAt(loads[mo]) - energyAt(load+inc.Cycles)
+						} else {
+							gain += energyAt(loads[mo]) - energyAt(loads[mo]-out.Cycles)
+							gain += energyAt(loads[m]) - energyAt(loads[m]+inc.Cycles)
+						}
+						if gain > bestGain {
+							bestGain = gain
+							out, inc, mo, m := out, inc, mo, m
+							apply = func() {
+								delete(assign, out.ID)
+								loads[mo] -= out.Cycles
+								assign[inc.ID] = m
+								loads[m] += inc.Cycles
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Exchange two accepted tasks across processors.
+		if !g.DisableExchange {
+			for _, a := range in.Tasks.Tasks {
+				ma, okA := assign[a.ID]
+				if !okA {
+					continue
+				}
+				for _, b := range in.Tasks.Tasks {
+					mb, okB := assign[b.ID]
+					if !okB || a.ID >= b.ID || ma == mb {
+						continue
+					}
+					newA := loads[ma] - a.Cycles + b.Cycles
+					newB := loads[mb] - b.Cycles + a.Cycles
+					if float64(newA) > in.capacity()*(1+1e-9) || float64(newB) > in.capacity()*(1+1e-9) {
+						continue
+					}
+					gain := energyAt(loads[ma]) + energyAt(loads[mb]) - energyAt(newA) - energyAt(newB)
+					if gain > bestGain {
+						bestGain = gain
+						a, b, ma, mb, newA, newB := a, b, ma, mb, newA, newB
+						apply = func() {
+							assign[a.ID], assign[b.ID] = mb, ma
+							loads[ma], loads[mb] = newA, newB
+						}
+					}
+				}
+			}
+		}
+
+		if apply == nil {
+			break
+		}
+		apply()
+	}
+	return Evaluate(in, assign)
+}
+
+// Exhaustive enumerates all (M+1)ⁿ assignments with symmetry reduction on
+// identical processors; exact for tiny instances (the experiment suite's
+// optimum reference).
+type Exhaustive struct {
+	// MaxAssignments guards the search space; 0 means 5 million.
+	MaxAssignments int64
+}
+
+// Name implements Solver.
+func (Exhaustive) Name() string { return "OPT" }
+
+// Solve implements Solver.
+func (e Exhaustive) Solve(in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(in.Tasks.Tasks)
+	limit := e.MaxAssignments
+	if limit == 0 {
+		limit = 5_000_000
+	}
+	total := int64(1)
+	for i := 0; i < n; i++ {
+		total *= int64(in.M + 1)
+		if total > limit {
+			return Solution{}, fmt.Errorf("multiproc: exhaustive search needs %d+ assignments, over the limit %d", total, limit)
+		}
+	}
+
+	d := in.Tasks.Deadline
+	loads := make([]int64, in.M)
+	choice := make([]int, n) // -1 reject, else processor
+	bestCost := math.Inf(1)
+	var best Assignment
+
+	var penaltySuffix []float64 // Σ penalties of tasks[i:]
+	penaltySuffix = make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		penaltySuffix[i] = penaltySuffix[i+1] + in.Tasks.Tasks[i].Penalty
+	}
+
+	var dfs func(i int, penalty float64)
+	dfs = func(i int, penalty float64) {
+		// Bound: current energy + current penalty (both only grow).
+		var energy float64
+		for _, w := range loads {
+			energy += in.Proc.Energy(float64(w), d)
+		}
+		if energy+penalty >= bestCost-1e-12 {
+			return
+		}
+		if i == n {
+			bestCost = energy + penalty
+			best = Assignment{}
+			for j, c := range choice {
+				if c >= 0 {
+					best[in.Tasks.Tasks[j].ID] = c
+				}
+			}
+			return
+		}
+		t := in.Tasks.Tasks[i]
+		// Symmetry reduction: only try the first empty processor.
+		triedEmpty := false
+		for m := 0; m < in.M; m++ {
+			if loads[m] == 0 {
+				if triedEmpty {
+					continue
+				}
+				triedEmpty = true
+			}
+			if float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+				continue
+			}
+			loads[m] += t.Cycles
+			choice[i] = m
+			dfs(i+1, penalty)
+			loads[m] -= t.Cycles
+		}
+		choice[i] = -1
+		dfs(i+1, penalty+t.Penalty)
+	}
+	dfs(0, 0)
+
+	if best == nil && !math.IsInf(bestCost, 1) {
+		best = Assignment{} // everything rejected
+	}
+	if math.IsInf(bestCost, 1) {
+		return Solution{}, fmt.Errorf("multiproc: exhaustive search found no solution")
+	}
+	return Evaluate(in, best)
+}

@@ -1,0 +1,46 @@
+package online
+
+import "math/rand"
+
+// StormConfig describes a random arrival storm.
+type StormConfig struct {
+	N    int     // number of jobs
+	Load float64 // long-run offered load relative to smax = 1
+	Span float64 // arrival window length; 0 means 100
+	// PenaltyScale multiplies penalties relative to the contested
+	// calibration (≈ the energy of one mean job); 0 means 1.
+	PenaltyScale float64
+}
+
+// RandomStorm draws an arrival storm: Poisson-ish arrivals over the span,
+// windows of 5–35 time units, per-job work sized to hit the long-run load,
+// penalties calibrated to the marginal energy scale so admissions are
+// genuinely contested. Individual jobs stay feasible at smax = 1.
+func RandomStorm(rng *rand.Rand, c StormConfig) []Job {
+	span := c.Span
+	if span == 0 {
+		span = 100
+	}
+	scale := c.PenaltyScale
+	if scale == 0 {
+		scale = 1
+	}
+	meanWork := c.Load * span / float64(c.N)
+	jobs := make([]Job, 0, c.N)
+	for i := 0; i < c.N; i++ {
+		a := rng.Float64() * span
+		window := 5 + rng.Float64()*30
+		work := meanWork * (0.3 + 1.4*rng.Float64())
+		if work > window*0.9 {
+			work = window * 0.9
+		}
+		jobs = append(jobs, Job{
+			ID:       i,
+			Arrival:  a,
+			Deadline: a + window,
+			Cycles:   work,
+			Penalty:  rng.Float64() * meanWork * 1.5 * scale,
+		})
+	}
+	return jobs
+}

@@ -1,0 +1,370 @@
+// Package online extends task rejection to jobs that arrive over time: at
+// each arrival the controller must irrevocably admit the job (guaranteeing
+// its deadline) or reject it (paying its penalty), without knowledge of
+// future arrivals.
+//
+// The execution substrate is the Optimal Available policy of Yao, Demers
+// and Shenker: whenever the job pool changes, the processor re-plans the
+// minimum-energy speed schedule (internal/sched/yds) for the remaining
+// work and follows it until the next event. Admission policies price a
+// candidate against that plan: the marginal-cost policy accepts a job iff
+// the increase in planned YDS energy is below the job's penalty and the
+// augmented plan stays within smax.
+//
+// The offline clairvoyant reference (exhaustive over subsets, YDS-costed)
+// bounds how much the lack of future knowledge costs; experiment E11
+// measures the empirical competitive ratio.
+package online
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/sched/yds"
+	"dvsreject/internal/speed"
+)
+
+// Job is one aperiodic job.
+type Job struct {
+	ID       int
+	Arrival  float64 // release time, ≥ 0
+	Deadline float64 // absolute deadline, > Arrival
+	Cycles   float64 // execution requirement, > 0
+	Penalty  float64 // rejection penalty, ≥ 0
+}
+
+// Validate reports whether the job is well-formed.
+func (j Job) Validate() error {
+	switch {
+	case math.IsNaN(j.Arrival) || j.Arrival < 0:
+		return fmt.Errorf("online: job %d: arrival = %v, want ≥ 0", j.ID, j.Arrival)
+	case math.IsNaN(j.Deadline) || j.Deadline <= j.Arrival:
+		return fmt.Errorf("online: job %d: deadline = %v, want > arrival %v", j.ID, j.Deadline, j.Arrival)
+	case math.IsNaN(j.Cycles) || j.Cycles <= 0:
+		return fmt.Errorf("online: job %d: cycles = %v, want > 0", j.ID, j.Cycles)
+	case math.IsNaN(j.Penalty) || math.IsInf(j.Penalty, 0) || j.Penalty < 0:
+		return fmt.Errorf("online: job %d: penalty = %v, want finite ≥ 0", j.ID, j.Penalty)
+	}
+	return nil
+}
+
+// State is what a policy sees at an admission decision.
+type State struct {
+	Now  float64
+	Pool []PoolJob // admitted, unfinished jobs
+	Proc speed.Proc
+}
+
+// PoolJob is an admitted job's remaining obligation.
+type PoolJob struct {
+	ID        int
+	Deadline  float64
+	Remaining float64
+}
+
+// Policy decides admissions.
+type Policy interface {
+	Name() string
+	// Admit is called once per arriving job, with the pool already
+	// advanced to the arrival instant.
+	Admit(st State, j Job) bool
+}
+
+// planEnergy computes the YDS plan for the pool (optionally with an extra
+// job) from time now: its dynamic energy and its maximum speed. An empty
+// pool plans zero. The plan's job windows are [now, deadline) for pool
+// jobs and [arrival, deadline) for the candidate (identical at admission
+// time).
+func planEnergy(st State, extra *Job) (energy, maxSpeed float64, err error) {
+	var jobs []edf.Job
+	for _, p := range st.Pool {
+		if p.Remaining <= 0 {
+			continue
+		}
+		jobs = append(jobs, edf.Job{
+			TaskID: p.ID, Release: st.Now, Deadline: p.Deadline, Cycles: p.Remaining,
+		})
+	}
+	if extra != nil {
+		jobs = append(jobs, edf.Job{
+			TaskID: extra.ID, Release: math.Max(st.Now, extra.Arrival),
+			Deadline: extra.Deadline, Cycles: extra.Cycles,
+		})
+	}
+	if len(jobs) == 0 {
+		return 0, 0, nil
+	}
+	s, err := yds.Compute(jobs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.Energy(st.Proc.Model), s.MaxSpeed, nil
+}
+
+// MarginalCost admits a job iff the YDS-planned energy increase is below
+// the job's penalty and the augmented plan respects smax — the online
+// analogue of the offline greedy's marginal test.
+type MarginalCost struct{}
+
+// Name implements Policy.
+func (MarginalCost) Name() string { return "ONLINE-MARGINAL" }
+
+// Admit implements Policy.
+func (MarginalCost) Admit(st State, j Job) bool {
+	before, _, err := planEnergy(st, nil)
+	if err != nil {
+		return false
+	}
+	after, maxS, err := planEnergy(st, &j)
+	if err != nil {
+		return false
+	}
+	if maxS > st.Proc.SMax*(1+1e-9) {
+		return false
+	}
+	return after-before < j.Penalty
+}
+
+// AdmitFeasible admits whenever the augmented plan fits smax — the
+// energy-oblivious online baseline.
+type AdmitFeasible struct{}
+
+// Name implements Policy.
+func (AdmitFeasible) Name() string { return "ONLINE-FEASIBLE" }
+
+// Admit implements Policy.
+func (AdmitFeasible) Admit(st State, j Job) bool {
+	_, maxS, err := planEnergy(st, &j)
+	return err == nil && maxS <= st.Proc.SMax*(1+1e-9)
+}
+
+// RejectEverything is the degenerate anchor.
+type RejectEverything struct{}
+
+// Name implements Policy.
+func (RejectEverything) Name() string { return "ONLINE-REJECT-ALL" }
+
+// Admit implements Policy.
+func (RejectEverything) Admit(State, Job) bool { return false }
+
+// Result is the outcome of an online run.
+type Result struct {
+	Accepted []int
+	Rejected []int
+	Energy   float64
+	Penalty  float64
+	Cost     float64
+	Misses   int // deadline violations among admitted jobs (0 for sound policies)
+}
+
+// Simulate runs the event loop: arrivals in time order, pool execution
+// under the recomputed YDS plan between events, policy consulted at each
+// arrival. The processor must be ideal (continuous, leakage-free).
+func Simulate(jobs []Job, proc speed.Proc, pol Policy) (Result, error) {
+	if err := proc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if proc.Levels != nil || proc.Model.Static() != 0 {
+		return Result{}, fmt.Errorf("online: requires an ideal leakage-free processor")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Arrival < jobs[order[b]].Arrival })
+
+	var res Result
+	var pool []PoolJob
+	now := 0.0
+
+	advance := func(to float64) error {
+		e, misses, err := execute(&pool, proc, now, to)
+		if err != nil {
+			return err
+		}
+		res.Energy += e
+		res.Misses += misses
+		now = to
+		return nil
+	}
+
+	for _, oi := range order {
+		j := jobs[oi]
+		if err := advance(j.Arrival); err != nil {
+			return Result{}, err
+		}
+		st := State{Now: now, Pool: slices.Clone(pool), Proc: proc}
+		if pol.Admit(st, j) {
+			res.Accepted = append(res.Accepted, j.ID)
+			pool = append(pool, PoolJob{ID: j.ID, Deadline: j.Deadline, Remaining: j.Cycles})
+		} else {
+			res.Rejected = append(res.Rejected, j.ID)
+			res.Penalty += j.Penalty
+		}
+	}
+	// Drain the pool.
+	horizon := now
+	for _, p := range pool {
+		if p.Deadline > horizon {
+			horizon = p.Deadline
+		}
+	}
+	if err := advance(horizon); err != nil {
+		return Result{}, err
+	}
+
+	slices.Sort(res.Accepted)
+	slices.Sort(res.Rejected)
+	res.Cost = res.Energy + res.Penalty
+	return res, nil
+}
+
+// execute advances the pool from `from` to `to` under the YDS plan for the
+// current pool, consuming remaining work in EDF order and accumulating
+// dynamic energy. Jobs whose deadline passes with work left are counted as
+// misses and dropped (cannot happen under sound admission).
+func execute(pool *[]PoolJob, proc speed.Proc, from, to float64) (energy float64, misses int, err error) {
+	if to <= from || len(*pool) == 0 {
+		compact(pool, from, &misses)
+		return 0, misses, nil
+	}
+	var jobs []edf.Job
+	for _, p := range *pool {
+		if p.Remaining <= 0 {
+			continue
+		}
+		jobs = append(jobs, edf.Job{TaskID: p.ID, Release: from, Deadline: p.Deadline, Cycles: p.Remaining})
+	}
+	if len(jobs) == 0 {
+		compact(pool, to, &misses)
+		return 0, 0, nil
+	}
+	plan, err := yds.Compute(jobs)
+	if err != nil {
+		return 0, 0, err
+	}
+	profile := plan.Profile()
+
+	// Consume the profile in [from, to): within each segment the
+	// earliest-deadline unfinished job runs.
+	byID := map[int]*PoolJob{}
+	for i := range *pool {
+		byID[(*pool)[i].ID] = &(*pool)[i]
+	}
+	for _, seg := range profile {
+		lo := math.Max(seg.Start, from)
+		hi := math.Min(seg.End, to)
+		for lo < hi-1e-12 {
+			cur := earliestDeadline(*pool)
+			if cur == nil {
+				break
+			}
+			dur := hi - lo
+			finish := cur.Remaining / seg.Speed
+			if finish < dur {
+				dur = finish
+			}
+			energy += proc.Model.Dynamic(seg.Speed) * dur
+			cur.Remaining -= seg.Speed * dur
+			if cur.Remaining < 1e-9 {
+				cur.Remaining = 0
+			}
+			lo += dur
+		}
+	}
+	compact(pool, to, &misses)
+	return energy, misses, nil
+}
+
+// earliestDeadline returns the unfinished pool job with the earliest
+// deadline.
+func earliestDeadline(pool []PoolJob) *PoolJob {
+	var best *PoolJob
+	for i := range pool {
+		if pool[i].Remaining <= 0 {
+			continue
+		}
+		if best == nil || pool[i].Deadline < best.Deadline {
+			best = &pool[i]
+		}
+	}
+	return best
+}
+
+// compact removes finished jobs and counts deadline misses at time now.
+func compact(pool *[]PoolJob, now float64, misses *int) {
+	out := (*pool)[:0]
+	for _, p := range *pool {
+		switch {
+		case p.Remaining <= 0:
+			// finished
+		case p.Deadline <= now+1e-9:
+			*misses++
+		default:
+			out = append(out, p)
+		}
+	}
+	*pool = out
+}
+
+// OfflineOptimal is the clairvoyant reference: the best admission subset
+// under full knowledge, costed by the YDS optimal schedule, found by
+// exhaustive enumeration (n ≤ maxOfflineJobs).
+func OfflineOptimal(jobs []Job, proc speed.Proc) (Result, error) {
+	const maxOfflineJobs = 20
+	if len(jobs) > maxOfflineJobs {
+		return Result{}, fmt.Errorf("online: offline reference limited to %d jobs, got %d", maxOfflineJobs, len(jobs))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	n := len(jobs)
+	best := Result{Cost: math.Inf(1)}
+	for mask := 0; mask < 1<<n; mask++ {
+		var sel []edf.Job
+		var penalty float64
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				j := jobs[b]
+				sel = append(sel, edf.Job{TaskID: j.ID, Release: j.Arrival, Deadline: j.Deadline, Cycles: j.Cycles})
+			} else {
+				penalty += jobs[b].Penalty
+			}
+		}
+		var energy float64
+		if len(sel) > 0 {
+			s, err := yds.Compute(sel)
+			if err != nil {
+				return Result{}, err
+			}
+			if s.MaxSpeed > proc.SMax*(1+1e-9) {
+				continue
+			}
+			energy = s.Energy(proc.Model)
+		}
+		if cost := energy + penalty; cost < best.Cost {
+			best = Result{Energy: energy, Penalty: penalty, Cost: cost}
+			best.Accepted, best.Rejected = nil, nil
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					best.Accepted = append(best.Accepted, jobs[b].ID)
+				} else {
+					best.Rejected = append(best.Rejected, jobs[b].ID)
+				}
+			}
+		}
+	}
+	slices.Sort(best.Accepted)
+	slices.Sort(best.Rejected)
+	return best, nil
+}

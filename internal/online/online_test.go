@@ -1,0 +1,223 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+)
+
+func idealProc() speed.Proc {
+	return speed.Proc{Model: power.Cubic(), SMax: 1}
+}
+
+func TestJobValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		j       Job
+		wantErr bool
+	}{
+		{"valid", Job{ID: 1, Arrival: 0, Deadline: 10, Cycles: 5, Penalty: 1}, false},
+		{"negative arrival", Job{Arrival: -1, Deadline: 10, Cycles: 5}, true},
+		{"deadline at arrival", Job{Arrival: 5, Deadline: 5, Cycles: 5}, true},
+		{"zero cycles", Job{Arrival: 0, Deadline: 10, Cycles: 0}, true},
+		{"negative penalty", Job{Arrival: 0, Deadline: 10, Cycles: 5, Penalty: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.j.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSimulateSingleWorthwhileJob(t *testing.T) {
+	// One job, marginal energy 0.5²·5 = 1.25 < penalty 2: accept, run at
+	// its density 0.5.
+	jobs := []Job{{ID: 1, Arrival: 0, Deadline: 10, Cycles: 5, Penalty: 2}}
+	r, err := Simulate(jobs, idealProc(), MarginalCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 1 || r.Misses != 0 {
+		t.Fatalf("result = %+v, want accepted", r)
+	}
+	if math.Abs(r.Energy-1.25) > 1e-9 {
+		t.Errorf("energy = %v, want 1.25", r.Energy)
+	}
+	if r.Penalty != 0 || math.Abs(r.Cost-1.25) > 1e-9 {
+		t.Errorf("cost = %v, want 1.25", r.Cost)
+	}
+}
+
+func TestSimulateRejectsWorthlessJob(t *testing.T) {
+	jobs := []Job{{ID: 1, Arrival: 0, Deadline: 10, Cycles: 5, Penalty: 0.1}}
+	r, err := Simulate(jobs, idealProc(), MarginalCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 0 || math.Abs(r.Cost-0.1) > 1e-12 {
+		t.Errorf("result = %+v, want rejection at cost 0.1", r)
+	}
+}
+
+func TestSimulateRejectsInfeasibleJob(t *testing.T) {
+	// Even an infinite penalty cannot buy an infeasible admission.
+	jobs := []Job{{ID: 1, Arrival: 0, Deadline: 10, Cycles: 15, Penalty: 1e9}}
+	r, err := Simulate(jobs, idealProc(), MarginalCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 0 {
+		t.Errorf("infeasible job admitted: %+v", r)
+	}
+	// The feasibility baseline must refuse it too.
+	r, err = Simulate(jobs, idealProc(), AdmitFeasible{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 0 {
+		t.Errorf("AdmitFeasible admitted an infeasible job: %+v", r)
+	}
+}
+
+func TestAdmittedWorkAlwaysCompletes(t *testing.T) {
+	// Soundness: no admitted job ever misses, across random arrival storms
+	// and all policies.
+	for _, pol := range []Policy{MarginalCost{}, AdmitFeasible{}, RejectEverything{}} {
+		for seed := int64(0); seed < 15; seed++ {
+			jobs := randomJobs(rand.New(rand.NewSource(seed)), 12, 1.5)
+			r, err := Simulate(jobs, idealProc(), pol)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", pol.Name(), seed, err)
+			}
+			if r.Misses != 0 {
+				t.Errorf("%s seed %d: %d admitted jobs missed", pol.Name(), seed, r.Misses)
+			}
+			if len(r.Accepted)+len(r.Rejected) != len(jobs) {
+				t.Errorf("%s seed %d: decisions don't partition the jobs", pol.Name(), seed)
+			}
+		}
+	}
+}
+
+func TestRejectEverything(t *testing.T) {
+	jobs := randomJobs(rand.New(rand.NewSource(1)), 5, 1)
+	r, err := Simulate(jobs, idealProc(), RejectEverything{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, j := range jobs {
+		want += j.Penalty
+	}
+	if len(r.Accepted) != 0 || math.Abs(r.Cost-want) > 1e-9 {
+		t.Errorf("cost = %v, want all penalties %v", r.Cost, want)
+	}
+}
+
+func TestOnlineNeverBeatsOffline(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		jobs := randomJobs(rand.New(rand.NewSource(seed)), 10, 1.8)
+		off, err := OfflineOptimal(jobs, idealProc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []Policy{MarginalCost{}, AdmitFeasible{}} {
+			on, err := Simulate(jobs, idealProc(), pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Cost < off.Cost-1e-6*(1+off.Cost) {
+				t.Errorf("seed %d: %s cost %v beats clairvoyant %v", seed, pol.Name(), on.Cost, off.Cost)
+			}
+		}
+	}
+}
+
+func TestMarginalBeatsBaselinesOnAverage(t *testing.T) {
+	var mc, af, re float64
+	for seed := int64(0); seed < 20; seed++ {
+		jobs := randomJobs(rand.New(rand.NewSource(seed)), 12, 2.0)
+		a, err := Simulate(jobs, idealProc(), MarginalCost{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(jobs, idealProc(), AdmitFeasible{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Simulate(jobs, idealProc(), RejectEverything{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc += a.Cost
+		af += b.Cost
+		re += c.Cost
+	}
+	if !(mc < af && mc < re) {
+		t.Errorf("marginal-cost (%v) must beat feasible (%v) and reject-all (%v) on average", mc, af, re)
+	}
+}
+
+func TestOfflineOptimalKnownInstance(t *testing.T) {
+	// Two overlapping jobs, capacity for one: the offline optimum keeps
+	// the one with the better penalty-to-energy trade.
+	jobs := []Job{
+		{ID: 1, Arrival: 0, Deadline: 10, Cycles: 8, Penalty: 3},
+		{ID: 2, Arrival: 0, Deadline: 10, Cycles: 8, Penalty: 5},
+	}
+	off, err := OfflineOptimal(jobs, idealProc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both: 16 cycles in 10 → speed 1.6 > smax: infeasible. Keep job 2:
+	// E = 0.8²·8 = 5.12, + penalty 3 = 8.12; keep job 1: 5.12 + 5 = 10.12;
+	// none: 8. Optimum: keep job 2 at 8.12... no: none costs 8 < 8.12!
+	if len(off.Accepted) != 0 || math.Abs(off.Cost-8) > 1e-9 {
+		t.Errorf("offline = %+v, want reject both at cost 8", off)
+	}
+}
+
+func TestOfflineOptimalLimit(t *testing.T) {
+	jobs := randomJobs(rand.New(rand.NewSource(2)), 21, 1)
+	if _, err := OfflineOptimal(jobs, idealProc()); err == nil {
+		t.Error("21 jobs accepted by the exhaustive offline reference")
+	}
+}
+
+func TestSimulateRejectsNonIdealProcessor(t *testing.T) {
+	jobs := []Job{{ID: 1, Arrival: 0, Deadline: 10, Cycles: 5, Penalty: 1}}
+	leaky := speed.Proc{Model: power.XScale(), SMax: 1}
+	if _, err := Simulate(jobs, leaky, MarginalCost{}); err == nil {
+		t.Error("leaky processor accepted")
+	}
+	disc := speed.Proc{Model: power.Cubic(), Levels: power.XScaleLevels()}
+	if _, err := Simulate(jobs, disc, MarginalCost{}); err == nil {
+		t.Error("discrete processor accepted")
+	}
+}
+
+// randomJobs draws an arrival storm with roughly the given long-run load.
+func randomJobs(rng *rand.Rand, n int, load float64) []Job {
+	return RandomStorm(rng, StormConfig{N: n, Load: load})
+}
+
+func TestRandomStormValid(t *testing.T) {
+	jobs := RandomStorm(rand.New(rand.NewSource(3)), StormConfig{N: 40, Load: 2})
+	if len(jobs) != 40 {
+		t.Fatalf("len = %d, want 40", len(jobs))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Errorf("invalid storm job: %v", err)
+		}
+		// Individually feasible at smax = 1.
+		if j.Cycles > (j.Deadline-j.Arrival)+1e-9 {
+			t.Errorf("job %d infeasible alone: %+v", j.ID, j)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// LevelSet is the finite, strictly ascending set of speeds available on a
+// non-ideal DVS processor. Speeds are normalized to the processor's top
+// frequency, so a typical set ends at 1.0.
+type LevelSet []float64
+
+// Validate reports whether the level set is non-empty, strictly ascending
+// and strictly positive.
+func (ls LevelSet) Validate() error {
+	if len(ls) == 0 {
+		return ErrNoLevels
+	}
+	prev := 0.0
+	for i, s := range ls {
+		if math.IsNaN(s) || s <= prev {
+			return fmt.Errorf("power: level[%d] = %v, want strictly ascending positive speeds", i, s)
+		}
+		prev = s
+	}
+	return nil
+}
+
+// Min returns the slowest available speed.
+func (ls LevelSet) Min() float64 { return ls[0] }
+
+// Max returns the fastest available speed.
+func (ls LevelSet) Max() float64 { return ls[len(ls)-1] }
+
+// AtLeast returns the slowest level ≥ s and true, or 0 and false when even
+// the fastest level is below s.
+func (ls LevelSet) AtLeast(s float64) (float64, bool) {
+	i, _ := slices.BinarySearch(ls, s)
+	if i == len(ls) {
+		return 0, false
+	}
+	return ls[i], true
+}
+
+// Bracket returns the pair of adjacent levels (lo, hi) with lo ≤ s ≤ hi.
+// When s lies below the slowest level both returns equal ls.Min(); when s
+// equals a level both returns are that level. ok is false when s exceeds
+// the fastest level.
+func (ls LevelSet) Bracket(s float64) (lo, hi float64, ok bool) {
+	if s > ls.Max() {
+		return 0, 0, false
+	}
+	if s <= ls.Min() {
+		return ls.Min(), ls.Min(), true
+	}
+	i, found := slices.BinarySearch(ls, s)
+	if found {
+		return ls[i], ls[i], true
+	}
+	return ls[i-1], ls[i], true
+}
+
+// XScaleLevels returns the Intel XScale frequency ladder
+// {150, 400, 600, 800, 1000} MHz normalized to the top speed.
+func XScaleLevels() LevelSet { return LevelSet{0.15, 0.4, 0.6, 0.8, 1.0} }

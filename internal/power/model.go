@@ -1,0 +1,126 @@
+// Package power models the power consumption of DVS (dynamic voltage
+// scaling) processors.
+//
+// The model follows the standard decomposition used by the DATE-era
+// energy-efficient scheduling literature: the total power drawn at
+// normalized speed s is
+//
+//	P(s) = Pind + Pd(s)
+//
+// where Pind is speed-independent (dominated by leakage) and Pd is a convex,
+// strictly increasing function of s (dominated by CMOS switching power).
+// The canonical parametric form is Pd(s) = c·s^α with α ∈ (1, 3].
+//
+// Speeds are normalized: on a processor whose top frequency is f_max, speed
+// s means executing s·f_max cycles per unit time. Executing W cycles at
+// constant speed s therefore takes W/s time and consumes P(s)·W/s energy.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is the power consumption of a processor (or of one task's execution
+// on it, when tasks have heterogeneous power characteristics) as a function
+// of the normalized speed.
+type Model interface {
+	// Power returns the total power P(s) drawn while executing at speed s.
+	Power(s float64) float64
+	// Dynamic returns the speed-dependent component Pd(s).
+	Dynamic(s float64) float64
+	// Static returns the speed-independent component Pind.
+	Static() float64
+}
+
+// Polynomial is the canonical power model P(s) = Pind + Coeff·s^Alpha.
+// The zero value is not valid; use Validate or one of the presets.
+type Polynomial struct {
+	Pind  float64 // speed-independent power (leakage), ≥ 0
+	Coeff float64 // dynamic power coefficient, > 0
+	Alpha float64 // dynamic power exponent, > 1
+}
+
+var _ Model = Polynomial{}
+
+// Validate reports whether the model parameters are in their legal ranges.
+func (p Polynomial) Validate() error {
+	switch {
+	case math.IsNaN(p.Pind) || p.Pind < 0:
+		return fmt.Errorf("power: Pind = %v, want ≥ 0", p.Pind)
+	case math.IsNaN(p.Coeff) || p.Coeff <= 0:
+		return fmt.Errorf("power: Coeff = %v, want > 0", p.Coeff)
+	case math.IsNaN(p.Alpha) || p.Alpha <= 1:
+		return fmt.Errorf("power: Alpha = %v, want > 1", p.Alpha)
+	}
+	return nil
+}
+
+// Power returns P(s) = Pind + Coeff·s^Alpha.
+func (p Polynomial) Power(s float64) float64 {
+	return p.Pind + p.Dynamic(s)
+}
+
+// Dynamic returns Pd(s) = Coeff·s^Alpha.
+func (p Polynomial) Dynamic(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	return p.Coeff * math.Pow(s, p.Alpha)
+}
+
+// Static returns Pind.
+func (p Polynomial) Static() float64 { return p.Pind }
+
+// EnergyPerCycle returns P(s)/s, the energy consumed per executed cycle at
+// speed s. It is +Inf at s = 0 when Pind > 0.
+func (p Polynomial) EnergyPerCycle(s float64) float64 {
+	if s <= 0 {
+		if p.Pind > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return p.Power(s) / s
+}
+
+// CriticalSpeed returns the speed s* minimizing the energy per cycle
+// P(s)/s. Setting d/ds [Pind/s + Coeff·s^(α−1)] = 0 gives
+//
+//	s* = (Pind / (Coeff·(α−1)))^(1/α).
+//
+// With no leakage (Pind = 0) the critical speed is 0: the slower, the
+// better, and only the deadline bounds the speed from below.
+func (p Polynomial) CriticalSpeed() float64 {
+	if p.Pind == 0 {
+		return 0
+	}
+	return math.Pow(p.Pind/(p.Coeff*(p.Alpha-1)), 1/p.Alpha)
+}
+
+// Scale returns the model with its dynamic coefficient multiplied by rho.
+// This expresses per-task power characteristics: a task with coefficient
+// rho consumes rho·Coeff·s^Alpha dynamic power while executing.
+func (p Polynomial) Scale(rho float64) Polynomial {
+	return Polynomial{Pind: p.Pind, Coeff: rho * p.Coeff, Alpha: p.Alpha}
+}
+
+// String implements fmt.Stringer.
+func (p Polynomial) String() string {
+	if p.Pind == 0 {
+		return fmt.Sprintf("P(s) = %g·s^%g", p.Coeff, p.Alpha)
+	}
+	return fmt.Sprintf("P(s) = %g + %g·s^%g", p.Pind, p.Coeff, p.Alpha)
+}
+
+// Cubic returns the pure cubic model P(s) = s³ used throughout the paper
+// family's homogeneous-processor experiments.
+func Cubic() Polynomial { return Polynomial{Pind: 0, Coeff: 1, Alpha: 3} }
+
+// XScale returns the Intel XScale model normalized to its top speed,
+// P(s) = 0.08 + 1.52·s³ Watt, as quoted in the paper family.
+func XScale() Polynomial { return Polynomial{Pind: 0.08, Coeff: 1.52, Alpha: 3} }
+
+// ErrNoLevels is returned by LevelSet methods when the set is empty.
+var ErrNoLevels = errors.New("power: empty speed level set")

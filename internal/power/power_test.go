@@ -1,0 +1,186 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolynomialValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Polynomial
+		wantErr bool
+	}{
+		{"cubic", Cubic(), false},
+		{"xscale", XScale(), false},
+		{"quadratic with leakage", Polynomial{Pind: 0.2, Coeff: 0.5, Alpha: 2}, false},
+		{"negative leakage", Polynomial{Pind: -0.1, Coeff: 1, Alpha: 3}, true},
+		{"zero coeff", Polynomial{Pind: 0, Coeff: 0, Alpha: 3}, true},
+		{"negative coeff", Polynomial{Pind: 0, Coeff: -1, Alpha: 3}, true},
+		{"alpha one", Polynomial{Pind: 0, Coeff: 1, Alpha: 1}, true},
+		{"alpha below one", Polynomial{Pind: 0, Coeff: 1, Alpha: 0.5}, true},
+		{"nan alpha", Polynomial{Pind: 0, Coeff: 1, Alpha: math.NaN()}, true},
+		{"nan pind", Polynomial{Pind: math.NaN(), Coeff: 1, Alpha: 3}, true},
+		{"nan coeff", Polynomial{Pind: 0, Coeff: math.NaN(), Alpha: 3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPolynomialPower(t *testing.T) {
+	p := XScale()
+	if got := p.Power(1); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("XScale Power(1) = %v, want 1.6", got)
+	}
+	if got := p.Power(0); got != 0.08 {
+		t.Errorf("XScale Power(0) = %v, want 0.08 (leakage only)", got)
+	}
+	if got := p.Dynamic(0.5); math.Abs(got-1.52*0.125) > 1e-12 {
+		t.Errorf("XScale Dynamic(0.5) = %v, want %v", got, 1.52*0.125)
+	}
+	if got := p.Static(); got != 0.08 {
+		t.Errorf("XScale Static() = %v, want 0.08", got)
+	}
+	// Dynamic power at negative speed clamps to zero rather than producing NaN.
+	if got := p.Dynamic(-1); got != 0 {
+		t.Errorf("Dynamic(-1) = %v, want 0", got)
+	}
+}
+
+func TestEnergyPerCycle(t *testing.T) {
+	p := Cubic()
+	// P(s)/s = s² for the pure cubic.
+	for _, s := range []float64{0.1, 0.5, 1, 2} {
+		if got, want := p.EnergyPerCycle(s), s*s; math.Abs(got-want) > 1e-12 {
+			t.Errorf("EnergyPerCycle(%v) = %v, want %v", s, got, want)
+		}
+	}
+	if got := p.EnergyPerCycle(0); got != 0 {
+		t.Errorf("leakage-free EnergyPerCycle(0) = %v, want 0", got)
+	}
+	if got := XScale().EnergyPerCycle(0); !math.IsInf(got, 1) {
+		t.Errorf("leaky EnergyPerCycle(0) = %v, want +Inf", got)
+	}
+}
+
+func TestCriticalSpeed(t *testing.T) {
+	if got := Cubic().CriticalSpeed(); got != 0 {
+		t.Errorf("Cubic critical speed = %v, want 0", got)
+	}
+	// XScale: s* = (0.08/(1.52·2))^(1/3) ≈ 0.2971.
+	p := XScale()
+	got := p.CriticalSpeed()
+	want := math.Pow(0.08/(1.52*2), 1.0/3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("XScale critical speed = %v, want %v", got, want)
+	}
+	// The critical speed is the argmin of P(s)/s: nearby speeds must not be better.
+	best := p.EnergyPerCycle(got)
+	for _, ds := range []float64{-0.05, -0.01, 0.01, 0.05} {
+		if e := p.EnergyPerCycle(got + ds); e < best {
+			t.Errorf("EnergyPerCycle(s*%+v) = %v < EnergyPerCycle(s*) = %v", ds, e, best)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := Cubic()
+	s2 := base.Scale(2.5)
+	if got, want := s2.Dynamic(0.7), 2.5*base.Dynamic(0.7); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Scale(2.5).Dynamic(0.7) = %v, want %v", got, want)
+	}
+	if s2.Static() != base.Static() {
+		t.Errorf("Scale must not alter static power")
+	}
+}
+
+func TestPolynomialString(t *testing.T) {
+	if got := Cubic().String(); got != "P(s) = 1·s^3" {
+		t.Errorf("Cubic().String() = %q", got)
+	}
+	if got := XScale().String(); got != "P(s) = 0.08 + 1.52·s^3" {
+		t.Errorf("XScale().String() = %q", got)
+	}
+}
+
+func TestLevelSetValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		ls      LevelSet
+		wantErr bool
+	}{
+		{"xscale", XScaleLevels(), false},
+		{"single", LevelSet{1}, false},
+		{"empty", LevelSet{}, true},
+		{"unsorted", LevelSet{0.5, 0.2, 1}, true},
+		{"duplicate", LevelSet{0.5, 0.5, 1}, true},
+		{"zero level", LevelSet{0, 0.5, 1}, true},
+		{"negative level", LevelSet{-0.5, 0.5}, true},
+		{"nan level", LevelSet{0.5, math.NaN()}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.ls.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLevelSetAtLeast(t *testing.T) {
+	ls := XScaleLevels()
+	tests := []struct {
+		s      float64
+		want   float64
+		wantOK bool
+	}{
+		{0, 0.15, true},
+		{0.15, 0.15, true},
+		{0.16, 0.4, true},
+		{0.4, 0.4, true},
+		{0.99, 1.0, true},
+		{1.0, 1.0, true},
+		{1.01, 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := ls.AtLeast(tt.s)
+		if got != tt.want || ok != tt.wantOK {
+			t.Errorf("AtLeast(%v) = (%v, %v), want (%v, %v)", tt.s, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestLevelSetBracket(t *testing.T) {
+	ls := XScaleLevels()
+	tests := []struct {
+		s      float64
+		lo, hi float64
+		ok     bool
+	}{
+		{0.05, 0.15, 0.15, true}, // below the slowest level
+		{0.15, 0.15, 0.15, true},
+		{0.3, 0.15, 0.4, true},
+		{0.4, 0.4, 0.4, true},
+		{0.7, 0.6, 0.8, true},
+		{1.0, 1.0, 1.0, true},
+		{1.2, 0, 0, false},
+	}
+	for _, tt := range tests {
+		lo, hi, ok := ls.Bracket(tt.s)
+		if lo != tt.lo || hi != tt.hi || ok != tt.ok {
+			t.Errorf("Bracket(%v) = (%v, %v, %v), want (%v, %v, %v)", tt.s, lo, hi, ok, tt.lo, tt.hi, tt.ok)
+		}
+	}
+}
+
+func TestLevelSetMinMax(t *testing.T) {
+	ls := XScaleLevels()
+	if ls.Min() != 0.15 || ls.Max() != 1.0 {
+		t.Errorf("Min/Max = %v/%v, want 0.15/1.0", ls.Min(), ls.Max())
+	}
+}

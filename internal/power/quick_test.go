@@ -1,0 +1,123 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// clampParams maps arbitrary quick-generated floats into legal model space.
+func clampParams(pind, coeff, alpha float64) Polynomial {
+	return Polynomial{
+		Pind:  math.Abs(math.Mod(pind, 2)),
+		Coeff: 0.1 + math.Abs(math.Mod(coeff, 3)),
+		Alpha: 1.5 + math.Abs(math.Mod(alpha, 2)),
+	}
+}
+
+// Property: P is strictly increasing in s on s > 0.
+func TestQuickPowerMonotone(t *testing.T) {
+	f := func(pind, coeff, alpha, a, b float64) bool {
+		p := clampParams(pind, coeff, alpha)
+		sa := 0.01 + math.Abs(math.Mod(a, 10))
+		sb := sa + 0.01 + math.Abs(math.Mod(b, 10))
+		return p.Power(sa) < p.Power(sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: P is convex — midpoint value does not exceed the chord.
+func TestQuickPowerConvex(t *testing.T) {
+	f := func(pind, coeff, alpha, a, b float64) bool {
+		p := clampParams(pind, coeff, alpha)
+		sa := math.Abs(math.Mod(a, 10))
+		sb := math.Abs(math.Mod(b, 10))
+		mid := (sa + sb) / 2
+		return p.Power(mid) <= (p.Power(sa)+p.Power(sb))/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the critical speed globally minimizes energy per cycle over a
+// dense sample of speeds.
+func TestQuickCriticalSpeedIsArgmin(t *testing.T) {
+	f := func(pind, coeff, alpha float64) bool {
+		p := clampParams(pind, coeff, alpha)
+		if p.Pind == 0 {
+			return true
+		}
+		star := p.CriticalSpeed()
+		best := p.EnergyPerCycle(star)
+		for s := 0.05; s <= 4; s += 0.05 {
+			if p.EnergyPerCycle(s) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy per cycle is increasing for s ≥ s* and decreasing for
+// s ≤ s* (unimodality around the critical speed).
+func TestQuickEnergyPerCycleUnimodal(t *testing.T) {
+	f := func(pind, coeff, alpha float64) bool {
+		p := clampParams(pind, coeff, alpha)
+		star := p.CriticalSpeed()
+		prev := math.Inf(1)
+		for s := 0.02; s < star; s += star / 50 {
+			e := p.EnergyPerCycle(s)
+			if e > prev+1e-9 {
+				return false
+			}
+			prev = e
+		}
+		prev = 0
+		for s := star + 0.01; s < star+3; s += 0.1 {
+			e := p.EnergyPerCycle(s)
+			if e < prev-1e-9 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bracket always returns levels that actually bracket the query
+// and are adjacent in the set.
+func TestQuickBracket(t *testing.T) {
+	ls := XScaleLevels()
+	f := func(raw float64) bool {
+		s := math.Abs(math.Mod(raw, 1.0)) // within [0, 1)
+		lo, hi, ok := ls.Bracket(s)
+		if !ok {
+			return false
+		}
+		if s <= ls.Min() {
+			return lo == ls.Min() && hi == ls.Min()
+		}
+		if lo > s || hi < s {
+			return false
+		}
+		// lo and hi must be adjacent members.
+		for i, l := range ls {
+			if l == lo {
+				return lo == hi || (i+1 < len(ls) && ls[i+1] == hi)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

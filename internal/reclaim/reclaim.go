@@ -1,0 +1,151 @@
+// Package reclaim implements run-time slack reclamation for frame-based
+// schedules: tasks usually finish below their worst-case execution cycles,
+// and the unspent budget can be reinvested as lower speed for the tasks
+// still pending — the cycle-conserving DVS idea (Pillai & Shin; Zhu,
+// Melhem & Childers, cited by the paper family as the online reclamation
+// line).
+//
+// The package executes an admitted task sequence within one frame under
+// three policies:
+//
+//   - Static: the offline speed W_wcet/D for the whole frame, slack
+//     wasted as idle time (the admission-time plan, unchanged);
+//   - CycleConserving: before each task starts, re-divide the remaining
+//     time by the remaining worst-case work — speeds only ever decrease as
+//     slack accrues;
+//   - Oracle: the clairvoyant lower bound that knows actual cycles
+//     up front and runs at ΣActual/D throughout.
+//
+// All three are deadline-safe by construction: they never budget less
+// than the worst case for unfinished work.
+package reclaim
+
+import (
+	"fmt"
+	"math"
+
+	"dvsreject/internal/power"
+)
+
+// Step is one executed task in the frame trace.
+type Step struct {
+	TaskID int
+	Start  float64
+	Speed  float64
+	Time   float64 // execution time at Speed
+	Energy float64
+}
+
+// Trace is a frame execution under one policy.
+type Trace struct {
+	Steps  []Step
+	Energy float64 // Σ step energies (dynamic only)
+	Finish float64 // completion time of the last task, ≤ D
+}
+
+// Task pairs the worst-case budget with what the task actually used.
+type Task struct {
+	ID     int
+	WCET   int64 // worst-case execution cycles, > 0
+	Actual int64 // actual cycles, 0 < Actual ≤ WCET
+}
+
+// Validate reports whether the pair is legal.
+func (t Task) Validate() error {
+	if t.WCET <= 0 {
+		return fmt.Errorf("reclaim: task %d: WCET = %d, want > 0", t.ID, t.WCET)
+	}
+	if t.Actual <= 0 || t.Actual > t.WCET {
+		return fmt.Errorf("reclaim: task %d: actual = %d, want in (0, %d]", t.ID, t.Actual, t.WCET)
+	}
+	return nil
+}
+
+// Policy selects the speed for the next task given the remaining
+// worst-case work and remaining time.
+type Policy int
+
+const (
+	// Static runs the whole frame at the admission-time speed ΣWCET/D.
+	Static Policy = iota
+	// CycleConserving re-plans speed = remaining WCET / remaining time
+	// before each task.
+	CycleConserving
+	// Oracle knows the actual cycles and runs at ΣActual/D.
+	Oracle
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "STATIC"
+	case CycleConserving:
+		return "CC-EDF"
+	case Oracle:
+		return "ORACLE"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Run executes the tasks in the given order within a frame of length d on
+// an ideal leakage-free processor with model m and top speed smax, under
+// the policy. It errors when even the worst case cannot fit.
+func Run(tasks []Task, d float64, m power.Polynomial, smax float64, pol Policy) (Trace, error) {
+	if err := m.Validate(); err != nil {
+		return Trace{}, err
+	}
+	if d <= 0 || math.IsNaN(d) {
+		return Trace{}, fmt.Errorf("reclaim: frame length = %v, want > 0", d)
+	}
+	var wcet, actual int64
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return Trace{}, err
+		}
+		wcet += t.WCET
+		actual += t.Actual
+	}
+	if float64(wcet) > smax*d*(1+1e-9) {
+		return Trace{}, fmt.Errorf("reclaim: worst-case workload %d exceeds capacity %g", wcet, smax*d)
+	}
+
+	var tr Trace
+	now := 0.0
+	remWCET := wcet
+	for _, t := range tasks {
+		var s float64
+		switch pol {
+		case Static:
+			s = float64(wcet) / d
+		case CycleConserving:
+			s = float64(remWCET) / (d - now)
+		case Oracle:
+			s = float64(actual) / d
+		default:
+			return Trace{}, fmt.Errorf("reclaim: unknown policy %d", int(pol))
+		}
+		if s <= 0 {
+			return Trace{}, fmt.Errorf("reclaim: non-positive speed for task %d", t.ID)
+		}
+		s = math.Min(math.Max(s, 0), smax)
+		exec := float64(t.Actual) / s
+		step := Step{
+			TaskID: t.ID,
+			Start:  now,
+			Speed:  s,
+			Time:   exec,
+			Energy: m.Dynamic(s) * exec,
+		}
+		tr.Steps = append(tr.Steps, step)
+		tr.Energy += step.Energy
+		now += exec
+		remWCET -= t.WCET
+	}
+	tr.Finish = now
+	if now > d*(1+1e-9) {
+		return Trace{}, fmt.Errorf("reclaim: frame overrun: finish %g > D %g", now, d)
+	}
+	return tr, nil
+}

@@ -1,0 +1,171 @@
+package reclaim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvsreject/internal/power"
+)
+
+func TestTaskValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		task    Task
+		wantErr bool
+	}{
+		{"valid", Task{ID: 1, WCET: 10, Actual: 5}, false},
+		{"full usage", Task{ID: 1, WCET: 10, Actual: 10}, false},
+		{"zero wcet", Task{ID: 1, WCET: 0, Actual: 0}, true},
+		{"zero actual", Task{ID: 1, WCET: 10, Actual: 0}, true},
+		{"actual above wcet", Task{ID: 1, WCET: 10, Actual: 11}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.task.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Static.String() != "STATIC" || CycleConserving.String() != "CC-EDF" || Oracle.String() != "ORACLE" {
+		t.Error("policy names changed")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy String")
+	}
+}
+
+func TestRunAllPoliciesEqualAtWorstCase(t *testing.T) {
+	// Actual == WCET: no slack, all three policies coincide.
+	tasks := []Task{{ID: 1, WCET: 3, Actual: 3}, {ID: 2, WCET: 5, Actual: 5}}
+	var energies []float64
+	for _, pol := range []Policy{Static, CycleConserving, Oracle} {
+		tr, err := Run(tasks, 10, power.Cubic(), 1, pol)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		energies = append(energies, tr.Energy)
+		if math.Abs(tr.Finish-10) > 1e-9 {
+			t.Errorf("%v: finish = %v, want 10", pol, tr.Finish)
+		}
+	}
+	for i := 1; i < len(energies); i++ {
+		if math.Abs(energies[i]-energies[0]) > 1e-9 {
+			t.Errorf("energies differ at worst case: %v", energies)
+		}
+	}
+	// Hand value: speed 0.8, E = 0.8²·8 = 5.12.
+	if math.Abs(energies[0]-5.12) > 1e-9 {
+		t.Errorf("energy = %v, want 5.12", energies[0])
+	}
+}
+
+func TestRunCycleConservingSavesEnergy(t *testing.T) {
+	// Tasks use half their budgets: CC must land between Static and Oracle.
+	tasks := []Task{
+		{ID: 1, WCET: 4, Actual: 2},
+		{ID: 2, WCET: 4, Actual: 2},
+	}
+	st, err := Run(tasks, 10, power.Cubic(), 1, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := Run(tasks, 10, power.Cubic(), 1, CycleConserving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := Run(tasks, 10, power.Cubic(), 1, Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(or.Energy < cc.Energy && cc.Energy < st.Energy) {
+		t.Errorf("ordering violated: oracle %v, cc %v, static %v", or.Energy, cc.Energy, st.Energy)
+	}
+	// Static: s = 0.8, E = 0.64·4 = 2.56. Oracle: s = 0.4, E = 0.16·4 = 0.64.
+	if math.Abs(st.Energy-2.56) > 1e-9 || math.Abs(or.Energy-0.64) > 1e-9 {
+		t.Errorf("static %v (want 2.56), oracle %v (want 0.64)", st.Energy, or.Energy)
+	}
+	// CC: task 1 at 0.8 (2 cycles, E = 0.64·2), then remWCET 4 over the
+	// remaining 7.5 → s₂ = 0.5333…, E = s₂²·2.
+	s2 := 4.0 / 7.5
+	want := math.Pow(0.8, 2)*2 + math.Pow(s2, 2)*2
+	if math.Abs(cc.Energy-want) > 1e-9 {
+		t.Errorf("cc energy = %v, want %v", cc.Energy, want)
+	}
+}
+
+func TestRunSpeedsNonIncreasingUnderCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		var tasks []Task
+		var wcet int64
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			w := 1 + int64(rng.Intn(20))
+			a := 1 + rng.Int63n(w)
+			tasks = append(tasks, Task{ID: i, WCET: w, Actual: a})
+			wcet += w
+		}
+		d := float64(wcet) * (1 + rng.Float64())
+		tr, err := Run(tasks, d, power.Cubic(), 1, CycleConserving)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(tr.Steps); i++ {
+			if tr.Steps[i].Speed > tr.Steps[i-1].Speed+1e-9 {
+				t.Errorf("trial %d: CC speed increased: %+v", trial, tr.Steps)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	good := []Task{{ID: 1, WCET: 5, Actual: 5}}
+	if _, err := Run(good, 0, power.Cubic(), 1, Static); err == nil {
+		t.Error("zero frame accepted")
+	}
+	if _, err := Run(good, 4, power.Cubic(), 1, Static); err == nil {
+		t.Error("over-capacity worst case accepted")
+	}
+	if _, err := Run([]Task{{ID: 1, WCET: 5, Actual: 9}}, 10, power.Cubic(), 1, Static); err == nil {
+		t.Error("actual > WCET accepted")
+	}
+	if _, err := Run(good, 10, power.Polynomial{}, 1, Static); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := Run(good, 10, power.Cubic(), 1, Policy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// Property: oracle ≤ CC ≤ static energy, every policy meets the frame.
+func TestQuickPolicyOrdering(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nn%10)
+		var tasks []Task
+		var wcet int64
+		for i := 0; i < n; i++ {
+			w := 1 + int64(rng.Intn(30))
+			tasks = append(tasks, Task{ID: i, WCET: w, Actual: 1 + rng.Int63n(w)})
+			wcet += w
+		}
+		d := float64(wcet) * (1 + 2*rng.Float64())
+		var e [3]float64
+		for i, pol := range []Policy{Oracle, CycleConserving, Static} {
+			tr, err := Run(tasks, d, power.Cubic(), 1, pol)
+			if err != nil || tr.Finish > d*(1+1e-9) {
+				return false
+			}
+			e[i] = tr.Energy
+		}
+		return e[0] <= e[1]+1e-9 && e[1] <= e[2]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

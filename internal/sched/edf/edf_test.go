@@ -1,0 +1,261 @@
+package edf
+
+import (
+	"math"
+	"testing"
+
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+func full(speedVal, end float64) speed.Profile {
+	return speed.Constant(speedVal, 0, end)
+}
+
+func TestJobValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		j       Job
+		wantErr bool
+	}{
+		{"valid", Job{TaskID: 1, Release: 0, Deadline: 10, Cycles: 5}, false},
+		{"negative release", Job{Release: -1, Deadline: 10, Cycles: 5}, true},
+		{"deadline before release", Job{Release: 5, Deadline: 5, Cycles: 5}, true},
+		{"zero cycles", Job{Release: 0, Deadline: 10, Cycles: 0}, true},
+		{"nan cycles", Job{Release: 0, Deadline: 10, Cycles: math.NaN()}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.j.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSimulateSingleJob(t *testing.T) {
+	jobs := []Job{{TaskID: 1, Release: 0, Deadline: 10, Cycles: 5}}
+	r, err := Simulate(jobs, full(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Fatal("single easy job missed")
+	}
+	if math.Abs(r.Jobs[0].Finish-5) > 1e-9 {
+		t.Errorf("finish = %v, want 5", r.Jobs[0].Finish)
+	}
+}
+
+func TestSimulateMiss(t *testing.T) {
+	jobs := []Job{{TaskID: 1, Release: 0, Deadline: 4, Cycles: 5}}
+	r, err := Simulate(jobs, full(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible() || r.Misses != 1 || !r.Jobs[0].Missed {
+		t.Errorf("result = %+v, want one miss", r)
+	}
+}
+
+func TestSimulateEDFOrder(t *testing.T) {
+	// Two jobs at time 0; the one with the earlier deadline runs first.
+	jobs := []Job{
+		{TaskID: 1, Release: 0, Deadline: 20, Cycles: 5},
+		{TaskID: 2, Release: 0, Deadline: 10, Cycles: 5},
+	}
+	r, err := Simulate(jobs, full(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Fatal("feasible set missed")
+	}
+	if !(r.Jobs[1].Finish < r.Jobs[0].Finish) {
+		t.Errorf("EDF order violated: finishes %v, %v", r.Jobs[0].Finish, r.Jobs[1].Finish)
+	}
+	if math.Abs(r.Jobs[1].Finish-5) > 1e-9 || math.Abs(r.Jobs[0].Finish-10) > 1e-9 {
+		t.Errorf("finishes = %v, %v, want 5, 10", r.Jobs[1].Finish, r.Jobs[0].Finish)
+	}
+}
+
+func TestSimulatePreemption(t *testing.T) {
+	// A long job is preempted by a later-arriving urgent job.
+	jobs := []Job{
+		{TaskID: 1, Release: 0, Deadline: 20, Cycles: 10},
+		{TaskID: 2, Release: 2, Deadline: 5, Cycles: 2},
+	}
+	r, err := Simulate(jobs, full(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Fatal("feasible set missed")
+	}
+	// Task 2 runs in [2, 4]; task 1 in [0, 2] ∪ [4, 12].
+	if math.Abs(r.Jobs[1].Finish-4) > 1e-9 {
+		t.Errorf("urgent finish = %v, want 4", r.Jobs[1].Finish)
+	}
+	if math.Abs(r.Jobs[0].Finish-12) > 1e-9 {
+		t.Errorf("preempted finish = %v, want 12", r.Jobs[0].Finish)
+	}
+}
+
+func TestSimulateSpeedChange(t *testing.T) {
+	// Speed 0.5 for [0, 10), then 1.0: a 10-cycle job starting at 0
+	// finishes at 10 + 5 = 15.
+	pr := speed.Profile{{Start: 0, End: 10, Speed: 0.5}, {Start: 10, End: 100, Speed: 1}}
+	jobs := []Job{{TaskID: 1, Release: 0, Deadline: 20, Cycles: 10}}
+	r, err := Simulate(jobs, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Jobs[0].Finish-15) > 1e-9 {
+		t.Errorf("finish = %v, want 15", r.Jobs[0].Finish)
+	}
+}
+
+func TestSimulateZeroSpeedMiss(t *testing.T) {
+	// Profile ends at 3; the job needs 5 cycles and misses at its deadline.
+	jobs := []Job{{TaskID: 1, Release: 0, Deadline: 8, Cycles: 5}}
+	r, err := Simulate(jobs, full(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Jobs[0].Missed {
+		t.Errorf("job must miss when the processor stops, got %+v", r.Jobs[0])
+	}
+}
+
+func TestSimulateIdleGapBetweenReleases(t *testing.T) {
+	jobs := []Job{
+		{TaskID: 1, Release: 0, Deadline: 2, Cycles: 1},
+		{TaskID: 2, Release: 10, Deadline: 12, Cycles: 1},
+	}
+	r, err := Simulate(jobs, full(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Fatal("feasible set missed")
+	}
+	if math.Abs(r.Jobs[1].Finish-11) > 1e-9 {
+		t.Errorf("second finish = %v, want 11", r.Jobs[1].Finish)
+	}
+}
+
+func TestSimulateInvalidInput(t *testing.T) {
+	if _, err := Simulate([]Job{{Cycles: -1, Deadline: 1}}, full(1, 10)); err == nil {
+		t.Error("invalid job accepted")
+	}
+	bad := speed.Profile{{Start: 5, End: 1, Speed: 1}}
+	if _, err := Simulate(nil, bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	r, err := Simulate(nil, full(1, 10))
+	if err != nil || !r.Feasible() || len(r.Jobs) != 0 {
+		t.Errorf("empty simulation = (%+v, %v)", r, err)
+	}
+}
+
+func TestFrameJobs(t *testing.T) {
+	s := task.Set{
+		Deadline: 10,
+		Tasks: []task.Task{
+			{ID: 1, Cycles: 4},
+			{ID: 2, Cycles: 6},
+			{ID: 3, Cycles: 2},
+		},
+	}
+	all := FrameJobs(s, nil)
+	if len(all) != 3 {
+		t.Fatalf("len(all) = %d, want 3", len(all))
+	}
+	some := FrameJobs(s, []int{1, 3})
+	if len(some) != 2 || some[0].TaskID != 1 || some[1].TaskID != 3 {
+		t.Errorf("FrameJobs subset = %+v", some)
+	}
+	for _, j := range some {
+		if j.Release != 0 || j.Deadline != 10 {
+			t.Errorf("frame job window = [%v, %v], want [0, 10]", j.Release, j.Deadline)
+		}
+	}
+	empty := FrameJobs(s, []int{})
+	if len(empty) != 0 {
+		t.Errorf("empty accepted list produced %d jobs", len(empty))
+	}
+}
+
+func TestPeriodicJobs(t *testing.T) {
+	// The paper's running example: p1 = 2, p2 = 5, hyper-period 10.
+	ps := task.PeriodicSet{Tasks: []task.Periodic{
+		{ID: 1, Cycles: 1, Period: 2},
+		{ID: 2, Cycles: 2, Period: 5},
+	}}
+	jobs := PeriodicJobs(ps, 10)
+	// 5 jobs of task 1 + 2 jobs of task 2.
+	if len(jobs) != 7 {
+		t.Fatalf("len(jobs) = %d, want 7", len(jobs))
+	}
+	var t1, t2 int
+	for _, j := range jobs {
+		switch j.TaskID {
+		case 1:
+			t1++
+		case 2:
+			t2++
+		}
+		if j.Deadline != j.Release+float64(map[int]int64{1: 2, 2: 5}[j.TaskID]) {
+			t.Errorf("job %+v has wrong deadline", j)
+		}
+	}
+	if t1 != 5 || t2 != 2 {
+		t.Errorf("job counts = (%d, %d), want (5, 2)", t1, t2)
+	}
+}
+
+func TestPeriodicEDFAtUtilizationSpeed(t *testing.T) {
+	// EDF at speed equal to the cycle utilization is exactly feasible
+	// (Liu & Layland): utilization 0.9 → speed 0.9 works, 0.85 misses.
+	ps := task.PeriodicSet{Tasks: []task.Periodic{
+		{ID: 1, Cycles: 1, Period: 2},
+		{ID: 2, Cycles: 2, Period: 5},
+	}}
+	jobs := PeriodicJobs(ps, 10)
+	r, err := Simulate(jobs, full(0.9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Errorf("EDF at the utilization speed must be feasible, got %d misses", r.Misses)
+	}
+	r, err = Simulate(jobs, full(0.85, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible() {
+		t.Error("EDF below the utilization speed must miss")
+	}
+}
+
+func TestSimulateBoundaryWithinSlack(t *testing.T) {
+	// Regression: a job released within float tolerance *before* a speed-up
+	// boundary must still be priced at the fast segment, not spuriously
+	// missed at the slow one (found via YDS schedules whose collapse/expand
+	// arithmetic drifts boundaries by a few ulps).
+	pr := speed.Profile{{Start: 0, End: 10, Speed: 0.1}, {Start: 10, End: 20, Speed: 1}}
+	jobs := []Job{{TaskID: 1, Release: 10 - 1e-10, Deadline: 20, Cycles: 10 - 1e-6}}
+	r, err := Simulate(jobs, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Misses != 0 {
+		t.Fatalf("spurious miss: %+v", r.Jobs[0])
+	}
+	if math.Abs(r.Jobs[0].Finish-20) > 1e-5 {
+		t.Errorf("finish = %v, want ≈ 20", r.Jobs[0].Finish)
+	}
+}

@@ -1,0 +1,107 @@
+package edf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// Property: a frame-based set with total cycles W run at constant speed
+// s ≥ W/D is always feasible, and at s < W/D (with one job's worth of
+// margin) something misses.
+func TestQuickFrameFeasibilityThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		s := task.Set{Deadline: 100}
+		for i := 0; i < n; i++ {
+			s.Tasks = append(s.Tasks, task.Task{ID: i, Cycles: 1 + int64(rng.Intn(50))})
+		}
+		w := float64(s.TotalCycles())
+		jobs := FrameJobs(s, nil)
+
+		atSpeed := func(sp float64) bool {
+			r, err := Simulate(jobs, speed.Constant(sp, 0, s.Deadline))
+			return err == nil && r.Feasible()
+		}
+		exact := w / s.Deadline
+		if !atSpeed(exact * 1.0000001) {
+			return false
+		}
+		return !atSpeed(exact * 0.9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EDF on periodic tasks at the utilization speed over one
+// hyper-period is feasible for random harmonic-ish sets.
+func TestQuickPeriodicUtilizationFeasible(t *testing.T) {
+	periods := []int64{2, 4, 5, 8, 10, 20}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		ps := task.PeriodicSet{}
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := 1 + int64(rng.Intn(int(p)))
+			ps.Tasks = append(ps.Tasks, task.Periodic{ID: i, Cycles: c, Period: p})
+		}
+		u := ps.Utilization()
+		l, err := ps.Hyperperiod()
+		if err != nil {
+			return true
+		}
+		jobs := PeriodicJobs(ps, l)
+		r, err := Simulate(jobs, speed.Constant(u+1e-9, 0, float64(l)))
+		return err == nil && r.Feasible()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: completed jobs always finish within their windows, and the
+// total executed work never exceeds what the profile can deliver.
+func TestQuickSimulationSanity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		var jobs []Job
+		for i := 0; i < n; i++ {
+			rel := float64(rng.Intn(50))
+			jobs = append(jobs, Job{
+				TaskID:   i,
+				Release:  rel,
+				Deadline: rel + 1 + float64(rng.Intn(30)),
+				Cycles:   1 + float64(rng.Intn(20)),
+			})
+		}
+		pr := speed.Constant(0.5+rng.Float64(), 0, 200)
+		r, err := Simulate(jobs, pr)
+		if err != nil {
+			return false
+		}
+		var done float64
+		for _, jr := range r.Jobs {
+			if jr.Missed {
+				continue
+			}
+			if jr.Finish < jr.Release-1e-9 || jr.Finish > jr.Deadline+1e-6 {
+				return false
+			}
+			done += jr.Cycles
+		}
+		// Work conservation: completed cycles cannot exceed the profile's
+		// total capacity.
+		return done <= pr.Cycles(0, math.Inf(1))+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

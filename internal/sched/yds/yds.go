@@ -1,0 +1,256 @@
+// Package yds implements the Yao–Demers–Shenker algorithm (FOCS 1995): the
+// minimum-energy speed schedule for a set of jobs with arbitrary release
+// times and deadlines on one ideal DVS processor with a convex power
+// function.
+//
+// The paper family's frame-based analysis is the special case where all
+// jobs share one window; YDS is the general substrate the online-arrival
+// extension (internal/online) prices admissions against.
+//
+// The algorithm repeatedly finds the maximum-intensity interval
+//
+//	g(I) = (Σ work of jobs whose [release, deadline) ⊆ I) / |I|,
+//
+// commits those jobs to run at speed g(I) inside I (EDF order), removes
+// them, and collapses I out of the remaining timeline. The resulting
+// speed profile is optimal for any convex power function simultaneously.
+// Complexity here is the textbook O(n³), ample for the experiment sizes.
+package yds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+// Schedule is the output of the algorithm.
+type Schedule struct {
+	// Blocks are the committed critical intervals in the order found
+	// (descending speed).
+	Blocks []Block
+	// MaxSpeed is the speed of the first (most intense) block; a schedule
+	// is feasible on a processor iff MaxSpeed ≤ smax.
+	MaxSpeed float64
+}
+
+// Block is one critical interval: the named jobs run at Speed within
+// [Start, End) of the original timeline. Because later blocks' intervals
+// exclude earlier blocks' time, the block intervals of the final schedule
+// may be non-contiguous unions; Pieces lists the concrete sub-intervals.
+type Block struct {
+	Speed  float64
+	Pieces []speed.Segment // concrete sub-intervals, each carrying Speed
+	JobIDs []int           // indices into the input job slice
+}
+
+// Energy returns the schedule's energy under the given power model
+// (dynamic part only — YDS targets leakage-free ideal processors).
+func (s Schedule) Energy(m power.Polynomial) float64 {
+	var e float64
+	for _, b := range s.Blocks {
+		for _, p := range b.Pieces {
+			e += m.Dynamic(b.Speed) * p.Duration()
+		}
+	}
+	return e
+}
+
+// Profile flattens the schedule into a time-sorted speed profile.
+// Collapse/expand arithmetic can leave ~1e-14 overlaps between adjacent
+// pieces; those are snapped to the previous segment's end.
+func (s Schedule) Profile() speed.Profile {
+	var pr speed.Profile
+	for _, b := range s.Blocks {
+		pr = append(pr, b.Pieces...)
+	}
+	sort.Slice(pr, func(i, j int) bool { return pr[i].Start < pr[j].Start })
+	out := pr[:0]
+	prevEnd := math.Inf(-1)
+	for _, seg := range pr {
+		if seg.Start < prevEnd {
+			if prevEnd-seg.Start > 1e-7*(1+math.Abs(prevEnd)) {
+				// A genuine overlap would be an algorithmic bug; keep it
+				// so Validate flags it loudly.
+				out = append(out, seg)
+				prevEnd = seg.End
+				continue
+			}
+			seg.Start = prevEnd
+			if seg.End <= seg.Start {
+				continue
+			}
+		}
+		out = append(out, seg)
+		prevEnd = seg.End
+	}
+	return out
+}
+
+// interval is a live stretch of the collapsed timeline.
+type interval struct{ start, end float64 }
+
+// job is the mutable working copy.
+type job struct {
+	id       int
+	release  float64
+	deadline float64
+	work     float64
+}
+
+// Compute runs the algorithm on the jobs. Jobs must be valid per
+// edf.Job.Validate. An empty input yields an empty schedule.
+func Compute(jobs []edf.Job) (Schedule, error) {
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Schedule{}, err
+		}
+	}
+	live := make([]job, 0, len(jobs))
+	for i, j := range jobs {
+		live = append(live, job{id: i, release: j.Release, deadline: j.Deadline, work: j.Cycles})
+	}
+
+	var out Schedule
+	var holes []speed.Segment // committed intervals, each in the collapsed coordinates of its commit time
+	for len(live) > 0 {
+		s, t, members, g := criticalInterval(live)
+		if !(g > 0) {
+			return Schedule{}, fmt.Errorf("yds: no positive-intensity interval over %d jobs", len(live))
+		}
+		b := Block{Speed: g}
+		memberSet := make(map[int]bool, len(members))
+		for _, mi := range members {
+			b.JobIDs = append(b.JobIDs, live[mi].id)
+			memberSet[mi] = true
+		}
+		sort.Ints(b.JobIDs)
+		holes = append(holes, speed.Segment{Start: s, End: t, Speed: g})
+		out.Blocks = append(out.Blocks, b)
+
+		// Remove members; collapse [s, t) out of the survivors' windows.
+		next := live[:0]
+		width := t - s
+		for i := range live {
+			if memberSet[i] {
+				continue
+			}
+			j := live[i]
+			j.release = collapse(j.release, s, t, width)
+			j.deadline = collapse(j.deadline, s, t, width)
+			next = append(next, j)
+		}
+		live = next
+	}
+
+	// Un-collapse: block k's interval lives on the timeline with holes
+	// 0..k−1 removed. Re-insert those holes in reverse, splitting pieces
+	// that straddle a re-inserted hole.
+	for bi := range out.Blocks {
+		pieces := []speed.Segment{holes[bi]}
+		for prev := bi - 1; prev >= 0; prev-- {
+			pieces = insertHole(pieces, holes[prev])
+		}
+		out.Blocks[bi].Pieces = pieces
+	}
+
+	if len(out.Blocks) > 0 {
+		out.MaxSpeed = out.Blocks[0].Speed
+	}
+	return out, nil
+}
+
+// collapse maps a time coordinate across the removal of [s, t).
+func collapse(x, s, t, width float64) float64 {
+	switch {
+	case x <= s:
+		return x
+	case x >= t:
+		return x - width
+	default:
+		return s
+	}
+}
+
+// insertHole maps pieces from a timeline with hole [h.Start, h.End)
+// removed back to the timeline containing it: coordinates at or beyond
+// h.Start shift right by the hole's width, and a piece straddling the
+// insertion point splits into the parts before and after the hole.
+func insertHole(pieces []speed.Segment, h speed.Segment) []speed.Segment {
+	w := h.End - h.Start
+	out := make([]speed.Segment, 0, len(pieces)+1)
+	for _, p := range pieces {
+		switch {
+		case p.End <= h.Start:
+			out = append(out, p)
+		case p.Start >= h.Start:
+			p.Start += w
+			p.End += w
+			out = append(out, p)
+		default: // straddles the insertion point
+			out = append(out,
+				speed.Segment{Start: p.Start, End: h.Start, Speed: p.Speed},
+				speed.Segment{Start: h.End, End: p.End + w, Speed: p.Speed},
+			)
+		}
+	}
+	return out
+}
+
+// criticalInterval scans all release/deadline endpoint pairs for the
+// maximum-intensity interval. Returns its bounds, the member indices and
+// the intensity.
+func criticalInterval(live []job) (s, t float64, members []int, g float64) {
+	points := make([]float64, 0, 2*len(live))
+	for _, j := range live {
+		points = append(points, j.release, j.deadline)
+	}
+	sort.Float64s(points)
+
+	best := -1.0
+	for a := 0; a < len(points); a++ {
+		for b := a + 1; b < len(points); b++ {
+			lo, hi := points[a], points[b]
+			if hi <= lo {
+				continue
+			}
+			var work float64
+			for _, j := range live {
+				if j.release >= lo && j.deadline <= hi {
+					work += j.work
+				}
+			}
+			if work == 0 {
+				continue
+			}
+			if inten := work / (hi - lo); inten > best {
+				best = inten
+				s, t = lo, hi
+			}
+		}
+	}
+	if best < 0 {
+		return 0, 0, nil, 0
+	}
+	for i, j := range live {
+		if j.release >= s && j.deadline <= t {
+			members = append(members, i)
+		}
+	}
+	return s, t, members, best
+}
+
+// EnergyCubic is a convenience for the canonical P(s) = s³ model:
+// Σ speed³ · duration.
+func (s Schedule) EnergyCubic() float64 {
+	var e float64
+	for _, b := range s.Blocks {
+		for _, p := range b.Pieces {
+			e += math.Pow(b.Speed, 3) * p.Duration()
+		}
+	}
+	return e
+}

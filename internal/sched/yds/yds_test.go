@@ -1,0 +1,236 @@
+package yds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+)
+
+func TestComputeEmpty(t *testing.T) {
+	s, err := Compute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blocks) != 0 || s.MaxSpeed != 0 {
+		t.Errorf("empty schedule = %+v", s)
+	}
+}
+
+func TestComputeSingleJob(t *testing.T) {
+	s, err := Compute([]edf.Job{{TaskID: 0, Release: 2, Deadline: 10, Cycles: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(s.Blocks))
+	}
+	if math.Abs(s.MaxSpeed-0.5) > 1e-12 { // 4 cycles over [2, 10)
+		t.Errorf("speed = %v, want 0.5", s.MaxSpeed)
+	}
+	if math.Abs(s.EnergyCubic()-0.5*0.5*4) > 1e-12 { // s²·W
+		t.Errorf("energy = %v, want 1", s.EnergyCubic())
+	}
+}
+
+func TestComputeFrameCaseMatchesConstantSpeed(t *testing.T) {
+	// All jobs share the window [0, D): YDS must yield the single block at
+	// speed W/D — the frame-based special case the core library uses.
+	jobs := []edf.Job{
+		{TaskID: 0, Release: 0, Deadline: 10, Cycles: 3},
+		{TaskID: 1, Release: 0, Deadline: 10, Cycles: 5},
+	}
+	s, err := Compute(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blocks) != 1 || math.Abs(s.MaxSpeed-0.8) > 1e-12 {
+		t.Fatalf("schedule = %+v, want one block at 0.8", s)
+	}
+}
+
+func TestComputeTextbookExample(t *testing.T) {
+	// Classic two-job nesting: an intense inner job forces a fast block;
+	// the outer job runs around it at lower speed.
+	jobs := []edf.Job{
+		{TaskID: 0, Release: 0, Deadline: 10, Cycles: 4}, // outer
+		{TaskID: 1, Release: 4, Deadline: 6, Cycles: 3},  // inner burst
+	}
+	s, err := Compute(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(s.Blocks))
+	}
+	// Critical interval [4, 6): intensity 3/2 = 1.5.
+	if math.Abs(s.Blocks[0].Speed-1.5) > 1e-12 {
+		t.Errorf("first block speed = %v, want 1.5", s.Blocks[0].Speed)
+	}
+	// Remaining: job 0 in [0, 8) collapsed → 4 cycles over 8 → 0.5; pieces
+	// re-expanded around the hole: [0, 4) and [6, 10).
+	if math.Abs(s.Blocks[1].Speed-0.5) > 1e-12 {
+		t.Errorf("second block speed = %v, want 0.5", s.Blocks[1].Speed)
+	}
+	p := s.Blocks[1].Pieces
+	if len(p) != 2 || p[0].Start != 0 || p[0].End != 4 || p[1].Start != 6 || p[1].End != 10 {
+		t.Errorf("outer pieces = %+v, want [0,4) and [6,10)", p)
+	}
+}
+
+func TestBlocksDescendingSpeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	jobs := randomJobs(rng, 12)
+	s, err := Compute(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Blocks); i++ {
+		if s.Blocks[i].Speed > s.Blocks[i-1].Speed+1e-9 {
+			t.Errorf("block %d speed %v exceeds block %d speed %v",
+				i, s.Blocks[i].Speed, i-1, s.Blocks[i-1].Speed)
+		}
+	}
+}
+
+func TestProfileValidAndWorkConserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	jobs := randomJobs(rng, 15)
+	s, err := Compute(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := s.Profile()
+	if err := pr.Validate(); err != nil {
+		t.Fatalf("profile invalid: %v\n%+v", err, pr)
+	}
+	var want float64
+	for _, j := range jobs {
+		want += j.Cycles
+	}
+	if got := pr.Cycles(0, math.Inf(1)); math.Abs(got-want) > 1e-6 {
+		t.Errorf("profile delivers %v cycles, jobs need %v", got, want)
+	}
+}
+
+func TestScheduleIsEDFFeasible(t *testing.T) {
+	// The YDS profile must let EDF meet every deadline.
+	for seed := int64(0); seed < 20; seed++ {
+		jobs := randomJobs(rand.New(rand.NewSource(seed)), 10)
+		s, err := Compute(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := edf.Simulate(jobs, s.Profile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Feasible() {
+			t.Errorf("seed %d: YDS schedule missed %d deadlines", seed, r.Misses)
+		}
+	}
+}
+
+func TestEnergyMatchesModels(t *testing.T) {
+	jobs := []edf.Job{
+		{TaskID: 0, Release: 0, Deadline: 10, Cycles: 4},
+		{TaskID: 1, Release: 4, Deadline: 6, Cycles: 3},
+	}
+	s, err := Compute(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Energy(power.Cubic()), s.EnergyCubic(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Energy(cubic) = %v, EnergyCubic = %v", got, want)
+	}
+	// Hand value: 1.5³·2 + 0.5³·8 = 6.75 + 1 = 7.75.
+	if math.Abs(s.EnergyCubic()-7.75) > 1e-12 {
+		t.Errorf("energy = %v, want 7.75", s.EnergyCubic())
+	}
+}
+
+func TestInvalidJobRejected(t *testing.T) {
+	if _, err := Compute([]edf.Job{{Release: 5, Deadline: 3, Cycles: 1}}); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func randomJobs(rng *rand.Rand, n int) []edf.Job {
+	jobs := make([]edf.Job, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * 50
+		jobs = append(jobs, edf.Job{
+			TaskID:   i,
+			Release:  r,
+			Deadline: r + 1 + rng.Float64()*30,
+			Cycles:   0.5 + rng.Float64()*10,
+		})
+	}
+	return jobs
+}
+
+// Property: YDS never uses more energy than the single-speed schedule
+// that runs everything at the max-density speed across the whole span
+// (a feasible alternative), and never less than the zero lower bound of
+// the densest interval alone.
+func TestQuickEnergyBounds(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := 1 + int(nn%10)
+		jobs := randomJobs(rand.New(rand.NewSource(seed)), n)
+		s, err := Compute(jobs)
+		if err != nil {
+			return false
+		}
+		// Feasible alternative: run at MaxSpeed whenever work is pending
+		// across the whole span; its energy ≥ YDS (same work, ≥ speed,
+		// convex power): energy_alt = MaxSpeed²·ΣW for cubic.
+		var w float64
+		for _, j := range jobs {
+			w += j.Cycles
+		}
+		alt := s.MaxSpeed * s.MaxSpeed * w
+		return s.EnergyCubic() <= alt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every job is assigned to exactly one block, and the block's
+// speed is at least the job's own minimal density cycles/(deadline−release).
+func TestQuickJobCoverage(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := 1 + int(nn%12)
+		jobs := randomJobs(rand.New(rand.NewSource(seed)), n)
+		s, err := Compute(jobs)
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		for bi, b := range s.Blocks {
+			for _, id := range b.JobIDs {
+				if _, dup := seen[id]; dup {
+					return false
+				}
+				seen[id] = bi
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for id, bi := range seen {
+			j := jobs[id]
+			density := j.Cycles / (j.Deadline - j.Release)
+			if s.Blocks[bi].Speed < density-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package speed
+
+import (
+	"fmt"
+	"math"
+
+	"dvsreject/internal/power"
+)
+
+// EffectiveCycles returns the effective workload W̃ = Σ ci·ρi^(1/α) of tasks
+// with heterogeneous dynamic power coefficients ρi under the polynomial
+// model exponent α. Minimizing Σ ρi·c·si^(α−1)·ci subject to Σ ci/si = D by
+// the Lagrange multiplier method yields per-task speeds si ∝ ρi^(−1/α) and
+// total dynamic energy Coeff·W̃^α / D^(α−1) — exactly the homogeneous energy
+// of a workload of W̃ cycles. The rejection solvers therefore treat
+// heterogeneous instances by substituting effective cycles.
+func EffectiveCycles(cycles []int64, rho []float64, alpha float64) float64 {
+	var w float64
+	for i, c := range cycles {
+		r := 1.0
+		if i < len(rho) && rho[i] > 0 {
+			r = rho[i]
+		}
+		w += float64(c) * math.Pow(r, 1/alpha)
+	}
+	return w
+}
+
+// HeteroAssignment is the per-task optimal speed assignment for tasks with
+// heterogeneous power coefficients executed back-to-back within one frame.
+type HeteroAssignment struct {
+	Speeds []float64 // execution speed of each task
+	Times  []float64 // execution time of each task (Σ ≤ D)
+	Energy float64   // total dynamic energy
+}
+
+// AssignHeterogeneous computes the minimum-dynamic-energy per-task speeds
+// for executing all tasks sequentially within a frame of length d, subject
+// to si ≤ smax. Tasks whose unconstrained optimal speed exceeds smax are
+// clamped to smax and the remaining slack is redistributed (KKT active-set
+// iteration). It returns ErrInfeasible when even smax cannot fit the total
+// workload.
+//
+// The model's Pind is ignored here: the heterogeneous analysis of the paper
+// family (the LEET/LEUF line) targets dormant-disable processors whose
+// static energy is an additive constant.
+func AssignHeterogeneous(m power.Polynomial, cycles []int64, rho []float64, d, smax float64) (HeteroAssignment, error) {
+	n := len(cycles)
+	if n == 0 {
+		return HeteroAssignment{}, nil
+	}
+	if d <= 0 {
+		return HeteroAssignment{}, fmt.Errorf("speed: frame length = %v, want > 0", d)
+	}
+	var total float64
+	for _, c := range cycles {
+		if c <= 0 {
+			return HeteroAssignment{}, fmt.Errorf("speed: cycles = %d, want > 0", c)
+		}
+		total += float64(c)
+	}
+	if total > smax*d*(1+feasibilitySlack) {
+		return HeteroAssignment{}, fmt.Errorf("%w: W = %g, capacity = %g", ErrInfeasible, total, smax*d)
+	}
+
+	coeff := func(i int) float64 {
+		if i < len(rho) && rho[i] > 0 {
+			return rho[i]
+		}
+		return 1
+	}
+
+	clamped := make([]bool, n)
+	speeds := make([]float64, n)
+	for iter := 0; iter <= n; iter++ {
+		// Time left after clamped tasks run at smax.
+		slack := d
+		var wEff float64
+		for i := 0; i < n; i++ {
+			if clamped[i] {
+				slack -= float64(cycles[i]) / smax
+			} else {
+				wEff += float64(cycles[i]) * math.Pow(coeff(i), 1/m.Alpha)
+			}
+		}
+		if wEff == 0 {
+			break // everything clamped
+		}
+		if slack <= 0 {
+			return HeteroAssignment{}, fmt.Errorf("%w: clamped workload fills the frame", ErrInfeasible)
+		}
+		k := wEff / slack
+		violated := false
+		for i := 0; i < n; i++ {
+			if clamped[i] {
+				continue
+			}
+			speeds[i] = k * math.Pow(coeff(i), -1/m.Alpha)
+			if speeds[i] > smax*(1+feasibilitySlack) {
+				clamped[i] = true
+				violated = true
+			}
+		}
+		if !violated {
+			break
+		}
+	}
+
+	a := HeteroAssignment{Speeds: speeds, Times: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		if clamped[i] {
+			speeds[i] = smax
+		}
+		speeds[i] = math.Min(speeds[i], smax)
+		a.Times[i] = float64(cycles[i]) / speeds[i]
+		// Dynamic power of task i at speed s is ρi·Coeff·s^α, so its
+		// energy for ci cycles is ρi·Coeff·s^(α−1)·ci.
+		a.Energy += coeff(i) * m.Coeff * math.Pow(speeds[i], m.Alpha-1) * float64(cycles[i])
+	}
+	return a, nil
+}

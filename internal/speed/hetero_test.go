@@ -1,0 +1,127 @@
+package speed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvsreject/internal/power"
+)
+
+func TestEffectiveCyclesHomogeneous(t *testing.T) {
+	// With all ρ = 1 (or unset), effective cycles equal plain cycles.
+	got := EffectiveCycles([]int64{3, 4, 5}, nil, 3)
+	if math.Abs(got-12) > 1e-12 {
+		t.Errorf("EffectiveCycles = %v, want 12", got)
+	}
+	got = EffectiveCycles([]int64{3, 4, 5}, []float64{1, 1, 1}, 3)
+	if math.Abs(got-12) > 1e-12 {
+		t.Errorf("EffectiveCycles = %v, want 12", got)
+	}
+}
+
+func TestEffectiveCyclesWeighted(t *testing.T) {
+	// ρ = 8, α = 3 → weight 8^(1/3) = 2.
+	got := EffectiveCycles([]int64{5}, []float64{8}, 3)
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("EffectiveCycles = %v, want 10", got)
+	}
+}
+
+func TestAssignHeterogeneousMatchesClosedForm(t *testing.T) {
+	// Unconstrained regime: energy = Coeff·W̃^α / D^(α−1).
+	m := power.Cubic()
+	cycles := []int64{3, 4, 5}
+	rho := []float64{1, 2, 0.5}
+	d := 20.0
+	a, err := AssignHeterogeneous(m, cycles, rho, d, 10 /* generous smax */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wEff := EffectiveCycles(cycles, rho, m.Alpha)
+	want := m.Coeff * math.Pow(wEff, m.Alpha) / math.Pow(d, m.Alpha-1)
+	if math.Abs(a.Energy-want) > 1e-9 {
+		t.Errorf("energy = %v, closed form %v", a.Energy, want)
+	}
+	// The frame must be exactly filled at the optimum.
+	var busy float64
+	for _, tt := range a.Times {
+		busy += tt
+	}
+	if math.Abs(busy-d) > 1e-9 {
+		t.Errorf("busy time = %v, want %v", busy, d)
+	}
+	// Speeds follow si ∝ ρi^(−1/α): the higher the coefficient, the slower.
+	if !(a.Speeds[1] < a.Speeds[0] && a.Speeds[0] < a.Speeds[2]) {
+		t.Errorf("speed ordering violated: %v", a.Speeds)
+	}
+}
+
+func TestAssignHeterogeneousHomogeneousReduces(t *testing.T) {
+	// All ρ equal: every task runs at the common speed W/D.
+	m := power.Cubic()
+	cycles := []int64{2, 3, 5}
+	a, err := AssignHeterogeneous(m, cycles, nil, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range a.Speeds {
+		if math.Abs(s-1.0) > 1e-9 { // W/D = 10/10 = 1
+			t.Errorf("speed[%d] = %v, want 1.0", i, s)
+		}
+	}
+}
+
+func TestAssignHeterogeneousClamping(t *testing.T) {
+	// One task with a tiny coefficient wants to sprint beyond smax; it must
+	// be clamped and the others redistributed.
+	m := power.Cubic()
+	cycles := []int64{5, 5}
+	rho := []float64{0.001, 1}
+	d := 12.0
+	smax := 1.0
+	a, err := AssignHeterogeneous(m, cycles, rho, d, smax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Speeds[0] > smax+1e-9 || a.Speeds[1] > smax+1e-9 {
+		t.Fatalf("speeds exceed smax: %v", a.Speeds)
+	}
+	// Compare against a brute-force search over the time split.
+	brute := math.Inf(1)
+	for t1 := 5.0; t1 <= d-5.0+1e-9; t1 += 0.0005 {
+		t2 := d - t1
+		s1, s2 := 5/t1, 5/t2
+		if s1 > smax || s2 > smax {
+			continue
+		}
+		e := rho[0]*m.Coeff*math.Pow(s1, m.Alpha-1)*5 + rho[1]*m.Coeff*math.Pow(s2, m.Alpha-1)*5
+		if e < brute {
+			brute = e
+		}
+	}
+	if a.Energy > brute*(1+1e-3) {
+		t.Errorf("KKT energy = %v worse than brute force %v", a.Energy, brute)
+	}
+}
+
+func TestAssignHeterogeneousInfeasible(t *testing.T) {
+	m := power.Cubic()
+	_, err := AssignHeterogeneous(m, []int64{20}, nil, 10, 1)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestAssignHeterogeneousBadArgs(t *testing.T) {
+	m := power.Cubic()
+	if _, err := AssignHeterogeneous(m, []int64{1}, nil, 0, 1); err == nil {
+		t.Error("zero frame length accepted")
+	}
+	if _, err := AssignHeterogeneous(m, []int64{0}, nil, 10, 1); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if a, err := AssignHeterogeneous(m, nil, nil, 10, 1); err != nil || a.Energy != 0 {
+		t.Errorf("empty set = (%+v, %v), want zero assignment", a, err)
+	}
+}

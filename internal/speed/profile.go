@@ -1,0 +1,91 @@
+package speed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is one constant-speed interval of a processor schedule.
+type Segment struct {
+	Start, End float64 // half-open interval [Start, End)
+	Speed      float64 // processor speed during the interval, ≥ 0
+}
+
+// Duration returns End − Start.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Profile is a piecewise-constant processor speed schedule: a sequence of
+// contiguous segments in ascending time order. Time outside all segments is
+// speed 0 (idle).
+type Profile []Segment
+
+// Validate reports whether segments are well-formed, non-overlapping and
+// ascending.
+func (pr Profile) Validate() error {
+	prev := math.Inf(-1)
+	for i, seg := range pr {
+		if math.IsNaN(seg.Start) || math.IsNaN(seg.End) || seg.End <= seg.Start {
+			return fmt.Errorf("speed: profile segment %d has interval [%v, %v)", i, seg.Start, seg.End)
+		}
+		if seg.Speed < 0 || math.IsNaN(seg.Speed) {
+			return fmt.Errorf("speed: profile segment %d has speed %v", i, seg.Speed)
+		}
+		if seg.Start < prev {
+			return fmt.Errorf("speed: profile segment %d starts at %v before previous end %v", i, seg.Start, prev)
+		}
+		prev = seg.End
+	}
+	return nil
+}
+
+// SpeedAt returns the processor speed at time t.
+func (pr Profile) SpeedAt(t float64) float64 {
+	for _, seg := range pr {
+		if t >= seg.Start && t < seg.End {
+			return seg.Speed
+		}
+	}
+	return 0
+}
+
+// Cycles returns the number of cycles the processor delivers in [from, to).
+func (pr Profile) Cycles(from, to float64) float64 {
+	var c float64
+	for _, seg := range pr {
+		lo := math.Max(from, seg.Start)
+		hi := math.Min(to, seg.End)
+		if hi > lo {
+			c += (hi - lo) * seg.Speed
+		}
+	}
+	return c
+}
+
+// End returns the end time of the last segment, or 0 for an empty profile.
+func (pr Profile) End() float64 {
+	if len(pr) == 0 {
+		return 0
+	}
+	return pr[len(pr)-1].End
+}
+
+// Constant returns a single-segment profile at the given speed.
+func Constant(speed, start, end float64) Profile {
+	return Profile{{Start: start, End: end, Speed: speed}}
+}
+
+// Profile renders the assignment as a speed schedule beginning at start:
+// first the low-speed segment, then the high-speed segment (if any). Idle
+// time is simply not covered by any segment.
+func (a Assignment) Profile(start float64) Profile {
+	var pr Profile
+	t := start
+	if a.LoTime > 0 {
+		pr = append(pr, Segment{Start: t, End: t + a.LoTime, Speed: a.LoSpeed})
+		t += a.LoTime
+	}
+	if a.HiTime > 0 {
+		pr = append(pr, Segment{Start: t, End: t + a.HiTime, Speed: a.HiSpeed})
+	}
+	return pr
+}

@@ -1,0 +1,93 @@
+package speed
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		pr      Profile
+		wantErr bool
+	}{
+		{"empty", Profile{}, false},
+		{"single", Constant(0.5, 0, 10), false},
+		{"two contiguous", Profile{{0, 5, 0.5}, {5, 10, 1}}, false},
+		{"gap allowed", Profile{{0, 5, 0.5}, {7, 10, 1}}, false},
+		{"overlap", Profile{{0, 5, 0.5}, {4, 10, 1}}, true},
+		{"empty interval", Profile{{5, 5, 0.5}}, true},
+		{"reversed interval", Profile{{5, 2, 0.5}}, true},
+		{"negative speed", Profile{{0, 5, -0.5}}, true},
+		{"nan speed", Profile{{0, 5, math.NaN()}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.pr.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestProfileSpeedAt(t *testing.T) {
+	pr := Profile{{0, 5, 0.5}, {5, 10, 1}}
+	tests := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0.5}, {4.99, 0.5}, {5, 1}, {9.99, 1}, {10, 0}, {11, 0},
+	}
+	for _, tt := range tests {
+		if got := pr.SpeedAt(tt.t); got != tt.want {
+			t.Errorf("SpeedAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestProfileCycles(t *testing.T) {
+	pr := Profile{{0, 5, 0.5}, {5, 10, 1}}
+	tests := []struct{ from, to, want float64 }{
+		{0, 10, 7.5},
+		{0, 5, 2.5},
+		{5, 10, 5},
+		{2.5, 7.5, 3.75},
+		{10, 20, 0},
+		{-5, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := pr.Cycles(tt.from, tt.to); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Cycles(%v, %v) = %v, want %v", tt.from, tt.to, got, tt.want)
+		}
+	}
+}
+
+func TestProfileEnd(t *testing.T) {
+	if got := (Profile{}).End(); got != 0 {
+		t.Errorf("empty End() = %v, want 0", got)
+	}
+	if got := (Profile{{0, 5, 1}, {5, 8, 0.5}}).End(); got != 8 {
+		t.Errorf("End() = %v, want 8", got)
+	}
+}
+
+func TestAssignmentProfile(t *testing.T) {
+	a := Assignment{LoSpeed: 0.5, LoTime: 5, HiSpeed: 1, HiTime: 3}
+	pr := a.Profile(2)
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr) != 2 {
+		t.Fatalf("len(profile) = %d, want 2", len(pr))
+	}
+	if pr[0] != (Segment{2, 7, 0.5}) || pr[1] != (Segment{7, 10, 1}) {
+		t.Errorf("profile = %+v", pr)
+	}
+	// Cycles delivered must match the assignment's workload.
+	want := a.LoSpeed*a.LoTime + a.HiSpeed*a.HiTime
+	if got := pr.Cycles(0, 20); math.Abs(got-want) > 1e-12 {
+		t.Errorf("profile cycles = %v, want %v", got, want)
+	}
+	// Single-segment assignment renders one segment.
+	single := Assignment{LoSpeed: 0.7, LoTime: 4}
+	if got := single.Profile(0); len(got) != 1 {
+		t.Errorf("single profile = %+v", got)
+	}
+}

@@ -1,0 +1,139 @@
+package speed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsreject/internal/power"
+)
+
+// Property: E(W) is non-decreasing in W for every processor flavour.
+func TestQuickEnergyMonotone(t *testing.T) {
+	procs := []Proc{
+		{Model: power.Cubic(), SMax: 1},
+		{Model: power.XScale(), SMax: 1},
+		{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0.2},
+		{Model: power.XScale(), Levels: power.XScaleLevels()},
+		{Model: power.XScale(), Levels: power.XScaleLevels(), DormantEnable: true, Esw: 0.2},
+	}
+	f := func(wa, wb uint16) bool {
+		d := 100.0
+		lo := float64(wa%10000) / 100 // [0, 100)
+		hi := lo + float64(wb%1000)/100 + 1e-6
+		if hi > d {
+			return true
+		}
+		for _, p := range procs {
+			if p.Energy(lo, d) > p.Energy(hi, d)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: E(W) is convex on the leakage-free continuous processor
+// (midpoint below chord).
+func TestQuickContinuousEnergyConvex(t *testing.T) {
+	p := Proc{Model: power.Cubic(), SMax: 1}
+	d := 50.0
+	f := func(wa, wb uint16) bool {
+		a := float64(wa%5000) / 100
+		b := float64(wb%5000) / 100
+		mid := (a + b) / 2
+		return p.Energy(mid, d) <= (p.Energy(a, d)+p.Energy(b, d))/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the closed form E(W) = W³/D² holds on the leakage-free cubic
+// continuous processor with smin = 0.
+func TestQuickCubicClosedForm(t *testing.T) {
+	p := Proc{Model: power.Cubic(), SMax: 1}
+	f := func(w, dd uint16) bool {
+		d := 10 + float64(dd%1000)
+		W := math.Mod(float64(w), d) // keep feasible
+		got := p.Energy(W, d)
+		want := math.Pow(W, 3) / (d * d)
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the discrete assignment delivers exactly W cycles and fits in
+// the frame.
+func TestQuickDiscreteDeliversWorkload(t *testing.T) {
+	p := Proc{Model: power.XScale(), Levels: power.XScaleLevels()}
+	d := 25.0
+	f := func(w uint16) bool {
+		W := float64(w%250) / 10 // [0, 25): feasible at smax = 1
+		a, err := p.Assign(W, d)
+		if err != nil {
+			return false
+		}
+		delivered := a.LoSpeed*a.LoTime + a.HiSpeed*a.HiTime
+		return math.Abs(delivered-W) <= 1e-6 && a.BusyTime() <= d+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: free shutdown is never worse than costly shutdown, which is
+// never worse than no dormant mode at all.
+func TestQuickDormantOrdering(t *testing.T) {
+	m := power.XScale()
+	f := func(w, e uint16) bool {
+		d := 20.0
+		W := float64(w%200) / 10
+		esw := float64(e%400) / 100
+		free := Proc{Model: m, SMax: 1, DormantEnable: true, Esw: 0}
+		some := Proc{Model: m, SMax: 1, DormantEnable: true, Esw: esw}
+		none := Proc{Model: m, SMax: 1}
+		ef, es, en := free.Energy(W, d), some.Energy(W, d), none.Energy(W, d)
+		return ef <= es+1e-9 && es <= en+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the heterogeneous KKT solution is never beaten by a uniform
+// common-speed schedule of the same tasks.
+func TestQuickHeteroBeatsCommonSpeed(t *testing.T) {
+	m := power.Cubic()
+	f := func(c1, c2, c3 uint8, r1, r2, r3 uint8) bool {
+		cycles := []int64{int64(c1%50) + 1, int64(c2%50) + 1, int64(c3%50) + 1}
+		rho := []float64{
+			0.25 + float64(r1%16)/4,
+			0.25 + float64(r2%16)/4,
+			0.25 + float64(r3%16)/4,
+		}
+		var w float64
+		for _, c := range cycles {
+			w += float64(c)
+		}
+		d := w * 1.5 // comfortably feasible at smax = 1... need s = 2/3
+		a, err := AssignHeterogeneous(m, cycles, rho, d, 1)
+		if err != nil {
+			return false
+		}
+		s := w / d
+		var common float64
+		for i, c := range cycles {
+			common += rho[i] * m.Coeff * math.Pow(s, m.Alpha-1) * float64(c)
+		}
+		return a.Energy <= common+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

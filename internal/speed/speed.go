@@ -1,0 +1,266 @@
+// Package speed computes optimal speed assignments and their energy for
+// executing a workload of W cycles within a frame of length D on a DVS
+// processor.
+//
+// It implements the three classical regimes of the DATE-era literature:
+//
+//   - ideal (continuous-speed) processors without leakage: run as slowly as
+//     the deadline allows;
+//   - leakage-aware dormant-enable processors: never execute below the
+//     critical speed, and account idle intervals as min(Pind·Δ, Esw)
+//     (stay idle vs. shut down, break-even time Esw/Pind);
+//   - non-ideal (discrete-speed) processors: the Ishihara–Yasuura two-level
+//     theorem — the optimal schedule uses at most the two available speeds
+//     adjacent to the ideal one.
+//
+// All results are returned as an Assignment, which both reports the energy
+// breakdown and can be rendered into a Profile for the EDF simulator.
+package speed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dvsreject/internal/power"
+)
+
+// ErrInfeasible reports that the workload cannot complete by the deadline
+// even at the maximum speed.
+var ErrInfeasible = errors.New("speed: workload exceeds smax·D, no feasible assignment")
+
+// feasibilitySlack absorbs floating-point error when checking W ≤ smax·D.
+const feasibilitySlack = 1e-9
+
+// Proc describes one DVS processor.
+type Proc struct {
+	Model  power.Polynomial
+	SMin   float64        // slowest available speed (ideal processors), ≥ 0
+	SMax   float64        // fastest available speed, > 0
+	Levels power.LevelSet // non-nil for non-ideal processors; bounds SMin/SMax are then ignored
+
+	// DormantEnable marks a processor that can be shut down while idle.
+	// A dormant-disable processor pays Pind for the whole frame.
+	DormantEnable bool
+	// Esw is the energy overhead of one shutdown/wakeup cycle
+	// (dormant-enable processors only).
+	Esw float64
+}
+
+// Validate reports whether the processor description is consistent.
+func (p Proc) Validate() error {
+	if err := p.Model.Validate(); err != nil {
+		return err
+	}
+	if p.Levels != nil {
+		if err := p.Levels.Validate(); err != nil {
+			return err
+		}
+	} else {
+		if p.SMax <= 0 || math.IsNaN(p.SMax) || math.IsInf(p.SMax, 0) {
+			return fmt.Errorf("speed: smax = %v, want finite > 0", p.SMax)
+		}
+		if p.SMin < 0 || p.SMin > p.SMax || math.IsNaN(p.SMin) {
+			return fmt.Errorf("speed: smin = %v, want 0 ≤ smin ≤ smax", p.SMin)
+		}
+	}
+	if p.Esw < 0 || math.IsNaN(p.Esw) {
+		return fmt.Errorf("speed: Esw = %v, want ≥ 0", p.Esw)
+	}
+	return nil
+}
+
+// MaxSpeed returns the fastest speed the processor offers.
+func (p Proc) MaxSpeed() float64 {
+	if p.Levels != nil {
+		return p.Levels.Max()
+	}
+	return p.SMax
+}
+
+// Capacity returns the largest workload schedulable within a frame of
+// length d: MaxSpeed()·d.
+func (p Proc) Capacity(d float64) float64 { return p.MaxSpeed() * d }
+
+// Assignment is an optimal speed assignment for one frame together with its
+// energy breakdown.
+type Assignment struct {
+	// Segments of execution: either one constant speed, or the two-level
+	// split on a discrete processor. LoTime may be zero.
+	LoSpeed, HiSpeed float64
+	LoTime, HiTime   float64
+
+	ExecEnergy float64 // energy consumed while executing (includes Pind during execution)
+	IdleEnergy float64 // energy consumed while idle within the frame (Pind·Δ, or Esw if shut down)
+	Shutdown   bool    // true when the idle interval is spent in the dormant mode
+
+	Total float64 // ExecEnergy + IdleEnergy
+}
+
+// BusyTime returns the total execution time LoTime + HiTime.
+func (a Assignment) BusyTime() float64 { return a.LoTime + a.HiTime }
+
+// Assign computes the minimum-energy speed assignment executing W cycles
+// within a frame of length d on processor p. W = 0 yields the idle frame
+// (idle energy only, no shutdown overhead since the processor never wakes).
+// It returns ErrInfeasible when W exceeds the frame capacity.
+func (p Proc) Assign(w, d float64) (Assignment, error) {
+	if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return Assignment{}, fmt.Errorf("speed: frame length = %v, want finite > 0", d)
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return Assignment{}, fmt.Errorf("speed: workload = %v, want finite ≥ 0", w)
+	}
+	if w > p.Capacity(d)*(1+feasibilitySlack) {
+		return Assignment{}, fmt.Errorf("%w: W = %g, capacity = %g", ErrInfeasible, w, p.Capacity(d))
+	}
+	if w == 0 {
+		return p.idleFrame(d), nil
+	}
+	if p.Levels != nil {
+		return p.assignDiscrete(w, d), nil
+	}
+	return p.assignContinuous(w, d), nil
+}
+
+// idleFrame charges an entirely idle frame: min(Pind·d, Esw) on a
+// dormant-enable processor, Pind·d otherwise.
+func (p Proc) idleFrame(d float64) Assignment {
+	var a Assignment
+	a.IdleEnergy, a.Shutdown = p.idleCost(d)
+	a.Total = a.IdleEnergy
+	return a
+}
+
+// assignContinuous handles ideal processors.
+func (p Proc) assignContinuous(w, d float64) Assignment {
+	// The slowest deadline- and hardware-feasible speed.
+	sMinFeasible := math.Max(w/d, p.SMin)
+	sMinFeasible = math.Min(sMinFeasible, p.SMax) // guard FP slack at full load
+
+	if !p.DormantEnable {
+		// Pind is paid for the whole frame regardless, so minimizing
+		// Pd(s)·W/s means running as slowly as possible.
+		s := sMinFeasible
+		exec := w / s
+		return p.finish(Assignment{
+			LoSpeed:    s,
+			LoTime:     exec,
+			ExecEnergy: p.Model.Power(s) * exec,
+			IdleEnergy: p.Model.Static() * (d - exec),
+		})
+	}
+
+	// Dormant-enable: compare the "stretch" strategy (run at the slowest
+	// feasible speed, idle awake for the remainder) with the "sprint and
+	// sleep" strategy (run at the critical-speed-clamped speed, shut down).
+	best := Assignment{Total: math.Inf(1)}
+	candidates := []float64{sMinFeasible}
+	if star := p.Model.CriticalSpeed(); star > sMinFeasible && star <= p.SMax {
+		candidates = append(candidates, star)
+	} else if star > p.SMax {
+		candidates = append(candidates, p.SMax)
+	}
+	for _, s := range candidates {
+		exec := w / s
+		idleDur := d - exec
+		if idleDur < 0 {
+			idleDur = 0
+		}
+		a := Assignment{
+			LoSpeed:    s,
+			LoTime:     exec,
+			ExecEnergy: p.Model.Power(s) * exec,
+		}
+		a.IdleEnergy, a.Shutdown = p.idleCost(idleDur)
+		a = p.finish(a)
+		if a.Total < best.Total {
+			best = a
+		}
+	}
+	return best
+}
+
+// idleCost charges an idle interval of the given duration: the cheaper of
+// staying awake (Pind·Δ) and shutting down (Esw). Zero-length intervals
+// cost nothing.
+func (p Proc) idleCost(dur float64) (energy float64, shutdown bool) {
+	if dur <= 0 {
+		return 0, false
+	}
+	awake := p.Model.Static() * dur
+	if p.DormantEnable && p.Esw < awake {
+		return p.Esw, true
+	}
+	return awake, false
+}
+
+// assignDiscrete handles non-ideal processors. Two families of candidates
+// are exact for convex power functions:
+//
+//  1. the Ishihara–Yasuura split between the two levels adjacent to W/d,
+//     which fills the frame with no idle time;
+//  2. running entirely at one level s ≥ W/d and idling (or sleeping) for
+//     the remainder — the winner when the critical speed exceeds W/d.
+func (p Proc) assignDiscrete(w, d float64) Assignment {
+	best := Assignment{Total: math.Inf(1)}
+
+	ideal := w / d
+	if lo, hi, ok := p.Levels.Bracket(ideal); ok && lo != hi {
+		// Split: tLo·lo + tHi·hi = w, tLo + tHi = d.
+		tHi := (w - lo*d) / (hi - lo)
+		tLo := d - tHi
+		if tHi >= -feasibilitySlack && tLo >= -feasibilitySlack {
+			tHi = math.Max(tHi, 0)
+			tLo = math.Max(tLo, 0)
+			a := p.finish(Assignment{
+				LoSpeed:    lo,
+				HiSpeed:    hi,
+				LoTime:     tLo,
+				HiTime:     tHi,
+				ExecEnergy: p.Model.Power(lo)*tLo + p.Model.Power(hi)*tHi,
+			})
+			if a.Total < best.Total {
+				best = a
+			}
+		}
+	}
+
+	for _, s := range p.Levels {
+		if s*d < w*(1-feasibilitySlack) {
+			continue // level alone cannot meet the deadline
+		}
+		exec := w / s
+		if exec > d {
+			exec = d
+		}
+		a := Assignment{
+			LoSpeed:    s,
+			LoTime:     exec,
+			ExecEnergy: p.Model.Power(s) * exec,
+		}
+		a.IdleEnergy, a.Shutdown = p.idleCost(d - exec)
+		a = p.finish(a)
+		if a.Total < best.Total {
+			best = a
+		}
+	}
+	return best
+}
+
+// finish fills in the Total field.
+func (p Proc) finish(a Assignment) Assignment {
+	a.Total = a.ExecEnergy + a.IdleEnergy
+	return a
+}
+
+// Energy is shorthand for Assign(w, d).Total; it returns +Inf for
+// infeasible workloads, making it directly usable as the convex cost curve
+// E(W) by the rejection solvers.
+func (p Proc) Energy(w, d float64) float64 {
+	a, err := p.Assign(w, d)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return a.Total
+}

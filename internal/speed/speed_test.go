@@ -1,0 +1,286 @@
+package speed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvsreject/internal/power"
+)
+
+func idealCubic() Proc {
+	return Proc{Model: power.Cubic(), SMin: 0, SMax: 1}
+}
+
+func TestProcValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Proc
+		wantErr bool
+	}{
+		{"ideal cubic", idealCubic(), false},
+		{"discrete xscale", Proc{Model: power.XScale(), Levels: power.XScaleLevels()}, false},
+		{"bad model", Proc{Model: power.Polynomial{}, SMax: 1}, true},
+		{"zero smax", Proc{Model: power.Cubic(), SMax: 0}, true},
+		{"smin above smax", Proc{Model: power.Cubic(), SMin: 2, SMax: 1}, true},
+		{"bad levels", Proc{Model: power.Cubic(), Levels: power.LevelSet{1, 0.5}}, true},
+		{"negative esw", Proc{Model: power.Cubic(), SMax: 1, Esw: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAssignContinuousNoLeakage(t *testing.T) {
+	p := idealCubic()
+	// W = 5 cycles, D = 10: run at s = 0.5 for 10 time units.
+	// E = s³·(W/s) = s²·W = 0.25·5 = 1.25.
+	a, err := p.Assign(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LoSpeed-0.5) > 1e-12 {
+		t.Errorf("speed = %v, want 0.5", a.LoSpeed)
+	}
+	if math.Abs(a.Total-1.25) > 1e-12 {
+		t.Errorf("energy = %v, want 1.25", a.Total)
+	}
+	if a.IdleEnergy != 0 || a.Shutdown {
+		t.Errorf("no-leakage frame must have zero idle energy, got %+v", a)
+	}
+}
+
+func TestAssignRespectsSMin(t *testing.T) {
+	p := Proc{Model: power.Cubic(), SMin: 0.4, SMax: 1}
+	a, err := p.Assign(1, 10) // W/D = 0.1 < smin
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LoSpeed != 0.4 {
+		t.Errorf("speed = %v, want smin = 0.4", a.LoSpeed)
+	}
+	if math.Abs(a.BusyTime()-2.5) > 1e-12 {
+		t.Errorf("busy time = %v, want 2.5", a.BusyTime())
+	}
+}
+
+func TestAssignInfeasible(t *testing.T) {
+	p := idealCubic()
+	if _, err := p.Assign(11, 10); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Assign(11, 10) error = %v, want ErrInfeasible", err)
+	}
+	// Exactly at capacity is feasible.
+	a, err := p.Assign(10, 10)
+	if err != nil {
+		t.Fatalf("Assign at capacity: %v", err)
+	}
+	if math.Abs(a.LoSpeed-1) > 1e-9 {
+		t.Errorf("speed at capacity = %v, want 1", a.LoSpeed)
+	}
+}
+
+func TestAssignRejectsBadArgs(t *testing.T) {
+	p := idealCubic()
+	for _, tc := range []struct{ w, d float64 }{
+		{-1, 10}, {math.NaN(), 10}, {math.Inf(1), 10},
+		{1, 0}, {1, -1}, {1, math.NaN()}, {1, math.Inf(1)},
+	} {
+		if _, err := p.Assign(tc.w, tc.d); err == nil {
+			t.Errorf("Assign(%v, %v) accepted invalid arguments", tc.w, tc.d)
+		}
+	}
+}
+
+func TestAssignZeroWorkload(t *testing.T) {
+	// Dormant-disable leaky processor: idle frame costs Pind·D.
+	p := Proc{Model: power.XScale(), SMax: 1}
+	a, err := p.Assign(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Total-0.8) > 1e-12 {
+		t.Errorf("idle frame energy = %v, want Pind·D = 0.8", a.Total)
+	}
+	// Dormant-enable with cheap shutdown: idle frame costs Esw.
+	pe := Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0.1}
+	a, err = pe.Assign(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 0.1 || !a.Shutdown {
+		t.Errorf("dormant idle frame = %+v, want Esw = 0.1 with shutdown", a)
+	}
+	// Dormant-enable with expensive shutdown: stay awake.
+	pa := Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 5}
+	a, err = pa.Assign(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Total-0.8) > 1e-12 || a.Shutdown {
+		t.Errorf("awake idle frame = %+v, want 0.8 without shutdown", a)
+	}
+}
+
+func TestCriticalSpeedClamping(t *testing.T) {
+	// Dormant-enable XScale with free shutdown: tiny workloads should run
+	// at the critical speed (≈ 0.297), not stretched to the deadline.
+	p := Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0}
+	star := power.XScale().CriticalSpeed()
+	a, err := p.Assign(0.1, 10) // W/D = 0.01 « s*
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LoSpeed-star) > 1e-9 {
+		t.Errorf("speed = %v, want critical speed %v", a.LoSpeed, star)
+	}
+	if !a.Shutdown && a.IdleEnergy != 0 {
+		t.Errorf("free shutdown must zero the idle energy, got %+v", a)
+	}
+	// With workload already demanding s > s*, run at W/D.
+	a, err = p.Assign(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LoSpeed-0.8) > 1e-9 {
+		t.Errorf("speed = %v, want 0.8", a.LoSpeed)
+	}
+}
+
+func TestDormantDisableStretches(t *testing.T) {
+	// Dormant-disable: Pind is sunk, so stretch to the deadline even below
+	// the critical speed.
+	p := Proc{Model: power.XScale(), SMax: 1}
+	a, err := p.Assign(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LoSpeed-0.1) > 1e-12 {
+		t.Errorf("speed = %v, want W/D = 0.1", a.LoSpeed)
+	}
+	// Total must include the full frame's static energy.
+	wantExec := power.XScale().Power(0.1) * 10 // busy the whole frame
+	if math.Abs(a.Total-wantExec) > 1e-12 {
+		t.Errorf("energy = %v, want %v", a.Total, wantExec)
+	}
+}
+
+func TestDormantEnableEswTradeoff(t *testing.T) {
+	m := power.XScale()
+	// Workload small enough that sprint-and-sleep at s* creates idle time.
+	w, d := 1.0, 10.0
+	free := Proc{Model: m, SMax: 1, DormantEnable: true, Esw: 0}
+	costly := Proc{Model: m, SMax: 1, DormantEnable: true, Esw: 100}
+	aFree, err := free.Assign(w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCostly, err := costly.Assign(w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aFree.Total >= aCostly.Total {
+		t.Errorf("free shutdown (%v) must beat costly shutdown (%v)", aFree.Total, aCostly.Total)
+	}
+	// With prohibitive Esw the processor stays awake; its best strategy is
+	// then to stretch (same as dormant-disable).
+	disable := Proc{Model: m, SMax: 1}
+	aDisable, err := disable.Assign(w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aCostly.Total-aDisable.Total) > 1e-9 {
+		t.Errorf("costly-shutdown total = %v, want dormant-disable total %v", aCostly.Total, aDisable.Total)
+	}
+}
+
+func TestAssignDiscreteTwoLevel(t *testing.T) {
+	// Levels {0.5, 1.0}, cubic, no leakage. W = 7.5, D = 10 → ideal speed
+	// 0.75. Split: tHi·1 + tLo·0.5 = 7.5, tLo + tHi = 10 → tHi = 5, tLo = 5.
+	// E = 5·0.125 + 5·1 = 5.625. Single level 1.0: 7.5·1 = 7.5. Split wins.
+	p := Proc{Model: power.Cubic(), Levels: power.LevelSet{0.5, 1.0}}
+	a, err := p.Assign(7.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LoSpeed != 0.5 || a.HiSpeed != 1.0 {
+		t.Fatalf("levels = (%v, %v), want (0.5, 1.0)", a.LoSpeed, a.HiSpeed)
+	}
+	if math.Abs(a.LoTime-5) > 1e-9 || math.Abs(a.HiTime-5) > 1e-9 {
+		t.Errorf("times = (%v, %v), want (5, 5)", a.LoTime, a.HiTime)
+	}
+	if math.Abs(a.Total-5.625) > 1e-9 {
+		t.Errorf("energy = %v, want 5.625", a.Total)
+	}
+}
+
+func TestAssignDiscreteBelowLowestLevel(t *testing.T) {
+	// W/D below the lowest level: run at the lowest level and idle.
+	p := Proc{Model: power.Cubic(), Levels: power.LevelSet{0.5, 1.0}}
+	a, err := p.Assign(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LoSpeed != 0.5 || a.HiTime != 0 {
+		t.Errorf("assignment = %+v, want single segment at 0.5", a)
+	}
+	if math.Abs(a.BusyTime()-2) > 1e-9 {
+		t.Errorf("busy time = %v, want 2", a.BusyTime())
+	}
+	if math.Abs(a.Total-0.25) > 1e-9 { // 0.5³·2 = 0.25
+		t.Errorf("energy = %v, want 0.25", a.Total)
+	}
+}
+
+func TestAssignDiscreteExactLevel(t *testing.T) {
+	p := Proc{Model: power.Cubic(), Levels: power.XScaleLevels()}
+	// W/D exactly 0.6: single level, full frame.
+	a, err := p.Assign(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Total-0.6*0.6*6) > 1e-9 { // s²·W
+		t.Errorf("energy = %v, want %v", a.Total, 0.6*0.6*6)
+	}
+}
+
+func TestAssignDiscreteInfeasible(t *testing.T) {
+	p := Proc{Model: power.Cubic(), Levels: power.XScaleLevels()}
+	if _, err := p.Assign(10.2, 10); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDiscreteAtLeastContinuous(t *testing.T) {
+	// Discrete energy must never beat the continuous optimum (both
+	// leakage-free).
+	cont := idealCubic()
+	disc := Proc{Model: power.Cubic(), Levels: power.XScaleLevels()}
+	for w := 0.5; w <= 10; w += 0.5 {
+		ec := cont.Energy(w, 10)
+		ed := disc.Energy(w, 10)
+		if ed < ec-1e-9 {
+			t.Errorf("W = %v: discrete %v < continuous %v", w, ed, ec)
+		}
+	}
+}
+
+func TestEnergyInfeasibleIsInf(t *testing.T) {
+	p := idealCubic()
+	if got := p.Energy(100, 1); !math.IsInf(got, 1) {
+		t.Errorf("Energy(100, 1) = %v, want +Inf", got)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	if got := idealCubic().Capacity(10); got != 10 {
+		t.Errorf("Capacity(10) = %v, want 10", got)
+	}
+	disc := Proc{Model: power.Cubic(), Levels: power.XScaleLevels()}
+	if got := disc.Capacity(8); got != 8 {
+		t.Errorf("discrete Capacity(8) = %v, want 8", got)
+	}
+}

@@ -1,0 +1,93 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: running summaries with mean, standard deviation and a
+// normal-approximation 95% confidence interval.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary accumulates scalar observations. The zero value is ready to use.
+type Summary struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sum2 += x * x
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or NaN with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+
+// Var returns the unbiased sample variance, or NaN with fewer than two
+// observations.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	v := (s.sum2 - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		v = 0 // numerical noise on constant sequences
+	}
+	return v
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or NaN with no observations.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN with no observations.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean (1.96·σ/√n), or NaN with fewer than two
+// observations.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return 1.96 * s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// String formats the summary as "mean ± ci95 [min, max] (n)".
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("%.4f ± %.4f [%.4f, %.4f] (n=%d)", s.Mean(), s.CI95(), s.Min(), s.Max(), s.n)
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 {
+		t.Errorf("N() = %d, want 0", s.N())
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean(), "Var": s.Var(), "Min": s.Min(), "Max": s.Max(), "CI95": s.CI95(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty summary = %v, want NaN", name, v)
+		}
+	}
+	if s.String() != "empty" {
+		t.Errorf("String() = %q, want \"empty\"", s.String())
+	}
+}
+
+func TestSummaryKnownValues(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean() = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got, want := s.Var(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Var() = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.N() != 8 {
+		t.Errorf("N() = %d, want 8", s.N())
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Errorf("single-value summary = %v", s.String())
+	}
+	if !math.IsNaN(s.Var()) {
+		t.Errorf("Var() of one value = %v, want NaN", s.Var())
+	}
+}
+
+func TestSummaryConstantSequence(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(1e9) // large constant stresses the sum-of-squares path
+	}
+	if got := s.Var(); got < 0 || got > 1 {
+		t.Errorf("Var() of constants = %v, want ≈ 0 and never negative", got)
+	}
+	if got := s.Stddev(); math.IsNaN(got) {
+		t.Errorf("Stddev() of constants = NaN")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Summary
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if !(large.CI95() < small.CI95()) {
+		t.Errorf("CI95 did not shrink: n=10 → %v, n=1000 → %v", small.CI95(), large.CI95())
+	}
+}
+
+// Property: mean lies within [min, max], and variance is non-negative.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		count := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitudes so the sum of squares cannot overflow.
+			s.Add(math.Mod(x, 1e6))
+			count++
+		}
+		if count < 2 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

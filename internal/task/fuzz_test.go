@@ -1,0 +1,58 @@
+package task
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON asserts the frame-instance decoder never panics and that
+// everything it accepts re-encodes to something it accepts again.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"deadline":10,"smax":1,"tasks":[{"id":1,"cycles":4,"penalty":2}]}`)
+	f.Add(`{"deadline":1,"smax":0.5,"smin":0.1,"tasks":[]}`)
+	f.Add(`{"deadline":-1,"smax":1,"tasks":[{"id":1,"cycles":0}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"deadline":1e308,"smax":1e308,"tasks":[{"id":1,"cycles":9223372036854775807}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		in, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted instances must validate and round-trip.
+		if err := in.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := in.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadPeriodicJSON mirrors FuzzReadJSON for periodic instances.
+func FuzzReadPeriodicJSON(f *testing.F) {
+	f.Add(`{"type":"periodic","smax":1,"tasks":[{"id":1,"cycles":5,"period":20,"penalty":3}]}`)
+	f.Add(`{"type":"frame","smax":1,"tasks":[]}`)
+	f.Add(`{"type":"periodic","smax":1,"tasks":[{"id":1,"cycles":5,"period":0}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		pi, err := ReadPeriodicJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := pi.Validate(); err != nil {
+			t.Fatalf("ReadPeriodicJSON accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := pi.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadPeriodicJSON(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

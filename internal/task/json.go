@@ -1,0 +1,167 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the on-disk interchange format shared by the CLIs: a
+// frame-based instance with its processor parameters. The processor fields
+// live here (rather than in Set) so one file fully describes a solvable
+// problem.
+type instanceJSON struct {
+	Deadline float64    `json:"deadline"`
+	SMin     float64    `json:"smin,omitempty"`
+	SMax     float64    `json:"smax"`
+	Tasks    []taskJSON `json:"tasks"`
+}
+
+type taskJSON struct {
+	ID      int     `json:"id"`
+	Cycles  int64   `json:"cycles"`
+	Penalty float64 `json:"penalty"`
+	Rho     float64 `json:"rho,omitempty"`
+}
+
+// Instance bundles a frame-based task set with the processor speed range it
+// is to be scheduled on. It is the unit of CLI interchange.
+type Instance struct {
+	Set  Set
+	SMin float64
+	SMax float64
+}
+
+// Validate checks the set and the speed range.
+func (in Instance) Validate() error {
+	if err := in.Set.Validate(); err != nil {
+		return err
+	}
+	if in.SMax <= 0 {
+		return fmt.Errorf("instance: smax = %v, want > 0", in.SMax)
+	}
+	if in.SMin < 0 || in.SMin > in.SMax {
+		return fmt.Errorf("instance: smin = %v, want 0 ≤ smin ≤ smax = %v", in.SMin, in.SMax)
+	}
+	return nil
+}
+
+// WriteJSON encodes the instance to w with indentation.
+func (in Instance) WriteJSON(w io.Writer) error {
+	out := instanceJSON{
+		Deadline: in.Set.Deadline,
+		SMin:     in.SMin,
+		SMax:     in.SMax,
+		Tasks:    make([]taskJSON, 0, len(in.Set.Tasks)),
+	}
+	for _, t := range in.Set.Tasks {
+		out.Tasks = append(out.Tasks, taskJSON{ID: t.ID, Cycles: t.Cycles, Penalty: t.Penalty, Rho: t.Rho})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// periodicJSON is the on-disk interchange format for periodic instances.
+type periodicJSON struct {
+	Type  string             `json:"type"` // must be "periodic"
+	SMin  float64            `json:"smin,omitempty"`
+	SMax  float64            `json:"smax"`
+	Tasks []periodicTaskJSON `json:"tasks"`
+}
+
+type periodicTaskJSON struct {
+	ID      int     `json:"id"`
+	Cycles  int64   `json:"cycles"`
+	Period  int64   `json:"period"`
+	Penalty float64 `json:"penalty"`
+	Rho     float64 `json:"rho,omitempty"`
+}
+
+// PeriodicInstance bundles a periodic task set with the processor speed
+// range, for CLI interchange.
+type PeriodicInstance struct {
+	Set  PeriodicSet
+	SMin float64
+	SMax float64
+}
+
+// Validate checks the set and the speed range.
+func (pi PeriodicInstance) Validate() error {
+	if err := pi.Set.Validate(); err != nil {
+		return err
+	}
+	if len(pi.Set.Tasks) == 0 {
+		return fmt.Errorf("periodic instance: no tasks")
+	}
+	if pi.SMax <= 0 {
+		return fmt.Errorf("periodic instance: smax = %v, want > 0", pi.SMax)
+	}
+	if pi.SMin < 0 || pi.SMin > pi.SMax {
+		return fmt.Errorf("periodic instance: smin = %v, want 0 ≤ smin ≤ smax = %v", pi.SMin, pi.SMax)
+	}
+	return nil
+}
+
+// WriteJSON encodes the periodic instance to w with indentation.
+func (pi PeriodicInstance) WriteJSON(w io.Writer) error {
+	out := periodicJSON{
+		Type:  "periodic",
+		SMin:  pi.SMin,
+		SMax:  pi.SMax,
+		Tasks: make([]periodicTaskJSON, 0, len(pi.Set.Tasks)),
+	}
+	for _, t := range pi.Set.Tasks {
+		out.Tasks = append(out.Tasks, periodicTaskJSON{
+			ID: t.ID, Cycles: t.Cycles, Period: t.Period, Penalty: t.Penalty, Rho: t.Rho,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadPeriodicJSON decodes and validates a periodic instance from r.
+func ReadPeriodicJSON(r io.Reader) (PeriodicInstance, error) {
+	var raw periodicJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return PeriodicInstance{}, fmt.Errorf("task: decoding periodic instance: %w", err)
+	}
+	if raw.Type != "periodic" {
+		return PeriodicInstance{}, fmt.Errorf("task: instance type %q, want \"periodic\"", raw.Type)
+	}
+	pi := PeriodicInstance{SMin: raw.SMin, SMax: raw.SMax}
+	for _, t := range raw.Tasks {
+		pi.Set.Tasks = append(pi.Set.Tasks, Periodic{
+			ID: t.ID, Cycles: t.Cycles, Period: t.Period, Penalty: t.Penalty, Rho: t.Rho,
+		})
+	}
+	if err := pi.Validate(); err != nil {
+		return PeriodicInstance{}, err
+	}
+	return pi, nil
+}
+
+// ReadJSON decodes and validates an instance from r.
+func ReadJSON(r io.Reader) (Instance, error) {
+	var raw instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return Instance{}, fmt.Errorf("task: decoding instance: %w", err)
+	}
+	in := Instance{
+		Set:  Set{Deadline: raw.Deadline, Tasks: make([]Task, 0, len(raw.Tasks))},
+		SMin: raw.SMin,
+		SMax: raw.SMax,
+	}
+	for _, t := range raw.Tasks {
+		in.Set.Tasks = append(in.Set.Tasks, Task{ID: t.ID, Cycles: t.Cycles, Penalty: t.Penalty, Rho: t.Rho})
+	}
+	if err := in.Validate(); err != nil {
+		return Instance{}, err
+	}
+	return in, nil
+}

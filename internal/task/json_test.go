@@ -1,0 +1,132 @@
+package task
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := Instance{
+		Set: Set{
+			Deadline: 12.5,
+			Tasks: []Task{
+				{ID: 1, Cycles: 100, Penalty: 3.5},
+				{ID: 2, Cycles: 250, Penalty: 0, Rho: 1.5},
+			},
+		},
+		SMin: 0.1,
+		SMax: 1,
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, in)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"syntax", "{", "decoding"},
+		{"unknown field", `{"deadline":1,"smax":1,"bogus":2,"tasks":[]}`, "bogus"},
+		{"zero deadline", `{"deadline":0,"smax":1,"tasks":[]}`, "deadline"},
+		{"zero smax", `{"deadline":1,"smax":0,"tasks":[]}`, "smax"},
+		{"smin above smax", `{"deadline":1,"smin":2,"smax":1,"tasks":[]}`, "smin"},
+		{"bad task", `{"deadline":1,"smax":1,"tasks":[{"id":1,"cycles":0}]}`, "cycles"},
+		{"duplicate ids", `{"deadline":1,"smax":1,"tasks":[{"id":1,"cycles":5},{"id":1,"cycles":6}]}`, "duplicate"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tt.in))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("ReadJSON() error = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// Property: any valid instance survives a JSON round trip bit-exactly.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(cycles []uint16, deadline uint16) bool {
+		if len(cycles) == 0 {
+			return true
+		}
+		in := Instance{
+			Set:  Set{Deadline: 1 + float64(deadline%1000)},
+			SMax: 1,
+		}
+		for i, c := range cycles {
+			in.Set.Tasks = append(in.Set.Tasks, Task{
+				ID:      i,
+				Cycles:  1 + int64(c),
+				Penalty: float64(c%97) / 7,
+			})
+		}
+		var buf bytes.Buffer
+		if err := in.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		return err == nil && reflect.DeepEqual(got, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicJSONRoundTrip(t *testing.T) {
+	pi := PeriodicInstance{
+		Set: PeriodicSet{Tasks: []Periodic{
+			{ID: 1, Cycles: 5, Period: 20, Penalty: 3},
+			{ID: 2, Cycles: 9, Period: 30, Penalty: 2.5, Rho: 1.5},
+		}},
+		SMin: 0.1,
+		SMax: 1,
+	}
+	var buf bytes.Buffer
+	if err := pi.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPeriodicJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pi) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, pi)
+	}
+}
+
+func TestReadPeriodicJSONRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"wrong type", `{"type":"frame","smax":1,"tasks":[{"id":1,"cycles":5,"period":10}]}`, "type"},
+		{"missing type", `{"smax":1,"tasks":[{"id":1,"cycles":5,"period":10}]}`, "type"},
+		{"no tasks", `{"type":"periodic","smax":1,"tasks":[]}`, "no tasks"},
+		{"zero period", `{"type":"periodic","smax":1,"tasks":[{"id":1,"cycles":5,"period":0}]}`, "period"},
+		{"zero smax", `{"type":"periodic","smax":0,"tasks":[{"id":1,"cycles":5,"period":10}]}`, "smax"},
+		{"unknown field", `{"type":"periodic","smax":1,"bogus":1,"tasks":[]}`, "bogus"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadPeriodicJSON(strings.NewReader(tt.in))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("ReadPeriodicJSON() error = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}

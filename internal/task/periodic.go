@@ -1,0 +1,114 @@
+package task
+
+import (
+	"fmt"
+	"math"
+)
+
+// Periodic is one periodic real-time task with an implicit deadline: the
+// j-th job of the task arrives at (j−1)·Period and must complete by
+// j·Period. Periods are integers so that hyper-periods are exact.
+type Periodic struct {
+	ID      int
+	Cycles  int64   // worst-case execution cycles per job, > 0
+	Period  int64   // period = relative deadline, > 0
+	Penalty float64 // cost of rejecting ONE job of the task, ≥ 0
+	Rho     float64 // dynamic power coefficient; 0 means 1 (see Task.Rho)
+}
+
+// PowerCoeff returns the task's effective dynamic power coefficient.
+func (p Periodic) PowerCoeff() float64 {
+	if p.Rho == 0 {
+		return 1
+	}
+	return p.Rho
+}
+
+// Utilization returns Cycles/Period, the task's cycle utilization: the
+// minimum constant speed dedicated entirely to this task that meets its
+// deadlines.
+func (p Periodic) Utilization() float64 {
+	return float64(p.Cycles) / float64(p.Period)
+}
+
+// Validate reports whether the task parameters are in their legal ranges.
+func (p Periodic) Validate() error {
+	switch {
+	case p.Cycles <= 0:
+		return fmt.Errorf("periodic task %d: cycles = %d, want > 0", p.ID, p.Cycles)
+	case p.Period <= 0:
+		return fmt.Errorf("periodic task %d: period = %d, want > 0", p.ID, p.Period)
+	case math.IsNaN(p.Penalty) || math.IsInf(p.Penalty, 0) || p.Penalty < 0:
+		return fmt.Errorf("periodic task %d: penalty = %v, want finite ≥ 0", p.ID, p.Penalty)
+	case math.IsNaN(p.Rho) || p.Rho < 0:
+		return fmt.Errorf("periodic task %d: rho = %v, want ≥ 0", p.ID, p.Rho)
+	}
+	return nil
+}
+
+// PeriodicSet is a set of independent periodic tasks scheduled by EDF on one
+// processor.
+type PeriodicSet struct {
+	Tasks []Periodic
+}
+
+// Validate checks every task and ID uniqueness.
+func (ps PeriodicSet) Validate() error {
+	seen := make(map[int]bool, len(ps.Tasks))
+	for _, t := range ps.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("periodic set: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// Utilization returns the summed cycle utilization Σ Cycles/Period.
+func (ps PeriodicSet) Utilization() float64 {
+	var u float64
+	for _, t := range ps.Tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// Hyperperiod returns the least common multiple of all periods, the length
+// of the repeating schedule window. It returns an error on overflow (LCMs
+// of unrelated periods grow fast) or on an empty set.
+func (ps PeriodicSet) Hyperperiod() (int64, error) {
+	if len(ps.Tasks) == 0 {
+		return 0, fmt.Errorf("periodic set: hyperperiod of empty set")
+	}
+	l := int64(1)
+	for _, t := range ps.Tasks {
+		var err error
+		l, err = lcm(l, t.Period)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return l, nil
+}
+
+// gcd returns the greatest common divisor of two positive integers.
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lcm returns the least common multiple of two positive integers, guarding
+// against int64 overflow.
+func lcm(a, b int64) (int64, error) {
+	g := gcd(a, b)
+	q := a / g
+	if q != 0 && b > math.MaxInt64/q {
+		return 0, fmt.Errorf("task: hyperperiod overflows int64 (lcm of %d and %d)", a, b)
+	}
+	return q * b, nil
+}

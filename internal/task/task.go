@@ -1,0 +1,106 @@
+// Package task defines the real-time task model shared by the whole
+// repository: frame-based task sets (all tasks arrive at time 0 and share a
+// common deadline D) and periodic task sets with implicit deadlines.
+//
+// Workloads are measured in worst-case execution cycles (integers), the
+// convention of the DATE-era DVS scheduling literature: the number of cycles
+// executed in an interval is linear in the processor speed, so time and
+// energy for a workload follow directly from the chosen speed.
+package task
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task is one frame-based real-time task.
+type Task struct {
+	ID      int     // caller-chosen identifier, unique within a set
+	Cycles  int64   // worst-case execution cycles, > 0
+	Penalty float64 // cost of rejecting the task, ≥ 0
+	// Rho is the task's dynamic power coefficient relative to the
+	// processor's base model (heterogeneous power characteristics).
+	// Zero means "unset" and is treated as 1 (homogeneous).
+	Rho float64
+}
+
+// PowerCoeff returns the task's effective dynamic power coefficient,
+// treating the zero value as the homogeneous coefficient 1.
+func (t Task) PowerCoeff() float64 {
+	if t.Rho == 0 {
+		return 1
+	}
+	return t.Rho
+}
+
+// Validate reports whether the task parameters are in their legal ranges.
+func (t Task) Validate() error {
+	switch {
+	case t.Cycles <= 0:
+		return fmt.Errorf("task %d: cycles = %d, want > 0", t.ID, t.Cycles)
+	case math.IsNaN(t.Penalty) || math.IsInf(t.Penalty, 0) || t.Penalty < 0:
+		return fmt.Errorf("task %d: penalty = %v, want finite ≥ 0", t.ID, t.Penalty)
+	case math.IsNaN(t.Rho) || t.Rho < 0:
+		return fmt.Errorf("task %d: rho = %v, want ≥ 0", t.ID, t.Rho)
+	}
+	return nil
+}
+
+// Set is a frame-based task set with common arrival time 0 and common
+// deadline (frame length) Deadline.
+type Set struct {
+	Tasks    []Task
+	Deadline float64 // frame length D, > 0
+}
+
+// Validate checks the frame and every task, including ID uniqueness.
+func (s Set) Validate() error {
+	if math.IsNaN(s.Deadline) || math.IsInf(s.Deadline, 0) || s.Deadline <= 0 {
+		return fmt.Errorf("task set: deadline = %v, want finite > 0", s.Deadline)
+	}
+	seen := make(map[int]bool, len(s.Tasks))
+	for _, t := range s.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("task set: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// TotalCycles returns the summed worst-case cycles of all tasks.
+func (s Set) TotalCycles() int64 {
+	var sum int64
+	for _, t := range s.Tasks {
+		sum += t.Cycles
+	}
+	return sum
+}
+
+// TotalPenalty returns the summed rejection penalties of all tasks.
+func (s Set) TotalPenalty() float64 {
+	var sum float64
+	for _, t := range s.Tasks {
+		sum += t.Penalty
+	}
+	return sum
+}
+
+// Load returns the system load ΣCycles / (smax·D): a load above 1 means the
+// set is infeasible even at top speed and rejection is mandatory.
+func (s Set) Load(smax float64) float64 {
+	return float64(s.TotalCycles()) / (smax * s.Deadline)
+}
+
+// ByID returns the task with the given ID and whether it exists.
+func (s Set) ByID(id int) (Task, bool) {
+	for _, t := range s.Tasks {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Task{}, false
+}

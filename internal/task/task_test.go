@@ -1,0 +1,198 @@
+package task
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTaskValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		task    Task
+		wantErr bool
+	}{
+		{"valid", Task{ID: 1, Cycles: 100, Penalty: 2}, false},
+		{"valid zero penalty", Task{ID: 1, Cycles: 1, Penalty: 0}, false},
+		{"valid rho", Task{ID: 1, Cycles: 1, Penalty: 0, Rho: 2.5}, false},
+		{"zero cycles", Task{ID: 1, Cycles: 0, Penalty: 1}, true},
+		{"negative cycles", Task{ID: 1, Cycles: -5, Penalty: 1}, true},
+		{"negative penalty", Task{ID: 1, Cycles: 1, Penalty: -1}, true},
+		{"nan penalty", Task{ID: 1, Cycles: 1, Penalty: math.NaN()}, true},
+		{"inf penalty", Task{ID: 1, Cycles: 1, Penalty: math.Inf(1)}, true},
+		{"negative rho", Task{ID: 1, Cycles: 1, Rho: -1}, true},
+		{"nan rho", Task{ID: 1, Cycles: 1, Rho: math.NaN()}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.task.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPowerCoeffDefault(t *testing.T) {
+	if got := (Task{}).PowerCoeff(); got != 1 {
+		t.Errorf("zero Rho PowerCoeff() = %v, want 1", got)
+	}
+	if got := (Task{Rho: 2.5}).PowerCoeff(); got != 2.5 {
+		t.Errorf("PowerCoeff() = %v, want 2.5", got)
+	}
+	if got := (Periodic{}).PowerCoeff(); got != 1 {
+		t.Errorf("zero Rho periodic PowerCoeff() = %v, want 1", got)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	valid := Set{
+		Deadline: 10,
+		Tasks:    []Task{{ID: 1, Cycles: 5, Penalty: 1}, {ID: 2, Cycles: 3, Penalty: 2}},
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid set: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		set  Set
+		want string
+	}{
+		{"zero deadline", Set{Deadline: 0}, "deadline"},
+		{"negative deadline", Set{Deadline: -1}, "deadline"},
+		{"inf deadline", Set{Deadline: math.Inf(1)}, "deadline"},
+		{"duplicate IDs", Set{Deadline: 1, Tasks: []Task{{ID: 7, Cycles: 1}, {ID: 7, Cycles: 2}}}, "duplicate"},
+		{"bad task", Set{Deadline: 1, Tasks: []Task{{ID: 1, Cycles: 0}}}, "cycles"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.set.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSetAggregates(t *testing.T) {
+	s := Set{
+		Deadline: 10,
+		Tasks: []Task{
+			{ID: 1, Cycles: 6, Penalty: 1.5},
+			{ID: 2, Cycles: 4, Penalty: 2.5},
+		},
+	}
+	if got := s.TotalCycles(); got != 10 {
+		t.Errorf("TotalCycles() = %d, want 10", got)
+	}
+	if got := s.TotalPenalty(); got != 4 {
+		t.Errorf("TotalPenalty() = %v, want 4", got)
+	}
+	if got := s.Load(1); got != 1 {
+		t.Errorf("Load(1) = %v, want 1", got)
+	}
+	if got := s.Load(2); got != 0.5 {
+		t.Errorf("Load(2) = %v, want 0.5", got)
+	}
+}
+
+func TestByID(t *testing.T) {
+	s := Set{Deadline: 1, Tasks: []Task{{ID: 3, Cycles: 9}}}
+	got, ok := s.ByID(3)
+	if !ok || got.Cycles != 9 {
+		t.Errorf("ByID(3) = (%v, %v)", got, ok)
+	}
+	if _, ok := s.ByID(4); ok {
+		t.Error("ByID(4) found a nonexistent task")
+	}
+}
+
+func TestPeriodicValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Periodic
+		wantErr bool
+	}{
+		{"valid", Periodic{ID: 1, Cycles: 3, Period: 10, Penalty: 1}, false},
+		{"zero period", Periodic{ID: 1, Cycles: 3, Period: 0}, true},
+		{"zero cycles", Periodic{ID: 1, Cycles: 0, Period: 10}, true},
+		{"negative penalty", Periodic{ID: 1, Cycles: 1, Period: 1, Penalty: -1}, true},
+		{"nan rho", Periodic{ID: 1, Cycles: 1, Period: 1, Rho: math.NaN()}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPeriodicSet(t *testing.T) {
+	ps := PeriodicSet{Tasks: []Periodic{
+		{ID: 1, Cycles: 1, Period: 2, Penalty: 1},
+		{ID: 2, Cycles: 2, Period: 5, Penalty: 1},
+	}}
+	if err := ps.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's running example: p1 = 2, p2 = 5 → hyper-period 10,
+	// utilization 1/2 + 2/5 = 0.9.
+	l, err := ps.Hyperperiod()
+	if err != nil || l != 10 {
+		t.Errorf("Hyperperiod() = (%d, %v), want (10, nil)", l, err)
+	}
+	if got := ps.Utilization(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Utilization() = %v, want 0.9", got)
+	}
+}
+
+func TestPeriodicSetDuplicateIDs(t *testing.T) {
+	ps := PeriodicSet{Tasks: []Periodic{
+		{ID: 1, Cycles: 1, Period: 2},
+		{ID: 1, Cycles: 1, Period: 3},
+	}}
+	if err := ps.Validate(); err == nil {
+		t.Error("Validate() accepted duplicate IDs")
+	}
+}
+
+func TestHyperperiodEdgeCases(t *testing.T) {
+	if _, err := (PeriodicSet{}).Hyperperiod(); err == nil {
+		t.Error("Hyperperiod() of empty set must error")
+	}
+	// Coprime large periods overflow int64.
+	big := PeriodicSet{Tasks: []Periodic{
+		{ID: 1, Cycles: 1, Period: math.MaxInt64 / 2},
+		{ID: 2, Cycles: 1, Period: math.MaxInt64/2 - 1},
+	}}
+	if _, err := big.Hyperperiod(); err == nil {
+		t.Error("Hyperperiod() must detect overflow")
+	}
+	// Identical periods: hyper-period equals the period.
+	same := PeriodicSet{Tasks: []Periodic{
+		{ID: 1, Cycles: 1, Period: 42},
+		{ID: 2, Cycles: 1, Period: 42},
+	}}
+	if l, err := same.Hyperperiod(); err != nil || l != 42 {
+		t.Errorf("Hyperperiod() = (%d, %v), want (42, nil)", l, err)
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	tests := []struct{ a, b, g, l int64 }{
+		{2, 5, 1, 10},
+		{4, 6, 2, 12},
+		{7, 7, 7, 7},
+		{1, 9, 1, 9},
+		{12, 18, 6, 36},
+	}
+	for _, tt := range tests {
+		if got := gcd(tt.a, tt.b); got != tt.g {
+			t.Errorf("gcd(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.g)
+		}
+		if got, err := lcm(tt.a, tt.b); err != nil || got != tt.l {
+			t.Errorf("lcm(%d, %d) = (%d, %v), want (%d, nil)", tt.a, tt.b, got, err, tt.l)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package trace renders EDF simulation results as ASCII Gantt charts —
+// the debugging view of a schedule: one row per task showing when it
+// executes, plus the processor speed lane underneath.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+// Gantt renders the result over [0, horizon) at the given width in
+// characters. Rows are sorted by task ID. Legend: '█' executing, '·' idle
+// within the window, '×' marks the deadline column of a missed job. The
+// final lane shows the speed profile quantized to 0–9 (relative to its
+// maximum).
+func Gantt(r edf.Result, pr speed.Profile, horizon float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if horizon <= 0 {
+		horizon = pr.End()
+		for _, j := range r.Jobs {
+			if j.Deadline > horizon {
+				horizon = j.Deadline
+			}
+		}
+	}
+	if horizon <= 0 {
+		return "(empty schedule)\n"
+	}
+	col := func(t float64) int {
+		c := int(t / horizon * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Collect task IDs.
+	ids := map[int]bool{}
+	for _, j := range r.Jobs {
+		ids[j.TaskID] = true
+	}
+	order := make([]int, 0, len(ids))
+	for id := range ids {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.4g\n", strings.Repeat(" ", width-8), horizon)
+	for _, id := range order {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		// Window dots.
+		for _, j := range r.Jobs {
+			if j.TaskID != id {
+				continue
+			}
+			for c := col(j.Release); c <= col(j.Deadline-1e-12); c++ {
+				if row[c] == ' ' {
+					row[c] = '.'
+				}
+			}
+		}
+		// Execution.
+		for _, s := range r.Slices {
+			if s.TaskID != id {
+				continue
+			}
+			lo, hi := col(s.Start), col(s.End-1e-12)
+			for c := lo; c <= hi; c++ {
+				row[c] = '#'
+			}
+		}
+		// Misses.
+		for _, j := range r.Jobs {
+			if j.TaskID == id && j.Missed {
+				row[col(j.Deadline-1e-12)] = 'x'
+			}
+		}
+		fmt.Fprintf(&b, "%4d %s\n", id, string(row))
+	}
+
+	// Speed lane.
+	maxS := 0.0
+	for _, seg := range pr {
+		maxS = math.Max(maxS, seg.Speed)
+	}
+	lane := make([]byte, width)
+	for i := range lane {
+		mid := (float64(i) + 0.5) / float64(width) * horizon
+		s := pr.SpeedAt(mid)
+		switch {
+		case s <= 0:
+			lane[i] = '_'
+		case maxS <= 0:
+			lane[i] = '_'
+		default:
+			d := int(math.Round(s / maxS * 9))
+			lane[i] = byte('0' + d)
+		}
+	}
+	fmt.Fprintf(&b, "  s  %s  (9 = %.3g)\n", string(lane), maxS)
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+func TestGanttBasic(t *testing.T) {
+	jobs := []edf.Job{
+		{TaskID: 1, Release: 0, Deadline: 10, Cycles: 5},
+		{TaskID: 2, Release: 0, Deadline: 20, Cycles: 5},
+	}
+	pr := speed.Constant(1, 0, 20)
+	r, err := edf.Simulate(jobs, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(r, pr, 20, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 2 task rows + speed lane.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") || !strings.Contains(lines[2], "#") {
+		t.Errorf("missing execution marks:\n%s", out)
+	}
+	// Task 1 runs first (earlier deadline): its marks start at column 0.
+	if !strings.HasPrefix(strings.TrimPrefix(lines[1], "   1 "), "#") {
+		t.Errorf("task 1 does not start executing at t=0:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "9") {
+		t.Errorf("speed lane missing full-speed marks:\n%s", out)
+	}
+}
+
+func TestGanttMissMark(t *testing.T) {
+	jobs := []edf.Job{{TaskID: 7, Release: 0, Deadline: 4, Cycles: 10}}
+	pr := speed.Constant(1, 0, 20)
+	r, err := edf.Simulate(jobs, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(r, pr, 20, 40)
+	if !strings.Contains(out, "x") {
+		t.Errorf("missed deadline not marked:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	out := Gantt(edf.Result{}, nil, 0, 40)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("empty rendering = %q", out)
+	}
+}
+
+func TestGanttIdleLane(t *testing.T) {
+	jobs := []edf.Job{{TaskID: 1, Release: 0, Deadline: 5, Cycles: 2}}
+	pr := speed.Constant(1, 0, 2) // processor stops at t=2
+	r, err := edf.Simulate(jobs, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(r, pr, 10, 20)
+	if !strings.Contains(out, "_") {
+		t.Errorf("idle speed not rendered as '_':\n%s", out)
+	}
+}
+
+func TestSlicesRecorded(t *testing.T) {
+	// Preemption produces three slices: task1, task2, task1 again.
+	jobs := []edf.Job{
+		{TaskID: 1, Release: 0, Deadline: 20, Cycles: 10},
+		{TaskID: 2, Release: 2, Deadline: 5, Cycles: 2},
+	}
+	r, err := edf.Simulate(jobs, speed.Constant(1, 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Slices) != 3 {
+		t.Fatalf("slices = %+v, want 3", r.Slices)
+	}
+	ids := []int{r.Slices[0].TaskID, r.Slices[1].TaskID, r.Slices[2].TaskID}
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 1 {
+		t.Errorf("slice order = %v, want [1 2 1]", ids)
+	}
+	// Slices must be disjoint and time-ordered.
+	for i := 1; i < len(r.Slices); i++ {
+		if r.Slices[i].Start < r.Slices[i-1].End-1e-9 {
+			t.Errorf("slices overlap: %+v", r.Slices)
+		}
+	}
+	// Total sliced time equals total work at speed 1.
+	var busy float64
+	for _, s := range r.Slices {
+		busy += s.End - s.Start
+	}
+	if busy < 12-1e-9 || busy > 12+1e-9 {
+		t.Errorf("busy time = %v, want 12", busy)
+	}
+}
