@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench fuzz experiments examples clean
+.PHONY: all build vet test test-short cover bench bench-json fuzz experiments examples clean
 
 all: build vet test
 
@@ -22,6 +22,9 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+bench-json:
+	$(GO) run ./cmd/bench -o BENCH_core.json
 
 fuzz:
 	$(GO) test ./internal/task/ -fuzz FuzzReadJSON -fuzztime 30s

@@ -102,7 +102,32 @@ func BenchmarkSolverGreedyMarginal(b *testing.B) {
 
 func BenchmarkSolverExhaustive(b *testing.B) {
 	for _, n := range []int{12, 16, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSolver(b, core.Exhaustive{Workers: 1}, n) })
+	}
+}
+
+func BenchmarkSolverExhaustiveParallel(b *testing.B) {
+	for _, n := range []int{16, 20} {
+		// Workers = 0 fans the subtree search out to GOMAXPROCS workers.
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSolver(b, core.Exhaustive{}, n) })
+	}
+}
+
+func BenchmarkSolverRandomAdmission(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSolver(b, core.RandomAdmission{Seed: 1, Restarts: 32, Workers: 1}, n)
+		})
+	}
+}
+
+func BenchmarkSolverRandomAdmissionParallel(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		// Workers = 0 runs the restarts on a GOMAXPROCS-wide pool; the
+		// result is identical to the serial run for the same seed.
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSolver(b, core.RandomAdmission{Seed: 1, Restarts: 32}, n)
+		})
 	}
 }
 

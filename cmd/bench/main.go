@@ -1,0 +1,142 @@
+// Command bench is the benchmark-regression harness: it runs the core
+// solver microbenchmarks programmatically (the same instances as the
+// BenchmarkSolver* functions in bench_test.go) and writes a
+// machine-readable JSON report, BENCH_core.json by default. Committing the
+// report alongside a performance-sensitive change gives reviewers and CI a
+// before/after record without re-deriving numbers from log output:
+//
+//	go run ./cmd/bench -o BENCH_core.json            # or: make bench-json
+//	go run ./cmd/bench -benchtime 5s -o after.json   # longer, steadier runs
+//
+// For statistically rigorous comparisons, run the regular `go test -bench`
+// twice and feed the outputs to benchstat; this harness trades confidence
+// intervals for a stable machine-readable snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoOS        string   `json:"goos"`
+	GoArch      string   `json:"goarch"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	BenchTime   string   `json:"benchtime"`
+	Results     []result `json:"results"`
+}
+
+// instance mirrors benchInstance in bench_test.go: one deterministic
+// contested instance per size.
+func instance(n int, load float64) (core.Instance, error) {
+	set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{
+		N: n, Load: load, Deadline: 1000,
+	})
+	if err != nil {
+		return core.Instance{}, err
+	}
+	return core.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}}, nil
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("o", "BENCH_core.json", "output path for the JSON report")
+	benchtime := flag.String("benchtime", "1s", "minimum measuring time per benchmark (forwarded to the testing package)")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -benchtime: %v\n", err)
+		os.Exit(1)
+	}
+
+	cases := []struct {
+		name   string
+		sizes  []int
+		solver core.Solver
+	}{
+		{"SolverDP", []int{10, 100, 1000}, core.DP{}},
+		{"SolverApproxDP", []int{10, 100, 1000}, core.ApproxDP{Eps: 0.1}},
+		{"SolverGreedyDensity", []int{10, 100, 1000, 10000}, core.GreedyDensity{}},
+		{"SolverGreedyMarginal", []int{10, 100, 1000}, core.GreedyMarginal{}},
+		{"SolverRounding", []int{10, 100, 1000}, core.Rounding{}},
+		{"SolverExhaustive", []int{12, 16, 20}, core.Exhaustive{Workers: 1}},
+		{"SolverExhaustiveParallel", []int{16, 20}, core.Exhaustive{}},
+		{"SolverRandomAdmission", []int{100, 1000}, core.RandomAdmission{Seed: 1, Restarts: 32, Workers: 1}},
+		{"SolverRandomAdmissionParallel", []int{100, 1000}, core.RandomAdmission{Seed: 1, Restarts: 32}},
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		BenchTime:   *benchtime,
+	}
+	for _, c := range cases {
+		for _, n := range c.sizes {
+			in, err := instance(n, 1.5)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %s/n=%d: %v\n", c.name, n, err)
+				os.Exit(1)
+			}
+			solver := c.solver
+			var solveErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.Solve(in); err != nil {
+						solveErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if solveErr != nil {
+				fmt.Fprintf(os.Stderr, "bench: %s/n=%d: %v\n", c.name, n, solveErr)
+				os.Exit(1)
+			}
+			res := result{
+				Name:        c.name,
+				N:           n,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("%-30s n=%-6d %14.0f ns/op %8d B/op %6d allocs/op\n",
+				res.Name, res.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+}

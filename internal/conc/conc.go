@@ -1,0 +1,62 @@
+// Package conc provides the small deterministic-concurrency primitive
+// shared by the solver layer (internal/core) and the experiment harness
+// (internal/exper): a bounded worker pool whose results come back in index
+// order, so downstream aggregation is bit-for-bit identical to a serial
+// run regardless of scheduling.
+package conc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn for indices 0..n−1 on a bounded worker pool and returns
+// the per-index results in index order. workers ≤ 0 means GOMAXPROCS; the
+// pool never exceeds n. Every index is attempted even after a failure; the
+// first error (by index, not by completion time) wins, matching what a
+// plain serial loop that collects all errors would report.
+func ForEach[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	if workers == 1 {
+		// Serial fast path: no goroutine or channel traffic.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,61 @@
+package conc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachResultsInOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 16} {
+		got, err := ForEach(10, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var counts [n]atomic.Int32
+	if _, err := ForEach(n, 8, func(i int) (struct{}, error) {
+		counts[i].Add(1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachFirstErrorByIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := ForEach(20, workers, func(i int) (int, error) {
+			if i == 3 || i == 17 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Errorf("workers=%d: err = %v, want boom 3", workers, err)
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	got, err := ForEach(0, 4, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("n=0: got %v, %v", got, err)
+	}
+}

@@ -35,18 +35,19 @@ func (a ApproxDP) Name() string { return fmt.Sprintf("ApproxDP(ε=%g)", a.Eps) }
 
 // Solve implements Solver. Heterogeneous instances are rejected, as in DP.
 func (a ApproxDP) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
-	if in.Heterogeneous() {
+	if ctx.hetero {
 		return Solution{}, ErrHeterogeneous
 	}
 	if a.Eps <= 0 || math.IsNaN(a.Eps) {
 		return Solution{}, fmt.Errorf("core: ApproxDP ε = %v, want > 0", a.Eps)
 	}
-	its := in.items()
+	its := ctx.items
 	n := len(its)
-	capTrue := in.Capacity()
+	capTrue := ctx.capacity
 
 	k := int64(math.Floor(a.Eps * capTrue / float64(n+1)))
 	if k < 1 {
@@ -70,9 +71,9 @@ func (a ApproxDP) Solve(in Instance) (Solution, error) {
 		return Solution{}, fmt.Errorf("core: ApproxDP needs %d states, over the limit %d (raise ε)", work, limit)
 	}
 
-	accepted, err := rejectionDP(scaled, capScaled, in.energyOf, float64(k))
+	accepted, err := rejectionDP(scaled, capScaled, ctx.energy, float64(k), ctx.fastEnergy)
 	if err != nil {
 		return Solution{}, err
 	}
-	return Evaluate(in, accepted)
+	return ctx.evaluate(accepted)
 }

@@ -38,17 +38,18 @@ func (a ApproxDPPenalty) Name() string { return fmt.Sprintf("ApproxDP-V(ε=%g)",
 // = OPT (E monotone). The true penalty of the reconstructed set exceeds
 // its rounded value by < n·K = ε·UB, so cost ≤ OPT + ε·UB.
 func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
-	if in.Heterogeneous() {
+	if ctx.hetero {
 		return Solution{}, ErrHeterogeneous
 	}
 	if a.Eps <= 0 || math.IsNaN(a.Eps) {
 		return Solution{}, fmt.Errorf("core: ApproxDPPenalty ε = %v, want > 0", a.Eps)
 	}
 
-	ub, err := (GreedyDensity{}).Solve(in)
+	ub, err := greedyDensity(ctx)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -61,16 +62,16 @@ func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
 	// their penalties are a constant offset outside the DP (leaving them
 	// in would make acceptance — which the grid forces for huge penalties
 	// — infeasible everywhere).
-	all := in.items()
+	all := ctx.items
 	its := all[:0:0]
 	for _, it := range all {
-		if in.Fits(float64(it.c)) {
+		if ctx.fits(float64(it.c)) {
 			its = append(its, it)
 		}
 	}
 	n := len(its)
 	if n == 0 {
-		return Evaluate(in, nil)
+		return ctx.evaluate(nil)
 	}
 	k := a.Eps * ub.Cost / float64(n)
 
@@ -125,10 +126,10 @@ func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
 	// Pick the best rounded objective among capacity-feasible levels.
 	bestP, bestObj := int64(-1), math.Inf(1)
 	for p := int64(0); p <= pMax; p++ {
-		if g[p] >= inf || !in.Fits(float64(g[p])) {
+		if g[p] >= inf || !ctx.fits(float64(g[p])) {
 			continue
 		}
-		if obj := in.energyOf(float64(g[p])) + float64(p)*k; obj < bestObj {
+		if obj := ctx.energy(float64(g[p])) + float64(p)*k; obj < bestObj {
 			bestObj, bestP = obj, p
 		}
 	}
@@ -150,7 +151,7 @@ func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
 	if p != 0 {
 		return Solution{}, fmt.Errorf("core: ApproxDPPenalty reconstruction left level %d", p)
 	}
-	sol, err := Evaluate(in, ids)
+	sol, err := ctx.evaluate(ids)
 	if err != nil {
 		return Solution{}, err
 	}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"dvsreject/internal/speed"
+)
+
+// evalCtx is the per-instance evaluation context every solver builds once
+// per Solve and threads through its hot loops. It precomputes everything
+// that is constant for the lifetime of one solve but that the Instance
+// methods recompute per call:
+//
+//   - the capacity smax·D (Instance.Fits recomputes it on every
+//     feasibility probe);
+//   - the Heterogeneous() flag (an O(n) scan the seed code performed
+//     inside every surrogateEnergy call, which made S-GREEDY's swap loop
+//     O(n³) per iteration);
+//   - the flattened items slice and an id→index map shared with Evaluate;
+//   - the closed-form coefficients of the energy curve, so E(W) probes on
+//     continuous-speed processors are a single math.Pow instead of a full
+//     speed.Proc.Assign with its per-call validation and candidate
+//     enumeration.
+//
+// Exactness contract: every ctx method reproduces the corresponding
+// Instance method bit for bit (the fast energy path mirrors the float
+// operation sequence of speed.Proc.Assign exactly), so solver decisions,
+// tie-breaks and branch-and-bound node counts are unchanged by the
+// caching. The context is immutable after construction and safe for
+// concurrent use by parallel search workers; callers must not mutate
+// items (sorting solvers clone it first).
+type evalCtx struct {
+	in    Instance
+	items []item      // instance order; treat as read-only
+	idx   map[int]int // task ID → position in in.Tasks.Tasks
+
+	deadline float64
+	capacity float64 // smax·D in true cycles
+	capSlack float64 // capacity·(1+1e-9), the Fits acceptance threshold
+
+	hetero bool // any task with a non-trivial power coefficient
+	convex bool // surrogate energy curve is convex (strong B&B pruning)
+
+	// fastEnergy marks instances whose energy curve has the closed
+	// continuous-speed form below (Levels == nil, dormant disabled —
+	// leakage is fine). Discrete-speed and dormant-enable processors fall
+	// back to speed.Proc.Energy, still skipping the per-call capacity and
+	// heterogeneity recomputation.
+	fastEnergy bool
+	smin, smax float64
+	pind       float64 // static power Pind
+	coeff      float64 // dynamic power coefficient
+	alpha      float64 // dynamic power exponent
+	idleTotal  float64 // energy of an entirely idle frame, Pind·D
+	hetDenom   float64 // D^(α−1), the heterogeneous surrogate denominator
+}
+
+// newEvalCtx validates the instance and builds its evaluation context.
+func newEvalCtx(in Instance) (*evalCtx, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	m := in.Proc.Model
+	c := &evalCtx{
+		in:         in,
+		items:      in.items(),
+		idx:        in.Tasks.Index(),
+		deadline:   in.Tasks.Deadline,
+		capacity:   in.Capacity(),
+		hetero:     in.Heterogeneous(),
+		convex:     in.convexEnergy(),
+		fastEnergy: in.Proc.Levels == nil && !in.Proc.DormantEnable,
+		smin:       in.Proc.SMin,
+		smax:       in.Proc.SMax,
+		pind:       m.Static(),
+		coeff:      m.Coeff,
+		alpha:      m.Alpha,
+	}
+	c.capSlack = c.capacity * (1 + 1e-9)
+	c.idleTotal = c.pind * c.deadline
+	c.hetDenom = math.Pow(c.deadline, c.alpha-1)
+	return c, nil
+}
+
+// fits reports whether a workload of w true cycles is schedulable;
+// identical to Instance.Fits with the capacity cached.
+func (c *evalCtx) fits(w float64) bool {
+	return w <= c.capSlack
+}
+
+// energy returns E(w), the minimum energy of executing a homogeneous
+// workload of w true cycles in one frame, +Inf when infeasible. On the
+// fast path it mirrors speed.Proc.Assign's continuous, dormant-disable
+// branch operation for operation (same checks, same clamping, same order
+// of float arithmetic), so the result is bit-identical to
+// Instance.energyOf.
+func (c *evalCtx) energy(w float64) float64 {
+	if !c.fastEnergy {
+		return c.in.Proc.Energy(w, c.deadline)
+	}
+	// w != w catches NaN, w < 0 catches -Inf, the capacity check catches
+	// +Inf — the same rejections speed.Proc.Assign makes, without the
+	// math.IsNaN/IsInf calls.
+	if w < 0 || w != w {
+		return math.Inf(1)
+	}
+	if w > c.capSlack {
+		return math.Inf(1)
+	}
+	if w == 0 {
+		return c.idleTotal
+	}
+	// speed.Proc.assignContinuous, dormant-disable branch: run at the
+	// slowest deadline- and hardware-feasible speed. The branches compute
+	// the same values as the math.Min(math.Max(·)) clamp there — the
+	// operands are never NaN and never signed zeros of opposite sign.
+	s := w / c.deadline
+	if s < c.smin {
+		s = c.smin
+	}
+	if s > c.smax {
+		s = c.smax
+	}
+	exec := w / s
+	var dyn float64
+	if s > 0 {
+		dyn = c.coeff * math.Pow(s, c.alpha)
+	}
+	return (c.pind+dyn)*exec + c.pind*(c.deadline-exec)
+}
+
+// surrogate estimates the energy of an accepted set from its effective
+// workload, as Instance.surrogateEnergy does, with the heterogeneity scan
+// and the D^(α−1) power precomputed away.
+func (c *evalCtx) surrogate(wEff float64) float64 {
+	if !c.hetero {
+		return c.energy(wEff)
+	}
+	return c.coeff * math.Pow(wEff, c.alpha) / c.hetDenom
+}
+
+// evaluate builds the full Solution for an accepted ID set, exactly as the
+// package-level Evaluate does, skipping only the instance re-validation
+// (done once at context construction) and reusing the cached id→index map
+// and heterogeneity flag.
+func (c *evalCtx) evaluate(accepted []int) (Solution, error) {
+	return evaluateIndexed(c.in, c.idx, c.hetero, accepted)
+}
+
+// minCostWorkload scans workloads 0..len(pen)−1 (pen[w] = minimum rejected
+// penalty at accepted workload exactly w, +Inf when unreachable) for the
+// level minimizing energy(w·scale) + pen[w], returning (-1, +Inf) when no
+// level is feasible. It replaces the DP solvers' full-width energy sweep.
+//
+// When monotone is true (the energy curve is non-decreasing in w — always
+// the case on the closed-form continuous curve, convex or not), two exact
+// prunings apply without changing the selected argmin or its tie-breaks:
+//
+//   - dominance: a level whose penalty is no better than an already-scanned
+//     cheaper-energy level can never win strictly, so only the strictly
+//     decreasing penalty frontier is costed (the same frontier
+//     ParetoFrontier keeps);
+//   - monotone cut-off: once the energy alone reaches the incumbent cost,
+//     no larger workload can strictly improve (penalties are ≥ 0), ending
+//     the scan early.
+//
+// Together with the O(1) closed-form energy evaluation this turns the
+// final scan from width × Assign into |frontier| × Pow. Non-monotone
+// curves (dormant-enable break-even plateaus, discrete ladders) keep the
+// exhaustive scan the seed code performed.
+func minCostWorkload(pen []float64, energy func(float64) float64, scale float64, monotone bool) (int64, float64) {
+	bestW, bestCost := int64(-1), math.Inf(1)
+	frontier := math.Inf(1) // min penalty among costed levels so far
+	for w := 0; w < len(pen); w++ {
+		fw := pen[w]
+		if math.IsInf(fw, 1) {
+			continue
+		}
+		if monotone && fw >= frontier {
+			continue // dominated by an earlier, cheaper-energy level
+		}
+		frontier = fw
+		e := energy(float64(w) * scale)
+		if c := e + fw; c < bestCost {
+			bestCost, bestW = c, int64(w)
+		}
+		if monotone && e >= bestCost && bestW >= 0 {
+			break // energy alone already matches the incumbent
+		}
+	}
+	return bestW, bestCost
+}
+
+// evaluateIndexed is the shared implementation of Evaluate and
+// evalCtx.evaluate: it assumes the instance has been validated and that
+// idx maps every task ID to its position in in.Tasks.Tasks.
+func evaluateIndexed(in Instance, idx map[int]int, hetero bool, accepted []int) (Solution, error) {
+	acc := make(map[int]bool, len(accepted))
+	for _, id := range accepted {
+		if _, ok := idx[id]; !ok {
+			return Solution{}, fmt.Errorf("core: accepted ID %d not in task set", id)
+		}
+		if acc[id] {
+			return Solution{}, fmt.Errorf("core: accepted ID %d listed twice", id)
+		}
+		acc[id] = true
+	}
+
+	sol := Solution{}
+	var cycles []int64
+	var rhos []float64
+	for _, t := range in.Tasks.Tasks {
+		if acc[t.ID] {
+			sol.Accepted = append(sol.Accepted, t.ID)
+			cycles = append(cycles, t.Cycles)
+			rhos = append(rhos, t.PowerCoeff())
+		} else {
+			sol.Rejected = append(sol.Rejected, t.ID)
+			sol.Penalty += t.Penalty
+		}
+	}
+	slices.Sort(sol.Accepted)
+	slices.Sort(sol.Rejected)
+
+	if hetero {
+		h, err := speed.AssignHeterogeneous(in.Proc.Model, cycles, rhos, in.Tasks.Deadline, in.Proc.SMax)
+		if err != nil {
+			return Solution{}, err
+		}
+		sol.PerTaskSpeeds = h.Speeds
+		sol.Energy = h.Energy
+		var busy float64
+		for _, t := range h.Times {
+			busy += t
+		}
+		sol.Assignment = speed.Assignment{Total: h.Energy, ExecEnergy: h.Energy}
+		if len(h.Times) > 0 {
+			sol.Assignment.LoTime = busy
+		}
+	} else {
+		var w int64
+		for _, c := range cycles {
+			w += c
+		}
+		a, err := in.Proc.Assign(float64(w), in.Tasks.Deadline)
+		if err != nil {
+			return Solution{}, err
+		}
+		sol.Assignment = a
+		sol.Energy = a.Total
+	}
+	sol.Cost = sol.Energy + sol.Penalty
+	return sol, nil
+}

@@ -26,27 +26,27 @@ const DefaultMaxDPStates = int64(1) << 28
 // per-task power coefficients: their energy is not a function of a single
 // integer workload.
 func (d DP) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
-	if in.Heterogeneous() {
+	if ctx.hetero {
 		return Solution{}, ErrHeterogeneous
 	}
-	its := in.items()
-	cap64 := int64(math.Floor(in.Capacity() * (1 + 1e-12)))
+	cap64 := int64(math.Floor(ctx.capacity * (1 + 1e-12)))
 	limit := d.MaxStates
 	if limit == 0 {
 		limit = DefaultMaxDPStates
 	}
-	if work := int64(len(its)) * (cap64 + 1); work > limit {
+	if work := int64(len(ctx.items)) * (cap64 + 1); work > limit {
 		return Solution{}, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
 	}
 
-	accepted, err := rejectionDP(its, cap64, in.energyOf, 1)
+	accepted, err := rejectionDP(ctx.items, cap64, ctx.energy, 1, ctx.fastEnergy)
 	if err != nil {
 		return Solution{}, err
 	}
-	return Evaluate(in, accepted)
+	return ctx.evaluate(accepted)
 }
 
 // takeTable is the reconstruction bitset: one bit per (task, workload)
@@ -73,8 +73,11 @@ func (t takeTable) get(i int, w int64) bool {
 // rejectionDP solves min energy(scale·w) + Σ rejected v over subsets with
 // Σ item.c ≤ cap64. Callers pass items whose c field is already expressed
 // in DP grid units; scale converts grid units back to true cycles for the
-// energy evaluation (1 for the exact DP). It returns the accepted IDs.
-func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64) ([]int, error) {
+// energy evaluation (1 for the exact DP). monotone declares the energy
+// curve non-decreasing in w, unlocking the pruned final scan of
+// minCostWorkload; pass false for curves with dormant break-evens or
+// discrete ladders. It returns the accepted IDs.
+func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64, monotone bool) ([]int, error) {
 	if cap64 < 0 {
 		return nil, fmt.Errorf("core: negative DP capacity %d", cap64)
 	}
@@ -122,15 +125,7 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 	}
 
 	// Pick the best workload level.
-	bestW, bestCost := int64(-1), math.Inf(1)
-	for w := int64(0); w < width; w++ {
-		if math.IsInf(f[w], 1) {
-			continue
-		}
-		if c := energy(float64(w)*scale) + f[w]; c < bestCost {
-			bestCost, bestW = c, w
-		}
-	}
+	bestW, _ := minCostWorkload(f, energy, scale, monotone)
 	if bestW < 0 {
 		return nil, fmt.Errorf("core: DP found no feasible workload")
 	}

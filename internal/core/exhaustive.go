@@ -3,7 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
+	"sync/atomic"
+
+	"dvsreject/internal/conc"
 )
 
 // Exhaustive is the exact reference solver: a depth-first branch-and-bound
@@ -20,6 +25,13 @@ type Exhaustive struct {
 	// pruning ablation (experiment E12); results are identical, only the
 	// explored node count changes.
 	WeakBoundOnly bool
+	// Workers sets the parallel fan-out of Solve: the top of the search
+	// tree is split into prefix subtrees that a worker pool explores
+	// concurrently against a shared atomic incumbent bound. 0 means
+	// GOMAXPROCS, 1 forces the serial search. The returned solution is
+	// identical either way; SolveStats always searches serially so its
+	// node counts stay deterministic.
+	Workers int
 }
 
 // Name implements Solver.
@@ -30,51 +42,161 @@ const DefaultMaxExhaustiveTasks = 28
 
 // Solve implements Solver.
 func (e Exhaustive) Solve(in Instance) (Solution, error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return e.solveParallel(in, workers)
+	}
 	sol, _, err := e.SolveStats(in)
 	return sol, err
 }
 
 // SolveStats is Solve plus the number of search nodes explored — the
-// instrumentation the pruning ablation reads.
+// instrumentation the pruning ablation reads. The search is always serial
+// here, keeping the node counts deterministic and comparable across runs.
 func (e Exhaustive) SolveStats(in Instance) (Solution, int64, error) {
-	if err := in.Validate(); err != nil {
+	ctx, its, seed, err := e.prepare(in)
+	if err != nil {
 		return Solution{}, 0, err
 	}
-	limit := e.MaxTasks
-	if limit == 0 {
-		limit = DefaultMaxExhaustiveTasks
-	}
-	if n := len(in.Tasks.Tasks); n > limit {
-		return Solution{}, 0, fmt.Errorf("core: exhaustive search over %d tasks exceeds the limit %d", n, limit)
-	}
 
-	its := in.items()
-	// Branch on large, expensive tasks first: their decisions move the
-	// bound the most.
-	sort.Slice(its, func(a, b int) bool { return its[a].ce > its[b].ce })
-
-	s := &searcher{in: in, items: its, convex: in.convexEnergy() && !e.WeakBoundOnly}
-	// Seed the incumbent with the density greedy so pruning bites early.
-	if seed, err := (GreedyDensity{}).Solve(in); err == nil {
+	s := newSearcher(ctx, its, ctx.convex && !e.WeakBoundOnly)
+	if seed != nil {
 		s.bestCost = seed.Cost
 		s.best = append([]int(nil), seed.Accepted...)
 		s.haveBest = true
-	} else {
-		s.bestCost = math.Inf(1)
 	}
-
-	s.accepted = make([]bool, len(its))
 	s.dfs(0, 0, 0, 0)
 
 	if !s.haveBest {
 		return Solution{}, s.nodes, fmt.Errorf("core: exhaustive search found no feasible solution")
 	}
-	sol, err := Evaluate(in, s.best)
+	sol, err := ctx.evaluate(s.best)
 	return sol, s.nodes, err
 }
 
+// prepare validates the instance, orders the branching items and seeds the
+// incumbent — the work shared by the serial and parallel drivers.
+func (e Exhaustive) prepare(in Instance) (*evalCtx, []item, *Solution, error) {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	limit := e.MaxTasks
+	if limit == 0 {
+		limit = DefaultMaxExhaustiveTasks
+	}
+	if n := len(ctx.items); n > limit {
+		return nil, nil, nil, fmt.Errorf("core: exhaustive search over %d tasks exceeds the limit %d", n, limit)
+	}
+
+	its := slices.Clone(ctx.items)
+	// Branch on large, expensive tasks first: their decisions move the
+	// bound the most.
+	sort.Slice(its, func(a, b int) bool { return its[a].ce > its[b].ce })
+
+	// Seed the incumbent with the density greedy so pruning bites early.
+	if seed, err := greedyDensity(ctx); err == nil {
+		return ctx, its, &seed, nil
+	}
+	return ctx, its, nil, nil
+}
+
+// solveParallel fans the top of the search tree out to a worker pool: the
+// first splitDepth admission decisions enumerate prefix subtrees in serial
+// DFS visit order, workers explore them concurrently sharing an atomic
+// incumbent cost for pruning, and the per-subtree winners are folded back
+// in DFS order under the serial update rule — so the returned solution
+// matches the serial search.
+func (e Exhaustive) solveParallel(in Instance, workers int) (Solution, error) {
+	ctx, its, seed, err := e.prepare(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	n := len(its)
+	convex := ctx.convex && !e.WeakBoundOnly
+
+	seedCost := math.Inf(1)
+	if seed != nil {
+		seedCost = seed.Cost
+	}
+
+	// Split deep enough to keep every worker busy (≥4 subtrees each), but
+	// never past the tree itself.
+	splitDepth := 0
+	for splitDepth < n && splitDepth < 10 && 1<<splitDepth < 4*workers {
+		splitDepth++
+	}
+
+	type prefix struct {
+		accepted []bool
+		wTrue    int64
+		wEff     float64
+		vRej     float64
+	}
+	var prefixes []prefix
+	var enumerate func(idx int, acc []bool, wTrue int64, wEff, vRej float64)
+	enumerate = func(idx int, acc []bool, wTrue int64, wEff, vRej float64) {
+		if idx == splitDepth {
+			prefixes = append(prefixes, prefix{accepted: slices.Clone(acc), wTrue: wTrue, wEff: wEff, vRej: vRej})
+			return
+		}
+		it := its[idx]
+		if ctx.fits(float64(wTrue + it.c)) { // accept first, as the serial DFS does
+			acc[idx] = true
+			enumerate(idx+1, acc, wTrue+it.c, wEff+it.ce, vRej)
+			acc[idx] = false
+		}
+		enumerate(idx+1, acc, wTrue, wEff, vRej+it.v)
+	}
+	enumerate(0, make([]bool, n), 0, 0, 0)
+
+	// The shared incumbent: the best cost any worker has proven so far,
+	// maintained with a CAS-min over its float bits.
+	var shared atomic.Uint64
+	shared.Store(math.Float64bits(seedCost))
+
+	type subtreeBest struct {
+		ids  []int
+		cost float64
+		ok   bool
+	}
+	results, err := conc.ForEach(len(prefixes), workers, func(i int) (subtreeBest, error) {
+		p := prefixes[i]
+		s := newSearcher(ctx, its, convex)
+		s.bestCost = seedCost
+		s.shared = &shared
+		copy(s.accepted, p.accepted)
+		s.dfs(splitDepth, p.wTrue, p.wEff, p.vRej)
+		return subtreeBest{ids: s.best, cost: s.bestCost, ok: s.haveBest}, nil
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+
+	// Fold the subtree winners in DFS order with the serial update rule.
+	bestCost := seedCost
+	var best []int
+	haveBest := seed != nil
+	if haveBest {
+		best = append([]int(nil), seed.Accepted...)
+	}
+	for _, r := range results {
+		if r.ok && r.cost < bestCost-costEps {
+			bestCost, best, haveBest = r.cost, r.ids, true
+		}
+	}
+	if !haveBest {
+		return Solution{}, fmt.Errorf("core: exhaustive search found no feasible solution")
+	}
+	sol, err := ctx.evaluate(best)
+	return sol, err
+}
+
 type searcher struct {
-	in     Instance
+	ctx    *evalCtx
 	items  []item
 	convex bool
 
@@ -83,16 +205,70 @@ type searcher struct {
 	bestCost float64
 	haveBest bool
 	nodes    int64
+
+	// shared, when non-nil (parallel mode), is the cross-worker incumbent
+	// cost as float bits; workers prune against it and publish their own
+	// improvements into it.
+	shared *atomic.Uint64
+
+	// Marginal-energy cache for the convex bound: surrogate(wEff+ce_i) per
+	// item, valid for one wEff at a time. Reject edges keep wEff unchanged,
+	// so chains of rejections — the bulk of the tree under strong pruning —
+	// reuse the same energies instead of recomputing a math.Pow per item
+	// per node.
+	cacheEff   float64
+	cacheBase  float64
+	cacheValid bool
+	cacheE     []float64
+	cacheSet   []bool
+}
+
+func newSearcher(ctx *evalCtx, its []item, convex bool) *searcher {
+	return &searcher{
+		ctx:      ctx,
+		items:    its,
+		convex:   convex,
+		bestCost: math.Inf(1),
+		accepted: make([]bool, len(its)),
+		cacheE:   make([]float64, len(its)),
+		cacheSet: make([]bool, len(its)),
+	}
 }
 
 // costEps breaks ties in favour of the incumbent to keep results stable.
 const costEps = 1e-9
 
+// bound returns the tightest incumbent cost visible to this searcher: its
+// own, and in parallel mode the shared cross-worker incumbent.
+func (s *searcher) bound() float64 {
+	if s.shared == nil {
+		return s.bestCost
+	}
+	return math.Min(s.bestCost, math.Float64frombits(s.shared.Load()))
+}
+
+// publish records an improved incumbent, CAS-minning it into the shared
+// bound in parallel mode.
+func (s *searcher) publish(cost float64) {
+	if s.shared == nil {
+		return
+	}
+	for {
+		old := s.shared.Load()
+		if math.Float64frombits(old) <= cost {
+			return
+		}
+		if s.shared.CompareAndSwap(old, math.Float64bits(cost)) {
+			return
+		}
+	}
+}
+
 // dfs explores admission decisions for items[idx:], with wTrue/wEff the
 // accepted workloads so far and vRej the accumulated rejection penalty.
 func (s *searcher) dfs(idx int, wTrue int64, wEff, vRej float64) {
 	s.nodes++
-	if lb := s.lowerBound(idx, wEff, vRej); lb >= s.bestCost-costEps {
+	if lb := s.lowerBound(idx, wEff, vRej); lb >= s.bound()-costEps {
 		return
 	}
 	if idx == len(s.items) {
@@ -102,9 +278,20 @@ func (s *searcher) dfs(idx int, wTrue int64, wEff, vRej float64) {
 	it := s.items[idx]
 
 	// Accept, when capacity allows.
-	if s.in.Fits(float64(wTrue + it.c)) {
+	if s.ctx.fits(float64(wTrue + it.c)) {
+		childEff := wEff + it.ce
+		// The parent's cached marginal surrogate(wEff+ce_idx) IS the
+		// child's base energy — hand it down instead of recomputing the
+		// Pow. Same float input, same float output: bit-identical.
+		if s.convex && s.cacheValid && s.cacheEff == wEff && s.cacheSet[idx] {
+			s.cacheEff = childEff
+			s.cacheBase = s.cacheE[idx]
+			for i := range s.cacheSet {
+				s.cacheSet[i] = false
+			}
+		}
 		s.accepted[idx] = true
-		s.dfs(idx+1, wTrue+it.c, wEff+it.ce, vRej)
+		s.dfs(idx+1, wTrue+it.c, childEff, vRej)
 		s.accepted[idx] = false
 	}
 	// Reject.
@@ -117,14 +304,33 @@ func (s *searcher) dfs(idx int, wTrue int64, wEff, vRej float64) {
 // curve every remaining task additionally costs at least
 // min(vi, E(w+ci)−E(w)) because convex increments are superadditive.
 func (s *searcher) lowerBound(idx int, wEff, vRej float64) float64 {
-	base := s.in.surrogateEnergy(wEff)
+	if !s.cacheValid || s.cacheEff != wEff {
+		s.cacheEff = wEff
+		s.cacheBase = s.ctx.surrogate(wEff)
+		s.cacheValid = true
+		if s.convex {
+			for i := range s.cacheSet {
+				s.cacheSet[i] = false
+			}
+		}
+	}
+	base := s.cacheBase
 	lb := base + vRej
 	if !s.convex || math.IsInf(base, 1) {
 		return lb
 	}
-	for _, it := range s.items[idx:] {
-		marginal := s.in.surrogateEnergy(wEff+it.ce) - base
-		lb += math.Min(it.v, marginal)
+	for i := idx; i < len(s.items); i++ {
+		if !s.cacheSet[i] {
+			s.cacheE[i] = s.ctx.surrogate(wEff + s.items[i].ce)
+			s.cacheSet[i] = true
+		}
+		// min(v, marginal) by branch: v is finite ≥ 0 and marginal is
+		// finite or +Inf, so this equals math.Min without the call.
+		m := s.cacheE[i] - base
+		if v := s.items[i].v; v < m {
+			m = v
+		}
+		lb += m
 	}
 	return lb
 }
@@ -137,11 +343,12 @@ func (s *searcher) leaf(wEff, vRej float64) {
 			ids = append(ids, s.items[i].id)
 		}
 	}
-	cost := s.in.surrogateEnergy(wEff) + vRej
-	if s.in.Heterogeneous() {
+	// The preceding lowerBound call left cacheBase = surrogate(wEff).
+	cost := s.cacheBase + vRej
+	if s.ctx.hetero {
 		// The surrogate underestimates when speed clamping binds; re-cost
 		// exactly before comparing.
-		sol, err := Evaluate(s.in, ids)
+		sol, err := s.ctx.evaluate(ids)
 		if err != nil {
 			return
 		}
@@ -151,5 +358,6 @@ func (s *searcher) leaf(wEff, vRej float64) {
 		s.bestCost = cost
 		s.best = ids
 		s.haveBest = true
+		s.publish(cost)
 	}
 }

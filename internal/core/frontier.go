@@ -25,14 +25,15 @@ type FrontierPoint struct {
 // does it save" without committing to a single trade-off. Homogeneous
 // instances only (as with DP).
 func ParetoFrontier(in Instance) ([]FrontierPoint, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return nil, err
 	}
-	if in.Heterogeneous() {
+	if ctx.hetero {
 		return nil, ErrHeterogeneous
 	}
-	its := in.items()
-	cap64 := int64(math.Floor(in.Capacity() * (1 + 1e-12)))
+	its := ctx.items
+	cap64 := int64(math.Floor(ctx.capacity * (1 + 1e-12)))
 	if work := int64(len(its)) * (cap64 + 1); work > DefaultMaxDPStates {
 		return nil, fmt.Errorf("core: frontier needs %d states, over the limit %d", work, DefaultMaxDPStates)
 	}
@@ -73,7 +74,7 @@ func ParetoFrontier(in Instance) ([]FrontierPoint, error) {
 		if math.IsInf(f[w], 1) || f[w] >= bestPenalty-costEps {
 			continue
 		}
-		e := in.energyOf(float64(w))
+		e := ctx.energy(float64(w))
 		if math.IsInf(e, 1) {
 			continue
 		}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
+
+	"dvsreject/internal/conc"
 )
 
 // GreedyDensity is the single-pass admission heuristic: consider tasks in
@@ -19,10 +22,18 @@ func (GreedyDensity) Name() string { return "GREEDY" }
 
 // Solve implements Solver.
 func (GreedyDensity) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
-	its := in.items()
+	return greedyDensity(ctx)
+}
+
+// greedyDensity is GreedyDensity on a prebuilt context, so callers that
+// seed other searches with it (GreedyMarginal, Exhaustive) share one
+// context per solve.
+func greedyDensity(ctx *evalCtx) (Solution, error) {
+	its := slices.Clone(ctx.items)
 	sort.SliceStable(its, func(a, b int) bool {
 		return its[a].v*float64(its[b].c) > its[b].v*float64(its[a].c)
 	})
@@ -30,18 +41,20 @@ func (GreedyDensity) Solve(in Instance) (Solution, error) {
 	var accepted []int
 	var wTrue int64
 	var wEff float64
+	base := ctx.surrogate(wEff)
 	for _, it := range its {
-		if !in.Fits(float64(wTrue + it.c)) {
+		if !ctx.fits(float64(wTrue + it.c)) {
 			continue
 		}
-		marginal := in.surrogateEnergy(wEff+it.ce) - in.surrogateEnergy(wEff)
+		marginal := ctx.surrogate(wEff+it.ce) - base
 		if marginal < it.v {
 			accepted = append(accepted, it.id)
 			wTrue += it.c
 			wEff += it.ce
+			base = ctx.surrogate(wEff)
 		}
 	}
-	return Evaluate(in, accepted)
+	return ctx.evaluate(accepted)
 }
 
 // GreedyMarginal refines an initial admission by steepest-descent local
@@ -64,11 +77,15 @@ func (GreedyMarginal) Name() string { return "S-GREEDY" }
 
 // Solve implements Solver.
 func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
-	seed, err := GreedyDensity{}.Solve(in)
+	ctx, err := newEvalCtx(in)
 	if err != nil {
 		return Solution{}, err
 	}
-	its := in.items()
+	seed, err := greedyDensity(ctx)
+	if err != nil {
+		return Solution{}, err
+	}
+	its := ctx.items
 	n := len(its)
 	limit := g.MaxIterations
 	if limit == 0 {
@@ -88,20 +105,20 @@ func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
 	for iter := 0; iter < limit; iter++ {
 		bestGain := costEps
 		bestOut, bestIn := -1, -1 // indices to evict / admit (-1 = none)
-		base := in.surrogateEnergy(wEff)
+		base := ctx.surrogate(wEff)
 
 		for i, it := range its {
 			var gain float64
 			if acc[it.id] {
 				// Reject it: save its energy share, pay its penalty.
-				gain = base - in.surrogateEnergy(wEff-it.ce) - it.v
+				gain = base - ctx.surrogate(wEff-it.ce) - it.v
 				if gain > bestGain {
 					bestGain, bestOut, bestIn = gain, i, -1
 				}
 			} else {
-				if in.Fits(float64(wTrue + it.c)) {
+				if ctx.fits(float64(wTrue + it.c)) {
 					// Accept it: save its penalty, pay marginal energy.
-					gain = it.v - (in.surrogateEnergy(wEff+it.ce) - base)
+					gain = it.v - (ctx.surrogate(wEff+it.ce) - base)
 					if gain > bestGain {
 						bestGain, bestOut, bestIn = gain, -1, i
 					}
@@ -114,11 +131,11 @@ func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
 					if !acc[jt.id] {
 						continue
 					}
-					if !in.Fits(float64(wTrue - jt.c + it.c)) {
+					if !ctx.fits(float64(wTrue - jt.c + it.c)) {
 						continue
 					}
 					newEff := wEff - jt.ce + it.ce
-					gain = it.v - jt.v - (in.surrogateEnergy(newEff) - base)
+					gain = it.v - jt.v - (ctx.surrogate(newEff) - base)
 					if gain > bestGain {
 						bestGain, bestOut, bestIn = gain, j, i
 					}
@@ -146,7 +163,7 @@ func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
 	for id := range acc {
 		ids = append(ids, id)
 	}
-	return Evaluate(in, ids)
+	return ctx.evaluate(ids)
 }
 
 // AcceptAll is the energy-oblivious baseline: admit every task, and only
@@ -160,10 +177,11 @@ func (AcceptAll) Name() string { return "ACCEPT-ALL" }
 
 // Solve implements Solver.
 func (AcceptAll) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
-	its := in.items()
+	its := slices.Clone(ctx.items)
 	// Shed the cheapest penalty per freed cycle first.
 	sort.SliceStable(its, func(a, b int) bool {
 		return its[a].v*float64(its[b].c) < its[b].v*float64(its[a].c)
@@ -177,20 +195,20 @@ func (AcceptAll) Solve(in Instance) (Solution, error) {
 		acc[it.id] = true
 	}
 	for _, it := range its {
-		if in.Fits(float64(wTrue)) {
+		if ctx.fits(float64(wTrue)) {
 			break
 		}
 		delete(acc, it.id)
 		wTrue -= it.c
 	}
-	if !in.Fits(float64(wTrue)) {
+	if !ctx.fits(float64(wTrue)) {
 		return Solution{}, fmt.Errorf("core: AcceptAll could not shed to feasibility")
 	}
 	ids := make([]int, 0, len(acc))
 	for id := range acc {
 		ids = append(ids, id)
 	}
-	return Evaluate(in, ids)
+	return ctx.evaluate(ids)
 }
 
 // RejectAll is the degenerate anchor: admit nothing, pay every penalty.
@@ -207,57 +225,94 @@ func (RejectAll) Solve(in Instance) (Solution, error) {
 // RandomAdmission mirrors the RAND reference of the paper family's plots:
 // admit a random permutation greedily under the capacity constraint,
 // repeat for Restarts trials, keep the best. Deterministic for a fixed
-// Seed.
+// Seed regardless of Workers: every trial draws from its own RNG seeded
+// Seed+trial, and the winner is the lowest-numbered trial with the
+// strictly smallest cost.
 type RandomAdmission struct {
 	Seed     int64
 	Restarts int // 0 means 8
+	// Workers bounds the trial worker pool; 0 means GOMAXPROCS, 1 forces
+	// a serial run. Results are identical for every setting.
+	Workers int
 }
 
 // Name implements Solver.
 func (RandomAdmission) Name() string { return "RAND" }
 
-// Solve implements Solver.
+// Solve implements Solver. Losing trials are costed with the surrogate
+// energy curve (exact for homogeneous instances, where the effective and
+// true workloads coincide) and only the winning trial is expanded into a
+// full Solution by Evaluate; heterogeneous trials, whose surrogate
+// underestimates the clamped true energy, are each costed exactly so the
+// winner matches a trial-by-trial Evaluate selection.
 func (r RandomAdmission) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
 	restarts := r.Restarts
 	if restarts == 0 {
 		restarts = 8
 	}
-	rng := rand.New(rand.NewSource(r.Seed))
-	its := in.items()
+	its := ctx.items
+	n := len(its)
 
-	best := Solution{Cost: math.Inf(1)}
-	found := false
-	for trial := 0; trial < restarts; trial++ {
-		perm := rng.Perm(len(its))
+	type trialResult struct {
+		ids  []int
+		cost float64
+	}
+	trials, err := conc.ForEach(restarts, r.Workers, func(trial int) (trialResult, error) {
+		rng := rand.New(rand.NewSource(r.Seed + int64(trial)))
+		perm := rng.Perm(n)
+		accepted := make([]bool, n)
 		var wTrue int64
 		var wEff float64
 		var ids []int
+		base := ctx.surrogate(wEff)
 		for _, pi := range perm {
 			it := its[pi]
-			if !in.Fits(float64(wTrue + it.c)) {
+			if !ctx.fits(float64(wTrue + it.c)) {
 				continue
 			}
-			marginal := in.surrogateEnergy(wEff+it.ce) - in.surrogateEnergy(wEff)
+			marginal := ctx.surrogate(wEff+it.ce) - base
 			if marginal < it.v {
 				ids = append(ids, it.id)
+				accepted[pi] = true
 				wTrue += it.c
 				wEff += it.ce
+				base = ctx.surrogate(wEff)
 			}
 		}
-		sol, err := Evaluate(in, ids)
-		if err != nil {
-			return Solution{}, err
+		if ctx.hetero {
+			sol, err := ctx.evaluate(ids)
+			if err != nil {
+				return trialResult{}, err
+			}
+			return trialResult{ids: ids, cost: sol.Cost}, nil
 		}
-		if sol.Cost < best.Cost {
-			best = sol
-			found = true
+		// Homogeneous: energy is a function of the true workload alone and
+		// the penalty sum below accumulates in task order, exactly as
+		// Evaluate would — the trial cost equals the evaluated cost.
+		var penalty float64
+		for i, it := range its {
+			if !accepted[i] {
+				penalty += it.v
+			}
+		}
+		return trialResult{ids: ids, cost: ctx.energy(float64(wTrue)) + penalty}, nil
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+
+	bestTrial, bestCost := -1, math.Inf(1)
+	for i, t := range trials {
+		if t.cost < bestCost {
+			bestTrial, bestCost = i, t.cost
 		}
 	}
-	if !found {
+	if bestTrial < 0 {
 		return Solution{}, fmt.Errorf("core: RandomAdmission produced no solution")
 	}
-	return best, nil
+	return ctx.evaluate(trials[bestTrial].ids)
 }

@@ -23,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"slices"
 
 	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
@@ -115,66 +114,14 @@ type Solver interface {
 // computes the optimal speed assignment of the accepted workload and the
 // cost breakdown. It is the single source of truth all solvers (and tests)
 // share. Accepting an over-capacity set returns speed.ErrInfeasible.
+// Membership is checked against one O(n) id→index map instead of a linear
+// ByID scan per accepted ID; solvers with a live evalCtx use the cached
+// map via evalCtx.evaluate.
 func Evaluate(in Instance, accepted []int) (Solution, error) {
 	if err := in.Validate(); err != nil {
 		return Solution{}, err
 	}
-	acc := make(map[int]bool, len(accepted))
-	for _, id := range accepted {
-		if _, ok := in.Tasks.ByID(id); !ok {
-			return Solution{}, fmt.Errorf("core: accepted ID %d not in task set", id)
-		}
-		if acc[id] {
-			return Solution{}, fmt.Errorf("core: accepted ID %d listed twice", id)
-		}
-		acc[id] = true
-	}
-
-	sol := Solution{}
-	var cycles []int64
-	var rhos []float64
-	for _, t := range in.Tasks.Tasks {
-		if acc[t.ID] {
-			sol.Accepted = append(sol.Accepted, t.ID)
-			cycles = append(cycles, t.Cycles)
-			rhos = append(rhos, t.PowerCoeff())
-		} else {
-			sol.Rejected = append(sol.Rejected, t.ID)
-			sol.Penalty += t.Penalty
-		}
-	}
-	slices.Sort(sol.Accepted)
-	slices.Sort(sol.Rejected)
-
-	if in.Heterogeneous() {
-		h, err := speed.AssignHeterogeneous(in.Proc.Model, cycles, rhos, in.Tasks.Deadline, in.Proc.SMax)
-		if err != nil {
-			return Solution{}, err
-		}
-		sol.PerTaskSpeeds = h.Speeds
-		sol.Energy = h.Energy
-		var busy float64
-		for _, t := range h.Times {
-			busy += t
-		}
-		sol.Assignment = speed.Assignment{Total: h.Energy, ExecEnergy: h.Energy}
-		if len(h.Times) > 0 {
-			sol.Assignment.LoTime = busy
-		}
-	} else {
-		var w int64
-		for _, c := range cycles {
-			w += c
-		}
-		a, err := in.Proc.Assign(float64(w), in.Tasks.Deadline)
-		if err != nil {
-			return Solution{}, err
-		}
-		sol.Assignment = a
-		sol.Energy = a.Total
-	}
-	sol.Cost = sol.Energy + sol.Penalty
-	return sol, nil
+	return evaluateIndexed(in, in.Tasks.Index(), in.Heterogeneous(), accepted)
 }
 
 // energyOf returns the energy of a homogeneous workload of w cycles, +Inf

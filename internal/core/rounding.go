@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Rounding is the relaxation-and-round solver, the construction style of
 // the paper family's E-GREEDY/ROUNDING algorithms.
@@ -24,10 +27,11 @@ func (Rounding) Name() string { return "ROUNDING" }
 
 // Solve implements Solver.
 func (Rounding) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
-	its := in.items()
+	its := slices.Clone(ctx.items)
 	sort.SliceStable(its, func(a, b int) bool {
 		return its[a].v*its[b].ce > its[b].v*its[a].ce
 	})
@@ -37,15 +41,17 @@ func (Rounding) Solve(in Instance) (Solution, error) {
 	var wTrue int64
 	var wEff float64
 	breakIdx := -1
+	base := ctx.surrogate(wEff)
 	for i, it := range its {
-		if !in.Fits(float64(wTrue + it.c)) {
+		if !ctx.fits(float64(wTrue + it.c)) {
 			continue
 		}
-		marginal := in.surrogateEnergy(wEff+it.ce) - in.surrogateEnergy(wEff)
+		marginal := ctx.surrogate(wEff+it.ce) - base
 		if marginal < it.v {
 			floor = append(floor, it.id)
 			wTrue += it.c
 			wEff += it.ce
+			base = ctx.surrogate(wEff)
 			continue
 		}
 		// First density below the marginal energy: the fractional break.
@@ -53,12 +59,12 @@ func (Rounding) Solve(in Instance) (Solution, error) {
 		break
 	}
 
-	best, err := Evaluate(in, floor)
+	best, err := ctx.evaluate(floor)
 	if err != nil {
 		return Solution{}, err
 	}
 	try := func(ids []int) error {
-		sol, err := Evaluate(in, ids)
+		sol, err := ctx.evaluate(ids)
 		if err != nil {
 			return nil // over-capacity candidate: skip
 		}
@@ -70,7 +76,7 @@ func (Rounding) Solve(in Instance) (Solution, error) {
 
 	if breakIdx >= 0 {
 		// Ceil: round the break task up.
-		if in.Fits(float64(wTrue + its[breakIdx].c)) {
+		if ctx.fits(float64(wTrue + its[breakIdx].c)) {
 			if err := try(append(append([]int{}, floor...), its[breakIdx].id)); err != nil {
 				return Solution{}, err
 			}
@@ -79,10 +85,10 @@ func (Rounding) Solve(in Instance) (Solution, error) {
 		// itself the most (largest v − marginal).
 		repair, gain := -1, 0.0
 		for _, it := range its[breakIdx:] {
-			if !in.Fits(float64(wTrue + it.c)) {
+			if !ctx.fits(float64(wTrue + it.c)) {
 				continue
 			}
-			g := it.v - (in.surrogateEnergy(wEff+it.ce) - in.surrogateEnergy(wEff))
+			g := it.v - (ctx.surrogate(wEff+it.ce) - base)
 			if g > gain {
 				gain, repair = g, it.id
 			}
@@ -97,7 +103,7 @@ func (Rounding) Solve(in Instance) (Solution, error) {
 	// The min-knapsack-style anchor: each single task alone (cheap, and
 	// protects the ratio when one huge-penalty task dominates).
 	for _, it := range its {
-		if !in.Fits(float64(it.c)) {
+		if !ctx.fits(float64(it.c)) {
 			continue
 		}
 		if err := try([]int{it.id}); err != nil {

@@ -20,17 +20,19 @@ import (
 // +Inf means the task can never be admitted (it does not fit the capacity
 // at all); 0 means it is admitted even for free.
 func BreakEven(in Instance, taskID int, tol float64) (float64, error) {
-	if err := in.Validate(); err != nil {
+	ctx, err := newEvalCtx(in)
+	if err != nil {
 		return 0, err
 	}
-	if in.Heterogeneous() {
+	if ctx.hetero {
 		return 0, ErrHeterogeneous
 	}
-	target, ok := in.Tasks.ByID(taskID)
+	pos, ok := ctx.idx[taskID]
 	if !ok {
 		return 0, fmt.Errorf("core: no task with ID %d", taskID)
 	}
-	if !in.Fits(float64(target.Cycles)) {
+	target := in.Tasks.Tasks[pos]
+	if !ctx.fits(float64(target.Cycles)) {
 		return math.Inf(1), nil
 	}
 
@@ -53,7 +55,7 @@ func BreakEven(in Instance, taskID int, tol float64) (float64, error) {
 	// task is surely accepted. The marginal energy of squeezing the task
 	// in at full capacity bounds any rational threshold.
 	lo := 0.0
-	hi := in.energyOf(in.Capacity()) + in.Tasks.TotalPenalty() + 1
+	hi := ctx.energy(ctx.capacity) + in.Tasks.TotalPenalty() + 1
 	if accepted, err := acceptedAt(lo); err != nil {
 		return 0, err
 	} else if accepted {

@@ -1,47 +1,12 @@
 package exper
 
-import (
-	"runtime"
-	"sync"
-)
+import "dvsreject/internal/conc"
 
 // forEachTrial runs fn for trials 0..trials−1 on a bounded worker pool and
 // returns the per-trial results in index order, so aggregation downstream
 // is bit-for-bit identical to a serial run. The first error wins; late
-// results are still drained.
+// results are still drained. The pool itself lives in internal/conc, which
+// the core solvers share for their parallel search modes.
 func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
-	results := make([]T, trials)
-	errs := make([]error, trials)
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return conc.ForEach(trials, 0, fn)
 }

@@ -1,0 +1,45 @@
+package task
+
+import "testing"
+
+// TestIndex pins the id→index map: one entry per task, pointing at its
+// position in Tasks, for arbitrary (non-contiguous, unordered) IDs.
+func TestIndex(t *testing.T) {
+	s := Set{
+		Deadline: 100,
+		Tasks: []Task{
+			{ID: 7, Cycles: 10, Penalty: 1},
+			{ID: 2, Cycles: 20, Penalty: 2},
+			{ID: 42, Cycles: 30, Penalty: 3},
+			{ID: 0, Cycles: 40, Penalty: 4},
+		},
+	}
+	idx := s.Index()
+	if len(idx) != len(s.Tasks) {
+		t.Fatalf("Index has %d entries, want %d", len(idx), len(s.Tasks))
+	}
+	for i, task := range s.Tasks {
+		got, ok := idx[task.ID]
+		if !ok {
+			t.Errorf("ID %d missing from Index", task.ID)
+			continue
+		}
+		if got != i {
+			t.Errorf("Index[%d] = %d, want %d", task.ID, got, i)
+		}
+		// Index must agree with the linear ByID lookup.
+		byID, ok := s.ByID(task.ID)
+		if !ok || byID.ID != task.ID {
+			t.Errorf("ByID(%d) = %+v, %v", task.ID, byID, ok)
+		}
+	}
+	if _, ok := idx[999]; ok {
+		t.Error("Index contains an ID that is not in the set")
+	}
+}
+
+func TestIndexEmptySet(t *testing.T) {
+	if idx := (Set{Deadline: 1}).Index(); len(idx) != 0 {
+		t.Errorf("empty set Index = %v, want empty", idx)
+	}
+}

@@ -95,7 +95,9 @@ func (s Set) Load(smax float64) float64 {
 	return float64(s.TotalCycles()) / (smax * s.Deadline)
 }
 
-// ByID returns the task with the given ID and whether it exists.
+// ByID returns the task with the given ID and whether it exists. One-off
+// lookups scan linearly; callers resolving many IDs should build an Index
+// once and look positions up in O(1) instead of paying an O(n) scan per ID.
 func (s Set) ByID(id int) (Task, bool) {
 	for _, t := range s.Tasks {
 		if t.ID == id {
@@ -103,4 +105,17 @@ func (s Set) ByID(id int) (Task, bool) {
 		}
 	}
 	return Task{}, false
+}
+
+// Index returns a map from task ID to the task's position in Tasks. It is
+// built in O(n) and turns repeated ByID scans (O(n) each) into O(1) map
+// lookups on hot paths such as solution evaluation. When duplicate IDs are
+// present (an invalid set), the last occurrence wins; Validate rejects such
+// sets.
+func (s Set) Index() map[int]int {
+	m := make(map[int]int, len(s.Tasks))
+	for i, t := range s.Tasks {
+		m[t.ID] = i
+	}
+	return m
 }
