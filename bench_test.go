@@ -12,9 +12,11 @@ import (
 	"testing"
 
 	"dvsreject/internal/core"
+	"dvsreject/internal/dormant"
 	"dvsreject/internal/exper"
 	"dvsreject/internal/gen"
 	"dvsreject/internal/multiproc"
+	"dvsreject/internal/online"
 	"dvsreject/internal/power"
 	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/speed"
@@ -132,15 +134,83 @@ func BenchmarkSolverRandomAdmissionParallel(b *testing.B) {
 }
 
 func BenchmarkMultiprocLTFRejectLS(b *testing.B) {
-	set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{N: 64, Load: 6, Deadline: 1000})
+	// Total load scales with M so every processor sees load 1.5, the E9
+	// regime (M=4 reproduces the former fixed-shape benchmark).
+	for _, m := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{N: 64, Load: 1.5 * float64(m), Deadline: 1000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := multiproc.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}, M: m}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (multiproc.LTFRejectLS{}).Solve(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMultiprocExhaustive(b *testing.B) {
+	set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{N: 10, Load: 3, Deadline: 1000})
 	if err != nil {
 		b.Fatal(err)
 	}
-	in := multiproc.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}, M: 4}
+	in := multiproc.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}, M: 2}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (multiproc.LTFRejectLS{}).Solve(in); err != nil {
+		if _, err := (multiproc.Exhaustive{}).Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStorm builds one deterministic online arrival storm.
+func benchStorm(b *testing.B, n int, load, span float64) []online.Job {
+	b.Helper()
+	return online.RandomStorm(rand.New(rand.NewSource(42)), online.StormConfig{N: n, Load: load, Span: span})
+}
+
+func BenchmarkOnlineSimulate(b *testing.B) {
+	jobs := benchStorm(b, 64, 1.5, 0)
+	proc := speed.Proc{Model: power.Cubic(), SMax: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Simulate(jobs, proc, online.MarginalCost{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDormantCompare(b *testing.B) {
+	// Light-load storm on a dormant-enable processor, the E14 regime;
+	// infeasible draws are redrawn exactly as the experiment does.
+	rng := rand.New(rand.NewSource(42))
+	proc := speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0.4}
+	var jobs []edf.Job
+	var horizon float64
+	for {
+		storm := online.RandomStorm(rng, online.StormConfig{N: 64, Load: 0.4, Span: 200})
+		jobs, horizon = jobs[:0], 0
+		for _, j := range storm {
+			jobs = append(jobs, edf.Job{TaskID: j.ID, Release: j.Arrival, Deadline: j.Deadline, Cycles: j.Cycles})
+			if j.Deadline > horizon {
+				horizon = j.Deadline
+			}
+		}
+		if _, _, err := dormant.Compare(jobs, 1, horizon, proc); err == nil {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dormant.Compare(jobs, 1, horizon, proc); err != nil {
 			b.Fatal(err)
 		}
 	}

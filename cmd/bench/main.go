@@ -24,14 +24,22 @@ import (
 	"time"
 
 	"dvsreject/internal/core"
+	"dvsreject/internal/dormant"
+	"dvsreject/internal/exper"
 	"dvsreject/internal/gen"
+	"dvsreject/internal/multiproc"
+	"dvsreject/internal/online"
 	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/speed"
 )
 
 type result struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// M is the processor count of multiprocessor cases; omitted (0) for
+	// single-processor benchmarks, keeping the schema backward-compatible.
+	M           int     `json:"m,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -57,6 +65,40 @@ func instance(n int, load float64) (core.Instance, error) {
 		return core.Instance{}, err
 	}
 	return core.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}}, nil
+}
+
+// multiprocInstance mirrors BenchmarkMultiprocLTFRejectLS: total load
+// scales with M so every processor sees load 1.5.
+func multiprocInstance(n, m int) (multiproc.Instance, error) {
+	set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{
+		N: n, Load: 1.5 * float64(m), Deadline: 1000,
+	})
+	if err != nil {
+		return multiproc.Instance{}, err
+	}
+	return multiproc.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}, M: m}, nil
+}
+
+// dormantWorkload mirrors BenchmarkDormantCompare: a light-load storm on a
+// dormant-enable XScale processor, redrawing jointly infeasible draws.
+func dormantWorkload(n int) ([]edf.Job, float64, speed.Proc, error) {
+	rng := rand.New(rand.NewSource(42))
+	proc := speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0.4}
+	for attempt := 0; attempt < 100; attempt++ {
+		storm := online.RandomStorm(rng, online.StormConfig{N: n, Load: 0.4, Span: 200})
+		jobs := make([]edf.Job, 0, len(storm))
+		horizon := 0.0
+		for _, j := range storm {
+			jobs = append(jobs, edf.Job{TaskID: j.ID, Release: j.Arrival, Deadline: j.Deadline, Cycles: j.Cycles})
+			if j.Deadline > horizon {
+				horizon = j.Deadline
+			}
+		}
+		if _, _, err := dormant.Compare(jobs, 1, horizon, proc); err == nil {
+			return jobs, horizon, proc, nil
+		}
+	}
+	return nil, 0, speed.Proc{}, fmt.Errorf("no feasible storm in 100 draws")
 }
 
 func main() {
@@ -85,13 +127,13 @@ func main() {
 		{"SolverRandomAdmissionParallel", []int{100, 1000}, core.RandomAdmission{Seed: 1, Restarts: 32}},
 	}
 
-	rep := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoOS:        runtime.GOOS,
-		GoArch:      runtime.GOARCH,
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		BenchTime:   *benchtime,
+	// benchCase is one measured operation; fn performs a single iteration.
+	type benchCase struct {
+		name string
+		n, m int
+		fn   func() error
 	}
+	var benchCases []benchCase
 	for _, c := range cases {
 		for _, n := range c.sizes {
 			in, err := instance(n, 1.5)
@@ -100,32 +142,93 @@ func main() {
 				os.Exit(1)
 			}
 			solver := c.solver
-			var solveErr error
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, err := solver.Solve(in); err != nil {
-						solveErr = err
-						b.FailNow()
-					}
-				}
+			benchCases = append(benchCases, benchCase{
+				name: c.name, n: n,
+				fn: func() error { _, err := solver.Solve(in); return err },
 			})
-			if solveErr != nil {
-				fmt.Fprintf(os.Stderr, "bench: %s/n=%d: %v\n", c.name, n, solveErr)
-				os.Exit(1)
-			}
-			res := result{
-				Name:        c.name,
-				N:           n,
-				Iterations:  r.N,
-				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-			}
-			rep.Results = append(rep.Results, res)
-			fmt.Printf("%-30s n=%-6d %14.0f ns/op %8d B/op %6d allocs/op\n",
-				res.Name, res.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		}
+	}
+	// The multiproc/online/dormant extensions, mirroring the root
+	// bench_test.go shapes (LTF-REJECT-LS at per-processor load 1.5, the
+	// E11 storm, the E14 light-load dormant comparison).
+	for _, m := range []int{2, 4, 8} {
+		in, err := multiprocInstance(64, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: MultiprocLTFRejectLS/M=%d: %v\n", m, err)
+			os.Exit(1)
+		}
+		benchCases = append(benchCases, benchCase{
+			name: "MultiprocLTFRejectLS", n: 64, m: m,
+			fn: func() error { _, err := (multiproc.LTFRejectLS{}).Solve(in); return err },
+		})
+	}
+	{
+		jobs := online.RandomStorm(rand.New(rand.NewSource(42)), online.StormConfig{N: 64, Load: 1.5})
+		proc := speed.Proc{Model: power.Cubic(), SMax: 1}
+		benchCases = append(benchCases, benchCase{
+			name: "OnlineSimulate", n: 64,
+			fn: func() error { _, err := online.Simulate(jobs, proc, online.MarginalCost{}); return err },
+		})
+	}
+	{
+		jobs, horizon, proc, err := dormantWorkload(64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: DormantCompare: %v\n", err)
+			os.Exit(1)
+		}
+		benchCases = append(benchCases, benchCase{
+			name: "DormantCompare", n: 64,
+			fn: func() error { _, _, err := dormant.Compare(jobs, 1, horizon, proc); return err },
+		})
+	}
+	// The harness itself: one quick-mode pass over all fifteen experiments
+	// on the full worker pool, the unit CI smokes and the suite scales by.
+	benchCases = append(benchCases, benchCase{
+		name: "ExperimentsQuickSuite", n: len(exper.All()),
+		fn: func() error {
+			_, err := exper.RunSuite(exper.All(), exper.Options{Quick: true, Seed: 1})
+			return err
+		},
+	})
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		BenchTime:   *benchtime,
+	}
+	for _, c := range benchCases {
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.fn(); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s/n=%d: %v\n", c.name, c.n, runErr)
+			os.Exit(1)
+		}
+		res := result{
+			Name:        c.name,
+			N:           c.n,
+			M:           c.m,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		label := fmt.Sprintf("n=%d", res.N)
+		if res.M > 0 {
+			label = fmt.Sprintf("n=%d M=%d", res.N, res.M)
+		}
+		fmt.Printf("%-30s %-12s %14.0f ns/op %8d B/op %6d allocs/op\n",
+			res.Name, label, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	experiments [-run E4] [-trials 25] [-seed 1] [-quick]
+//	experiments [-run E4] [-trials 25] [-seed 1] [-quick] [-workers 0] [-timing]
 //
-// Without -run, every experiment E1..E10 runs in order.
+// Without -run, every experiment E1..E15 runs in order. Experiments and
+// their trials run concurrently on a bounded worker pool (-workers; 0 means
+// GOMAXPROCS, 1 forces a serial run); results are aggregated in index
+// order, so stdout is byte-identical for every worker count at a fixed
+// seed. -timing reports per-experiment wall time on stderr, leaving stdout
+// untouched.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dvsreject/internal/exper"
 )
@@ -22,9 +28,11 @@ func main() {
 	trials := flag.Int("trials", 0, "random instances per table cell (0 = per-experiment default)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	quick := flag.Bool("quick", false, "shrunken sweeps for a fast smoke run")
+	workers := flag.Int("workers", 0, "worker pool for experiments and trials (0 = GOMAXPROCS, 1 = serial)")
+	timing := flag.Bool("timing", false, "report per-experiment wall time on stderr")
 	flag.Parse()
 
-	opts := exper.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	opts := exper.Options{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
 
 	var list []exper.Experiment
 	if *run == "" {
@@ -42,12 +50,19 @@ func main() {
 		list = []exper.Experiment{e}
 	}
 
-	for _, e := range list {
-		tab, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-			os.Exit(1)
+	start := time.Now()
+	results, err := exper.RunSuite(list, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for i, r := range results {
+		fmt.Println(r.Table.Format())
+		if *timing {
+			fmt.Fprintf(os.Stderr, "timing: %s %s\n", list[i].ID, r.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Println(tab.Format())
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "timing: total %s\n", time.Since(start).Round(time.Millisecond))
 	}
 }

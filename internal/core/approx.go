@@ -35,10 +35,11 @@ func (a ApproxDP) Name() string { return fmt.Sprintf("ApproxDP(ε=%g)", a.Eps) }
 
 // Solve implements Solver. Heterogeneous instances are rejected, as in DP.
 func (a ApproxDP) Solve(in Instance) (Solution, error) {
-	ctx, err := newEvalCtx(in)
+	ctx, err := newPooledEvalCtx(in)
 	if err != nil {
 		return Solution{}, err
 	}
+	defer ctx.release()
 	if ctx.hetero {
 		return Solution{}, ErrHeterogeneous
 	}
@@ -53,7 +54,10 @@ func (a ApproxDP) Solve(in Instance) (Solution, error) {
 	if k < 1 {
 		k = 1
 	}
-	scaled := make([]item, n)
+	sc := getDPScratch()
+	defer putDPScratch(sc)
+	scaled := growItems(sc.scaled, n)
+	sc.scaled = scaled
 	for i, it := range its {
 		scaled[i] = item{
 			id: it.id,
@@ -71,7 +75,7 @@ func (a ApproxDP) Solve(in Instance) (Solution, error) {
 		return Solution{}, fmt.Errorf("core: ApproxDP needs %d states, over the limit %d (raise ε)", work, limit)
 	}
 
-	accepted, err := rejectionDP(scaled, capScaled, ctx.energy, float64(k), ctx.fastEnergy)
+	accepted, err := rejectionDP(scaled, capScaled, ctx.energy, float64(k), ctx.fastEnergy, sc)
 	if err != nil {
 		return Solution{}, err
 	}

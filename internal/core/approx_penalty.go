@@ -38,10 +38,11 @@ func (a ApproxDPPenalty) Name() string { return fmt.Sprintf("ApproxDP-V(ε=%g)",
 // = OPT (E monotone). The true penalty of the reconstructed set exceeds
 // its rounded value by < n·K = ε·UB, so cost ≤ OPT + ε·UB.
 func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
-	ctx, err := newEvalCtx(in)
+	ctx, err := newPooledEvalCtx(in)
 	if err != nil {
 		return Solution{}, err
 	}
+	defer ctx.release()
 	if ctx.hetero {
 		return Solution{}, ErrHeterogeneous
 	}
@@ -86,14 +87,22 @@ func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
 	}
 
 	const inf = math.MaxInt64 / 4
-	g := make([]int64, pMax+1) // min accepted true cycles per rounded penalty level
+	// Table state comes from the scratch pool; the stride-flattened take
+	// table replaces the seed's [][]bool row-per-task layout cell for cell.
+	sc := getDPScratch()
+	defer putDPScratch(sc)
+	stride := pMax + 1
+	g := growI64(sc.g, int(stride)) // min accepted true cycles per rounded penalty level
+	sc.g = g
 	for p := range g {
 		g[p] = inf
 	}
 	g[0] = 0
-	take := make([][]bool, n)
+	take := growBool(sc.take, n*int(stride))
+	sc.take = take
+	clear(take)
 	for i, it := range its {
-		take[i] = make([]bool, pMax+1)
+		row := take[int64(i)*stride : int64(i+1)*stride]
 		vp := int64(math.Floor(it.v / k))
 		if vp > pMax {
 			// Rejecting this task alone exceeds the useful grid: it is
@@ -114,7 +123,7 @@ func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
 			}
 			if acceptW < rejectW {
 				g[p] = acceptW
-				take[i][p] = true
+				row[p] = true
 			} else if rejectW < inf {
 				g[p] = rejectW
 			} else {
@@ -138,16 +147,17 @@ func (a ApproxDPPenalty) Solve(in Instance) (Solution, error) {
 	}
 
 	// Reconstruct.
-	var ids []int
+	ids := sc.ids[:0]
 	p := bestP
 	for i := n - 1; i >= 0; i-- {
-		if take[i][p] {
+		if take[int64(i)*stride+p] {
 			ids = append(ids, its[i].id)
 		} else {
 			vp := int64(math.Floor(its[i].v / k))
 			p -= vp
 		}
 	}
+	sc.ids = ids
 	if p != 0 {
 		return Solution{}, fmt.Errorf("core: ApproxDPPenalty reconstruction left level %d", p)
 	}

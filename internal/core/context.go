@@ -59,29 +59,71 @@ type evalCtx struct {
 
 // newEvalCtx validates the instance and builds its evaluation context.
 func newEvalCtx(in Instance) (*evalCtx, error) {
-	if err := in.Validate(); err != nil {
+	c := &evalCtx{}
+	if err := c.init(in); err != nil {
 		return nil, err
 	}
-	m := in.Proc.Model
-	c := &evalCtx{
-		in:         in,
-		items:      in.items(),
-		idx:        in.Tasks.Index(),
-		deadline:   in.Tasks.Deadline,
-		capacity:   in.Capacity(),
-		hetero:     in.Heterogeneous(),
-		convex:     in.convexEnergy(),
-		fastEnergy: in.Proc.Levels == nil && !in.Proc.DormantEnable,
-		smin:       in.Proc.SMin,
-		smax:       in.Proc.SMax,
-		pind:       m.Static(),
-		coeff:      m.Coeff,
-		alpha:      m.Alpha,
+	return c, nil
+}
+
+// newPooledEvalCtx is newEvalCtx drawing the context (and its items slice
+// and id→index map) from ctxPool; the caller must release() it after the
+// Solution has been built, and must not let the Solution alias context
+// state (evaluate never does).
+func newPooledEvalCtx(in Instance) (*evalCtx, error) {
+	c := ctxPool.Get().(*evalCtx)
+	if err := c.init(in); err != nil {
+		ctxPool.Put(c)
+		return nil, err
 	}
+	return c, nil
+}
+
+// release returns a pooled context; c must not be used afterwards.
+func (c *evalCtx) release() { ctxPool.Put(c) }
+
+// init validates the instance and (re)builds the context in place, reusing
+// the items backing array and the id→index map across pool generations.
+// Every field is assigned unconditionally, so a recycled context is
+// indistinguishable from a fresh one.
+func (c *evalCtx) init(in Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	m := in.Proc.Model
+
+	items := c.items[:0]
+	alpha := m.Alpha
+	for _, t := range in.Tasks.Tasks {
+		it := item{id: t.ID, c: t.Cycles, v: t.Penalty}
+		it.ce = float64(t.Cycles) * math.Pow(t.PowerCoeff(), 1/alpha)
+		items = append(items, it)
+	}
+	if c.idx == nil {
+		c.idx = make(map[int]int, len(in.Tasks.Tasks))
+	} else {
+		clear(c.idx)
+	}
+	for i, t := range in.Tasks.Tasks {
+		c.idx[t.ID] = i
+	}
+
+	c.in = in
+	c.items = items
+	c.deadline = in.Tasks.Deadline
+	c.capacity = in.Capacity()
+	c.hetero = in.Heterogeneous()
+	c.convex = in.convexEnergy()
+	c.fastEnergy = in.Proc.Levels == nil && !in.Proc.DormantEnable
+	c.smin = in.Proc.SMin
+	c.smax = in.Proc.SMax
+	c.pind = m.Static()
+	c.coeff = m.Coeff
+	c.alpha = m.Alpha
 	c.capSlack = c.capacity * (1 + 1e-9)
 	c.idleTotal = c.pind * c.deadline
 	c.hetDenom = math.Pow(c.deadline, c.alpha-1)
-	return c, nil
+	return nil
 }
 
 // fits reports whether a workload of w true cycles is schedulable;
@@ -197,22 +239,46 @@ func minCostWorkload(pen []float64, energy func(float64) float64, scale float64,
 // evalCtx.evaluate: it assumes the instance has been validated and that
 // idx maps every task ID to its position in in.Tasks.Tasks.
 func evaluateIndexed(in Instance, idx map[int]int, hetero bool, accepted []int) (Solution, error) {
-	acc := make(map[int]bool, len(accepted))
+	// The membership set is a pooled position-indexed flag slice instead of
+	// the seed's per-call map: idx maps every (unique, validated) task ID to
+	// its position, so flags[idx[id]] is the same predicate as the map
+	// lookup. Scratch comes from a global pool per call — evaluateIndexed
+	// runs concurrently on parallel search workers — and is zeroed before
+	// release.
+	sc := evalScratchPool.Get().(*evalScratch)
+	n := len(in.Tasks.Tasks)
+	sc.flags = growBool(sc.flags, n)
+	flags := sc.flags
+	release := func() {
+		clear(flags)
+		evalScratchPool.Put(sc)
+	}
 	for _, id := range accepted {
-		if _, ok := idx[id]; !ok {
+		p, ok := idx[id]
+		if !ok {
+			release()
 			return Solution{}, fmt.Errorf("core: accepted ID %d not in task set", id)
 		}
-		if acc[id] {
+		if flags[p] {
+			release()
 			return Solution{}, fmt.Errorf("core: accepted ID %d listed twice", id)
 		}
-		acc[id] = true
+		flags[p] = true
 	}
 
 	sol := Solution{}
-	var cycles []int64
-	var rhos []float64
-	for _, t := range in.Tasks.Tasks {
-		if acc[t.ID] {
+	// Output slices are right-sized up front (their lengths are implied by
+	// the validated accepted set); empty sets keep the seed's nil slices.
+	if len(accepted) > 0 {
+		sol.Accepted = make([]int, 0, len(accepted))
+	}
+	if n > len(accepted) {
+		sol.Rejected = make([]int, 0, n-len(accepted))
+	}
+	cycles := growI64(sc.cycles, len(accepted))[:0]
+	rhos := growF64(sc.rhos, len(accepted))[:0]
+	for i, t := range in.Tasks.Tasks {
+		if flags[i] {
 			sol.Accepted = append(sol.Accepted, t.ID)
 			cycles = append(cycles, t.Cycles)
 			rhos = append(rhos, t.PowerCoeff())
@@ -221,6 +287,8 @@ func evaluateIndexed(in Instance, idx map[int]int, hetero bool, accepted []int) 
 			sol.Penalty += t.Penalty
 		}
 	}
+	sc.cycles, sc.rhos = cycles, rhos
+	defer release()
 	slices.Sort(sol.Accepted)
 	slices.Sort(sol.Rejected)
 

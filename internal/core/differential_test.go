@@ -291,7 +291,7 @@ func refRejectionDP(its []item, cap64 int64, energy func(float64) float64, scale
 		f[w] = math.Inf(1)
 	}
 	f[0] = 0
-	take := newTakeTable(n, width)
+	take := newTakeTable(nil, n, width)
 	for i, it := range its {
 		c := it.c
 		if c > cap64 {

@@ -26,10 +26,11 @@ const DefaultMaxDPStates = int64(1) << 28
 // per-task power coefficients: their energy is not a function of a single
 // integer workload.
 func (d DP) Solve(in Instance) (Solution, error) {
-	ctx, err := newEvalCtx(in)
+	ctx, err := newPooledEvalCtx(in)
 	if err != nil {
 		return Solution{}, err
 	}
+	defer ctx.release()
 	if ctx.hetero {
 		return Solution{}, ErrHeterogeneous
 	}
@@ -42,7 +43,9 @@ func (d DP) Solve(in Instance) (Solution, error) {
 		return Solution{}, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
 	}
 
-	accepted, err := rejectionDP(ctx.items, cap64, ctx.energy, 1, ctx.fastEnergy)
+	sc := getDPScratch()
+	defer putDPScratch(sc)
+	accepted, err := rejectionDP(ctx.items, cap64, ctx.energy, 1, ctx.fastEnergy, sc)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -57,9 +60,16 @@ type takeTable struct {
 	width int64 // cells per task row
 }
 
-func newTakeTable(n int, width int64) takeTable {
+func newTakeTable(words []uint64, n int, width int64) takeTable {
 	perRow := (width + 63) / 64
-	return takeTable{words: make([]uint64, int64(n)*perRow), width: perRow}
+	need := int64(n) * perRow
+	if words == nil || int64(cap(words)) < need {
+		words = make([]uint64, need)
+	} else {
+		words = words[:need]
+		clear(words)
+	}
+	return takeTable{words: words, width: perRow}
 }
 
 func (t takeTable) set(i int, w int64) {
@@ -77,14 +87,18 @@ func (t takeTable) get(i int, w int64) bool {
 // curve non-decreasing in w, unlocking the pruned final scan of
 // minCostWorkload; pass false for curves with dormant break-evens or
 // discrete ladders. It returns the accepted IDs.
-func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64, monotone bool) ([]int, error) {
+func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64, monotone bool, sc *dpScratch) ([]int, error) {
 	if cap64 < 0 {
 		return nil, fmt.Errorf("core: negative DP capacity %d", cap64)
 	}
 	n := len(its)
 	width := cap64 + 1
 
-	f := make([]float64, width)
+	// Table state comes from the caller's scratch; the Inf refill and the
+	// zeroed bitset put reused buffers in exactly the state fresh make()
+	// calls had them.
+	f := growF64(sc.f, int(width))
+	sc.f = f
 	for w := range f {
 		f[w] = math.Inf(1)
 	}
@@ -92,7 +106,8 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 
 	// take records, per reachable workload, whether task i is accepted on
 	// the optimal path reaching it.
-	take := newTakeTable(n, width)
+	take := newTakeTable(sc.words, n, width)
+	sc.words = take.words
 
 	for i, it := range its {
 		c := it.c
@@ -131,7 +146,7 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 	}
 
 	// Reconstruct.
-	var ids []int
+	ids := sc.ids[:0]
 	w := bestW
 	for i := n - 1; i >= 0; i-- {
 		if take.get(i, w) {
@@ -139,6 +154,7 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 			w -= its[i].c
 		}
 	}
+	sc.ids = ids
 	if w != 0 {
 		return nil, fmt.Errorf("core: DP reconstruction left workload %d", w)
 	}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+)
+
+// poolTestInstances builds instances of interleaved sizes so pooled
+// buffers are reused both grown and shrunk between solves.
+func poolTestInstances(t *testing.T) []Instance {
+	t.Helper()
+	var ins []Instance
+	for seed, n := range map[int64]int{1: 12, 2: 40, 3: 7, 4: 25} {
+		set, err := gen.Frame(rand.New(rand.NewSource(seed)), gen.Config{
+			N: n, Load: 1.5, Deadline: 120,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}})
+		ins = append(ins, Instance{Tasks: set, Proc: speed.Proc{Model: power.XScale(), SMin: 0.15, SMax: 1}})
+	}
+	return ins
+}
+
+var pooledSolvers = []Solver{DP{}, ApproxDP{Eps: 0.1}, ApproxDPPenalty{Eps: 0.1}}
+
+// TestPooledSolversDeterministic pins that buffer recycling is
+// observationally identical to fresh allocation: repeated interleaved
+// solves over differently-sized instances must reproduce the first pass's
+// solutions exactly.
+func TestPooledSolversDeterministic(t *testing.T) {
+	ins := poolTestInstances(t)
+	var first []Solution
+	for pass := 0; pass < 4; pass++ {
+		var got []Solution
+		for _, in := range ins {
+			for _, s := range pooledSolvers {
+				sol, err := s.Solve(in)
+				if err != nil {
+					t.Fatalf("pass %d: %s: %v", pass, s.Name(), err)
+				}
+				got = append(got, sol)
+			}
+		}
+		if pass == 0 {
+			first = got
+			continue
+		}
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("pass %d solutions diverge from pass 0", pass)
+		}
+	}
+}
+
+// TestPooledSolversConcurrent hammers the pooled solvers from many
+// goroutines (run under -race in CI) and checks every result against the
+// serial answer.
+func TestPooledSolversConcurrent(t *testing.T) {
+	ins := poolTestInstances(t)
+	want := make(map[string]Solution)
+	for i, in := range ins {
+		for _, s := range pooledSolvers {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[fmt.Sprintf("%d/%s", i, s.Name())] = sol
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				i := (g + rep) % len(ins)
+				for _, s := range pooledSolvers {
+					sol, err := s.Solve(ins[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(sol, want[fmt.Sprintf("%d/%s", i, s.Name())]) {
+						errs <- fmt.Errorf("goroutine %d: %s on instance %d diverged", g, s.Name(), i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

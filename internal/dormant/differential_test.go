@@ -1,0 +1,232 @@
+package dormant
+
+// Differential corpus pinning the sort-skips in Gaps/mirrorSlices to the
+// seed code shape: the ref* functions below are the seed implementations
+// (unconditional sorts on forward-built arrays), and the optimized package
+// must reproduce their output bit for bit — gap bounds, slice traces, and
+// full Compare analyses alike.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+// refGaps is the seed Gaps with its unconditional interval sort.
+func refGaps(slices []edf.Slice, horizon float64) []Gap {
+	intervals := make([][2]float64, 0, len(slices))
+	for _, s := range slices {
+		if s.End > s.Start {
+			intervals = append(intervals, [2]float64{s.Start, s.End})
+		}
+	}
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i][0] < intervals[j][0] })
+
+	var gaps []Gap
+	cursor := 0.0
+	for _, iv := range intervals {
+		if iv[0] > cursor+gapEps {
+			gaps = append(gaps, Gap{Start: cursor, End: iv[0]})
+		}
+		if iv[1] > cursor {
+			cursor = iv[1]
+		}
+	}
+	if horizon > cursor+gapEps {
+		gaps = append(gaps, Gap{Start: cursor, End: horizon})
+	}
+	return gaps
+}
+
+// refMirrorSlices is the seed mirror: forward build plus sort.
+func refMirrorSlices(slices []edf.Slice, horizon float64) []edf.Slice {
+	out := make([]edf.Slice, len(slices))
+	for i, s := range slices {
+		out[i] = edf.Slice{
+			TaskID:   s.TaskID,
+			JobIndex: s.JobIndex,
+			Start:    horizon - s.End,
+			End:      horizon - s.Start,
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// refSchedule is the seed Schedule over refMirrorSlices.
+func refSchedule(jobs []edf.Job, s, horizon float64, mode Mode) ([]edf.Slice, error) {
+	for _, j := range jobs {
+		if j.Deadline > horizon+1e-9 {
+			return nil, fmt.Errorf("dormant: job of task %d has deadline %g beyond the horizon %g", j.TaskID, j.Deadline, horizon)
+		}
+	}
+	run := jobs
+	if mode == ALAP {
+		run = mirror(jobs, horizon)
+	} else if mode != ASAP {
+		return nil, fmt.Errorf("dormant: unknown mode %d", int(mode))
+	}
+	r, err := edf.Simulate(run, speed.Constant(s, 0, horizon))
+	if err != nil {
+		return nil, err
+	}
+	if !r.Feasible() {
+		return nil, fmt.Errorf("dormant: %v schedule at speed %g misses %d deadlines", mode, s, r.Misses)
+	}
+	slices := r.Slices
+	if mode == ALAP {
+		slices = refMirrorSlices(slices, horizon)
+	}
+	return slices, nil
+}
+
+// refAnalyze is the seed Analyze over refGaps.
+func refAnalyze(slices []edf.Slice, horizon float64, proc speed.Proc) Analysis {
+	a := Analysis{Gaps: refGaps(slices, horizon)}
+	for _, g := range a.Gaps {
+		d := g.Duration()
+		a.TotalIdle += d
+		awake := proc.Model.Static() * d
+		if proc.DormantEnable && proc.Esw < awake {
+			a.IdleEnergy += proc.Esw
+			a.Shutdowns++
+		} else {
+			a.IdleEnergy += awake
+		}
+	}
+	return a
+}
+
+// refCompare is the seed Compare over the seed pieces.
+func refCompare(jobs []edf.Job, s, horizon float64, proc speed.Proc) (asap, alap Analysis, err error) {
+	sa, err := refSchedule(jobs, s, horizon, ASAP)
+	if err != nil {
+		return Analysis{}, Analysis{}, err
+	}
+	sl, err := refSchedule(jobs, s, horizon, ALAP)
+	if err != nil {
+		return Analysis{}, Analysis{}, err
+	}
+	asap = refAnalyze(sa, horizon, proc)
+	alap = refAnalyze(sl, horizon, proc)
+	if d := math.Abs(asap.TotalIdle - alap.TotalIdle); d > 1e-6*(1+horizon) {
+		return Analysis{}, Analysis{}, fmt.Errorf("dormant: idle-time mismatch between modes: %g vs %g", asap.TotalIdle, alap.TotalIdle)
+	}
+	return asap, alap, nil
+}
+
+// dormantCorpus builds job sets whose traces exercise merged slices,
+// scattered short gaps, integer-grid windows full of endpoint ties, and
+// loads from sparse to near-saturating.
+func dormantCorpus() []struct {
+	label   string
+	jobs    []edf.Job
+	speed   float64
+	horizon float64
+} {
+	var corpus []struct {
+		label   string
+		jobs    []edf.Job
+		speed   float64
+		horizon float64
+	}
+	add := func(label string, jobs []edf.Job, s, horizon float64) {
+		corpus = append(corpus, struct {
+			label   string
+			jobs    []edf.Job
+			speed   float64
+			horizon float64
+		}{label, jobs, s, horizon})
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(seed)%5
+		horizon := 40.0
+
+		var sparse []edf.Job
+		for i := 0; i < n; i++ {
+			r := rng.Float64() * 25
+			sparse = append(sparse, edf.Job{
+				TaskID: i, Release: r, Deadline: r + 5 + rng.Float64()*10, Cycles: 0.3 + rng.Float64(),
+			})
+		}
+		add(fmt.Sprintf("sparse/%d", seed), sparse, 0.9, horizon)
+
+		var grid []edf.Job
+		for i := 0; i < n; i++ {
+			r := float64(rng.Intn(6)) * 5
+			grid = append(grid, edf.Job{
+				TaskID: i, Release: r, Deadline: r + float64(5+rng.Intn(10)), Cycles: float64(1 + rng.Intn(3)),
+			})
+		}
+		add(fmt.Sprintf("grid/%d", seed), grid, 1, horizon)
+
+		var dense []edf.Job
+		for i := 0; i < n; i++ {
+			r := rng.Float64() * 10
+			dense = append(dense, edf.Job{
+				TaskID: i, Release: r, Deadline: r + 10 + rng.Float64()*20, Cycles: 2 + rng.Float64()*3,
+			})
+		}
+		add(fmt.Sprintf("dense/%d", seed), dense, 1, horizon)
+	}
+	return corpus
+}
+
+var dormantProcs = map[string]speed.Proc{
+	"leaky":          {Model: power.XScale(), SMax: 1},
+	"dormant":        {Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0.4},
+	"dormant-costly": {Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 1e6},
+}
+
+func mustEqualAnalyses(t *testing.T, label string, got, want Analysis) {
+	t.Helper()
+	if math.Float64bits(got.TotalIdle) != math.Float64bits(want.TotalIdle) ||
+		math.Float64bits(got.IdleEnergy) != math.Float64bits(want.IdleEnergy) ||
+		got.Shutdowns != want.Shutdowns ||
+		!reflect.DeepEqual(got.Gaps, want.Gaps) {
+		t.Errorf("%s: analyses diverge\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+func TestDifferentialSchedule(t *testing.T) {
+	for _, c := range dormantCorpus() {
+		for _, mode := range []Mode{ASAP, ALAP} {
+			want, wantErr := refSchedule(c.jobs, c.speed, c.horizon, mode)
+			got, gotErr := Schedule(c.jobs, c.speed, c.horizon, mode)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s/%v: error mismatch: %v vs %v", c.label, mode, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%v: traces diverge\n got %+v\nwant %+v", c.label, mode, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialCompare(t *testing.T) {
+	for _, c := range dormantCorpus() {
+		for pname, proc := range dormantProcs {
+			wantA, wantL, wantErr := refCompare(c.jobs, c.speed, c.horizon, proc)
+			gotA, gotL, gotErr := Compare(c.jobs, c.speed, c.horizon, proc)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s/%s: error mismatch: %v vs %v", c.label, pname, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			mustEqualAnalyses(t, c.label+"/"+pname+"/asap", gotA, wantA)
+			mustEqualAnalyses(t, c.label+"/"+pname+"/alap", gotL, wantL)
+		}
+	}
+}

@@ -51,7 +51,22 @@ func Gaps(slices []edf.Slice, horizon float64) []Gap {
 			intervals = append(intervals, [2]float64{s.Start, s.End})
 		}
 	}
-	sort.Slice(intervals, func(i, j int) bool { return intervals[i][0] < intervals[j][0] })
+	// Execution traces arrive in time order with strictly increasing starts
+	// (edf.Simulate emits chronologically and drops zero-width slices), so
+	// the sort is skippable: with all keys distinct the sorted order is
+	// unique, making the skip exactly output-preserving. Anything else —
+	// equal or descending starts — takes the seed's sort on the same
+	// forward-built array, so tie orders are untouched.
+	strictlySorted := true
+	for i := 1; i < len(intervals); i++ {
+		if intervals[i][0] <= intervals[i-1][0] {
+			strictlySorted = false
+			break
+		}
+	}
+	if !strictlySorted {
+		sort.Slice(intervals, func(i, j int) bool { return intervals[i][0] < intervals[j][0] })
+	}
 
 	var gaps []Gap
 	cursor := 0.0
@@ -157,9 +172,33 @@ func mirror(jobs []edf.Job, horizon float64) []edf.Job {
 	return out
 }
 
-// mirrorSlices reflects an execution trace back to original time.
+// mirrorSlices reflects an execution trace back to original time. A
+// simulator trace has strictly increasing, non-overlapping slices, so its
+// mirror built in reverse is already strictly sorted by start — the sorted
+// order is unique and the seed's sort call is skippable bit-for-bit. A
+// trace that mirrors to anything else falls back to the seed code path
+// (forward build + sort) so tie orders are untouched.
 func mirrorSlices(slices []edf.Slice, horizon float64) []edf.Slice {
-	out := make([]edf.Slice, len(slices))
+	n := len(slices)
+	out := make([]edf.Slice, n)
+	for i, s := range slices {
+		out[n-1-i] = edf.Slice{
+			TaskID:   s.TaskID,
+			JobIndex: s.JobIndex,
+			Start:    horizon - s.End,
+			End:      horizon - s.Start,
+		}
+	}
+	strictlySorted := true
+	for i := 1; i < n; i++ {
+		if out[i].Start <= out[i-1].Start {
+			strictlySorted = false
+			break
+		}
+	}
+	if strictlySorted {
+		return out
+	}
 	for i, s := range slices {
 		out[i] = edf.Slice{
 			TaskID:   s.TaskID,

@@ -1,0 +1,13 @@
+package exper
+
+import "time"
+
+// now and since are the harness's wall clock, seamed as package variables
+// so the serial-vs-parallel golden test can pin them to a fake: the timing
+// columns of E4/E8 and RunSuite's per-experiment durations are the only
+// non-deterministic output of the harness, and stubbing the clock makes a
+// full suite run byte-for-byte reproducible.
+var (
+	now   = time.Now
+	since = time.Since
+)

@@ -38,40 +38,55 @@ func Exp12(o Options) (Table, error) {
 	for pi, p := range points {
 		var nodesStrong, nodesWeak stats.Summary
 		var full, toggles stats.Summary
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			sn, wn    float64
+			full, tog float64
+			ok        bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(pi)*907 + int64(trial)*1009))
 			set, err := gen.Frame(rng, gen.Config{N: p.n, Load: p.load, Deadline: 200, Penalty: gen.PenaltyProportional})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			in := core.Instance{Tasks: set, Proc: idealProc()}
 
 			_, sn, err := (core.Exhaustive{}).SolveStats(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			_, wn, err := (core.Exhaustive{WeakBoundOnly: true}).SolveStats(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			nodesStrong.Add(float64(sn))
-			nodesWeak.Add(float64(wn))
+			r := res{sn: float64(sn), wn: float64(wn)}
 
 			opt, err := (core.DP{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			f, err := (core.GreedyMarginal{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			g, err := (core.GreedyMarginal{DisableSwaps: true}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			if opt.Cost > 0 {
-				full.Add(f.Cost / opt.Cost)
-				toggles.Add(g.Cost / opt.Cost)
+				r.full, r.tog, r.ok = f.Cost/opt.Cost, g.Cost/opt.Cost, true
+			}
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			nodesStrong.Add(r.sn)
+			nodesWeak.Add(r.wn)
+			if r.ok {
+				full.Add(r.full)
+				toggles.Add(r.tog)
 			}
 		}
 		t.Rows = append(t.Rows, []string{

@@ -50,7 +50,12 @@ func Exp14(o Options) (Table, error) {
 		p := proc
 		p.Esw = esw
 		var ga, gl, ea, el, ratio, best stats.Summary
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			ga, gl, ea, el float64
+			ratio, best    float64
+			ok             bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*1301 + int64(trial)*1009))
 			var asap, alap dormant.Analysis
 			for {
@@ -70,14 +75,31 @@ func Exp14(o Options) (Table, error) {
 				}
 				// Jointly infeasible at speed 1: redraw.
 			}
-			ga.Add(float64(len(asap.Gaps)))
-			gl.Add(float64(len(alap.Gaps)))
-			ea.Add(asap.IdleEnergy)
-			el.Add(alap.IdleEnergy)
+			r := res{
+				ga: float64(len(asap.Gaps)),
+				gl: float64(len(alap.Gaps)),
+				ea: asap.IdleEnergy,
+				el: alap.IdleEnergy,
+			}
 			if asap.IdleEnergy > 0 {
-				ratio.Add(alap.IdleEnergy / asap.IdleEnergy)
+				r.ok = true
+				r.ratio = alap.IdleEnergy / asap.IdleEnergy
 				// A scheduler free to pick the cheaper feasible mode:
-				best.Add(math.Min(alap.IdleEnergy, asap.IdleEnergy) / asap.IdleEnergy)
+				r.best = math.Min(alap.IdleEnergy, asap.IdleEnergy) / asap.IdleEnergy
+			}
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			ga.Add(r.ga)
+			gl.Add(r.gl)
+			ea.Add(r.ea)
+			el.Add(r.el)
+			if r.ok {
+				ratio.Add(r.ratio)
+				best.Add(r.best)
 			}
 		}
 		t.Rows = append(t.Rows, []string{

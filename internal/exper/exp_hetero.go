@@ -47,24 +47,31 @@ func Exp15(o Options) (Table, error) {
 			het[s.Name()] = &stats.Summary{}
 			hom[s.Name()] = &stats.Summary{}
 		}
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			het   []float64
+			hetOK bool
+			hom   []float64
+			homOK bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*1409 + int64(trial)*1009))
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200, HeteroRho: true})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			in := core.Instance{Tasks: set, Proc: idealProc()}
 			opt, err := (core.Exhaustive{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			for _, s := range solvers {
+			r := res{het: make([]float64, len(solvers)), hetOK: opt.Cost > 0}
+			for si, s := range solvers {
 				sol, err := s.Solve(in)
 				if err != nil {
-					return Table{}, err
+					return res{}, err
 				}
-				if opt.Cost > 0 {
-					het[s.Name()].Add(sol.Cost / opt.Cost)
+				if r.hetOK {
+					r.het[si] = sol.Cost / opt.Cost
 				}
 			}
 
@@ -78,15 +85,33 @@ func Exp15(o Options) (Table, error) {
 			homIn := core.Instance{Tasks: homSet, Proc: idealProc()}
 			homOpt, err := (core.DP{}).Solve(homIn)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			for _, s := range solvers[:2] {
+			r.hom = make([]float64, 2)
+			r.homOK = homOpt.Cost > 0
+			for si, s := range solvers[:2] {
 				sol, err := s.Solve(homIn)
 				if err != nil {
-					return Table{}, err
+					return res{}, err
 				}
-				if homOpt.Cost > 0 {
-					hom[s.Name()].Add(sol.Cost / homOpt.Cost)
+				if r.homOK {
+					r.hom[si] = sol.Cost / homOpt.Cost
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			if r.hetOK {
+				for si, s := range solvers {
+					het[s.Name()].Add(r.het[si])
+				}
+			}
+			if r.homOK {
+				for si, s := range solvers[:2] {
+					hom[s.Name()].Add(r.hom[si])
 				}
 			}
 		}

@@ -21,10 +21,10 @@ func idealProc() speed.Proc {
 // normalized to the reference solver's cost over `trials` random
 // instances. Trials run on a worker pool; aggregation order stays the
 // serial one, so tables are deterministic for a fixed seed.
-func ratioRow(seed int64, trials int, mk func(*rand.Rand) (core.Instance, error),
+func ratioRow(o Options, seed int64, trials int, mk func(*rand.Rand) (core.Instance, error),
 	ref core.Solver, solvers []core.Solver) (map[string]*stats.Summary, error) {
 
-	rows, err := forEachTrial(trials, func(trial int) ([]float64, error) {
+	rows, err := forEachTrial(o, trials, func(trial int) ([]float64, error) {
 		rng := rand.New(rand.NewSource(seed + int64(trial)*1009))
 		in, err := mk(rng)
 		if err != nil {
@@ -105,7 +105,7 @@ func Exp1(o Options) (Table, error) {
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200})
 			return core.Instance{Tasks: set, Proc: idealProc()}, err
 		}
-		sums, err := ratioRow(o.Seed+int64(i)*77, trials, mk, core.DP{}, solvers)
+		sums, err := ratioRow(o, o.Seed+int64(i)*77, trials, mk, core.DP{}, solvers)
 		if err != nil {
 			return Table{}, err
 		}
@@ -149,7 +149,7 @@ func Exp2(o Options) (Table, error) {
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: load, Deadline: 200})
 			return core.Instance{Tasks: set, Proc: idealProc()}, err
 		}
-		sums, err := ratioRow(o.Seed+int64(i)*131, trials, mk, core.DP{}, solvers)
+		sums, err := ratioRow(o, o.Seed+int64(i)*131, trials, mk, core.DP{}, solvers)
 		if err != nil {
 			return Table{}, err
 		}
@@ -193,7 +193,7 @@ func Exp3(o Options) (Table, error) {
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200, PenaltyScale: k})
 			return core.Instance{Tasks: set, Proc: idealProc()}, err
 		}
-		sums, err := ratioRow(o.Seed+int64(i)*173, trials, mk, core.DP{}, solvers)
+		sums, err := ratioRow(o, o.Seed+int64(i)*173, trials, mk, core.DP{}, solvers)
 		if err != nil {
 			return Table{}, err
 		}
@@ -230,18 +230,22 @@ func Exp10(o Options) (Table, error) {
 	}
 	for i, k := range scales {
 		var fr, ld, es, ps stats.Summary
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			frac, load, eShare, pShare float64
+			costPos                    bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*211 + int64(trial)*1009))
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200, PenaltyScale: k})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			in := core.Instance{Tasks: set, Proc: idealProc()}
 			sol, err := (core.DP{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			fr.Add(float64(len(sol.Accepted)) / float64(n))
+			r := res{frac: float64(len(sol.Accepted)) / float64(n)}
 			var w int64
 			acc := sol.AcceptedSet()
 			for _, tk := range set.Tasks {
@@ -249,10 +253,23 @@ func Exp10(o Options) (Table, error) {
 					w += tk.Cycles
 				}
 			}
-			ld.Add(float64(w) / in.Capacity())
+			r.load = float64(w) / in.Capacity()
 			if sol.Cost > 0 {
-				es.Add(sol.Energy / sol.Cost)
-				ps.Add(sol.Penalty / sol.Cost)
+				r.costPos = true
+				r.eShare = sol.Energy / sol.Cost
+				r.pShare = sol.Penalty / sol.Cost
+			}
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			fr.Add(r.frac)
+			ld.Add(r.load)
+			if r.costPos {
+				es.Add(r.eShare)
+				ps.Add(r.pShare)
 			}
 		}
 		t.Rows = append(t.Rows, []string{

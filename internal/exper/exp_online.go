@@ -36,27 +36,45 @@ func Exp11(o Options) (Table, error) {
 	proc := idealProc()
 	for i, load := range loads {
 		var rm, rf, offFrac, onFrac stats.Summary
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			rm, rf  float64
+			ok      bool
+			off, on float64
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*811 + int64(trial)*1009))
 			jobs := online.RandomStorm(rng, online.StormConfig{N: n, Load: load})
 			off, err := online.OfflineOptimal(jobs, proc)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			mc, err := online.Simulate(jobs, proc, online.MarginalCost{})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			af, err := online.Simulate(jobs, proc, online.AdmitFeasible{})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
+			}
+			r := res{
+				off: float64(len(off.Accepted)) / float64(n),
+				on:  float64(len(mc.Accepted)) / float64(n),
 			}
 			if off.Cost > 0 {
-				rm.Add(mc.Cost / off.Cost)
-				rf.Add(af.Cost / off.Cost)
+				r.rm, r.rf, r.ok = mc.Cost/off.Cost, af.Cost/off.Cost, true
 			}
-			offFrac.Add(float64(len(off.Accepted)) / float64(n))
-			onFrac.Add(float64(len(mc.Accepted)) / float64(n))
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			if r.ok {
+				rm.Add(r.rm)
+				rf.Add(r.rf)
+			}
+			offFrac.Add(r.off)
+			onFrac.Add(r.on)
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.1f", load),

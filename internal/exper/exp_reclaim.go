@@ -37,16 +37,20 @@ func Exp13(o Options) (Table, error) {
 	}
 	for i, ratio := range ratios {
 		var st, cc, orAbs stats.Summary
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			st, cc, or float64
+			ok         bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*1103 + int64(trial)*1009))
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 200})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			in := core.Instance{Tasks: set, Proc: idealProc()}
 			sol, err := (core.DP{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			acc := sol.AcceptedSet()
 			var tasks []reclaim.Task
@@ -65,20 +69,29 @@ func Exp13(o Options) (Table, error) {
 				tasks = append(tasks, reclaim.Task{ID: tk.ID, WCET: tk.Cycles, Actual: actual})
 			}
 			if len(tasks) == 0 {
-				continue
+				return res{}, nil
 			}
 			var e [3]float64
 			for pi, pol := range []reclaim.Policy{reclaim.Static, reclaim.CycleConserving, reclaim.Oracle} {
 				tr, err := reclaim.Run(tasks, set.Deadline, in.Proc.Model, in.Proc.SMax, pol)
 				if err != nil {
-					return Table{}, err
+					return res{}, err
 				}
 				e[pi] = tr.Energy
 			}
-			if e[2] > 0 {
-				st.Add(e[0] / e[2])
-				cc.Add(e[1] / e[2])
-				orAbs.Add(e[2])
+			if e[2] <= 0 {
+				return res{}, nil
+			}
+			return res{st: e[0] / e[2], cc: e[1] / e[2], or: e[2], ok: true}, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			if r.ok {
+				st.Add(r.st)
+				cc.Add(r.cc)
+				orAbs.Add(r.or)
 			}
 		}
 		t.Rows = append(t.Rows, []string{

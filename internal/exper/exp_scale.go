@@ -3,7 +3,6 @@ package exper
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"dvsreject/internal/core"
 	"dvsreject/internal/gen"
@@ -34,9 +33,9 @@ func Exp8(o Options) (Table, error) {
 	}
 
 	timeIt := func(s core.Solver, in core.Instance) (float64, error) {
-		start := time.Now()
+		start := now()
 		_, err := s.Solve(in)
-		return float64(time.Since(start).Microseconds()), err
+		return float64(since(start).Microseconds()), err
 	}
 
 	allNs := append(append([]int{}, heurNs...), exactNs...)
@@ -48,6 +47,9 @@ func Exp8(o Options) (Table, error) {
 		seen[n] = true
 		row := []string{fmt.Sprintf("%d", n)}
 		var tg, ts, td, ta, to stats.Summary
+		// E8 measures solver wall-clock runtime, so its trials deliberately
+		// stay serial even when Options.Workers allows a pool: concurrent
+		// trials would contend for cores and skew every µs column.
 		for trial := 0; trial < trials; trial++ {
 			rng := rand.New(rand.NewSource(o.Seed + int64(n)*601 + int64(trial)))
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 2000})
@@ -135,39 +137,52 @@ func Exp9(o Options) (Table, error) {
 		if !c.exact {
 			refName = "LTF-REJECT-LS"
 		}
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			ltf, basic, ls float64
+			ok             bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(ci)*701 + int64(trial)*1009))
 			set, err := gen.Frame(rng, gen.Config{N: c.n, Load: 1.5 * float64(c.m), Deadline: 100})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			in := multiproc.Instance{Tasks: set, Proc: idealProc(), M: c.m}
 			ltf, err := (multiproc.LTFReject{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			basic, err := (multiproc.LTFRejectLS{DisableExchange: true}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			ls, err := (multiproc.LTFRejectLS{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			var ref float64
 			if c.exact {
 				opt, err := (multiproc.Exhaustive{}).Solve(in)
 				if err != nil {
-					return Table{}, err
+					return res{}, err
 				}
 				ref = opt.Cost
 			} else {
 				ref = ls.Cost
 			}
-			if ref > 0 {
-				rLTF.Add(ltf.Cost / ref)
-				rBasic.Add(basic.Cost / ref)
-				rLS.Add(ls.Cost / ref)
+			if ref <= 0 {
+				return res{}, nil
+			}
+			return res{ltf: ltf.Cost / ref, basic: basic.Cost / ref, ls: ls.Cost / ref, ok: true}, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			if r.ok {
+				rLTF.Add(r.ltf)
+				rBasic.Add(r.basic)
+				rLS.Add(r.ls)
 			}
 		}
 		t.Rows = append(t.Rows, []string{

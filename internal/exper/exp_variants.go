@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"dvsreject/internal/core"
 	"dvsreject/internal/gen"
@@ -40,44 +39,57 @@ func Exp4(o Options) (Table, error) {
 		var ratioW, ratioV stats.Summary
 		var tW, tV, tDP stats.Summary
 		worstW, worstV := 0.0, 0.0
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			usDP, usW, usV, rw, rv float64
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(trial)*1009 + int64(i)))
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: 1.5, Deadline: 2000})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			in := core.Instance{Tasks: set, Proc: idealProc()}
 
-			start := time.Now()
+			var r res
+			start := now()
 			opt, err := (core.DP{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			tDP.Add(float64(time.Since(start).Microseconds()))
+			r.usDP = float64(since(start).Microseconds())
 
-			start = time.Now()
+			start = now()
 			solW, err := (core.ApproxDP{Eps: eps}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			tW.Add(float64(time.Since(start).Microseconds()))
+			r.usW = float64(since(start).Microseconds())
 
-			start = time.Now()
+			start = now()
 			solV, err := (core.ApproxDPPenalty{Eps: eps}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			tV.Add(float64(time.Since(start).Microseconds()))
+			r.usV = float64(since(start).Microseconds())
 
-			rw, rv := 1.0, 1.0
+			r.rw, r.rv = 1.0, 1.0
 			if opt.Cost > 0 {
-				rw = solW.Cost / opt.Cost
-				rv = solV.Cost / opt.Cost
+				r.rw = solW.Cost / opt.Cost
+				r.rv = solV.Cost / opt.Cost
 			}
-			ratioW.Add(rw)
-			ratioV.Add(rv)
-			worstW = math.Max(worstW, rw)
-			worstV = math.Max(worstV, rv)
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			tDP.Add(r.usDP)
+			tW.Add(r.usW)
+			tV.Add(r.usV)
+			ratioW.Add(r.rw)
+			ratioV.Add(r.rv)
+			worstW = math.Max(worstW, r.rw)
+			worstV = math.Max(worstV, r.rv)
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%g", eps),
@@ -132,32 +144,55 @@ func Exp5(o Options) (Table, error) {
 			sums[s.Name()] = &stats.Summary{}
 		}
 		var gap stats.Summary
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			gap     float64
+			gapOK   bool
+			ratios  []float64
+			discPos bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*307 + int64(trial)*1009))
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: load, Deadline: 200})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			disc := core.Instance{Tasks: set, Proc: discProc}
 			cont := core.Instance{Tasks: set, Proc: contProc}
 			dOpt, err := (core.DP{}).Solve(disc)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			cOpt, err := (core.DP{}).Solve(cont)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
+			var r res
 			if cOpt.Cost > 0 {
-				gap.Add(dOpt.Cost / cOpt.Cost)
+				r.gap, r.gapOK = dOpt.Cost/cOpt.Cost, true
 			}
-			for _, s := range solvers {
+			r.discPos = dOpt.Cost > 0
+			r.ratios = make([]float64, len(solvers))
+			for si, s := range solvers {
 				sol, err := s.Solve(disc)
 				if err != nil {
-					return Table{}, err
+					return res{}, err
 				}
-				if dOpt.Cost > 0 {
-					sums[s.Name()].Add(sol.Cost / dOpt.Cost)
+				if r.discPos {
+					r.ratios[si] = sol.Cost / dOpt.Cost
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			if r.gapOK {
+				gap.Add(r.gap)
+			}
+			if r.discPos {
+				for si, s := range solvers {
+					sums[s.Name()].Add(r.ratios[si])
 				}
 			}
 		}
@@ -211,23 +246,39 @@ func Exp6(o Options) (Table, error) {
 	}
 	for i, load := range loads {
 		sums := make([]stats.Summary, len(flavours))
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			ratios []float64
+			ok     bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*401 + int64(trial)*1009))
 			set, err := gen.Frame(rng, gen.Config{N: n, Load: load, Deadline: 200})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			base, err := (core.DP{}).Solve(core.Instance{Tasks: set, Proc: free})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
+			r := res{ratios: make([]float64, len(flavours)), ok: base.Cost > 0}
 			for fi, f := range flavours {
 				sol, err := (core.DP{}).Solve(core.Instance{Tasks: set, Proc: f.proc})
 				if err != nil {
-					return Table{}, err
+					return res{}, err
 				}
-				if base.Cost > 0 {
-					sums[fi].Add(sol.Cost / base.Cost)
+				if r.ok {
+					r.ratios[fi] = sol.Cost / base.Cost
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			if r.ok {
+				for fi := range flavours {
+					sums[fi].Add(r.ratios[fi])
 				}
 			}
 		}
@@ -272,29 +323,50 @@ func Exp7(o Options) (Table, error) {
 			sums[s.Name()] = &stats.Summary{}
 		}
 		var accFrac stats.Summary
-		for trial := 0; trial < trials; trial++ {
+		type res struct {
+			acc    float64
+			ratios []float64
+			ok     bool
+		}
+		rs, err := forEachTrial(o, trials, func(trial int) (res, error) {
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)*509 + int64(trial)*1009))
 			ps, err := gen.Periodic(rng, gen.PeriodicConfig{N: n, Utilization: u})
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			pi := core.PeriodicInstance{Tasks: ps, Proc: idealProc()}
 			in, err := pi.Reduce()
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
 			opt, err := (core.DP{}).Solve(in)
 			if err != nil {
-				return Table{}, err
+				return res{}, err
 			}
-			accFrac.Add(float64(len(opt.Accepted)) / float64(n))
-			for _, s := range solvers {
+			r := res{
+				acc:    float64(len(opt.Accepted)) / float64(n),
+				ratios: make([]float64, len(solvers)),
+				ok:     opt.Cost > 0,
+			}
+			for si, s := range solvers {
 				sol, err := s.Solve(in)
 				if err != nil {
-					return Table{}, err
+					return res{}, err
 				}
-				if opt.Cost > 0 {
-					sums[s.Name()].Add(sol.Cost / opt.Cost)
+				if r.ok {
+					r.ratios[si] = sol.Cost / opt.Cost
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		for _, r := range rs {
+			accFrac.Add(r.acc)
+			if r.ok {
+				for si, s := range solvers {
+					sums[s.Name()].Add(r.ratios[si])
 				}
 			}
 		}

@@ -21,6 +21,12 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and trial counts for smoke tests and benches.
 	Quick bool
+	// Workers bounds the worker pool shared by the per-trial loops and
+	// RunSuite's experiment-level fan-out: 0 means GOMAXPROCS, 1 forces a
+	// fully serial run. Tables are identical for every setting — trials
+	// draw from independent per-trial RNGs and results are folded in
+	// index order (E8's runtime-measurement trials always run serially).
+	Workers int
 }
 
 func (o Options) trials(def int) int {

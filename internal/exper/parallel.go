@@ -1,12 +1,42 @@
 package exper
 
-import "dvsreject/internal/conc"
+import (
+	"fmt"
+	"time"
+
+	"dvsreject/internal/conc"
+)
 
 // forEachTrial runs fn for trials 0..trials−1 on a bounded worker pool and
 // returns the per-trial results in index order, so aggregation downstream
-// is bit-for-bit identical to a serial run. The first error wins; late
-// results are still drained. The pool itself lives in internal/conc, which
-// the core solvers share for their parallel search modes.
-func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
-	return conc.ForEach(trials, 0, fn)
+// is bit-for-bit identical to a serial run: every trial draws from its own
+// RNG and the summaries are folded in trial order afterwards. The first
+// error in trial order wins; late results are still drained. o.Workers
+// bounds the pool (0 = GOMAXPROCS, 1 forces a serial run). The pool itself
+// lives in internal/conc, which the core solvers share for their parallel
+// search modes.
+func forEachTrial[T any](o Options, trials int, fn func(trial int) (T, error)) ([]T, error) {
+	return conc.ForEach(trials, o.Workers, fn)
+}
+
+// SuiteResult is one experiment's table plus how long it took to produce.
+type SuiteResult struct {
+	Table   Table
+	Elapsed time.Duration
+}
+
+// RunSuite runs the experiments concurrently on the same bounded pool the
+// per-trial loops use and returns the results in input order: printing the
+// tables in sequence yields output byte-identical to a serial run for a
+// fixed seed, regardless of o.Workers. The first error in input order
+// wins, matching the serial harness's fail-on-first-experiment behaviour.
+func RunSuite(list []Experiment, o Options) ([]SuiteResult, error) {
+	return conc.ForEach(len(list), o.Workers, func(i int) (SuiteResult, error) {
+		start := now()
+		tab, err := list[i].Run(o)
+		if err != nil {
+			return SuiteResult{}, fmt.Errorf("%s: %w", list[i].ID, err)
+		}
+		return SuiteResult{Table: tab, Elapsed: since(start)}, nil
+	})
 }

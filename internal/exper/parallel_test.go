@@ -6,7 +6,7 @@ import (
 )
 
 func TestForEachTrialOrderAndValues(t *testing.T) {
-	got, err := forEachTrial(100, func(i int) (int, error) { return i * i, nil })
+	got, err := forEachTrial(Options{}, 100, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func TestForEachTrialOrderAndValues(t *testing.T) {
 
 func TestForEachTrialError(t *testing.T) {
 	want := errors.New("boom")
-	_, err := forEachTrial(20, func(i int) (int, error) {
+	_, err := forEachTrial(Options{}, 20, func(i int) (int, error) {
 		if i == 13 {
 			return 0, want
 		}
@@ -34,7 +34,7 @@ func TestForEachTrialError(t *testing.T) {
 }
 
 func TestForEachTrialZero(t *testing.T) {
-	got, err := forEachTrial(0, func(i int) (int, error) { return i, nil })
+	got, err := forEachTrial(Options{}, 0, func(i int) (int, error) { return i, nil })
 	if err != nil || len(got) != 0 {
 		t.Errorf("zero trials = (%v, %v)", got, err)
 	}

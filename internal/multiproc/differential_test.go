@@ -1,0 +1,381 @@
+package multiproc
+
+// Differential corpus pinning the context/incremental-search overhaul to
+// the pre-overhaul code shape: refLTFReject, refLTFRejectLS and
+// refExhaustive below are verbatim copies of the seed implementations
+// (direct speed.Proc.Energy probes, per-move full re-pricing, serial
+// branch-and-bound), and every optimized solver must reproduce their
+// solutions bit for bit — costs compared with ==, partitions with
+// reflect.DeepEqual, and the exhaustive search additionally by explored
+// node count.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// refLTFReject is the seed LTFReject.Solve.
+func refLTFReject(in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	tasks := append([]task.Task(nil), in.Tasks.Tasks...)
+	sort.SliceStable(tasks, func(a, b int) bool {
+		return tasks[a].Penalty*float64(tasks[b].Cycles) > tasks[b].Penalty*float64(tasks[a].Cycles)
+	})
+	loads := make([]int64, in.M)
+	assign := Assignment{}
+	for _, t := range tasks {
+		m := 0
+		for i := 1; i < in.M; i++ {
+			if loads[i] < loads[m] {
+				m = i
+			}
+		}
+		w := loads[m]
+		if float64(w+t.Cycles) > in.capacity()*(1+1e-9) {
+			continue
+		}
+		marginal := in.Proc.Energy(float64(w+t.Cycles), in.Tasks.Deadline) -
+			in.Proc.Energy(float64(w), in.Tasks.Deadline)
+		if marginal < t.Penalty {
+			assign[t.ID] = m
+			loads[m] += t.Cycles
+		}
+	}
+	return Evaluate(in, assign)
+}
+
+// refLTFRejectLS is the seed LTFRejectLS.Solve: every move probe re-prices
+// the touched processors with a full speed.Proc.Energy call.
+func refLTFRejectLS(g LTFRejectLS, in Instance) (Solution, error) {
+	seed, err := refLTFReject(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	assign := Assignment{}
+	loads := make([]int64, in.M)
+	for m, ids := range seed.PerProc {
+		for _, id := range ids {
+			assign[id] = m
+			t, _ := in.Tasks.ByID(id)
+			loads[m] += t.Cycles
+		}
+	}
+	limit := g.MaxIterations
+	if limit == 0 {
+		limit = 10 * len(in.Tasks.Tasks)
+	}
+	d := in.Tasks.Deadline
+	energyAt := func(w int64) float64 { return in.Proc.Energy(float64(w), d) }
+
+	for iter := 0; iter < limit; iter++ {
+		bestGain := 1e-9
+		var apply func()
+		for _, t := range in.Tasks.Tasks {
+			t := t
+			cur, accepted := assign[t.ID]
+			if accepted {
+				gain := energyAt(loads[cur]) - energyAt(loads[cur]-t.Cycles) - t.Penalty
+				if gain > bestGain {
+					bestGain = gain
+					m := cur
+					apply = func() { delete(assign, t.ID); loads[m] -= t.Cycles }
+				}
+				for m := 0; m < in.M; m++ {
+					if m == cur || float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+						continue
+					}
+					gain := energyAt(loads[cur]) + energyAt(loads[m]) -
+						energyAt(loads[cur]-t.Cycles) - energyAt(loads[m]+t.Cycles)
+					if gain > bestGain {
+						bestGain = gain
+						from, to := cur, m
+						apply = func() {
+							assign[t.ID] = to
+							loads[from] -= t.Cycles
+							loads[to] += t.Cycles
+						}
+					}
+				}
+			} else {
+				for m := 0; m < in.M; m++ {
+					if float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+						continue
+					}
+					gain := t.Penalty - (energyAt(loads[m]+t.Cycles) - energyAt(loads[m]))
+					if gain > bestGain {
+						bestGain = gain
+						to := m
+						apply = func() { assign[t.ID] = to; loads[to] += t.Cycles }
+					}
+				}
+			}
+		}
+
+		if !g.DisableExchange {
+			for _, out := range in.Tasks.Tasks {
+				mo, okOut := assign[out.ID]
+				if !okOut {
+					continue
+				}
+				for _, inc := range in.Tasks.Tasks {
+					if _, accepted := assign[inc.ID]; accepted {
+						continue
+					}
+					for m := 0; m < in.M; m++ {
+						load := loads[m]
+						if m == mo {
+							load -= out.Cycles
+						}
+						if float64(load+inc.Cycles) > in.capacity()*(1+1e-9) {
+							continue
+						}
+						gain := inc.Penalty - out.Penalty
+						if m == mo {
+							gain += energyAt(loads[mo]) - energyAt(load+inc.Cycles)
+						} else {
+							gain += energyAt(loads[mo]) - energyAt(loads[mo]-out.Cycles)
+							gain += energyAt(loads[m]) - energyAt(loads[m]+inc.Cycles)
+						}
+						if gain > bestGain {
+							bestGain = gain
+							out, inc, mo, m := out, inc, mo, m
+							apply = func() {
+								delete(assign, out.ID)
+								loads[mo] -= out.Cycles
+								assign[inc.ID] = m
+								loads[m] += inc.Cycles
+							}
+						}
+					}
+				}
+			}
+		}
+
+		if !g.DisableExchange {
+			for _, a := range in.Tasks.Tasks {
+				ma, okA := assign[a.ID]
+				if !okA {
+					continue
+				}
+				for _, b := range in.Tasks.Tasks {
+					mb, okB := assign[b.ID]
+					if !okB || a.ID >= b.ID || ma == mb {
+						continue
+					}
+					newA := loads[ma] - a.Cycles + b.Cycles
+					newB := loads[mb] - b.Cycles + a.Cycles
+					if float64(newA) > in.capacity()*(1+1e-9) || float64(newB) > in.capacity()*(1+1e-9) {
+						continue
+					}
+					gain := energyAt(loads[ma]) + energyAt(loads[mb]) - energyAt(newA) - energyAt(newB)
+					if gain > bestGain {
+						bestGain = gain
+						a, b, ma, mb, newA, newB := a, b, ma, mb, newA, newB
+						apply = func() {
+							assign[a.ID], assign[b.ID] = mb, ma
+							loads[ma], loads[mb] = newA, newB
+						}
+					}
+				}
+			}
+		}
+
+		if apply == nil {
+			break
+		}
+		apply()
+	}
+	return Evaluate(in, assign)
+}
+
+// refExhaustive is the seed Exhaustive.Solve, instrumented with the same
+// node counter the optimized SolveStats reports (one count per dfs entry).
+func refExhaustive(e Exhaustive, in Instance) (Solution, int64, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, 0, err
+	}
+	n := len(in.Tasks.Tasks)
+	limit := e.MaxAssignments
+	if limit == 0 {
+		limit = 5_000_000
+	}
+	total := int64(1)
+	for i := 0; i < n; i++ {
+		total *= int64(in.M + 1)
+		if total > limit {
+			return Solution{}, 0, fmt.Errorf("multiproc: exhaustive search needs %d+ assignments, over the limit %d", total, limit)
+		}
+	}
+
+	d := in.Tasks.Deadline
+	loads := make([]int64, in.M)
+	choice := make([]int, n)
+	bestCost := math.Inf(1)
+	var best Assignment
+	var nodes int64
+
+	var dfs func(i int, penalty float64)
+	dfs = func(i int, penalty float64) {
+		nodes++
+		var energy float64
+		for _, w := range loads {
+			energy += in.Proc.Energy(float64(w), d)
+		}
+		if energy+penalty >= bestCost-1e-12 {
+			return
+		}
+		if i == n {
+			bestCost = energy + penalty
+			best = Assignment{}
+			for j, c := range choice {
+				if c >= 0 {
+					best[in.Tasks.Tasks[j].ID] = c
+				}
+			}
+			return
+		}
+		t := in.Tasks.Tasks[i]
+		triedEmpty := false
+		for m := 0; m < in.M; m++ {
+			if loads[m] == 0 {
+				if triedEmpty {
+					continue
+				}
+				triedEmpty = true
+			}
+			if float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+				continue
+			}
+			loads[m] += t.Cycles
+			choice[i] = m
+			dfs(i+1, penalty)
+			loads[m] -= t.Cycles
+		}
+		choice[i] = -1
+		dfs(i+1, penalty+t.Penalty)
+	}
+	dfs(0, 0)
+
+	if best == nil && !math.IsInf(bestCost, 1) {
+		best = Assignment{}
+	}
+	if math.IsInf(bestCost, 1) {
+		return Solution{}, nodes, fmt.Errorf("multiproc: exhaustive search found no solution")
+	}
+	sol, err := Evaluate(in, best)
+	return sol, nodes, err
+}
+
+// diffCorpus builds the ~30-instance corpus: every processor flavour the
+// energy Curve must handle (ideal cubic, leaky continuous, discrete
+// levels, dormant-enable) across M ∈ {1..4} and contested loads.
+func diffCorpus(t *testing.T) []Instance {
+	t.Helper()
+	procs := []speed.Proc{
+		{Model: power.Cubic(), SMax: 1},
+		{Model: power.XScale(), SMin: 0.15, SMax: 1},
+		{Model: power.XScale(), Levels: power.XScaleLevels()},
+		{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 0.4},
+	}
+	var corpus []Instance
+	for seed := int64(0); seed < 8; seed++ {
+		for pi, proc := range procs {
+			n := 6 + int(seed)%4 + pi
+			set, err := gen.Frame(rand.New(rand.NewSource(seed*37+int64(pi))), gen.Config{
+				N: n, Load: 1.5 + float64(seed%4), Deadline: 40,
+				Penalty: gen.PenaltyModel(seed % 3),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpus = append(corpus, Instance{Tasks: set, Proc: proc, M: 1 + int(seed+int64(pi))%4})
+		}
+	}
+	return corpus
+}
+
+// mustEqualSolutions compares two solutions exactly: identical costs (==,
+// not a tolerance) and identical partitions.
+func mustEqualSolutions(t *testing.T, label string, got, want Solution) {
+	t.Helper()
+	if got.Cost != want.Cost || got.Energy != want.Energy || got.Penalty != want.Penalty {
+		t.Errorf("%s: cost/energy/penalty = %v/%v/%v, want %v/%v/%v",
+			label, got.Cost, got.Energy, got.Penalty, want.Cost, want.Energy, want.Penalty)
+	}
+	if !reflect.DeepEqual(got.PerProc, want.PerProc) || !reflect.DeepEqual(got.Rejected, want.Rejected) {
+		t.Errorf("%s: partition %v / rejected %v, want %v / %v",
+			label, got.PerProc, got.Rejected, want.PerProc, want.Rejected)
+	}
+	if !reflect.DeepEqual(got.Energies, want.Energies) {
+		t.Errorf("%s: energies %v, want %v", label, got.Energies, want.Energies)
+	}
+}
+
+func TestDifferentialLTFReject(t *testing.T) {
+	for i, in := range diffCorpus(t) {
+		want, err := refLTFReject(in)
+		if err != nil {
+			t.Fatalf("instance %d: reference: %v", i, err)
+		}
+		got, err := (LTFReject{}).Solve(in)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		mustEqualSolutions(t, fmtLabel("LTFReject", i), got, want)
+	}
+}
+
+func TestDifferentialLTFRejectLS(t *testing.T) {
+	for i, in := range diffCorpus(t) {
+		for _, g := range []LTFRejectLS{{}, {DisableExchange: true}, {MaxIterations: 3}} {
+			want, err := refLTFRejectLS(g, in)
+			if err != nil {
+				t.Fatalf("instance %d: reference: %v", i, err)
+			}
+			got, err := g.Solve(in)
+			if err != nil {
+				t.Fatalf("instance %d: %v", i, err)
+			}
+			mustEqualSolutions(t, fmtLabel("LTFRejectLS", i), got, want)
+		}
+	}
+}
+
+func TestDifferentialExhaustive(t *testing.T) {
+	for i, in := range diffCorpus(t) {
+		if len(in.Tasks.Tasks) > 9 && in.M > 2 {
+			in.Tasks.Tasks = in.Tasks.Tasks[:9] // keep the search tractable
+		}
+		want, wantNodes, err := refExhaustive(Exhaustive{}, in)
+		if err != nil {
+			t.Fatalf("instance %d: reference: %v", i, err)
+		}
+		got, gotNodes, err := (Exhaustive{}).SolveStats(in)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		mustEqualSolutions(t, fmtLabel("Exhaustive", i), got, want)
+		if gotNodes != wantNodes {
+			t.Errorf("instance %d: explored %d nodes, reference %d", i, gotNodes, wantNodes)
+		}
+
+		par, err := (Exhaustive{Workers: 4}).Solve(in)
+		if err != nil {
+			t.Fatalf("instance %d: parallel: %v", i, err)
+		}
+		mustEqualSolutions(t, fmtLabel("ExhaustiveParallel", i), par, want)
+	}
+}
+
+func fmtLabel(name string, i int) string { return fmt.Sprintf("%s/%d", name, i) }

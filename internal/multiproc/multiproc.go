@@ -14,9 +14,12 @@ package multiproc
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
 	"sort"
+	"sync/atomic"
 
+	"dvsreject/internal/conc"
 	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
 )
@@ -52,6 +55,39 @@ func (in Instance) Validate() error {
 func (in Instance) capacity() float64 {
 	return in.Proc.Capacity(in.Tasks.Deadline)
 }
+
+// mpCtx is the per-solve evaluation context: the validated instance plus
+// the values every probe recomputed in the seed code — the capacity
+// acceptance threshold and the processor's energy curve (a speed.Curve, so
+// E(w) probes on continuous-speed processors are one math.Pow instead of a
+// full speed.Proc.Assign). Every method reproduces the corresponding
+// Instance computation bit for bit, so solver decisions, tie-breaks and
+// branch-and-bound node counts are unchanged. Immutable after
+// construction; safe for concurrent use by parallel search workers.
+type mpCtx struct {
+	in       Instance
+	capSlack float64 // capacity()·(1+1e-9), the acceptance threshold
+	curve    speed.Curve
+}
+
+func newMPCtx(in Instance) (*mpCtx, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &mpCtx{
+		in:       in,
+		capSlack: in.capacity() * (1 + 1e-9),
+		curve:    speed.NewCurve(in.Proc, in.Tasks.Deadline),
+	}, nil
+}
+
+// energyAt returns the per-processor frame energy at an integer workload,
+// identical to in.Proc.Energy(float64(w), in.Tasks.Deadline).
+func (c *mpCtx) energyAt(w int64) float64 { return c.curve.Energy(float64(w)) }
+
+// overloads reports whether a workload of w cycles exceeds one processor's
+// capacity, with the same float slack the seed code applied inline.
+func (c *mpCtx) overloads(w int64) bool { return float64(w) > c.capSlack }
 
 // Solution is a partitioned admission decision with its cost breakdown.
 type Solution struct {
@@ -124,35 +160,67 @@ func (LTFReject) Name() string { return "LTF-REJECT" }
 
 // Solve implements Solver.
 func (LTFReject) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
+	c, err := newMPCtx(in)
+	if err != nil {
 		return Solution{}, err
 	}
-	tasks := append([]task.Task(nil), in.Tasks.Tasks...)
-	sort.SliceStable(tasks, func(a, b int) bool {
-		return tasks[a].Penalty*float64(tasks[b].Cycles) > tasks[b].Penalty*float64(tasks[a].Cycles)
+	pos, _ := c.ltfReject()
+	return Evaluate(in, c.assignment(pos))
+}
+
+// ltfReject runs the constructive pass. It returns pos[i] = processor of
+// task i (position in in.Tasks.Tasks, -1 when rejected) together with the
+// per-processor loads, so the local search can start from both without
+// re-deriving them from an evaluated Solution — and without the per-probe
+// map lookups an Assignment would cost in the move loops.
+func (c *mpCtx) ltfReject() (pos []int, loads []int64) {
+	tasks := c.in.Tasks.Tasks
+	// Sorting an index permutation with the same stable comparator yields
+	// the same visit order as sorting a cloned task slice.
+	ord := make([]int, len(tasks))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		return tasks[ord[a]].Penalty*float64(tasks[ord[b]].Cycles) >
+			tasks[ord[b]].Penalty*float64(tasks[ord[a]].Cycles)
 	})
-	loads := make([]int64, in.M)
-	assign := Assignment{}
-	for _, t := range tasks {
+	loads = make([]int64, c.in.M)
+	pos = make([]int, len(tasks))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for _, ti := range ord {
+		t := tasks[ti]
 		// Least-loaded processor.
 		m := 0
-		for i := 1; i < in.M; i++ {
+		for i := 1; i < c.in.M; i++ {
 			if loads[i] < loads[m] {
 				m = i
 			}
 		}
 		w := loads[m]
-		if float64(w+t.Cycles) > in.capacity()*(1+1e-9) {
+		if c.overloads(w + t.Cycles) {
 			continue
 		}
-		marginal := in.Proc.Energy(float64(w+t.Cycles), in.Tasks.Deadline) -
-			in.Proc.Energy(float64(w), in.Tasks.Deadline)
+		marginal := c.energyAt(w+t.Cycles) - c.energyAt(w)
 		if marginal < t.Penalty {
-			assign[t.ID] = m
+			pos[ti] = m
 			loads[m] += t.Cycles
 		}
 	}
-	return Evaluate(in, assign)
+	return pos, loads
+}
+
+// assignment converts a position vector into the public Assignment map.
+func (c *mpCtx) assignment(pos []int) Assignment {
+	assign := Assignment{}
+	for i, m := range pos {
+		if m >= 0 {
+			assign[c.in.Tasks.Tasks[i].ID] = m
+		}
+	}
+	return assign
 }
 
 // LTFRejectLS refines LTFReject with steepest-descent local search over
@@ -171,54 +239,77 @@ type LTFRejectLS struct {
 // Name implements Solver.
 func (LTFRejectLS) Name() string { return "LTF-REJECT-LS" }
 
-// Solve implements Solver.
+// Solve implements Solver. Move evaluation is incremental: the energy of
+// every processor at its current load is cached across the whole sweep
+// (loads only change when a move is applied), so probing a move costs only
+// the energies of the one or two touched processors at their changed
+// loads — O(1) closed-form probes on continuous-speed processors — instead
+// of re-pricing untouched processors. The gain expressions keep the seed
+// code's float operation order, so the selected move sequence and the
+// final solution are bit-identical.
 func (g LTFRejectLS) Solve(in Instance) (Solution, error) {
-	seed, err := (LTFReject{}).Solve(in)
+	c, err := newMPCtx(in)
 	if err != nil {
 		return Solution{}, err
 	}
-	assign := Assignment{}
-	loads := make([]int64, in.M)
-	for m, ids := range seed.PerProc {
-		for _, id := range ids {
-			assign[id] = m
-			t, _ := in.Tasks.ByID(id)
-			loads[m] += t.Cycles
-		}
-	}
+	pos, loads := c.ltfReject()
 	limit := g.MaxIterations
 	if limit == 0 {
 		limit = 10 * len(in.Tasks.Tasks)
 	}
-	d := in.Tasks.Deadline
-	energyAt := func(w int64) float64 { return in.Proc.Energy(float64(w), d) }
+	tasks := in.Tasks.Tasks
+
+	// procE[m] = energyAt(loads[m]), refreshed after each applied move.
+	procE := make([]float64, in.M)
+	for m := range procE {
+		procE[m] = c.energyAt(loads[m])
+	}
+	// addE[ti·M+m] memoizes energyAt(loads[m]+cycles(ti)), the "task ti
+	// lands on processor m" probe shared by the migrate, admit and
+	// cross-processor swap moves. Loads are constant within one sweep, so
+	// entries are filled lazily on first use (NaN marks an empty slot —
+	// the curve never returns NaN) and reset once per iteration.
+	addE := make([]float64, len(tasks)*in.M)
+	probeAdd := func(ti, m int) float64 {
+		e := addE[ti*in.M+m]
+		if e != e {
+			e = c.energyAt(loads[m] + tasks[ti].Cycles)
+			addE[ti*in.M+m] = e
+		}
+		return e
+	}
 
 	for iter := 0; iter < limit; iter++ {
+		for i := range addE {
+			addE[i] = math.NaN()
+		}
 		bestGain := 1e-9
 		var apply func()
-		for _, t := range in.Tasks.Tasks {
-			t := t
-			cur, accepted := assign[t.ID]
-			if accepted {
+		for ti := range tasks {
+			t := tasks[ti]
+			ti := ti
+			cur := pos[ti]
+			if cur >= 0 {
 				// Reject.
-				gain := energyAt(loads[cur]) - energyAt(loads[cur]-t.Cycles) - t.Penalty
+				removed := c.energyAt(loads[cur] - t.Cycles)
+				gain := procE[cur] - removed - t.Penalty
 				if gain > bestGain {
 					bestGain = gain
 					m := cur
-					apply = func() { delete(assign, t.ID); loads[m] -= t.Cycles }
+					apply = func() { pos[ti] = -1; loads[m] -= t.Cycles }
 				}
 				// Migrate.
 				for m := 0; m < in.M; m++ {
-					if m == cur || float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+					if m == cur || c.overloads(loads[m]+t.Cycles) {
 						continue
 					}
-					gain := energyAt(loads[cur]) + energyAt(loads[m]) -
-						energyAt(loads[cur]-t.Cycles) - energyAt(loads[m]+t.Cycles)
+					gain := procE[cur] + procE[m] -
+						removed - probeAdd(ti, m)
 					if gain > bestGain {
 						bestGain = gain
 						from, to := cur, m
 						apply = func() {
-							assign[t.ID] = to
+							pos[ti] = to
 							loads[from] -= t.Cycles
 							loads[to] += t.Cycles
 						}
@@ -227,14 +318,14 @@ func (g LTFRejectLS) Solve(in Instance) (Solution, error) {
 			} else {
 				// Admit onto the best processor.
 				for m := 0; m < in.M; m++ {
-					if float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+					if c.overloads(loads[m] + t.Cycles) {
 						continue
 					}
-					gain := t.Penalty - (energyAt(loads[m]+t.Cycles) - energyAt(loads[m]))
+					gain := t.Penalty - (probeAdd(ti, m) - procE[m])
 					if gain > bestGain {
 						bestGain = gain
 						to := m
-						apply = func() { assign[t.ID] = to; loads[to] += t.Cycles }
+						apply = func() { pos[ti] = to; loads[to] += t.Cycles }
 					}
 				}
 			}
@@ -244,37 +335,44 @@ func (g LTFRejectLS) Solve(in Instance) (Solution, error) {
 		// different processor) — the compound admission repair no pair of
 		// single moves reaches when both halves are individually losing.
 		if !g.DisableExchange {
-			for _, out := range in.Tasks.Tasks {
-				mo, okOut := assign[out.ID]
-				if !okOut {
+			for oi := range tasks {
+				mo := pos[oi]
+				if mo < 0 {
 					continue
 				}
-				for _, inc := range in.Tasks.Tasks {
-					if _, accepted := assign[inc.ID]; accepted {
+				out := tasks[oi]
+				oi := oi
+				// Both terms of the out-processor's energy delta are
+				// invariant across the inner loops.
+				outDelta := procE[mo] - c.energyAt(loads[mo]-out.Cycles)
+				for ii := range tasks {
+					if pos[ii] >= 0 {
 						continue
 					}
+					inc := tasks[ii]
+					ii := ii
 					for m := 0; m < in.M; m++ {
 						load := loads[m]
 						if m == mo {
 							load -= out.Cycles
 						}
-						if float64(load+inc.Cycles) > in.capacity()*(1+1e-9) {
+						if c.overloads(load + inc.Cycles) {
 							continue
 						}
 						gain := inc.Penalty - out.Penalty
 						if m == mo {
-							gain += energyAt(loads[mo]) - energyAt(load+inc.Cycles)
+							gain += procE[mo] - c.energyAt(load+inc.Cycles)
 						} else {
-							gain += energyAt(loads[mo]) - energyAt(loads[mo]-out.Cycles)
-							gain += energyAt(loads[m]) - energyAt(loads[m]+inc.Cycles)
+							gain += outDelta
+							gain += procE[m] - probeAdd(ii, m)
 						}
 						if gain > bestGain {
 							bestGain = gain
-							out, inc, mo, m := out, inc, mo, m
+							mo, m := mo, m
 							apply = func() {
-								delete(assign, out.ID)
+								pos[oi] = -1
 								loads[mo] -= out.Cycles
-								assign[inc.ID] = m
+								pos[ii] = m
 								loads[m] += inc.Cycles
 							}
 						}
@@ -285,27 +383,31 @@ func (g LTFRejectLS) Solve(in Instance) (Solution, error) {
 
 		// Exchange two accepted tasks across processors.
 		if !g.DisableExchange {
-			for _, a := range in.Tasks.Tasks {
-				ma, okA := assign[a.ID]
-				if !okA {
+			for ai := range tasks {
+				ma := pos[ai]
+				if ma < 0 {
 					continue
 				}
-				for _, b := range in.Tasks.Tasks {
-					mb, okB := assign[b.ID]
-					if !okB || a.ID >= b.ID || ma == mb {
+				a := tasks[ai]
+				ai := ai
+				for bi := range tasks {
+					mb := pos[bi]
+					b := tasks[bi]
+					if mb < 0 || a.ID >= b.ID || ma == mb {
 						continue
 					}
+					bi := bi
 					newA := loads[ma] - a.Cycles + b.Cycles
 					newB := loads[mb] - b.Cycles + a.Cycles
-					if float64(newA) > in.capacity()*(1+1e-9) || float64(newB) > in.capacity()*(1+1e-9) {
+					if c.overloads(newA) || c.overloads(newB) {
 						continue
 					}
-					gain := energyAt(loads[ma]) + energyAt(loads[mb]) - energyAt(newA) - energyAt(newB)
+					gain := procE[ma] + procE[mb] - c.energyAt(newA) - c.energyAt(newB)
 					if gain > bestGain {
 						bestGain = gain
-						a, b, ma, mb, newA, newB := a, b, ma, mb, newA, newB
+						ma, mb, newA, newB := ma, mb, newA, newB
 						apply = func() {
-							assign[a.ID], assign[b.ID] = mb, ma
+							pos[ai], pos[bi] = mb, ma
 							loads[ma], loads[mb] = newA, newB
 						}
 					}
@@ -317,8 +419,11 @@ func (g LTFRejectLS) Solve(in Instance) (Solution, error) {
 			break
 		}
 		apply()
+		for m := range procE {
+			procE[m] = c.energyAt(loads[m])
+		}
 	}
-	return Evaluate(in, assign)
+	return Evaluate(in, c.assignment(pos))
 }
 
 // Exhaustive enumerates all (M+1)ⁿ assignments with symmetry reduction on
@@ -327,6 +432,13 @@ func (g LTFRejectLS) Solve(in Instance) (Solution, error) {
 type Exhaustive struct {
 	// MaxAssignments guards the search space; 0 means 5 million.
 	MaxAssignments int64
+	// Workers sets the parallel fan-out of Solve: the top of the search
+	// tree is split into prefix subtrees that a worker pool explores
+	// concurrently against a shared atomic incumbent bound. 0 means
+	// GOMAXPROCS, 1 forces the serial search. The returned solution is
+	// identical either way; SolveStats always searches serially so its
+	// node counts stay deterministic.
+	Workers int
 }
 
 // Name implements Solver.
@@ -334,8 +446,38 @@ func (Exhaustive) Name() string { return "OPT" }
 
 // Solve implements Solver.
 func (e Exhaustive) Solve(in Instance) (Solution, error) {
-	if err := in.Validate(); err != nil {
-		return Solution{}, err
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return e.solveParallel(in, workers)
+	}
+	sol, _, err := e.SolveStats(in)
+	return sol, err
+}
+
+// SolveStats is Solve plus the number of branch-and-bound nodes entered —
+// the instrumentation the search-ablation experiments and the differential
+// tests read. The search is always serial here, keeping the node counts
+// deterministic and comparable across runs.
+func (e Exhaustive) SolveStats(in Instance) (Solution, int64, error) {
+	c, n, err := e.prepare(in)
+	if err != nil {
+		return Solution{}, 0, err
+	}
+	s := newMPSearcher(c, n)
+	s.dfs(0, 0)
+	sol, err := s.finish(in)
+	return sol, s.nodes, err
+}
+
+// prepare validates the instance and checks the assignment-count guard —
+// the work shared by the serial and parallel drivers.
+func (e Exhaustive) prepare(in Instance) (*mpCtx, int, error) {
+	c, err := newMPCtx(in)
+	if err != nil {
+		return nil, 0, err
 	}
 	n := len(in.Tasks.Tasks)
 	limit := e.MaxAssignments
@@ -346,44 +488,56 @@ func (e Exhaustive) Solve(in Instance) (Solution, error) {
 	for i := 0; i < n; i++ {
 		total *= int64(in.M + 1)
 		if total > limit {
-			return Solution{}, fmt.Errorf("multiproc: exhaustive search needs %d+ assignments, over the limit %d", total, limit)
+			return nil, 0, fmt.Errorf("multiproc: exhaustive search needs %d+ assignments, over the limit %d", total, limit)
 		}
 	}
+	return c, n, nil
+}
 
-	d := in.Tasks.Deadline
+// solveParallel fans the top of the search tree out to a worker pool: the
+// first splitDepth placement decisions enumerate prefix subtrees in serial
+// DFS visit order (same child order, symmetry reduction and capacity
+// filter as the serial search, no bound pruning), workers explore them
+// concurrently sharing an atomic incumbent cost, and the per-subtree
+// winners are folded back in DFS order under the serial improvement rule —
+// so the returned solution matches the serial search.
+func (e Exhaustive) solveParallel(in Instance, workers int) (Solution, error) {
+	c, n, err := e.prepare(in)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	// Split deep enough to keep every worker busy (≥4 subtrees each), but
+	// never to the leaves; each level multiplies the prefix count by up to
+	// M+2 (M placements + reject), so a shallow split suffices.
+	splitDepth := 0
+	count := 1
+	for splitDepth < n-1 && splitDepth < 8 && count < 4*workers {
+		splitDepth++
+		count *= in.M + 1
+	}
+	if splitDepth == 0 {
+		sol, _, err := e.SolveStats(in)
+		return sol, err
+	}
+
+	type mpPrefix struct {
+		loads   []int64
+		choice  []int
+		penalty float64
+	}
+	var prefixes []mpPrefix
 	loads := make([]int64, in.M)
-	choice := make([]int, n) // -1 reject, else processor
-	bestCost := math.Inf(1)
-	var best Assignment
-
-	var penaltySuffix []float64 // Σ penalties of tasks[i:]
-	penaltySuffix = make([]float64, n+1)
-	for i := n - 1; i >= 0; i-- {
-		penaltySuffix[i] = penaltySuffix[i+1] + in.Tasks.Tasks[i].Penalty
-	}
-
-	var dfs func(i int, penalty float64)
-	dfs = func(i int, penalty float64) {
-		// Bound: current energy + current penalty (both only grow).
-		var energy float64
-		for _, w := range loads {
-			energy += in.Proc.Energy(float64(w), d)
-		}
-		if energy+penalty >= bestCost-1e-12 {
-			return
-		}
-		if i == n {
-			bestCost = energy + penalty
-			best = Assignment{}
-			for j, c := range choice {
-				if c >= 0 {
-					best[in.Tasks.Tasks[j].ID] = c
-				}
-			}
+	choice := make([]int, splitDepth)
+	var enumerate func(i int, penalty float64)
+	enumerate = func(i int, penalty float64) {
+		if i == splitDepth {
+			prefixes = append(prefixes, mpPrefix{
+				loads: slices.Clone(loads), choice: slices.Clone(choice), penalty: penalty,
+			})
 			return
 		}
 		t := in.Tasks.Tasks[i]
-		// Symmetry reduction: only try the first empty processor.
 		triedEmpty := false
 		for m := 0; m < in.M; m++ {
 			if loads[m] == 0 {
@@ -392,24 +546,166 @@ func (e Exhaustive) Solve(in Instance) (Solution, error) {
 				}
 				triedEmpty = true
 			}
-			if float64(loads[m]+t.Cycles) > in.capacity()*(1+1e-9) {
+			if c.overloads(loads[m] + t.Cycles) {
 				continue
 			}
 			loads[m] += t.Cycles
 			choice[i] = m
-			dfs(i+1, penalty)
+			enumerate(i+1, penalty)
 			loads[m] -= t.Cycles
 		}
 		choice[i] = -1
-		dfs(i+1, penalty+t.Penalty)
+		enumerate(i+1, penalty+t.Penalty)
 	}
-	dfs(0, 0)
+	enumerate(0, 0)
 
-	if best == nil && !math.IsInf(bestCost, 1) {
-		best = Assignment{} // everything rejected
+	// The shared incumbent: the best cost any worker has proven so far,
+	// maintained with a CAS-min over its float bits.
+	var shared atomic.Uint64
+	shared.Store(math.Float64bits(math.Inf(1)))
+
+	type subtreeBest struct {
+		best Assignment
+		cost float64
 	}
-	if math.IsInf(bestCost, 1) {
+	results, err := conc.ForEach(len(prefixes), workers, func(i int) (subtreeBest, error) {
+		p := prefixes[i]
+		s := newMPSearcher(c, n)
+		s.shared = &shared
+		copy(s.loads, p.loads)
+		copy(s.choice, p.choice)
+		s.dfs(splitDepth, p.penalty)
+		return subtreeBest{best: s.best, cost: s.bestCost}, nil
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+
+	// Fold the subtree winners in DFS order with the serial improvement
+	// rule.
+	s := newMPSearcher(c, n)
+	for _, r := range results {
+		if r.best != nil && r.cost < s.bestCost-1e-12 {
+			s.bestCost, s.best = r.cost, r.best
+		}
+	}
+	return s.finish(in)
+}
+
+// mpSearcher is one branch-and-bound search state: the serial search uses
+// a single instance, the parallel search one per subtree (plus the shared
+// incumbent they prune against).
+type mpSearcher struct {
+	c      *mpCtx
+	n      int
+	loads  []int64
+	choice []int // -1 reject, else processor
+
+	bestCost float64
+	best     Assignment
+	nodes    int64
+
+	// shared, when non-nil (parallel mode), is the cross-worker incumbent
+	// cost as float bits; workers prune against it and publish their own
+	// improvements into it.
+	shared *atomic.Uint64
+}
+
+func newMPSearcher(c *mpCtx, n int) *mpSearcher {
+	return &mpSearcher{
+		c:        c,
+		n:        n,
+		loads:    make([]int64, c.in.M),
+		choice:   make([]int, n),
+		bestCost: math.Inf(1),
+	}
+}
+
+// pruned reports whether a node whose partial cost is pc (a lower bound on
+// every leaf below it) cannot improve the result. The local incumbent uses
+// the serial rule (pc within 1e-12 of it never strictly improves). The
+// shared cross-worker incumbent is applied with the margin reversed —
+// prune only when pc exceeds it by more than 1e-12 — so a subtree whose
+// best leaf exactly ties another worker's published cost still finds that
+// leaf: subtree winners are then independent of publish timing, and the
+// DFS-ordered fold resolves exact ties the way the serial search does.
+func (s *mpSearcher) pruned(pc float64) bool {
+	if pc >= s.bestCost-1e-12 {
+		return true
+	}
+	return s.shared != nil && pc >= math.Float64frombits(s.shared.Load())+1e-12
+}
+
+// publish records an improved incumbent, CAS-minning it into the shared
+// bound in parallel mode.
+func (s *mpSearcher) publish(cost float64) {
+	if s.shared == nil {
+		return
+	}
+	for {
+		old := s.shared.Load()
+		if math.Float64frombits(old) <= cost {
+			return
+		}
+		if s.shared.CompareAndSwap(old, math.Float64bits(cost)) {
+			return
+		}
+	}
+}
+
+// dfs explores placements for tasks[i:], with penalty the accumulated
+// rejection penalty of the prefix.
+func (s *mpSearcher) dfs(i int, penalty float64) {
+	s.nodes++
+	// Bound: current energy + current penalty (both only grow).
+	var energy float64
+	for _, w := range s.loads {
+		energy += s.c.energyAt(w)
+	}
+	if s.pruned(energy + penalty) {
+		return
+	}
+	if i == s.n {
+		s.bestCost = energy + penalty
+		s.best = Assignment{}
+		for j, ch := range s.choice {
+			if ch >= 0 {
+				s.best[s.c.in.Tasks.Tasks[j].ID] = ch
+			}
+		}
+		s.publish(s.bestCost)
+		return
+	}
+	t := s.c.in.Tasks.Tasks[i]
+	// Symmetry reduction: only try the first empty processor.
+	triedEmpty := false
+	for m := 0; m < s.c.in.M; m++ {
+		if s.loads[m] == 0 {
+			if triedEmpty {
+				continue
+			}
+			triedEmpty = true
+		}
+		if s.c.overloads(s.loads[m] + t.Cycles) {
+			continue
+		}
+		s.loads[m] += t.Cycles
+		s.choice[i] = m
+		s.dfs(i+1, penalty)
+		s.loads[m] -= t.Cycles
+	}
+	s.choice[i] = -1
+	s.dfs(i+1, penalty+t.Penalty)
+}
+
+// finish converts the incumbent into an evaluated Solution, with the seed
+// code's handling of the degenerate cases.
+func (s *mpSearcher) finish(in Instance) (Solution, error) {
+	if s.best == nil && !math.IsInf(s.bestCost, 1) {
+		s.best = Assignment{} // everything rejected
+	}
+	if math.IsInf(s.bestCost, 1) {
 		return Solution{}, fmt.Errorf("multiproc: exhaustive search found no solution")
 	}
-	return Evaluate(in, best)
+	return Evaluate(in, s.best)
 }

@@ -1,0 +1,366 @@
+package online
+
+// Differential corpus pinning the plan-cache, EDF-cursor and parallel
+// offline-sweep optimizations to the seed code shape: the ref* functions
+// below are the seed implementations (direct yds.Compute at every probe,
+// per-piece earliest-deadline scans, serial ascending-mask offline loop),
+// and the optimized package must reproduce their Results bit for bit.
+// The corpus deliberately includes simultaneous arrivals (zero-width
+// execute windows, where the cached plan must be skipped, not misused)
+// and zero penalties (exact-cost ties in the offline sweep).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"slices"
+	"sort"
+	"testing"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/sched/yds"
+	"dvsreject/internal/speed"
+)
+
+// refPlanEnergy is the seed planEnergy: an uncached yds.Compute per probe.
+func refPlanEnergy(now float64, pool []PoolJob, proc speed.Proc, extra *Job) (energy, maxSpeed float64, err error) {
+	var jobs []edf.Job
+	for _, p := range pool {
+		if p.Remaining <= 0 {
+			continue
+		}
+		jobs = append(jobs, edf.Job{
+			TaskID: p.ID, Release: now, Deadline: p.Deadline, Cycles: p.Remaining,
+		})
+	}
+	if extra != nil {
+		jobs = append(jobs, edf.Job{
+			TaskID: extra.ID, Release: math.Max(now, extra.Arrival),
+			Deadline: extra.Deadline, Cycles: extra.Cycles,
+		})
+	}
+	if len(jobs) == 0 {
+		return 0, 0, nil
+	}
+	s, err := yds.Compute(jobs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.Energy(proc.Model), s.MaxSpeed, nil
+}
+
+// refAdmit mirrors the seed policies on top of refPlanEnergy.
+func refAdmit(policy string, now float64, pool []PoolJob, proc speed.Proc, j Job) bool {
+	switch policy {
+	case "marginal":
+		before, _, err := refPlanEnergy(now, pool, proc, nil)
+		if err != nil {
+			return false
+		}
+		after, maxS, err := refPlanEnergy(now, pool, proc, &j)
+		if err != nil {
+			return false
+		}
+		if maxS > proc.SMax*(1+1e-9) {
+			return false
+		}
+		return after-before < j.Penalty
+	case "feasible":
+		_, maxS, err := refPlanEnergy(now, pool, proc, &j)
+		return err == nil && maxS <= proc.SMax*(1+1e-9)
+	default: // reject-all
+		return false
+	}
+}
+
+// refEarliestDeadline is the seed per-piece pool scan.
+func refEarliestDeadline(pool []PoolJob) *PoolJob {
+	var best *PoolJob
+	for i := range pool {
+		if pool[i].Remaining <= 0 {
+			continue
+		}
+		if best == nil || pool[i].Deadline < best.Deadline {
+			best = &pool[i]
+		}
+	}
+	return best
+}
+
+// refExecute is the seed execute: a fresh yds.Compute per window and an
+// earliest-deadline scan per profile piece.
+func refExecute(pool *[]PoolJob, proc speed.Proc, from, to float64) (energy float64, misses int, err error) {
+	if to <= from || len(*pool) == 0 {
+		compact(pool, from, &misses)
+		return 0, misses, nil
+	}
+	var jobs []edf.Job
+	for _, p := range *pool {
+		if p.Remaining <= 0 {
+			continue
+		}
+		jobs = append(jobs, edf.Job{TaskID: p.ID, Release: from, Deadline: p.Deadline, Cycles: p.Remaining})
+	}
+	if len(jobs) == 0 {
+		compact(pool, to, &misses)
+		return 0, 0, nil
+	}
+	plan, err := yds.Compute(jobs)
+	if err != nil {
+		return 0, 0, err
+	}
+	profile := plan.Profile()
+
+	for _, seg := range profile {
+		lo := math.Max(seg.Start, from)
+		hi := math.Min(seg.End, to)
+		for lo < hi-1e-12 {
+			cur := refEarliestDeadline(*pool)
+			if cur == nil {
+				break
+			}
+			dur := hi - lo
+			finish := cur.Remaining / seg.Speed
+			if finish < dur {
+				dur = finish
+			}
+			energy += proc.Model.Dynamic(seg.Speed) * dur
+			cur.Remaining -= seg.Speed * dur
+			if cur.Remaining < 1e-9 {
+				cur.Remaining = 0
+			}
+			lo += dur
+		}
+	}
+	compact(pool, to, &misses)
+	return energy, misses, nil
+}
+
+// refSimulate is the seed event loop over refExecute/refAdmit.
+func refSimulate(jobs []Job, proc speed.Proc, policy string) (Result, error) {
+	if err := proc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if proc.Levels != nil || proc.Model.Static() != 0 {
+		return Result{}, fmt.Errorf("online: requires an ideal leakage-free processor")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Arrival < jobs[order[b]].Arrival })
+
+	var res Result
+	var pool []PoolJob
+	now := 0.0
+
+	advance := func(to float64) error {
+		e, misses, err := refExecute(&pool, proc, now, to)
+		if err != nil {
+			return err
+		}
+		res.Energy += e
+		res.Misses += misses
+		now = to
+		return nil
+	}
+
+	for _, oi := range order {
+		j := jobs[oi]
+		if err := advance(j.Arrival); err != nil {
+			return Result{}, err
+		}
+		if refAdmit(policy, now, slices.Clone(pool), proc, j) {
+			res.Accepted = append(res.Accepted, j.ID)
+			pool = append(pool, PoolJob{ID: j.ID, Deadline: j.Deadline, Remaining: j.Cycles})
+		} else {
+			res.Rejected = append(res.Rejected, j.ID)
+			res.Penalty += j.Penalty
+		}
+	}
+	horizon := now
+	for _, p := range pool {
+		if p.Deadline > horizon {
+			horizon = p.Deadline
+		}
+	}
+	if err := advance(horizon); err != nil {
+		return Result{}, err
+	}
+
+	slices.Sort(res.Accepted)
+	slices.Sort(res.Rejected)
+	res.Cost = res.Energy + res.Penalty
+	return res, nil
+}
+
+// refOfflineOptimal is the seed serial ascending-mask sweep.
+func refOfflineOptimal(jobs []Job, proc speed.Proc) (Result, error) {
+	const maxOfflineJobs = 20
+	if len(jobs) > maxOfflineJobs {
+		return Result{}, fmt.Errorf("online: offline reference limited to %d jobs, got %d", maxOfflineJobs, len(jobs))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	n := len(jobs)
+	best := Result{Cost: math.Inf(1)}
+	for mask := 0; mask < 1<<n; mask++ {
+		var sel []edf.Job
+		var penalty float64
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				j := jobs[b]
+				sel = append(sel, edf.Job{TaskID: j.ID, Release: j.Arrival, Deadline: j.Deadline, Cycles: j.Cycles})
+			} else {
+				penalty += jobs[b].Penalty
+			}
+		}
+		var energy float64
+		if len(sel) > 0 {
+			s, err := yds.Compute(sel)
+			if err != nil {
+				return Result{}, err
+			}
+			if s.MaxSpeed > proc.SMax*(1+1e-9) {
+				continue
+			}
+			energy = s.Energy(proc.Model)
+		}
+		if cost := energy + penalty; cost < best.Cost {
+			best = Result{Energy: energy, Penalty: penalty, Cost: cost}
+			best.Accepted, best.Rejected = nil, nil
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					best.Accepted = append(best.Accepted, jobs[b].ID)
+				} else {
+					best.Rejected = append(best.Rejected, jobs[b].ID)
+				}
+			}
+		}
+	}
+	slices.Sort(best.Accepted)
+	slices.Sort(best.Rejected)
+	return best, nil
+}
+
+// onlineCorpus builds job storms across the shapes the optimizations must
+// survive: bursty real-valued arrivals, integer-grid arrivals full of
+// simultaneous releases, tight overloaded storms that force rejections,
+// and zero-penalty jobs that create exact-cost ties offline.
+func onlineCorpus() []struct {
+	label string
+	jobs  []Job
+	proc  speed.Proc
+} {
+	var corpus []struct {
+		label string
+		jobs  []Job
+		proc  speed.Proc
+	}
+	add := func(label string, jobs []Job, smax float64) {
+		corpus = append(corpus, struct {
+			label string
+			jobs  []Job
+			proc  speed.Proc
+		}{label, jobs, speed.Proc{Model: power.Cubic(), SMax: smax}})
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + int(seed)%5
+
+		var storm []Job
+		for i := 0; i < n; i++ {
+			a := rng.Float64() * 30
+			storm = append(storm, Job{
+				ID: i, Arrival: a, Deadline: a + 1 + rng.Float64()*15,
+				Cycles: 0.5 + rng.Float64()*4, Penalty: rng.Float64() * 3,
+			})
+		}
+		add(fmt.Sprintf("storm/%d", seed), storm, 1)
+
+		var grid []Job
+		for i := 0; i < n; i++ {
+			a := float64(rng.Intn(4)) // many exact simultaneous arrivals
+			grid = append(grid, Job{
+				ID: i, Arrival: a, Deadline: a + float64(1+rng.Intn(8)),
+				Cycles: float64(1+rng.Intn(3)) / 2, Penalty: float64(rng.Intn(3)), // zero penalties included
+			})
+		}
+		add(fmt.Sprintf("grid/%d", seed), grid, 0.8)
+
+		var tight []Job
+		for i := 0; i < n; i++ {
+			a := rng.Float64() * 5
+			tight = append(tight, Job{
+				ID: i, Arrival: a, Deadline: a + 0.5 + rng.Float64()*2,
+				Cycles: 1 + rng.Float64()*3, Penalty: 0.5 + rng.Float64()*5,
+			})
+		}
+		add(fmt.Sprintf("tight/%d", seed), tight, 1.2)
+	}
+	return corpus
+}
+
+func mustEqualResults(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if math.Float64bits(got.Energy) != math.Float64bits(want.Energy) ||
+		math.Float64bits(got.Penalty) != math.Float64bits(want.Penalty) ||
+		math.Float64bits(got.Cost) != math.Float64bits(want.Cost) ||
+		got.Misses != want.Misses ||
+		!reflect.DeepEqual(got.Accepted, want.Accepted) ||
+		!reflect.DeepEqual(got.Rejected, want.Rejected) {
+		t.Errorf("%s: results diverge\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+func TestDifferentialSimulate(t *testing.T) {
+	policies := []struct {
+		key string
+		pol Policy
+	}{
+		{"marginal", MarginalCost{}},
+		{"feasible", AdmitFeasible{}},
+		{"reject-all", RejectEverything{}},
+	}
+	for _, c := range onlineCorpus() {
+		for _, p := range policies {
+			want, wantErr := refSimulate(c.jobs, c.proc, p.key)
+			got, gotErr := Simulate(c.jobs, c.proc, p.pol)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s/%s: error mismatch: %v vs %v", c.label, p.key, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			mustEqualResults(t, c.label+"/"+p.key, got, want)
+		}
+	}
+}
+
+func TestDifferentialOfflineOptimal(t *testing.T) {
+	for _, c := range onlineCorpus() {
+		jobs := c.jobs
+		if len(jobs) > 9 { // keep the 2^n sweep fast
+			jobs = jobs[:9]
+		}
+		want, wantErr := refOfflineOptimal(jobs, c.proc)
+		got, gotErr := OfflineOptimal(jobs, c.proc)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", c.label, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		mustEqualResults(t, c.label, got, want)
+	}
+}

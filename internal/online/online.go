@@ -19,9 +19,11 @@ package online
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
 	"sort"
 
+	"dvsreject/internal/conc"
 	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/sched/yds"
 	"dvsreject/internal/speed"
@@ -56,6 +58,60 @@ type State struct {
 	Now  float64
 	Pool []PoolJob // admitted, unfinished jobs
 	Proc speed.Proc
+
+	// plans, when non-nil, memoizes YDS plans by their exact job list, so
+	// the plan a policy prices an admission against is handed to the
+	// executor (and to later identical probes) instead of being recomputed.
+	// A YDS schedule is a pure function of its job list, so entries never
+	// need invalidation: a stale entry simply never matches again.
+	plans *planCache
+}
+
+// planCache holds the most recent YDS plans keyed by their job list.
+type planCache struct {
+	entries [2]planEntry
+	next    int
+}
+
+type planEntry struct {
+	jobs  []edf.Job
+	sched yds.Schedule
+	ok    bool
+}
+
+func (pc *planCache) lookup(jobs []edf.Job) (yds.Schedule, bool) {
+	if pc == nil {
+		return yds.Schedule{}, false
+	}
+	for i := range pc.entries {
+		e := &pc.entries[i]
+		if e.ok && slices.Equal(e.jobs, jobs) {
+			return e.sched, true
+		}
+	}
+	return yds.Schedule{}, false
+}
+
+func (pc *planCache) store(jobs []edf.Job, s yds.Schedule) {
+	if pc == nil {
+		return
+	}
+	pc.entries[pc.next] = planEntry{jobs: slices.Clone(jobs), sched: s, ok: true}
+	pc.next = (pc.next + 1) % len(pc.entries)
+}
+
+// plan returns the YDS schedule for the job list, from the cache when the
+// exact list was planned before.
+func (pc *planCache) plan(jobs []edf.Job) (yds.Schedule, error) {
+	if s, ok := pc.lookup(jobs); ok {
+		return s, nil
+	}
+	s, err := yds.Compute(jobs)
+	if err != nil {
+		return yds.Schedule{}, err
+	}
+	pc.store(jobs, s)
+	return s, nil
 }
 
 // PoolJob is an admitted job's remaining obligation.
@@ -97,7 +153,7 @@ func planEnergy(st State, extra *Job) (energy, maxSpeed float64, err error) {
 	if len(jobs) == 0 {
 		return 0, 0, nil
 	}
-	s, err := yds.Compute(jobs)
+	s, err := st.plans.plan(jobs)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -184,9 +240,15 @@ func Simulate(jobs []Job, proc speed.Proc, pol Policy) (Result, error) {
 	var res Result
 	var pool []PoolJob
 	now := 0.0
+	// One cache shared by the policy's pricing probes and the executor: the
+	// plan the policy computed for the chosen outcome (pool plus job when
+	// admitted, pool alone when rejected) has exactly the job list the next
+	// execute builds — same pool order, same Release = now — so the executor
+	// finds it by content instead of re-running YDS.
+	plans := &planCache{}
 
 	advance := func(to float64) error {
-		e, misses, err := execute(&pool, proc, now, to)
+		e, misses, err := execute(&pool, proc, now, to, plans)
 		if err != nil {
 			return err
 		}
@@ -201,7 +263,7 @@ func Simulate(jobs []Job, proc speed.Proc, pol Policy) (Result, error) {
 		if err := advance(j.Arrival); err != nil {
 			return Result{}, err
 		}
-		st := State{Now: now, Pool: slices.Clone(pool), Proc: proc}
+		st := State{Now: now, Pool: slices.Clone(pool), Proc: proc, plans: plans}
 		if pol.Admit(st, j) {
 			res.Accepted = append(res.Accepted, j.ID)
 			pool = append(pool, PoolJob{ID: j.ID, Deadline: j.Deadline, Remaining: j.Cycles})
@@ -231,7 +293,7 @@ func Simulate(jobs []Job, proc speed.Proc, pol Policy) (Result, error) {
 // current pool, consuming remaining work in EDF order and accumulating
 // dynamic energy. Jobs whose deadline passes with work left are counted as
 // misses and dropped (cannot happen under sound admission).
-func execute(pool *[]PoolJob, proc speed.Proc, from, to float64) (energy float64, misses int, err error) {
+func execute(pool *[]PoolJob, proc speed.Proc, from, to float64, plans *planCache) (energy float64, misses int, err error) {
 	if to <= from || len(*pool) == 0 {
 		compact(pool, from, &misses)
 		return 0, misses, nil
@@ -247,23 +309,41 @@ func execute(pool *[]PoolJob, proc speed.Proc, from, to float64) (energy float64
 		compact(pool, to, &misses)
 		return 0, 0, nil
 	}
-	plan, err := yds.Compute(jobs)
+	plan, err := plans.plan(jobs)
 	if err != nil {
 		return 0, 0, err
 	}
 	profile := plan.Profile()
 
 	// Consume the profile in [from, to): within each segment the
-	// earliest-deadline unfinished job runs.
-	byID := map[int]*PoolJob{}
+	// earliest-deadline unfinished job runs. Every pool job is released at
+	// `from` and Remaining only ever decreases here, so the unfinished job
+	// with the earliest deadline (first pool index on ties, as in the former
+	// per-piece scan) is always the cursor position in this deadline-stable
+	// order.
+	ord := make([]int, 0, len(*pool))
 	for i := range *pool {
-		byID[(*pool)[i].ID] = &(*pool)[i]
+		if (*pool)[i].Remaining > 0 {
+			ord = append(ord, i)
+		}
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return (*pool)[ord[a]].Deadline < (*pool)[ord[b]].Deadline })
+	cursor := 0
+	nextJob := func() *PoolJob {
+		for cursor < len(ord) {
+			p := &(*pool)[ord[cursor]]
+			if p.Remaining > 0 {
+				return p
+			}
+			cursor++
+		}
+		return nil
 	}
 	for _, seg := range profile {
 		lo := math.Max(seg.Start, from)
 		hi := math.Min(seg.End, to)
 		for lo < hi-1e-12 {
-			cur := earliestDeadline(*pool)
+			cur := nextJob()
 			if cur == nil {
 				break
 			}
@@ -282,21 +362,6 @@ func execute(pool *[]PoolJob, proc speed.Proc, from, to float64) (energy float64
 	}
 	compact(pool, to, &misses)
 	return energy, misses, nil
-}
-
-// earliestDeadline returns the unfinished pool job with the earliest
-// deadline.
-func earliestDeadline(pool []PoolJob) *PoolJob {
-	var best *PoolJob
-	for i := range pool {
-		if pool[i].Remaining <= 0 {
-			continue
-		}
-		if best == nil || pool[i].Deadline < best.Deadline {
-			best = &pool[i]
-		}
-	}
-	return best
 }
 
 // compact removes finished jobs and counts deadline misses at time now.
@@ -329,42 +394,85 @@ func OfflineOptimal(jobs []Job, proc speed.Proc) (Result, error) {
 		}
 	}
 	n := len(jobs)
-	best := Result{Cost: math.Inf(1)}
-	for mask := 0; mask < 1<<n; mask++ {
-		var sel []edf.Job
-		var penalty float64
-		for b := 0; b < n; b++ {
-			if mask&(1<<b) != 0 {
-				j := jobs[b]
-				sel = append(sel, edf.Job{TaskID: j.ID, Release: j.Arrival, Deadline: j.Deadline, Cycles: j.Cycles})
-			} else {
-				penalty += jobs[b].Penalty
-			}
+	total := 1 << n
+
+	// Fan contiguous mask ranges over the worker pool. Each chunk keeps its
+	// first strict-improvement winner in ascending mask order, and the fold
+	// below walks chunks in that same order with the same strict <, so the
+	// overall winner — including exact-cost tie-breaks — is the one the
+	// serial ascending-mask loop would pick.
+	chunks := runtime.GOMAXPROCS(0) * 4
+	if chunks > total {
+		chunks = total
+	}
+	per := (total + chunks - 1) / chunks
+	wins, err := conc.ForEach(chunks, 0, func(ci int) (offlineBest, error) {
+		start := ci * per
+		end := start + per
+		if end > total {
+			end = total
 		}
-		var energy float64
-		if len(sel) > 0 {
-			s, err := yds.Compute(sel)
-			if err != nil {
-				return Result{}, err
-			}
-			if s.MaxSpeed > proc.SMax*(1+1e-9) {
-				continue
-			}
-			energy = s.Energy(proc.Model)
-		}
-		if cost := energy + penalty; cost < best.Cost {
-			best = Result{Energy: energy, Penalty: penalty, Cost: cost}
-			best.Accepted, best.Rejected = nil, nil
+		bc := offlineBest{cost: math.Inf(1)}
+		sel := make([]edf.Job, 0, n)
+		for mask := start; mask < end; mask++ {
+			sel = sel[:0]
+			var penalty float64
 			for b := 0; b < n; b++ {
 				if mask&(1<<b) != 0 {
-					best.Accepted = append(best.Accepted, jobs[b].ID)
+					j := jobs[b]
+					sel = append(sel, edf.Job{TaskID: j.ID, Release: j.Arrival, Deadline: j.Deadline, Cycles: j.Cycles})
 				} else {
-					best.Rejected = append(best.Rejected, jobs[b].ID)
+					penalty += jobs[b].Penalty
 				}
+			}
+			var energy float64
+			if len(sel) > 0 {
+				s, err := yds.Compute(sel)
+				if err != nil {
+					return offlineBest{}, err
+				}
+				if s.MaxSpeed > proc.SMax*(1+1e-9) {
+					continue
+				}
+				energy = s.Energy(proc.Model)
+			}
+			if cost := energy + penalty; cost < bc.cost {
+				bc = offlineBest{mask: mask, energy: energy, penalty: penalty, cost: cost, found: true}
+			}
+		}
+		return bc, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	best := Result{Cost: math.Inf(1)}
+	winner := offlineBest{cost: math.Inf(1)}
+	for _, w := range wins {
+		if w.found && w.cost < winner.cost {
+			winner = w
+		}
+	}
+	if winner.found {
+		best = Result{Energy: winner.energy, Penalty: winner.penalty, Cost: winner.cost}
+		for b := 0; b < n; b++ {
+			if winner.mask&(1<<b) != 0 {
+				best.Accepted = append(best.Accepted, jobs[b].ID)
+			} else {
+				best.Rejected = append(best.Rejected, jobs[b].ID)
 			}
 		}
 	}
 	slices.Sort(best.Accepted)
 	slices.Sort(best.Rejected)
 	return best, nil
+}
+
+// offlineBest is one chunk's incumbent in the offline mask sweep.
+type offlineBest struct {
+	mask    int
+	energy  float64
+	penalty float64
+	cost    float64
+	found   bool
 }

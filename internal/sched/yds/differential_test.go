@@ -1,0 +1,200 @@
+package yds
+
+// Differential corpus pinning the critical-interval scan restriction to
+// the seed code shape: refCompute below runs the seed algorithm with its
+// all-endpoint-pairs scan, and the optimized Compute must reproduce its
+// schedules bit for bit — including first-achiever tie-breaks, which the
+// tie-heavy corpora below (integer time grids, duplicated jobs, shared
+// frames) exercise deliberately.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+// refCriticalInterval is the seed scan over all ordered endpoint pairs.
+func refCriticalInterval(live []job) (s, t float64, members []int, g float64) {
+	points := make([]float64, 0, 2*len(live))
+	for _, j := range live {
+		points = append(points, j.release, j.deadline)
+	}
+	sort.Float64s(points)
+
+	best := -1.0
+	for a := 0; a < len(points); a++ {
+		for b := a + 1; b < len(points); b++ {
+			lo, hi := points[a], points[b]
+			if hi <= lo {
+				continue
+			}
+			var work float64
+			for _, j := range live {
+				if j.release >= lo && j.deadline <= hi {
+					work += j.work
+				}
+			}
+			if work == 0 {
+				continue
+			}
+			if inten := work / (hi - lo); inten > best {
+				best = inten
+				s, t = lo, hi
+			}
+		}
+	}
+	if best < 0 {
+		return 0, 0, nil, 0
+	}
+	for i, j := range live {
+		if j.release >= s && j.deadline <= t {
+			members = append(members, i)
+		}
+	}
+	return s, t, members, best
+}
+
+// refCompute is the seed Compute, differing only in the interval scan.
+func refCompute(jobs []edf.Job) (Schedule, error) {
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return Schedule{}, err
+		}
+	}
+	live := make([]job, 0, len(jobs))
+	for i, j := range jobs {
+		live = append(live, job{id: i, release: j.Release, deadline: j.Deadline, work: j.Cycles})
+	}
+
+	var out Schedule
+	var holes []speed.Segment
+	for len(live) > 0 {
+		s, t, members, g := refCriticalInterval(live)
+		if !(g > 0) {
+			return Schedule{}, fmt.Errorf("yds: no positive-intensity interval over %d jobs", len(live))
+		}
+		b := Block{Speed: g}
+		memberSet := make(map[int]bool, len(members))
+		for _, mi := range members {
+			b.JobIDs = append(b.JobIDs, live[mi].id)
+			memberSet[mi] = true
+		}
+		sort.Ints(b.JobIDs)
+		holes = append(holes, speed.Segment{Start: s, End: t, Speed: g})
+		out.Blocks = append(out.Blocks, b)
+
+		next := live[:0]
+		width := t - s
+		for i := range live {
+			if memberSet[i] {
+				continue
+			}
+			j := live[i]
+			j.release = collapse(j.release, s, t, width)
+			j.deadline = collapse(j.deadline, s, t, width)
+			next = append(next, j)
+		}
+		live = next
+	}
+
+	for bi := range out.Blocks {
+		pieces := []speed.Segment{holes[bi]}
+		for prev := bi - 1; prev >= 0; prev-- {
+			pieces = insertHole(pieces, holes[prev])
+		}
+		out.Blocks[bi].Pieces = pieces
+	}
+
+	if len(out.Blocks) > 0 {
+		out.MaxSpeed = out.Blocks[0].Speed
+	}
+	return out, nil
+}
+
+// ydsCorpus builds job sets across the shapes the scan restriction must
+// survive: general random windows, integer grids full of exact endpoint
+// ties, duplicated jobs, shared frames, and online-style common releases.
+func ydsCorpus() [][]edf.Job {
+	var corpus [][]edf.Job
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(seed)
+
+		// Random real-valued windows.
+		var random []edf.Job
+		for i := 0; i < n; i++ {
+			r := rng.Float64() * 50
+			random = append(random, edf.Job{
+				Release: r, Deadline: r + 1 + rng.Float64()*30, Cycles: 1 + rng.Float64()*10,
+			})
+		}
+		corpus = append(corpus, random)
+
+		// Integer time grid: endpoint values collide constantly.
+		var grid []edf.Job
+		for i := 0; i < n; i++ {
+			r := float64(rng.Intn(6))
+			grid = append(grid, edf.Job{
+				Release: r, Deadline: r + float64(1+rng.Intn(5)), Cycles: float64(1 + rng.Intn(4)),
+			})
+		}
+		corpus = append(corpus, grid)
+
+		// Duplicated jobs: exact intensity ties between identical windows.
+		dup := append([]edf.Job(nil), grid[:n/2+1]...)
+		dup = append(dup, grid[:n/2+1]...)
+		corpus = append(corpus, dup)
+
+		// One shared frame (the paper family's base case).
+		var frame []edf.Job
+		for i := 0; i < n; i++ {
+			frame = append(frame, edf.Job{Release: 0, Deadline: 20, Cycles: 1 + rng.Float64()*5})
+		}
+		corpus = append(corpus, frame)
+
+		// Online-style: every job released "now", deadlines staggered.
+		var online []edf.Job
+		now := 5.0
+		for i := 0; i < n; i++ {
+			online = append(online, edf.Job{
+				Release: now, Deadline: now + 1 + rng.Float64()*20, Cycles: 1 + rng.Float64()*8,
+			})
+		}
+		corpus = append(corpus, online)
+	}
+	return corpus
+}
+
+func TestDifferentialCompute(t *testing.T) {
+	for i, jobs := range ydsCorpus() {
+		want, wantErr := refCompute(jobs)
+		got, gotErr := Compute(jobs)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("corpus %d: error mismatch: %v vs %v", i, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("corpus %d: schedules diverge\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestDifferentialCriticalInterval(t *testing.T) {
+	for i, jobs := range ydsCorpus() {
+		live := make([]job, 0, len(jobs))
+		for id, j := range jobs {
+			live = append(live, job{id: id, release: j.Release, deadline: j.Deadline, work: j.Cycles})
+		}
+		ws, wt, wm, wg := refCriticalInterval(live)
+		gs, gt, gm, gg := criticalInterval(live)
+		if math.Float64bits(gs) != math.Float64bits(ws) || math.Float64bits(gt) != math.Float64bits(wt) ||
+			math.Float64bits(gg) != math.Float64bits(wg) || !reflect.DeepEqual(gm, wm) {
+			t.Errorf("corpus %d: interval (%v,%v,%v,%v), want (%v,%v,%v,%v)", i, gs, gt, gm, gg, ws, wt, wm, wg)
+		}
+	}
+}

@@ -200,20 +200,47 @@ func insertHole(pieces []speed.Segment, h speed.Segment) []speed.Segment {
 	return out
 }
 
-// criticalInterval scans all release/deadline endpoint pairs for the
-// maximum-intensity interval. Returns its bounds, the member indices and
-// the intensity.
+// criticalInterval finds the maximum-intensity interval and returns its
+// bounds, the member indices and the intensity.
+//
+// The seed code scanned every ordered pair of the 2n endpoint values. The
+// scan here is restricted to (release value, deadline value) pairs with
+// duplicate values skipped, which is exactly output-preserving: for any
+// candidate [x, y) with member set S, the interval [min release(S),
+// max deadline(S)) ⊆ [x, y) carries the same work over a width that is no
+// larger, so a pair that is not value-identical to a release×deadline pair
+// is strictly dominated and can never set the maximum; and because the
+// update below is strict (>), revisiting an already-seen value pair never
+// changed the result, so deduplication drops only no-ops. Both scans visit
+// distinct value pairs in (lo, hi) lexicographic order, so first-achiever
+// tie-breaks between equal-intensity intervals are preserved too. The
+// inner work sum stays in job input order — summation order is part of
+// the float contract.
+//
+// Online-arrival job sets share their release times (every pending job is
+// re-released "now"), so the deduplicated release axis collapses to a few
+// values and the scan drops from O(n²)·O(n) to nearly O(n)·O(n) there.
 func criticalInterval(live []job) (s, t float64, members []int, g float64) {
-	points := make([]float64, 0, 2*len(live))
+	rels := make([]float64, 0, len(live))
+	dls := make([]float64, 0, len(live))
 	for _, j := range live {
-		points = append(points, j.release, j.deadline)
+		rels = append(rels, j.release)
+		dls = append(dls, j.deadline)
 	}
-	sort.Float64s(points)
+	sort.Float64s(rels)
+	sort.Float64s(dls)
 
 	best := -1.0
-	for a := 0; a < len(points); a++ {
-		for b := a + 1; b < len(points); b++ {
-			lo, hi := points[a], points[b]
+	for a := 0; a < len(rels); a++ {
+		lo := rels[a]
+		if a > 0 && lo == rels[a-1] {
+			continue
+		}
+		for b := 0; b < len(dls); b++ {
+			hi := dls[b]
+			if b > 0 && hi == dls[b-1] {
+				continue
+			}
 			if hi <= lo {
 				continue
 			}

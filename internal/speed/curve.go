@@ -1,0 +1,90 @@
+package speed
+
+import "math"
+
+// Curve is the energy curve E(w) of one processor over a fixed frame
+// length, precomputed for repeated probing. Solvers that evaluate many
+// candidate workloads against the same processor (the multiprocessor
+// local search probes O(n²·M) of them per iteration) build one Curve per
+// solve instead of paying Proc.Assign's validation and candidate
+// enumeration on every probe.
+//
+// Exactness contract: Energy(w) reproduces Proc.Energy(w, d) bit for bit.
+// On continuous-speed dormant-disable processors it mirrors the float
+// operation sequence of Proc.assignContinuous exactly (same checks, same
+// clamping, same order of arithmetic); every other flavour falls back to
+// Proc.Energy itself. The zero Curve is not usable; construct with
+// NewCurve.
+type Curve struct {
+	proc     Proc
+	deadline float64
+
+	fast       bool    // closed continuous-speed form applies
+	capSlack   float64 // capacity·(1+feasibilitySlack)
+	smin, smax float64
+	pind       float64 // static power Pind
+	coeff      float64 // dynamic power coefficient
+	alpha      float64 // dynamic power exponent
+	idleTotal  float64 // energy of an entirely idle frame, Pind·d
+}
+
+// NewCurve builds the curve for workloads executed within a frame of
+// length d on p. The processor and frame length must already be valid (as
+// Proc.Energy assumes); invalid workloads still price to +Inf.
+func NewCurve(p Proc, d float64) Curve {
+	m := p.Model
+	return Curve{
+		proc:      p,
+		deadline:  d,
+		fast:      p.Levels == nil && !p.DormantEnable,
+		capSlack:  p.Capacity(d) * (1 + feasibilitySlack),
+		smin:      p.SMin,
+		smax:      p.SMax,
+		pind:      m.Static(),
+		coeff:     m.Coeff,
+		alpha:     m.Alpha,
+		idleTotal: m.Static() * d,
+	}
+}
+
+// Capacity returns the largest schedulable workload smax·d.
+func (c *Curve) Capacity() float64 { return c.proc.Capacity(c.deadline) }
+
+// Fits reports whether a workload of w cycles is schedulable, with the
+// same float slack Proc.Assign applies.
+func (c *Curve) Fits(w float64) bool { return w <= c.capSlack }
+
+// Energy returns E(w) = Proc.Energy(w, deadline), +Inf when infeasible.
+func (c *Curve) Energy(w float64) float64 {
+	if !c.fast {
+		return c.proc.Energy(w, c.deadline)
+	}
+	// w != w catches NaN, w < 0 catches -Inf, the capacity check catches
+	// +Inf — the same rejections Proc.Assign makes.
+	if w < 0 || w != w {
+		return math.Inf(1)
+	}
+	if w > c.capSlack {
+		return math.Inf(1)
+	}
+	if w == 0 {
+		return c.idleTotal
+	}
+	// Proc.assignContinuous, dormant-disable branch: run at the slowest
+	// deadline- and hardware-feasible speed. The branches compute the same
+	// values as the math.Min(math.Max(·)) clamp there — the operands are
+	// never NaN and never signed zeros of opposite sign.
+	s := w / c.deadline
+	if s < c.smin {
+		s = c.smin
+	}
+	if s > c.smax {
+		s = c.smax
+	}
+	exec := w / s
+	var dyn float64
+	if s > 0 {
+		dyn = c.coeff * math.Pow(s, c.alpha)
+	}
+	return (c.pind+dyn)*exec + c.pind*(c.deadline-exec)
+}

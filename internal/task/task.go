@@ -11,6 +11,7 @@ package task
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Task is one frame-based real-time task.
@@ -54,11 +55,18 @@ type Set struct {
 }
 
 // Validate checks the frame and every task, including ID uniqueness.
+// seenPool recycles the ID-uniqueness sets across Validate calls: solvers
+// re-validate their instance on every Solve, and the per-call map was the
+// dominant steady-state allocation of the pooled DP solvers.
+var seenPool = sync.Pool{New: func() any { return make(map[int]bool) }}
+
 func (s Set) Validate() error {
 	if math.IsNaN(s.Deadline) || math.IsInf(s.Deadline, 0) || s.Deadline <= 0 {
 		return fmt.Errorf("task set: deadline = %v, want finite > 0", s.Deadline)
 	}
-	seen := make(map[int]bool, len(s.Tasks))
+	seen := seenPool.Get().(map[int]bool)
+	clear(seen)
+	defer seenPool.Put(seen)
 	for _, t := range s.Tasks {
 		if err := t.Validate(); err != nil {
 			return err
