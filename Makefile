@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-json fuzz experiments examples clean
+.PHONY: all build vet test test-short cover bench bench-json serve-smoke fuzz experiments examples clean
 
 all: build vet test
 
@@ -25,6 +25,10 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/bench -o BENCH_core.json
+	$(GO) run ./cmd/loadgen -duration 5s -conns 4 -o BENCH_serve.json
+
+serve-smoke:
+	$(GO) run ./cmd/loadgen -duration 2s -conns 4 -check
 
 fuzz:
 	$(GO) test ./internal/task/ -fuzz FuzzReadJSON -fuzztime 30s

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"dvsreject/internal/cache"
 	"dvsreject/internal/core"
 	"dvsreject/internal/dormant"
 	"dvsreject/internal/exper"
@@ -31,6 +33,7 @@ import (
 	"dvsreject/internal/online"
 	"dvsreject/internal/power"
 	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/serve"
 	"dvsreject/internal/speed"
 )
 
@@ -44,6 +47,10 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Cache is set only for the serve-layer benchmarks: the engine's
+	// plan-cache counters after the measured run. Omitted elsewhere, so
+	// the schema stays backward-compatible.
+	Cache *cache.Stats `json:"cache,omitempty"`
 }
 
 type report struct {
@@ -101,6 +108,9 @@ func dormantWorkload(n int) ([]edf.Job, float64, speed.Proc, error) {
 	return nil, 0, speed.Proc{}, fmt.Errorf("no feasible storm in 100 draws")
 }
 
+// serveErr unwraps a serve response into the error the harness checks.
+func serveErr(r serve.Response) error { return r.Err }
+
 func main() {
 	testing.Init()
 	out := flag.String("o", "BENCH_core.json", "output path for the JSON report")
@@ -128,10 +138,13 @@ func main() {
 	}
 
 	// benchCase is one measured operation; fn performs a single iteration.
+	// stats, when non-nil, snapshots the serve engine's cache counters
+	// after the measured run.
 	type benchCase struct {
-		name string
-		n, m int
-		fn   func() error
+		name  string
+		n, m  int
+		fn    func() error
+		stats func() cache.Stats
 	}
 	var benchCases []benchCase
 	for _, c := range cases {
@@ -181,6 +194,69 @@ func main() {
 			fn: func() error { _, _, err := dormant.Compare(jobs, 1, horizon, proc); return err },
 		})
 	}
+	// The serving layer (internal/serve): a cold solve (cache cleared
+	// every iteration), a warm cache hit, and a 64-request batch in the
+	// steady (warm) state — all on the DP n=100 instance the 50×
+	// hit-speedup criterion is stated against.
+	{
+		in, err := instance(100, 1.5)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: Serve: %v\n", err)
+			os.Exit(1)
+		}
+		req := serve.Request{Tasks: in.Tasks, Proc: in.Proc, Solver: "DP"}
+		ctx := context.Background()
+
+		cold := serve.New(serve.Config{})
+		benchCases = append(benchCases, benchCase{
+			name: "ServeColdSolve", n: 100,
+			fn: func() error {
+				cold.Reset()
+				return serveErr(cold.Solve(ctx, req))
+			},
+			stats: func() cache.Stats { return cold.Stats().Cache },
+		})
+
+		warm := serve.New(serve.Config{})
+		if err := serveErr(warm.Solve(ctx, req)); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: ServeWarmHit prewarm: %v\n", err)
+			os.Exit(1)
+		}
+		benchCases = append(benchCases, benchCase{
+			name: "ServeWarmHit", n: 100,
+			fn: func() error {
+				r := warm.Solve(ctx, req)
+				if r.Err == nil && !r.CacheHit {
+					return fmt.Errorf("warm solve missed the cache")
+				}
+				return r.Err
+			},
+			stats: func() cache.Stats { return warm.Stats().Cache },
+		})
+
+		batchReqs := make([]serve.Request, 64)
+		for i := range batchReqs {
+			bin, err := instance(100, 1.2+0.01*float64(i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: ServeBatch64: %v\n", err)
+				os.Exit(1)
+			}
+			batchReqs[i] = serve.Request{Tasks: bin.Tasks, Proc: bin.Proc, Solver: "DP"}
+		}
+		batch := serve.New(serve.Config{})
+		benchCases = append(benchCases, benchCase{
+			name: "ServeBatch64", n: 100,
+			fn: func() error {
+				for _, r := range batch.SolveBatch(ctx, batchReqs) {
+					if r.Err != nil {
+						return r.Err
+					}
+				}
+				return nil
+			},
+			stats: func() cache.Stats { return batch.Stats().Cache },
+		})
+	}
 	// The harness itself: one quick-mode pass over all fifteen experiments
 	// on the full worker pool, the unit CI smokes and the suite scales by.
 	benchCases = append(benchCases, benchCase{
@@ -221,6 +297,10 @@ func main() {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if c.stats != nil {
+			st := c.stats()
+			res.Cache = &st
 		}
 		rep.Results = append(rep.Results, res)
 		label := fmt.Sprintf("n=%d", res.N)

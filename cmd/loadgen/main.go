@@ -1,0 +1,370 @@
+// Command loadgen drives a rejectschedd daemon with a Zipf-repeated
+// instance workload and reports latency percentiles and throughput.
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 10s -conns 8 -check
+//
+// With -addr empty it self-hosts an in-process engine on a loopback
+// port, so the serving stack can be benchmarked with one command:
+//
+//	loadgen -duration 10s -o BENCH_serve.json
+//
+// The instance pool is drawn deterministically from -seed; request i
+// targets instance Zipf(i), so a small hot set dominates — the cache-hit
+// regime the daemon is built for. -check precomputes every instance's
+// solution with a direct solver run and fails (exit 1) on any non-200
+// response or any response that is not bit-identical to the direct solve.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/serve"
+	"dvsreject/internal/task"
+)
+
+type options struct {
+	Addr      string
+	Duration  time.Duration
+	Conns     int
+	Instances int
+	N         int
+	Zipf      float64
+	Seed      int64
+	Solver    string
+	Batch     int
+	Check     bool
+	Out       string
+}
+
+// report is the JSON consumed by `make bench-json` (BENCH_serve.json).
+type report struct {
+	DurationS  float64     `json:"duration_s"`
+	Conns      int         `json:"conns"`
+	Instances  int         `json:"instances"`
+	N          int         `json:"n"`
+	Solver     string      `json:"solver"`
+	Batch      int         `json:"batch,omitempty"`
+	Requests   int         `json:"requests"`
+	Errors     int         `json:"errors"`
+	Mismatches int         `json:"mismatches"`
+	Throughput float64     `json:"throughput_rps"`
+	P50us      float64     `json:"p50_us"`
+	P95us      float64     `json:"p95_us"`
+	P99us      float64     `json:"p99_us"`
+	Server     serve.Stats `json:"server_stats"`
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.Addr, "addr", "", "daemon base URL; empty self-hosts an in-process engine")
+	flag.DurationVar(&o.Duration, "duration", 5*time.Second, "how long to drive load")
+	flag.IntVar(&o.Conns, "conns", 8, "concurrent client workers")
+	flag.IntVar(&o.Instances, "instances", 64, "distinct instances in the pool")
+	flag.IntVar(&o.N, "n", 50, "tasks per instance")
+	flag.Float64Var(&o.Zipf, "zipf", 1.1, "Zipf exponent of instance popularity (> 1)")
+	flag.Int64Var(&o.Seed, "seed", 1, "workload seed")
+	flag.StringVar(&o.Solver, "solver", "DP", "solver requested per instance")
+	flag.IntVar(&o.Batch, "batch", 0, "POST /batch with this many requests per call (0 = /solve)")
+	flag.BoolVar(&o.Check, "check", false, "verify every response bit-identically against a direct solve")
+	flag.StringVar(&o.Out, "o", "", "write the JSON report to this file")
+	flag.Parse()
+
+	rep, err := run(o, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Errors > 0 || rep.Mismatches > 0 {
+		log.Fatalf("loadgen: %d errors, %d mismatches", rep.Errors, rep.Mismatches)
+	}
+}
+
+func run(o options, w io.Writer) (report, error) {
+	base := o.Addr
+	if base == "" {
+		engine := serve.New(serve.Config{DefaultSolver: o.Solver})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return report{}, err
+		}
+		srv := &http.Server{Handler: serve.NewHandler(engine)}
+		go srv.Serve(l)
+		defer srv.Close()
+		base = "http://" + l.Addr().String()
+		fmt.Fprintf(w, "self-hosted engine on %s\n", base)
+	}
+
+	bodies, expected, err := buildWorkload(o)
+	if err != nil {
+		return report{}, err
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.Conns * 2,
+		MaxIdleConnsPerHost: o.Conns * 2,
+	}}
+
+	type workerOut struct {
+		lats       []time.Duration
+		requests   int
+		errors     int
+		mismatches int
+	}
+	outs := make([]workerOut, o.Conns)
+	deadline := time.Now().Add(o.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wi := 0; wi < o.Conns; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(wi)*7919))
+			zipf := rand.NewZipf(rng, o.Zipf, 1, uint64(o.Instances-1))
+			out := &outs[wi]
+			for time.Now().Before(deadline) {
+				if o.Batch > 0 {
+					idx := make([]int, o.Batch)
+					for k := range idx {
+						idx[k] = int(zipf.Uint64())
+					}
+					out.requests += o.Batch
+					t0 := time.Now()
+					resps, err := postBatch(client, base, bodies, idx, o.Check)
+					lat := time.Since(t0)
+					if err != nil {
+						out.errors++
+						continue
+					}
+					for k := range idx {
+						out.lats = append(out.lats, lat/time.Duration(o.Batch))
+						if o.Check && !responseMatches(resps[k], expected[idx[k]]) {
+							out.mismatches++
+						}
+					}
+					continue
+				}
+				i := int(zipf.Uint64())
+				out.requests++
+				t0 := time.Now()
+				resp, err := postSolve(client, base, bodies[i], o.Check)
+				out.lats = append(out.lats, time.Since(t0))
+				if err != nil {
+					out.errors++
+					continue
+				}
+				if o.Check && !responseMatches(resp, expected[i]) {
+					out.mismatches++
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		DurationS: elapsed.Seconds(),
+		Conns:     o.Conns, Instances: o.Instances, N: o.N,
+		Solver: o.Solver, Batch: o.Batch,
+	}
+	var lats []time.Duration
+	for _, out := range outs {
+		rep.Requests += out.requests
+		rep.Errors += out.errors
+		rep.Mismatches += out.mismatches
+		lats = append(lats, out.lats...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	rep.P50us = percentileUS(lats, 0.50)
+	rep.P95us = percentileUS(lats, 0.95)
+	rep.P99us = percentileUS(lats, 0.99)
+	rep.Server = fetchStats(client, base)
+
+	fmt.Fprintf(w, "%d requests in %.2fs (%.0f req/s), p50 %.1fµs p95 %.1fµs p99 %.1fµs, %d errors, %d mismatches\n",
+		rep.Requests, rep.DurationS, rep.Throughput, rep.P50us, rep.P95us, rep.P99us, rep.Errors, rep.Mismatches)
+	fmt.Fprintf(w, "server: %d cache hits / %d misses / %d evictions, %d coalesced, %d bypasses\n",
+		rep.Server.Cache.Hits, rep.Server.Cache.Misses, rep.Server.Cache.Evictions,
+		rep.Server.Coalesced, rep.Server.Bypasses)
+
+	if o.Out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return rep, err
+		}
+		if err := os.WriteFile(o.Out, append(b, '\n'), 0o644); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// buildWorkload draws the instance pool and, when -check is on, its
+// reference solutions.
+func buildWorkload(o options) ([][]byte, []serve.WireResponse, error) {
+	if o.Instances < 1 || o.N < 1 || o.Conns < 1 {
+		return nil, nil, fmt.Errorf("loadgen: instances, n and conns must be ≥ 1")
+	}
+	if o.Zipf <= 1 {
+		return nil, nil, fmt.Errorf("loadgen: -zipf must be > 1")
+	}
+	bodies := make([][]byte, o.Instances)
+	expected := make([]serve.WireResponse, o.Instances)
+	for i := range bodies {
+		set, err := gen.Frame(rand.New(rand.NewSource(o.Seed+int64(i))), gen.Config{
+			N:       o.N,
+			Load:    1.2,
+			Penalty: gen.PenaltyModel(int64(i) % 3),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		wreq := serve.WireRequest{Deadline: set.Deadline, SMax: 1, Solver: o.Solver}
+		for _, t := range set.Tasks {
+			wreq.Tasks = append(wreq.Tasks, serve.WireTask{ID: t.ID, Cycles: t.Cycles, Penalty: t.Penalty, Rho: t.Rho})
+		}
+		if bodies[i], err = json.Marshal(wreq); err != nil {
+			return nil, nil, err
+		}
+		if o.Check {
+			if expected[i], err = directSolve(set, o.Solver); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return bodies, expected, nil
+}
+
+// directSolve computes the reference wire response the daemon must
+// reproduce bit for bit.
+func directSolve(set task.Set, solver string) (serve.WireResponse, error) {
+	s, err := core.NewSolver(solver, core.SolverSpec{})
+	if err != nil {
+		return serve.WireResponse{}, err
+	}
+	req := serve.WireRequest{Deadline: set.Deadline, SMax: 1}
+	sreq, err := req.ToRequest()
+	if err != nil {
+		return serve.WireResponse{}, err
+	}
+	sol, err := s.Solve(core.Instance{Tasks: set, Proc: sreq.Proc})
+	if err != nil {
+		return serve.WireResponse{}, err
+	}
+	return serve.WireResponse{
+		Accepted: sol.Accepted, Rejected: sol.Rejected,
+		Energy: sol.Energy, Penalty: sol.Penalty, Cost: sol.Cost,
+	}, nil
+}
+
+// responseMatches compares a wire response against the reference: same
+// admission sets, same float bit patterns. Cache/coalescing flags are
+// transport metadata and ignored.
+func responseMatches(got, want serve.WireResponse) bool {
+	if got.Error != "" {
+		return false
+	}
+	bits := math.Float64bits
+	return slices.Equal(orEmpty(got.Accepted), orEmpty(want.Accepted)) &&
+		slices.Equal(orEmpty(got.Rejected), orEmpty(want.Rejected)) &&
+		bits(got.Energy) == bits(want.Energy) &&
+		bits(got.Penalty) == bits(want.Penalty) &&
+		bits(got.Cost) == bits(want.Cost)
+}
+
+func orEmpty(s []int) []int {
+	if s == nil {
+		return []int{}
+	}
+	return s
+}
+
+// postSolve sends one request. Without decode it drains the body unparsed —
+// on a shared CPU the client's JSON decoding competes with the server, and
+// uncheck runs only need the status line and the latency.
+func postSolve(client *http.Client, base string, body []byte, decode bool) (serve.WireResponse, error) {
+	resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.WireResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out serve.WireResponse
+	if decode || resp.StatusCode != http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return serve.WireResponse{}, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("status %d: %s", resp.StatusCode, out.Error)
+	}
+	return out, nil
+}
+
+func postBatch(client *http.Client, base string, bodies [][]byte, idx []int, decode bool) ([]serve.WireResponse, error) {
+	var batch bytes.Buffer
+	batch.WriteString(`{"requests":[`)
+	for k, i := range idx {
+		if k > 0 {
+			batch.WriteByte(',')
+		}
+		batch.Write(bodies[i])
+	}
+	batch.WriteString(`]}`)
+	resp, err := client.Post(base+"/batch", "application/json", &batch)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("batch status %d", resp.StatusCode)
+	}
+	if !decode {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	var out serve.WireBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Responses) != len(idx) {
+		return nil, fmt.Errorf("batch returned %d responses for %d requests", len(out.Responses), len(idx))
+	}
+	return out.Responses, nil
+}
+
+// fetchStats best-effort reads the daemon's counters for the report.
+func fetchStats(client *http.Client, base string) serve.Stats {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return serve.Stats{}
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	return st
+}
+
+func percentileUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}

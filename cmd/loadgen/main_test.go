@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSelfHostedCheck drives the full loop — in-process daemon, Zipf
+// workload, bit-identical verification — for a short burst.
+func TestSelfHostedCheck(t *testing.T) {
+	var out strings.Builder
+	rep, err := run(options{
+		Duration:  300 * time.Millisecond,
+		Conns:     4,
+		Instances: 8,
+		N:         12,
+		Zipf:      1.2,
+		Seed:      1,
+		Solver:    "DP",
+		Check:     true,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Fatalf("%d errors, %d mismatches:\n%s", rep.Errors, rep.Mismatches, out.String())
+	}
+	if rep.Server.Cache.Hits == 0 {
+		t.Error("Zipf workload produced no cache hits")
+	}
+}
+
+// TestSelfHostedBatchCheck covers the /batch path.
+func TestSelfHostedBatchCheck(t *testing.T) {
+	var out strings.Builder
+	rep, err := run(options{
+		Duration:  200 * time.Millisecond,
+		Conns:     2,
+		Instances: 6,
+		N:         10,
+		Zipf:      1.2,
+		Seed:      2,
+		Solver:    "GREEDY",
+		Batch:     8,
+		Check:     true,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Fatalf("%d errors, %d mismatches:\n%s", rep.Errors, rep.Mismatches, out.String())
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, _, err := buildWorkload(options{Instances: 0, N: 5, Conns: 1, Zipf: 1.1}); err == nil {
+		t.Error("instances = 0 accepted")
+	}
+	if _, _, err := buildWorkload(options{Instances: 4, N: 5, Conns: 1, Zipf: 1.0}); err == nil {
+		t.Error("zipf = 1.0 accepted")
+	}
+}

@@ -37,6 +37,7 @@ type options struct {
 	Periodic  bool
 	Frontier  bool
 	BreakEven bool
+	Workers   int
 }
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	flag.BoolVar(&o.Periodic, "periodic", false, "read a periodic instance (see taskgen -periodic)")
 	flag.BoolVar(&o.Frontier, "frontier", false, "print the exact energy/penalty Pareto frontier")
 	flag.BoolVar(&o.BreakEven, "breakeven", false, "print each task's admission-threshold penalty")
+	flag.IntVar(&o.Workers, "workers", 0, "parallel-search workers for OPT and RAND (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if err := run(os.Stdin, os.Stdout, o); err != nil {
@@ -146,7 +148,7 @@ func run(r io.Reader, w io.Writer, o options) error {
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "solver\taccepted\trejected\tenergy\tpenalty\tcost")
 		for _, name := range allSolverNames {
-			s, err := dvsreject.SolverByName(name)
+			s, err := dvsreject.SolverByNameSpec(name, dvsreject.SolverSpec{Workers: o.Workers})
 			if err != nil {
 				return err
 			}
@@ -160,7 +162,7 @@ func run(r io.Reader, w io.Writer, o options) error {
 		return tw.Flush()
 	}
 
-	solver, err := dvsreject.SolverByName(o.Solver)
+	solver, err := dvsreject.SolverByNameSpec(o.Solver, dvsreject.SolverSpec{Workers: o.Workers})
 	if err != nil {
 		return err
 	}
@@ -230,7 +232,7 @@ func runPeriodic(r io.Reader, w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	solver, err := dvsreject.SolverByName(o.Solver)
+	solver, err := dvsreject.SolverByNameSpec(o.Solver, dvsreject.SolverSpec{Workers: o.Workers})
 	if err != nil {
 		return err
 	}

@@ -159,3 +159,22 @@ func TestRunBreakEven(t *testing.T) {
 		t.Errorf("break-even output malformed:\n%s", s)
 	}
 }
+
+// TestRunWorkers pins the -workers wiring: the parallel searchers must
+// produce the same output serial (workers = 1) and parallel.
+func TestRunWorkers(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, workers := range []int{1, 4} {
+		var out bytes.Buffer
+		err := run(strings.NewReader(testInstance), &out,
+			options{Solver: "OPT", Model: "cubic", Esw: -1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("OPT output differs between -workers 1 and -workers 4:\n%s\n---\n%s",
+			outputs[0], outputs[1])
+	}
+}

@@ -1,0 +1,77 @@
+// Command rejectschedd is the long-running solve daemon: a batched,
+// cache-fronted HTTP/JSON front end over the dvsreject solvers
+// (internal/serve).
+//
+//	rejectschedd -addr :8080 -shards 16 -entries 256 -workers 0
+//
+// Endpoints:
+//
+//	POST /solve   one instance            → one solution
+//	POST /batch   {"requests": [...]}     → positional solutions
+//	GET  /stats   cache/coalescing counters
+//	GET  /healthz liveness probe
+//
+// See README.md § Serving for the wire format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dvsreject/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		shards  = flag.Int("shards", 16, "plan-cache shards (rounded up to a power of two)")
+		entries = flag.Int("entries", 256, "plan-cache entries per shard")
+		workers = flag.Int("workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
+		quantum = flag.Float64("quantum", 0, "fingerprint float quantization (0 = exact bits)")
+		solver  = flag.String("solver", "DP", "default solver for requests that name none")
+	)
+	flag.Parse()
+
+	engine := serve.New(serve.Config{
+		Shards:          *shards,
+		EntriesPerShard: *entries,
+		Workers:         *workers,
+		Quantum:         *quantum,
+		DefaultSolver:   *solver,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("rejectschedd listening on %s (default solver %s, %d×%d cache)",
+		*addr, *solver, *shards, *entries)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		st := engine.Stats()
+		log.Printf("shutdown: %d requests, %d cache hits, %d coalesced",
+			st.Requests, st.Cache.Hits, st.Coalesced)
+	}
+}

@@ -34,8 +34,6 @@
 package dvsreject
 
 import (
-	"fmt"
-
 	"dvsreject/internal/core"
 	"dvsreject/internal/power"
 	"dvsreject/internal/speed"
@@ -176,32 +174,21 @@ func StandardSolvers(seed int64, eps float64) []Solver {
 	}
 }
 
+// SolverSpec parameterizes SolverByNameSpec: approximation ε, randomized
+// seed, and the parallel-search worker bound. The zero value reproduces
+// SolverByName's defaults (ε = 0.1, seed = 1, solver-default workers).
+type SolverSpec = core.SolverSpec
+
 // SolverByName resolves the experiment-table names ("DP", "GREEDY",
 // "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL", "RAND", "OPT", "APPROX-V",
 // "APPROX") to a solver. APPROX takes ε = 0.1.
 func SolverByName(name string) (Solver, error) {
-	switch name {
-	case "DP":
-		return DP{}, nil
-	case "OPT":
-		return Exhaustive{}, nil
-	case "GREEDY":
-		return GreedyDensity{}, nil
-	case "S-GREEDY":
-		return GreedyMarginal{}, nil
-	case "ACCEPT-ALL":
-		return AcceptAll{}, nil
-	case "REJECT-ALL":
-		return RejectAll{}, nil
-	case "RAND":
-		return RandomAdmission{Seed: 1}, nil
-	case "APPROX":
-		return ApproxDP{Eps: 0.1}, nil
-	case "ROUNDING":
-		return Rounding{}, nil
-	case "APPROX-V":
-		return ApproxDPPenalty{Eps: 0.1}, nil
-	default:
-		return nil, fmt.Errorf("dvsreject: unknown solver %q", name)
-	}
+	return core.NewSolver(name, core.SolverSpec{})
+}
+
+// SolverByNameSpec is SolverByName with the construction knobs exposed —
+// notably Workers, which bounds the parallel fan-out of the searching
+// solvers (OPT, RAND).
+func SolverByNameSpec(name string, spec SolverSpec) (Solver, error) {
+	return core.NewSolver(name, spec)
 }

@@ -1,0 +1,227 @@
+// Package cache provides the keyed-cache primitives shared by the serving
+// layer (internal/serve) and the online simulator (internal/online): a
+// mutex-guarded LRU with hit/miss/eviction counters, a sharded string-keyed
+// variant for concurrent workloads, and a context-aware singleflight group
+// that collapses concurrent identical computations into one.
+//
+// All caches here memoize pure functions (a solver or YDS plan is a
+// function of its canonical input), so entries never need invalidation: a
+// stale entry simply never matches again and eventually falls off the LRU
+// tail.
+package cache
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`      // lookups answered from the cache
+	Misses    uint64 `json:"misses"`    // lookups that found nothing
+	Evictions uint64 `json:"evictions"` // entries displaced by capacity pressure
+	Entries   int    `json:"entries"`   // live entries at snapshot time
+}
+
+// Add accumulates o into s, for aggregating per-shard snapshots.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+}
+
+// node is one LRU entry on the intrusive recency list.
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *node[K, V]
+}
+
+// LRU is a fixed-capacity least-recently-used cache. All methods are safe
+// for concurrent use; for highly contended workloads prefer Sharded, which
+// splits the key space over independent LRUs.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[K]*node[K, V]
+	// head is the most recently used entry, tail the eviction candidate.
+	head, tail *node[K, V]
+
+	hits, misses, evictions uint64
+}
+
+// NewLRU returns an empty cache holding at most capacity entries;
+// capacity < 1 is treated as 1.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*node[K, V], capacity),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(n)
+	return n.val, true
+}
+
+// Put inserts or replaces the value for key, evicting the least recently
+// used entry when the cache is full.
+func (c *LRU[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.entries[key]; ok {
+		n.val = val
+		c.moveToFront(n)
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		c.evict()
+	}
+	n := &node[K, V]{key: key, val: val}
+	c.entries[key] = n
+	c.pushFront(n)
+}
+
+// Len returns the number of live entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Clear drops every entry. Counters are preserved: Clear models emptying
+// the cache (e.g. for a cold benchmark pass), not forgetting its history.
+func (c *LRU[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+	c.head, c.tail = nil, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *LRU[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+}
+
+// moveToFront makes n the most recently used entry. Callers hold mu.
+func (c *LRU[K, V]) moveToFront(n *node[K, V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *LRU[K, V]) pushFront(n *node[K, V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LRU[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// evict removes the least recently used entry. Callers hold mu and have
+// checked the cache is non-empty.
+func (c *LRU[K, V]) evict() {
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.entries, victim.key)
+	c.evictions++
+}
+
+// Sharded splits a string-keyed LRU over independently locked shards so
+// concurrent readers and writers rarely contend. The shard of a key is a
+// fixed hash of its bytes, so lookups for one key always land on one shard.
+type Sharded[V any] struct {
+	shards []*LRU[string, V]
+	mask   uint64
+	seed   maphash.Seed
+}
+
+// NewSharded returns a sharded cache with shards rounded up to a power of
+// two (minimum 1) and entriesPerShard capacity in each shard.
+func NewSharded[V any](shards, entriesPerShard int) *Sharded[V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Sharded[V]{
+		shards: make([]*LRU[string, V], n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewLRU[string, V](entriesPerShard)
+	}
+	return s
+}
+
+// shard returns the LRU responsible for key.
+func (s *Sharded[V]) shard(key string) *LRU[string, V] {
+	return s.shards[maphash.String(s.seed, key)&s.mask]
+}
+
+// Get returns the cached value for key.
+func (s *Sharded[V]) Get(key string) (V, bool) { return s.shard(key).Get(key) }
+
+// Put inserts or replaces the value for key.
+func (s *Sharded[V]) Put(key string, val V) { s.shard(key).Put(key, val) }
+
+// Clear drops every entry in every shard.
+func (s *Sharded[V]) Clear() {
+	for _, sh := range s.shards {
+		sh.Clear()
+	}
+}
+
+// Len returns the total number of live entries across shards.
+func (s *Sharded[V]) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Stats returns the counters aggregated over all shards.
+func (s *Sharded[V]) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		st.Add(sh.Stats())
+	}
+	return st
+}

@@ -1,0 +1,262 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v, want 1, true", v, ok)
+	}
+	// a is now most recent; inserting c must evict b.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction, want LRU eviction of b")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a lost after eviction: %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c missing: %d, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 3 hits, 2 misses", st)
+	}
+}
+
+func TestLRUReplace(t *testing.T) {
+	c := NewLRU[int, string](2)
+	c.Put(1, "x")
+	c.Put(1, "y")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replacing one key, want 1", c.Len())
+	}
+	if v, _ := c.Get(1); v != "y" {
+		t.Fatalf("Get(1) = %q, want replaced value \"y\"", v)
+	}
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Errorf("replacement counted as eviction: %d", ev)
+	}
+}
+
+func TestLRUClear(t *testing.T) {
+	c := NewLRU[string, int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Clear, want 0", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived Clear")
+	}
+	// The list must be consistent after Clear: refilling past capacity
+	// exercises pushFront/evict on the reset list.
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprint(i), i)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d after refill, want capacity 4", c.Len())
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Fatalf("capacity-0 cache holds %d entries, want clamp to 1", c.Len())
+	}
+}
+
+func TestShardedBasic(t *testing.T) {
+	s := NewSharded[int](3, 8) // rounds up to 4 shards
+	if len(s.shards) != 4 {
+		t.Fatalf("shard count = %d, want power-of-two round-up 4", len(s.shards))
+	}
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprint(i), i)
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if v, ok := s.Get(fmt.Sprint(i)); ok {
+			if v != i {
+				t.Fatalf("Get(%d) = %d", i, v)
+			}
+			hits++
+		}
+	}
+	// 4 shards × 8 entries = 32 capacity: most lookups miss, survivors are
+	// exact.
+	if hits == 0 || hits > 32 {
+		t.Errorf("hits = %d, want 1..32 under capacity 32", hits)
+	}
+	st := s.Stats()
+	if st.Entries != s.Len() {
+		t.Errorf("Stats.Entries = %d, Len = %d", st.Entries, s.Len())
+	}
+	if st.Evictions != 100-uint64(s.Len()) {
+		t.Errorf("evictions = %d, want %d", st.Evictions, 100-s.Len())
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after Clear", s.Len())
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[int](8, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprint(i % 100)
+				s.Put(k, i)
+				if v, ok := s.Get(k); ok && v < 0 {
+					t.Error("impossible value")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > 100 {
+		t.Errorf("Len = %d, want ≤ 100 distinct keys", s.Len())
+	}
+}
+
+func TestGroupCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[int]
+	var runs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 8
+	results := make([]int, waiters)
+	shared := make([]bool, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, sh := g.Do(context.Background(), "k", func() (int, error) {
+				close(started)
+				runs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shared[i] = v, sh
+		}(i)
+		if i == 0 {
+			<-started // ensure the leader is in flight before followers join
+		}
+	}
+	// Give the followers time to reach Do and join the in-flight call; a
+	// follower scheduled only after the leader finished would (correctly)
+	// start a fresh computation and break the exactly-once assertion.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers, want 1", n, waiters)
+	}
+	sharedCount := 0
+	for i := range results {
+		if results[i] != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, results[i])
+		}
+		if shared[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != waiters-1 {
+		t.Errorf("%d callers reported shared, want %d followers", sharedCount, waiters-1)
+	}
+}
+
+func TestGroupSequentialCallsRunSeparately(t *testing.T) {
+	var g Group[int]
+	runs := 0
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do(context.Background(), "k", func() (int, error) {
+			runs++
+			return runs, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+		if v != i+1 {
+			t.Fatalf("call %d returned %d, want fresh run %d", i, v, i+1)
+		}
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	var g Group[int]
+	want := errors.New("boom")
+	_, err, _ := g.Do(context.Background(), "k", func() (int, error) { return 0, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestGroupContextCancellation(t *testing.T) {
+	var g Group[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err, _ := g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		if err != nil || v != 7 {
+			t.Errorf("leader got %d, %v", v, err)
+		}
+	}()
+	<-started // the blocking call must own the key before the follower joins
+
+	// A follower with an already-expired context must not block.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	deadline := time.After(5 * time.Second)
+	got := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func() (int, error) { return 0, nil })
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-deadline:
+		t.Fatal("cancelled follower blocked")
+	}
+
+	close(release)
+	<-leaderDone
+}

@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight computation waiters rendezvous on.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Group collapses concurrent computations for the same key into a single
+// execution: the first caller becomes the leader and runs fn, later callers
+// for the same key wait for the leader's result instead of recomputing it.
+// A stampede of identical requests therefore costs one computation.
+//
+// The computation runs on its own goroutine and is never abandoned:
+// cancelling a waiter's context releases only that waiter (it gets
+// ctx.Err()), while fn runs to completion so its result can still populate
+// caches. The zero Group is ready to use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+// Do returns the result of fn for key, sharing one execution among all
+// concurrent callers with the same key. shared reports whether this caller
+// joined an execution started by another (false for the leader). When ctx
+// is cancelled before the result is ready, Do returns ctx.Err() but the
+// computation keeps running for the remaining waiters.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err(), true
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	if g.calls == nil {
+		g.calls = make(map[string]*call[V])
+	}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		c.val, c.err = fn()
+		// Deregister before publishing: a caller arriving after close(done)
+		// must start a fresh computation, never join a finished one.
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, c.err, false
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err(), false
+	}
+}

@@ -85,9 +85,25 @@ func (c *evalCtx) release() { ctxPool.Put(c) }
 // init validates the instance and (re)builds the context in place, reusing
 // the items backing array and the id→index map across pool generations.
 // Every field is assigned unconditionally, so a recycled context is
-// indistinguishable from a fresh one.
+// indistinguishable from a fresh one. When the instance carries a matching
+// ProcProfile, the processor re-validation and the processor-level
+// derivation are taken from the profile; both paths assign bit-identical
+// values.
 func (c *evalCtx) init(in Instance) error {
-	if err := in.Validate(); err != nil {
+	pp := in.procProfile
+	if pp != nil && !pp.matches(in.Proc) {
+		pp = nil
+	}
+	if err := in.Tasks.Validate(); err != nil {
+		return err
+	}
+	if pp == nil {
+		if err := in.Proc.Validate(); err != nil {
+			return err
+		}
+	}
+	hetero := in.Heterogeneous()
+	if err := in.checkCombination(hetero); err != nil {
 		return err
 	}
 	m := in.Proc.Model
@@ -96,7 +112,13 @@ func (c *evalCtx) init(in Instance) error {
 	alpha := m.Alpha
 	for _, t := range in.Tasks.Tasks {
 		it := item{id: t.ID, c: t.Cycles, v: t.Penalty}
-		it.ce = float64(t.Cycles) * math.Pow(t.PowerCoeff(), 1/alpha)
+		// math.Pow(1, y) is exactly 1 and x·1 is exactly x, so homogeneous
+		// tasks skip the Pow call without changing a single bit.
+		if pc := t.PowerCoeff(); pc == 1 {
+			it.ce = float64(t.Cycles)
+		} else {
+			it.ce = float64(t.Cycles) * math.Pow(pc, 1/alpha)
+		}
 		items = append(items, it)
 	}
 	if c.idx == nil {
@@ -111,15 +133,26 @@ func (c *evalCtx) init(in Instance) error {
 	c.in = in
 	c.items = items
 	c.deadline = in.Tasks.Deadline
-	c.capacity = in.Capacity()
-	c.hetero = in.Heterogeneous()
-	c.convex = in.convexEnergy()
-	c.fastEnergy = in.Proc.Levels == nil && !in.Proc.DormantEnable
-	c.smin = in.Proc.SMin
-	c.smax = in.Proc.SMax
-	c.pind = m.Static()
-	c.coeff = m.Coeff
-	c.alpha = m.Alpha
+	c.hetero = hetero
+	if pp != nil {
+		c.capacity = pp.maxSpeed * in.Tasks.Deadline // == in.Capacity()
+		c.convex = pp.convex
+		c.fastEnergy = pp.fastEnergy
+		c.smin = pp.smin
+		c.smax = pp.smax
+		c.pind = pp.pind
+		c.coeff = pp.coeff
+		c.alpha = pp.alpha
+	} else {
+		c.capacity = in.Capacity()
+		c.convex = in.convexEnergy()
+		c.fastEnergy = in.Proc.Levels == nil && !in.Proc.DormantEnable
+		c.smin = in.Proc.SMin
+		c.smax = in.Proc.SMax
+		c.pind = m.Static()
+		c.coeff = m.Coeff
+		c.alpha = m.Alpha
+	}
 	c.capSlack = c.capacity * (1 + 1e-9)
 	c.idleTotal = c.pind * c.deadline
 	c.hetDenom = math.Pow(c.deadline, c.alpha-1)

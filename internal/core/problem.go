@@ -33,6 +33,11 @@ import (
 type Instance struct {
 	Tasks task.Set
 	Proc  speed.Proc
+
+	// procProfile, when non-nil and matching Proc, lets the evaluation
+	// context reuse the precomputed processor-level derivation. Attached
+	// via WithProcProfile; never affects results.
+	procProfile *ProcProfile
 }
 
 // ErrHeterogeneous is returned by solvers that require homogeneous power
@@ -50,13 +55,22 @@ func (in Instance) Validate() error {
 	if err := in.Proc.Validate(); err != nil {
 		return err
 	}
-	if in.Heterogeneous() {
-		if in.Proc.Levels != nil {
-			return fmt.Errorf("core: heterogeneous power characteristics require a continuous-speed processor")
-		}
-		if in.Proc.Model.Static() != 0 || in.Proc.DormantEnable {
-			return fmt.Errorf("core: heterogeneous power characteristics require a leakage-free processor")
-		}
+	return in.checkCombination(in.Heterogeneous())
+}
+
+// checkCombination enforces the task-set/processor compatibility rules
+// given the precomputed heterogeneity flag. Shared by Validate and the
+// evaluation-context init (which computes the flag once for both the check
+// and the context).
+func (in Instance) checkCombination(hetero bool) error {
+	if !hetero {
+		return nil
+	}
+	if in.Proc.Levels != nil {
+		return fmt.Errorf("core: heterogeneous power characteristics require a continuous-speed processor")
+	}
+	if in.Proc.Model.Static() != 0 || in.Proc.DormantEnable {
+		return fmt.Errorf("core: heterogeneous power characteristics require a leakage-free processor")
 	}
 	return nil
 }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"slices"
+
+	"dvsreject/internal/speed"
+)
+
+// ProcProfile caches the processor-level part of building an evaluation
+// context: the validation of the processor description and the derived
+// constants (capacity speed, closed-form energy coefficients, convexity and
+// fast-energy flags) that depend only on the processor, never on the task
+// set. Batch callers solving many instances on one processor — the serving
+// layer's Solve([]Request) groups requests exactly this way — build one
+// profile per distinct processor and attach it to each Instance with
+// WithProcProfile, so every per-request context init skips the repeated
+// processor re-validation and re-derivation and pays only the per-task
+// work.
+//
+// Exactness contract: a profile changes nothing observable. Every cached
+// value is the same float the per-solve derivation computes (capacity is
+// MaxSpeed()·D with the identical multiplication), and a profile that does
+// not match the instance's processor is ignored, falling back to the full
+// derivation. Profiles are immutable after construction and safe for
+// concurrent use.
+type ProcProfile struct {
+	proc       speed.Proc // snapshot the profile was built from (Levels cloned)
+	maxSpeed   float64
+	convex     bool
+	fastEnergy bool
+	smin, smax float64
+	pind       float64
+	coeff      float64
+	alpha      float64
+}
+
+// NewProcProfile validates p and precomputes its evaluation constants.
+func NewProcProfile(p speed.Proc) (*ProcProfile, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p.Levels = slices.Clone(p.Levels)
+	m := p.Model
+	return &ProcProfile{
+		proc:       p,
+		maxSpeed:   p.MaxSpeed(),
+		convex:     p.Levels == nil && m.Static() == 0 && !p.DormantEnable,
+		fastEnergy: p.Levels == nil && !p.DormantEnable,
+		smin:       p.SMin,
+		smax:       p.SMax,
+		pind:       m.Static(),
+		coeff:      m.Coeff,
+		alpha:      m.Alpha,
+	}, nil
+}
+
+// matches reports whether the profile was built from exactly this processor
+// description. Float fields compare with ==, so any bit-level difference
+// (which could change solver arithmetic) rejects the profile.
+func (pp *ProcProfile) matches(p speed.Proc) bool {
+	return pp.proc.Model == p.Model &&
+		pp.proc.SMin == p.SMin && pp.proc.SMax == p.SMax &&
+		pp.proc.DormantEnable == p.DormantEnable && pp.proc.Esw == p.Esw &&
+		slices.Equal(pp.proc.Levels, p.Levels)
+}
+
+// WithProcProfile returns the instance carrying pp, so solvers reuse the
+// profile's processor-level derivation instead of recomputing it. A profile
+// built from a different processor than in.Proc is ignored (never wrong,
+// just not faster). The zero-profile instance behaves exactly as before.
+func (in Instance) WithProcProfile(pp *ProcProfile) Instance {
+	in.procProfile = pp
+	return in
+}

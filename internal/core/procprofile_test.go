@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// solutionsBitEqual compares two solutions field by field, floats by their
+// bit patterns: the profile hook promises observationally identical solves,
+// not merely numerically close ones.
+func solutionsBitEqual(a, b Solution) bool {
+	intsEq := func(x, y []int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	floatsEq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	bits := math.Float64bits
+	return intsEq(a.Accepted, b.Accepted) && intsEq(a.Rejected, b.Rejected) &&
+		floatsEq(a.PerTaskSpeeds, b.PerTaskSpeeds) &&
+		bits(a.Energy) == bits(b.Energy) && bits(a.Penalty) == bits(b.Penalty) &&
+		bits(a.Cost) == bits(b.Cost) &&
+		a.Assignment == b.Assignment
+}
+
+// TestProcProfileBitIdentity solves the same instances with and without an
+// attached ProcProfile across every processor flavour and solver family;
+// the results must match bit for bit.
+func TestProcProfileBitIdentity(t *testing.T) {
+	for name, proc := range testProcs {
+		t.Run(name, func(t *testing.T) {
+			pp, err := NewProcProfile(proc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solvers := []Solver{DP{}, Exhaustive{Workers: 1}, GreedyDensity{}, GreedyMarginal{}, ApproxDP{Eps: 0.2}}
+			for seed := int64(0); seed < 6; seed++ {
+				in := randomInstance(t, seed, 10, 0.8+0.3*float64(seed), proc, gen.PenaltyModel(seed%3))
+				pin := in.WithProcProfile(pp)
+				for _, s := range solvers {
+					plain, errPlain := s.Solve(in)
+					prof, errProf := s.Solve(pin)
+					if (errPlain == nil) != (errProf == nil) {
+						t.Fatalf("seed %d %s: error divergence: %v vs %v", seed, s.Name(), errPlain, errProf)
+					}
+					if errPlain != nil {
+						continue
+					}
+					if !solutionsBitEqual(plain, prof) {
+						t.Errorf("seed %d %s: profile solve diverged:\nplain %+v\nprof  %+v",
+							seed, s.Name(), plain, prof)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProcProfileMismatchIgnored attaches a profile built from a different
+// processor; the solve must fall back to the full derivation and still be
+// identical to the plain solve.
+func TestProcProfileMismatchIgnored(t *testing.T) {
+	procA := speed.Proc{Model: power.Cubic(), SMax: 1}
+	procB := speed.Proc{Model: power.XScale(), SMax: 1}
+	ppB, err := NewProcProfile(procB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomInstance(t, 3, 12, 1.5, procA, gen.PenaltyUniform)
+	plain, err := DP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := DP{}.Solve(in.WithProcProfile(ppB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solutionsBitEqual(plain, mis) {
+		t.Errorf("mismatched profile changed the solve:\nplain %+v\nmis   %+v", plain, mis)
+	}
+}
+
+// TestProcProfileRejectsInvalidProc mirrors speed.Proc.Validate.
+func TestProcProfileRejectsInvalidProc(t *testing.T) {
+	if _, err := NewProcProfile(speed.Proc{Model: power.Cubic(), SMax: -1}); err == nil {
+		t.Fatal("NewProcProfile accepted an invalid processor")
+	}
+}
+
+// TestProcProfileStillValidatesTasks ensures the profile path keeps the
+// per-solve task-set validation.
+func TestProcProfileStillValidatesTasks(t *testing.T) {
+	proc := speed.Proc{Model: power.Cubic(), SMax: 1}
+	pp, err := NewProcProfile(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{
+		Tasks: task.Set{Deadline: 200, Tasks: []task.Task{
+			{ID: 1, Cycles: 10, Penalty: 1},
+			{ID: 1, Cycles: 20, Penalty: 2}, // duplicate ID
+		}},
+		Proc: proc,
+	}.WithProcProfile(pp)
+	if _, err := (DP{}).Solve(in); err == nil {
+		t.Fatal("duplicate task IDs passed validation under a profile")
+	}
+}

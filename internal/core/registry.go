@@ -1,0 +1,62 @@
+package core
+
+import "fmt"
+
+// SolverSpec parameterizes solver construction by experiment-table name.
+// The zero value reproduces the historical defaults of the package facade's
+// SolverByName: ε = 0.1, seed = 1, and the solver's own worker default
+// (GOMAXPROCS for the parallel searchers).
+type SolverSpec struct {
+	// Eps is the approximation accuracy knob for APPROX/APPROX-V;
+	// 0 means 0.1.
+	Eps float64
+	// Seed seeds the randomized baseline; 0 means 1.
+	Seed int64
+	// Workers bounds the parallel fan-out of the solvers that search
+	// concurrently (OPT's subtree pool, RAND's restart pool). 0 keeps the
+	// solver default (GOMAXPROCS); 1 forces serial search.
+	Workers int
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (sp SolverSpec) withDefaults() SolverSpec {
+	if sp.Eps == 0 {
+		sp.Eps = 0.1
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	return sp
+}
+
+// NewSolver resolves the experiment-table names ("DP", "OPT", "GREEDY",
+// "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL", "RAND", "APPROX",
+// "APPROX-V") to a solver configured by spec. It is the single registry the
+// package facade, the CLIs and the serving layer share.
+func NewSolver(name string, spec SolverSpec) (Solver, error) {
+	spec = spec.withDefaults()
+	switch name {
+	case "DP":
+		return DP{}, nil
+	case "OPT":
+		return Exhaustive{Workers: spec.Workers}, nil
+	case "GREEDY":
+		return GreedyDensity{}, nil
+	case "S-GREEDY":
+		return GreedyMarginal{}, nil
+	case "ACCEPT-ALL":
+		return AcceptAll{}, nil
+	case "REJECT-ALL":
+		return RejectAll{}, nil
+	case "RAND":
+		return RandomAdmission{Seed: spec.Seed, Workers: spec.Workers}, nil
+	case "APPROX":
+		return ApproxDP{Eps: spec.Eps}, nil
+	case "ROUNDING":
+		return Rounding{}, nil
+	case "APPROX-V":
+		return ApproxDPPenalty{Eps: spec.Eps}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown solver %q", name)
+	}
+}

@@ -17,12 +17,14 @@
 package online
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"runtime"
 	"slices"
 	"sort"
 
+	"dvsreject/internal/cache"
 	"dvsreject/internal/conc"
 	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/sched/yds"
@@ -67,50 +69,48 @@ type State struct {
 	plans *planCache
 }
 
-// planCache holds the most recent YDS plans keyed by their job list.
+// planCache holds the most recent YDS plans keyed by their job list. It is
+// a thin wrapper over the repository-wide cache.LRU: two entries suffice
+// because the simulator alternates between "pool" and "pool + candidate"
+// plans at each arrival. Keys are the exact bit patterns of the job list,
+// so a hit is only ever served for a bit-identical replan.
 type planCache struct {
-	entries [2]planEntry
-	next    int
+	lru *cache.LRU[string, yds.Schedule]
+	key []byte // encoding scratch, reused across plans
 }
 
-type planEntry struct {
-	jobs  []edf.Job
-	sched yds.Schedule
-	ok    bool
+func newPlanCache() *planCache {
+	return &planCache{lru: cache.NewLRU[string, yds.Schedule](2)}
 }
 
-func (pc *planCache) lookup(jobs []edf.Job) (yds.Schedule, bool) {
-	if pc == nil {
-		return yds.Schedule{}, false
+// appendJobKey encodes the job list into buf; 32 bytes per job, so the key
+// length disambiguates list lengths without explicit framing.
+func appendJobKey(buf []byte, jobs []edf.Job) []byte {
+	for _, j := range jobs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(j.TaskID))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(j.Release))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(j.Deadline))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(j.Cycles))
 	}
-	for i := range pc.entries {
-		e := &pc.entries[i]
-		if e.ok && slices.Equal(e.jobs, jobs) {
-			return e.sched, true
-		}
-	}
-	return yds.Schedule{}, false
-}
-
-func (pc *planCache) store(jobs []edf.Job, s yds.Schedule) {
-	if pc == nil {
-		return
-	}
-	pc.entries[pc.next] = planEntry{jobs: slices.Clone(jobs), sched: s, ok: true}
-	pc.next = (pc.next + 1) % len(pc.entries)
+	return buf
 }
 
 // plan returns the YDS schedule for the job list, from the cache when the
-// exact list was planned before.
+// exact list was planned before. A nil receiver computes without caching.
 func (pc *planCache) plan(jobs []edf.Job) (yds.Schedule, error) {
-	if s, ok := pc.lookup(jobs); ok {
+	if pc == nil {
+		return yds.Compute(jobs)
+	}
+	pc.key = appendJobKey(pc.key[:0], jobs)
+	k := string(pc.key)
+	if s, ok := pc.lru.Get(k); ok {
 		return s, nil
 	}
 	s, err := yds.Compute(jobs)
 	if err != nil {
 		return yds.Schedule{}, err
 	}
-	pc.store(jobs, s)
+	pc.lru.Put(k, s)
 	return s, nil
 }
 
@@ -245,7 +245,7 @@ func Simulate(jobs []Job, proc speed.Proc, pol Policy) (Result, error) {
 	// admitted, pool alone when rejected) has exactly the job list the next
 	// execute builds — same pool order, same Release = now — so the executor
 	// finds it by content instead of re-running YDS.
-	plans := &planCache{}
+	plans := newPlanCache()
 
 	advance := func(to float64) error {
 		e, misses, err := execute(&pool, proc, now, to, plans)

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"slices"
+
+	"dvsreject/internal/task"
+)
+
+// fingerprintVersion is folded into every digest so a future change to the
+// encoding can never alias keys produced by an older layout.
+const fingerprintVersion = 1
+
+// Fingerprint returns the canonical cache key of a request: a sha256 digest
+// over the solver name, the processor description and the task set with
+// tasks sorted by ID. Sorting makes the key order-insensitive, so permuted
+// task sets land in the same cache slot; the engine then verifies exact
+// equality (including order) before reusing a stored solution, because
+// float summation order is observable in the solved Penalty.
+//
+// quantum > 0 buckets every float to the nearest multiple before hashing —
+// near-identical instances then share a slot and the exact-match check
+// decides whether the stored solution may be served. quantum = 0 hashes
+// exact bit patterns.
+//
+// The digest is returned as a raw 32-byte string usable as a map key.
+func Fingerprint(req Request, quantum float64) string {
+	// One exact-size allocation: the encoding is fixed-width per field
+	// (8 bytes per float/int, 1 byte per bool), so the length is known up
+	// front. This is the hot path of every cache hit.
+	size := 8 + 8 + len(req.Solver) + // version, solver
+		7*8 + 1 + 8*len(req.Proc.Levels) + // processor
+		8 + 8 + 32*len(req.Tasks.Tasks) // deadline, count, tasks
+	buf := make([]byte, 0, size)
+
+	buf = binary.LittleEndian.AppendUint64(buf, fingerprintVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(req.Solver)))
+	buf = append(buf, req.Solver...)
+
+	buf = appendProc(buf, req, quantum)
+
+	buf = appendFloat(buf, req.Tasks.Deadline, quantum)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(req.Tasks.Tasks)))
+	for _, t := range sortedTasks(req.Tasks.Tasks) {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Cycles))
+		buf = appendFloat(buf, t.Penalty, quantum)
+		buf = appendFloat(buf, t.Rho, quantum)
+	}
+
+	sum := sha256.Sum256(buf)
+	return string(sum[:])
+}
+
+// procKey is the exact-bits digest of the processor description alone. The
+// batch planner uses it to build one ProcProfile per distinct processor.
+func procKey(req Request) string {
+	var buf []byte
+	buf = appendProc(buf, req, 0)
+	sum := sha256.Sum256(buf)
+	return string(sum[:])
+}
+
+// appendProc encodes the processor description (model, speed range, levels,
+// dormant mode) into buf.
+func appendProc(buf []byte, req Request, quantum float64) []byte {
+	p := req.Proc
+	buf = appendFloat(buf, p.Model.Pind, quantum)
+	buf = appendFloat(buf, p.Model.Coeff, quantum)
+	buf = appendFloat(buf, p.Model.Alpha, quantum)
+	buf = appendFloat(buf, p.SMin, quantum)
+	buf = appendFloat(buf, p.SMax, quantum)
+	if p.DormantEnable {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendFloat(buf, p.Esw, quantum)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(p.Levels)))
+	for _, l := range p.Levels {
+		buf = appendFloat(buf, l, quantum)
+	}
+	return buf
+}
+
+// appendFloat encodes x's bit pattern, optionally bucketed to the nearest
+// multiple of quantum. Quantization only widens cache slots; the exact-match
+// verification keeps results bit-faithful.
+func appendFloat(buf []byte, x, quantum float64) []byte {
+	if quantum > 0 {
+		x = math.Round(x/quantum) * quantum
+	}
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+}
+
+// sortedTasks returns the tasks in ascending ID order (stable on duplicate
+// IDs, which validation later rejects anyway). The common already-sorted
+// case returns the input slice without copying.
+func sortedTasks(ts []task.Task) []task.Task {
+	sorted := true
+	for i := 1; i < len(ts); i++ {
+		if ts[i].ID < ts[i-1].ID {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return ts
+	}
+	c := slices.Clone(ts)
+	slices.SortStableFunc(c, func(a, b task.Task) int { return a.ID - b.ID })
+	return c
+}
+
+// requestsEqual reports bit-exact equality of two requests, including task
+// order. This is the gate between "same cache slot" and "may reuse the
+// stored solution": only a bit-identical input is guaranteed a bit-identical
+// output.
+func requestsEqual(a, b Request) bool {
+	bits := math.Float64bits
+	if a.Solver != b.Solver ||
+		bits(a.Tasks.Deadline) != bits(b.Tasks.Deadline) ||
+		len(a.Tasks.Tasks) != len(b.Tasks.Tasks) {
+		return false
+	}
+	for i, t := range a.Tasks.Tasks {
+		u := b.Tasks.Tasks[i]
+		if t.ID != u.ID || t.Cycles != u.Cycles ||
+			bits(t.Penalty) != bits(u.Penalty) || bits(t.Rho) != bits(u.Rho) {
+			return false
+		}
+	}
+	p, q := a.Proc, b.Proc
+	if bits(p.Model.Pind) != bits(q.Model.Pind) ||
+		bits(p.Model.Coeff) != bits(q.Model.Coeff) ||
+		bits(p.Model.Alpha) != bits(q.Model.Alpha) ||
+		bits(p.SMin) != bits(q.SMin) || bits(p.SMax) != bits(q.SMax) ||
+		p.DormantEnable != q.DormantEnable || bits(p.Esw) != bits(q.Esw) ||
+		len(p.Levels) != len(q.Levels) {
+		return false
+	}
+	for i := range p.Levels {
+		if bits(p.Levels[i]) != bits(q.Levels[i]) {
+			return false
+		}
+	}
+	return true
+}

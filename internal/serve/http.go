@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// maxBodyBytes bounds a request body; a 100k-task instance is ~5 MB.
+const maxBodyBytes = 16 << 20
+
+// WireTask is one task on the wire, mirroring the CLI instance format.
+type WireTask struct {
+	ID      int     `json:"id"`
+	Cycles  int64   `json:"cycles"`
+	Penalty float64 `json:"penalty"`
+	Rho     float64 `json:"rho,omitempty"`
+}
+
+// WireRequest is one solve request on the wire. Model defaults to "cubic";
+// esw omitted (or null) leaves the dormant mode disabled, matching the
+// CLI's esw < 0 convention.
+type WireRequest struct {
+	Solver    string     `json:"solver,omitempty"` // "" = daemon default
+	Model     string     `json:"model,omitempty"`  // cubic | xscale
+	Discrete  bool       `json:"discrete,omitempty"`
+	Esw       *float64   `json:"esw,omitempty"`
+	Deadline  float64    `json:"deadline"`
+	SMin      float64    `json:"smin,omitempty"`
+	SMax      float64    `json:"smax"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+	Tasks     []WireTask `json:"tasks"`
+}
+
+// WireResponse is one solve result on the wire.
+type WireResponse struct {
+	Accepted  []int   `json:"accepted"`
+	Rejected  []int   `json:"rejected"`
+	Energy    float64 `json:"energy"`
+	Penalty   float64 `json:"penalty"`
+	Cost      float64 `json:"cost"`
+	CacheHit  bool    `json:"cache_hit,omitempty"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// WireBatch is the /batch request body.
+type WireBatch struct {
+	Requests []WireRequest `json:"requests"`
+}
+
+// WireBatchResponse is the /batch response body.
+type WireBatchResponse struct {
+	Responses []WireResponse `json:"responses"`
+}
+
+// ToRequest converts the wire form to an engine request.
+func (w WireRequest) ToRequest() (Request, error) {
+	esw := -1.0
+	if w.Esw != nil {
+		esw = *w.Esw
+	}
+	var proc speed.Proc
+	switch w.Model {
+	case "", "cubic":
+		if w.Discrete {
+			return Request{}, fmt.Errorf(`"discrete" requires "model": "xscale"`)
+		}
+		proc = speed.Proc{Model: power.Cubic(), SMin: w.SMin, SMax: w.SMax}
+		if esw >= 0 {
+			proc.DormantEnable = true
+			proc.Esw = esw
+		}
+	case "xscale":
+		proc = speed.Proc{Model: power.XScale(), SMax: 1}
+		if w.Discrete {
+			proc.Levels = power.XScaleLevels()
+		} else {
+			proc.SMin = w.SMin
+			proc.SMax = w.SMax
+		}
+		if esw >= 0 {
+			proc.DormantEnable = true
+			proc.Esw = esw
+		}
+	default:
+		return Request{}, fmt.Errorf("unknown power model %q", w.Model)
+	}
+	set := task.Set{Deadline: w.Deadline, Tasks: make([]task.Task, 0, len(w.Tasks))}
+	for _, t := range w.Tasks {
+		set.Tasks = append(set.Tasks, task.Task{ID: t.ID, Cycles: t.Cycles, Penalty: t.Penalty, Rho: t.Rho})
+	}
+	return Request{
+		Tasks:   set,
+		Proc:    proc,
+		Solver:  w.Solver,
+		Timeout: time.Duration(w.TimeoutMS) * time.Millisecond,
+	}, nil
+}
+
+// toWire flattens an engine response for the wire.
+func toWire(r Response) WireResponse {
+	if r.Err != nil {
+		return WireResponse{Error: r.Err.Error()}
+	}
+	w := WireResponse{
+		Accepted:  r.Solution.Accepted,
+		Rejected:  r.Solution.Rejected,
+		Energy:    r.Solution.Energy,
+		Penalty:   r.Solution.Penalty,
+		Cost:      r.Solution.Cost,
+		CacheHit:  r.CacheHit,
+		Coalesced: r.Coalesced,
+	}
+	if w.Accepted == nil {
+		w.Accepted = []int{}
+	}
+	if w.Rejected == nil {
+		w.Rejected = []int{}
+	}
+	return w
+}
+
+// NewHandler wires the engine's HTTP surface:
+//
+//	POST /solve   one WireRequest  → WireResponse
+//	POST /batch   WireBatch        → WireBatchResponse (positional)
+//	GET  /stats   engine counters
+//	GET  /healthz liveness probe
+//
+// /solve distinguishes client errors (400), solver/timeout errors (422/504)
+// and success (200). /batch returns 200 with per-item errors inline.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
+		var wreq WireRequest
+		if err := decodeBody(w, r, &wreq); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req, err := wreq.ToRequest()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := e.Solve(r.Context(), req)
+		writeJSON(w, solveStatus(resp.Err), toWire(resp))
+	})
+
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var batch WireBatch
+		if err := decodeBody(w, r, &batch); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out := WireBatchResponse{Responses: make([]WireResponse, len(batch.Requests))}
+		reqs := make([]Request, 0, len(batch.Requests))
+		idx := make([]int, 0, len(batch.Requests))
+		for i, wreq := range batch.Requests {
+			req, err := wreq.ToRequest()
+			if err != nil {
+				out.Responses[i] = WireResponse{Error: err.Error()}
+				continue
+			}
+			reqs = append(reqs, req)
+			idx = append(idx, i)
+		}
+		for j, resp := range e.SolveBatch(r.Context(), reqs) {
+			out.Responses[idx[j]] = toWire(resp)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}
+
+// solveStatus maps a solve outcome to an HTTP status: deadline/cancel →
+// 504, solver rejection (invalid instance, unknown solver) → 422, success
+// → 200.
+func solveStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, WireResponse{Error: err.Error()})
+}

@@ -1,0 +1,320 @@
+// Package serve is the batched, cache-fronted solve engine behind the
+// rejectschedd daemon. It fronts the internal/core solvers with
+//
+//   - a sharded LRU plan cache keyed by a canonical instance fingerprint
+//     (tasks sorted by ID, floats optionally quantized, solver and
+//     processor folded in);
+//   - singleflight collapsing of concurrent identical solves, so a
+//     thundering herd of the same instance costs one solver run;
+//   - a batch API that groups same-processor requests behind one shared
+//     core.ProcProfile and fans distinct instances across a bounded
+//     worker pool.
+//
+// The engine never changes results: a cached or coalesced response is
+// served only after verifying the stored request is bit-identical to the
+// incoming one (including task order — float summation order is observable
+// in Penalty). Anything else bypasses the cache and solves directly.
+package serve
+
+import (
+	"context"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"dvsreject/internal/cache"
+	"dvsreject/internal/conc"
+	"dvsreject/internal/core"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// Config parameterizes an Engine. The zero value is usable: 16 shards of
+// 256 entries, exact-bits fingerprints, GOMAXPROCS batch workers, DP as the
+// default solver.
+type Config struct {
+	// Shards is the plan-cache shard count, rounded up to a power of two.
+	// 0 means 16.
+	Shards int
+	// EntriesPerShard bounds each shard's LRU. 0 means 256.
+	EntriesPerShard int
+	// Workers bounds the batch fan-out. 0 means GOMAXPROCS.
+	Workers int
+	// Quantum buckets fingerprint floats to its nearest multiple, letting
+	// near-identical instances share a cache slot. 0 hashes exact bits.
+	// Results are never affected; only slot sharing is.
+	Quantum float64
+	// DefaultSolver resolves requests with an empty Solver field.
+	// "" means "DP".
+	DefaultSolver string
+	// Spec configures solver construction (ε, seed, per-solver workers).
+	Spec core.SolverSpec
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.EntriesPerShard <= 0 {
+		c.EntriesPerShard = 256
+	}
+	if c.DefaultSolver == "" {
+		c.DefaultSolver = "DP"
+	}
+	return c
+}
+
+// Request is one solve: an instance plus the solver name and an optional
+// per-request deadline. Timeout does not participate in caching — it bounds
+// this call, not the solution.
+type Request struct {
+	Tasks  task.Set
+	Proc   speed.Proc
+	Solver string // experiment-table name; "" = engine default
+	// Timeout, when > 0, bounds this request even inside a batch.
+	Timeout time.Duration
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	Solution core.Solution
+	Err      error
+	// CacheHit marks a response served from the plan cache.
+	CacheHit bool
+	// Coalesced marks a response shared with a concurrent or same-batch
+	// identical request (singleflight or batch dedup).
+	Coalesced bool
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Requests counts every request seen by Solve and SolveBatch.
+	Requests uint64 `json:"requests"`
+	// Coalesced counts responses shared via singleflight or batch dedup.
+	Coalesced uint64 `json:"coalesced"`
+	// Bypasses counts requests that landed in an occupied cache slot but
+	// failed the bit-exact verification (permuted tasks, quantum
+	// collisions) and were solved directly.
+	Bypasses uint64 `json:"bypasses"`
+	// Cache aggregates the plan-cache shard counters.
+	Cache cache.Stats `json:"cache"`
+}
+
+// entry is one cached plan: the solution plus a private snapshot of the
+// exact request that produced it, for bit-exact hit verification.
+type entry struct {
+	req Request
+	sol core.Solution
+}
+
+// Engine is the cache-fronted solve engine. Safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	cache *cache.Sharded[entry]
+	group cache.Group[entry]
+
+	requests  atomic.Uint64
+	coalesced atomic.Uint64
+	bypasses  atomic.Uint64
+}
+
+// New builds an engine from cfg (zero value fine, see Config).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:   cfg,
+		cache: cache.NewSharded[entry](cfg.Shards, cfg.EntriesPerShard),
+	}
+}
+
+// Solve answers one request, consulting the plan cache and collapsing
+// concurrent identical solves. The response is always bit-identical to a
+// direct solver run on the same request.
+func (e *Engine) Solve(ctx context.Context, req Request) Response {
+	e.requests.Add(1)
+	if req.Solver == "" {
+		req.Solver = e.cfg.DefaultSolver
+	}
+	return e.solveOne(ctx, req, nil, Fingerprint(req, e.cfg.Quantum))
+}
+
+// SolveBatch answers a batch of requests. Identical requests within the
+// batch are solved once and shared (marked Coalesced); distinct instances
+// fan out across the engine's worker pool; requests sharing a processor
+// share one precomputed core.ProcProfile. Responses are positionally
+// aligned with reqs and each is bit-identical to a direct solve.
+func (e *Engine) SolveBatch(ctx context.Context, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	e.requests.Add(uint64(len(reqs)))
+
+	creqs := slices.Clone(reqs)
+	for i := range creqs {
+		if creqs[i].Solver == "" {
+			creqs[i].Solver = e.cfg.DefaultSolver
+		}
+	}
+
+	// One ProcProfile per distinct processor: same-processor requests
+	// share the validated, precomputed processor derivation. An invalid
+	// processor yields a nil profile and the solver reports the error.
+	profiles := make(map[string]*core.ProcProfile)
+	ppOf := make([]*core.ProcProfile, len(creqs))
+	for i, r := range creqs {
+		pk := procKey(r)
+		pp, ok := profiles[pk]
+		if !ok {
+			pp, _ = core.NewProcProfile(r.Proc)
+			profiles[pk] = pp
+		}
+		ppOf[i] = pp
+	}
+
+	// Dedup bit-identical requests: the first occurrence leads, the rest
+	// share its response. Fingerprint slots may collide (permutations,
+	// quantization), so each slot keeps a list of distinct leaders.
+	type dupGroup struct {
+		leader int
+		dups   []int
+	}
+	bySlot := make(map[string][]*dupGroup)
+	fps := make([]string, len(creqs))
+	var leaders []int
+next:
+	for i, r := range creqs {
+		fp := Fingerprint(r, e.cfg.Quantum)
+		fps[i] = fp
+		for _, g := range bySlot[fp] {
+			if requestsEqual(creqs[g.leader], r) {
+				g.dups = append(g.dups, i)
+				continue next
+			}
+		}
+		g := &dupGroup{leader: i}
+		bySlot[fp] = append(bySlot[fp], g)
+		leaders = append(leaders, i)
+	}
+
+	conc.ForEach(len(leaders), e.cfg.Workers, func(j int) (struct{}, error) {
+		i := leaders[j]
+		out[i] = e.solveOne(ctx, creqs[i], ppOf[i], fps[i])
+		return struct{}{}, nil
+	})
+
+	for _, groups := range bySlot {
+		for _, g := range groups {
+			lead := out[g.leader]
+			for _, i := range g.dups {
+				r := lead
+				r.Solution = cloneSolution(r.Solution)
+				if r.Err == nil {
+					r.Coalesced = true
+				}
+				out[i] = r
+			}
+			if len(g.dups) > 0 && lead.Err == nil {
+				e.coalesced.Add(uint64(len(g.dups)))
+			}
+		}
+	}
+	return out
+}
+
+// solveOne is the shared single-request path: per-request deadline, cache
+// lookup with bit-exact verification, singleflight, direct-solve bypass.
+func (e *Engine) solveOne(ctx context.Context, req Request, pp *core.ProcProfile, fp string) Response {
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{Err: err}
+	}
+
+	if ent, ok := e.cache.Get(fp); ok {
+		if requestsEqual(ent.req, req) {
+			return Response{Solution: cloneSolution(ent.sol), CacheHit: true}
+		}
+		// Slot collision: same fingerprint, different bits. Solve
+		// directly — storing would evict the slot's owner on every
+		// alternation, and correctness forbids serving its solution.
+		e.bypasses.Add(1)
+		sol, err := e.run(req, pp)
+		return Response{Solution: sol, Err: err}
+	}
+
+	ent, err, shared := e.group.Do(ctx, fp, func() (entry, error) {
+		creq := cloneRequest(req)
+		sol, solveErr := e.run(creq, pp)
+		if solveErr != nil {
+			return entry{}, solveErr
+		}
+		ent := entry{req: creq, sol: sol}
+		e.cache.Put(fp, ent)
+		return ent, nil
+	})
+	if err != nil {
+		return Response{Err: err}
+	}
+	if shared && !requestsEqual(ent.req, req) {
+		// Joined a flight for a colliding request: its solution is not
+		// ours. Solve directly.
+		e.bypasses.Add(1)
+		sol, err := e.run(req, pp)
+		return Response{Solution: sol, Err: err}
+	}
+	if shared {
+		e.coalesced.Add(1)
+	}
+	return Response{Solution: cloneSolution(ent.sol), Coalesced: shared}
+}
+
+// run resolves the solver and executes it, attaching the precomputed
+// processor profile when one is available.
+func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, error) {
+	solver, err := core.NewSolver(req.Solver, e.cfg.Spec)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	in := core.Instance{Tasks: req.Tasks, Proc: req.Proc}
+	if pp != nil {
+		in = in.WithProcProfile(pp)
+	}
+	return solver.Solve(in)
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:  e.requests.Load(),
+		Coalesced: e.coalesced.Load(),
+		Bypasses:  e.bypasses.Load(),
+		Cache:     e.cache.Stats(),
+	}
+}
+
+// Reset empties the plan cache (counters are preserved). Benchmarks use it
+// to measure cold solves.
+func (e *Engine) Reset() {
+	e.cache.Clear()
+}
+
+// cloneRequest deep-copies the request's slices so cache entries never
+// alias caller memory.
+func cloneRequest(req Request) Request {
+	req.Tasks.Tasks = slices.Clone(req.Tasks.Tasks)
+	req.Proc.Levels = slices.Clone(req.Proc.Levels)
+	return req
+}
+
+// cloneSolution deep-copies the solution's slices so callers may mutate
+// their response without corrupting the cache.
+func cloneSolution(s core.Solution) core.Solution {
+	s.Accepted = slices.Clone(s.Accepted)
+	s.Rejected = slices.Clone(s.Rejected)
+	s.PerTaskSpeeds = slices.Clone(s.PerTaskSpeeds)
+	return s
+}
