@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-json serve-smoke fuzz experiments examples clean
+.PHONY: all build vet test test-short cover bench bench-json bench-diff serve-smoke fuzz experiments examples clean
 
 all: build vet test
 
@@ -26,6 +26,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bench -o BENCH_core.json
 	$(GO) run ./cmd/loadgen -duration 5s -conns 4 -o BENCH_serve.json
+
+# Re-measure and diff against the committed baseline; fails on any case
+# more than 15% slower (tune with e.g. BENCH_DIFF_FLAGS="-max-regress 25").
+bench-diff:
+	$(GO) run ./cmd/bench -compare BENCH_core.json -o /tmp/bench-new.json $(BENCH_DIFF_FLAGS)
 
 serve-smoke:
 	$(GO) run ./cmd/loadgen -duration 2s -conns 4 -check

@@ -8,6 +8,17 @@
 //	go run ./cmd/bench -o BENCH_core.json            # or: make bench-json
 //	go run ./cmd/bench -benchtime 5s -o after.json   # longer, steadier runs
 //
+// Regression gating compares the fresh run against a committed baseline,
+// printing per-case ns/op deltas and exiting non-zero when any case slows
+// down beyond the threshold (15% by default):
+//
+//	go run ./cmd/bench -compare BENCH_core.json -o new.json   # or: make bench-diff
+//	go run ./cmd/bench -compare old.json -max-regress 25
+//
+// Profiling a run (the output feeds `go tool pprof`):
+//
+//	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
+//
 // For statistically rigorous comparisons, run the regular `go test -bench`
 // twice and feed the outputs to benchstat; this harness trades confidence
 // intervals for a stable machine-readable snapshot.
@@ -21,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -111,14 +123,79 @@ func dormantWorkload(n int) ([]edf.Job, float64, speed.Proc, error) {
 // serveErr unwraps a serve response into the error the harness checks.
 func serveErr(r serve.Response) error { return r.Err }
 
+// compareReports prints per-case ns/op deltas of fresh against the baseline
+// report at path and returns the names of cases whose slowdown exceeds
+// maxRegress percent. Cases present on only one side are reported but never
+// gate (a new benchmark has no baseline to regress against).
+func compareReports(path string, fresh report, maxRegress float64) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	key := func(r result) string {
+		if r.M > 0 {
+			return fmt.Sprintf("%s/n=%d/M=%d", r.Name, r.N, r.M)
+		}
+		return fmt.Sprintf("%s/n=%d", r.Name, r.N)
+	}
+	old := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		old[key(r)] = r
+	}
+
+	var regressed []string
+	fmt.Printf("\n%-42s %14s %14s %9s\n", "benchmark (vs "+path+")", "old ns/op", "new ns/op", "delta")
+	for _, r := range fresh.Results {
+		k := key(r)
+		b, ok := old[k]
+		if !ok {
+			fmt.Printf("%-42s %14s %14.0f %9s\n", k, "-", r.NsPerOp, "new")
+			continue
+		}
+		delete(old, k)
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSION"
+			regressed = append(regressed, k)
+		}
+		fmt.Printf("%-42s %14.0f %14.0f %+8.1f%%%s\n", k, b.NsPerOp, r.NsPerOp, delta, mark)
+	}
+	for k := range old {
+		fmt.Printf("%-42s %14s %14s %9s\n", k, "-", "-", "removed")
+	}
+	return regressed, nil
+}
+
 func main() {
 	testing.Init()
 	out := flag.String("o", "BENCH_core.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "1s", "minimum measuring time per benchmark (forwarded to the testing package)")
+	compare := flag.String("compare", "", "baseline JSON report to diff against; exit non-zero on regressions")
+	maxRegress := flag.Float64("max-regress", 15, "with -compare, the ns/op slowdown percentage that fails the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the benchmark run to this file")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: bad -benchtime: %v\n", err)
 		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cases := []struct {
@@ -126,8 +203,8 @@ func main() {
 		sizes  []int
 		solver core.Solver
 	}{
-		{"SolverDP", []int{10, 100, 1000}, core.DP{}},
-		{"SolverApproxDP", []int{10, 100, 1000}, core.ApproxDP{Eps: 0.1}},
+		{"SolverDP", []int{10, 100, 1000, 10000, 100000}, core.DP{}},
+		{"SolverApproxDP", []int{10, 100, 1000, 10000, 100000}, core.ApproxDP{Eps: 0.1}},
 		{"SolverGreedyDensity", []int{10, 100, 1000, 10000}, core.GreedyDensity{}},
 		{"SolverGreedyMarginal", []int{10, 100, 1000}, core.GreedyMarginal{}},
 		{"SolverRounding", []int{10, 100, 1000}, core.Rounding{}},
@@ -137,27 +214,31 @@ func main() {
 		{"SolverRandomAdmissionParallel", []int{100, 1000}, core.RandomAdmission{Seed: 1, Restarts: 32}},
 	}
 
-	// benchCase is one measured operation; fn performs a single iteration.
-	// stats, when non-nil, snapshots the serve engine's cache counters
-	// after the measured run.
+	// benchCase is one measured operation. setup builds the case's
+	// workload and returns fn (a single iteration) plus an optional stats
+	// snapshot of the serve engine's cache counters. Construction is
+	// deferred to just before the measured run — and the workload dropped
+	// right after — so one case's live heap (an n=100000 instance, pooled
+	// scratch grown to match) never inflates the GC mark cost of the
+	// cases that follow.
 	type benchCase struct {
 		name  string
 		n, m  int
-		fn    func() error
-		stats func() cache.Stats
+		setup func() (fn func() error, stats func() cache.Stats, err error)
 	}
 	var benchCases []benchCase
 	for _, c := range cases {
 		for _, n := range c.sizes {
-			in, err := instance(n, 1.5)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bench: %s/n=%d: %v\n", c.name, n, err)
-				os.Exit(1)
-			}
 			solver := c.solver
 			benchCases = append(benchCases, benchCase{
 				name: c.name, n: n,
-				fn: func() error { _, err := solver.Solve(in); return err },
+				setup: func() (func() error, func() cache.Stats, error) {
+					in, err := instance(n, 1.5)
+					if err != nil {
+						return nil, nil, err
+					}
+					return func() error { _, err := solver.Solve(in); return err }, nil, nil
+				},
 			})
 		}
 	}
@@ -165,105 +246,117 @@ func main() {
 	// bench_test.go shapes (LTF-REJECT-LS at per-processor load 1.5, the
 	// E11 storm, the E14 light-load dormant comparison).
 	for _, m := range []int{2, 4, 8} {
-		in, err := multiprocInstance(64, m)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: MultiprocLTFRejectLS/M=%d: %v\n", m, err)
-			os.Exit(1)
-		}
 		benchCases = append(benchCases, benchCase{
 			name: "MultiprocLTFRejectLS", n: 64, m: m,
-			fn: func() error { _, err := (multiproc.LTFRejectLS{}).Solve(in); return err },
+			setup: func() (func() error, func() cache.Stats, error) {
+				in, err := multiprocInstance(64, m)
+				if err != nil {
+					return nil, nil, err
+				}
+				return func() error { _, err := (multiproc.LTFRejectLS{}).Solve(in); return err }, nil, nil
+			},
 		})
 	}
-	{
-		jobs := online.RandomStorm(rand.New(rand.NewSource(42)), online.StormConfig{N: 64, Load: 1.5})
-		proc := speed.Proc{Model: power.Cubic(), SMax: 1}
-		benchCases = append(benchCases, benchCase{
-			name: "OnlineSimulate", n: 64,
-			fn: func() error { _, err := online.Simulate(jobs, proc, online.MarginalCost{}); return err },
-		})
-	}
-	{
-		jobs, horizon, proc, err := dormantWorkload(64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: DormantCompare: %v\n", err)
-			os.Exit(1)
-		}
-		benchCases = append(benchCases, benchCase{
-			name: "DormantCompare", n: 64,
-			fn: func() error { _, _, err := dormant.Compare(jobs, 1, horizon, proc); return err },
-		})
-	}
+	benchCases = append(benchCases, benchCase{
+		name: "OnlineSimulate", n: 64,
+		setup: func() (func() error, func() cache.Stats, error) {
+			jobs := online.RandomStorm(rand.New(rand.NewSource(42)), online.StormConfig{N: 64, Load: 1.5})
+			proc := speed.Proc{Model: power.Cubic(), SMax: 1}
+			return func() error { _, err := online.Simulate(jobs, proc, online.MarginalCost{}); return err }, nil, nil
+		},
+	})
+	benchCases = append(benchCases, benchCase{
+		name: "DormantCompare", n: 64,
+		setup: func() (func() error, func() cache.Stats, error) {
+			jobs, horizon, proc, err := dormantWorkload(64)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func() error { _, _, err := dormant.Compare(jobs, 1, horizon, proc); return err }, nil, nil
+		},
+	})
 	// The serving layer (internal/serve): a cold solve (cache cleared
 	// every iteration), a warm cache hit, and a 64-request batch in the
 	// steady (warm) state — all on the DP n=100 instance the 50×
 	// hit-speedup criterion is stated against.
-	{
+	serveReq := func() (serve.Request, error) {
 		in, err := instance(100, 1.5)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: Serve: %v\n", err)
-			os.Exit(1)
+			return serve.Request{}, err
 		}
-		req := serve.Request{Tasks: in.Tasks, Proc: in.Proc, Solver: "DP"}
-		ctx := context.Background()
-
-		cold := serve.New(serve.Config{})
-		benchCases = append(benchCases, benchCase{
-			name: "ServeColdSolve", n: 100,
-			fn: func() error {
-				cold.Reset()
-				return serveErr(cold.Solve(ctx, req))
-			},
-			stats: func() cache.Stats { return cold.Stats().Cache },
-		})
-
-		warm := serve.New(serve.Config{})
-		if err := serveErr(warm.Solve(ctx, req)); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: ServeWarmHit prewarm: %v\n", err)
-			os.Exit(1)
-		}
-		benchCases = append(benchCases, benchCase{
-			name: "ServeWarmHit", n: 100,
-			fn: func() error {
-				r := warm.Solve(ctx, req)
-				if r.Err == nil && !r.CacheHit {
-					return fmt.Errorf("warm solve missed the cache")
-				}
-				return r.Err
-			},
-			stats: func() cache.Stats { return warm.Stats().Cache },
-		})
-
-		batchReqs := make([]serve.Request, 64)
-		for i := range batchReqs {
-			bin, err := instance(100, 1.2+0.01*float64(i))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bench: ServeBatch64: %v\n", err)
-				os.Exit(1)
-			}
-			batchReqs[i] = serve.Request{Tasks: bin.Tasks, Proc: bin.Proc, Solver: "DP"}
-		}
-		batch := serve.New(serve.Config{})
-		benchCases = append(benchCases, benchCase{
-			name: "ServeBatch64", n: 100,
-			fn: func() error {
-				for _, r := range batch.SolveBatch(ctx, batchReqs) {
-					if r.Err != nil {
-						return r.Err
-					}
-				}
-				return nil
-			},
-			stats: func() cache.Stats { return batch.Stats().Cache },
-		})
+		return serve.Request{Tasks: in.Tasks, Proc: in.Proc, Solver: "DP"}, nil
 	}
+	benchCases = append(benchCases, benchCase{
+		name: "ServeColdSolve", n: 100,
+		setup: func() (func() error, func() cache.Stats, error) {
+			req, err := serveReq()
+			if err != nil {
+				return nil, nil, err
+			}
+			ctx := context.Background()
+			cold := serve.New(serve.Config{})
+			return func() error {
+					cold.Reset()
+					return serveErr(cold.Solve(ctx, req))
+				},
+				func() cache.Stats { return cold.Stats().Cache }, nil
+		},
+	})
+	benchCases = append(benchCases, benchCase{
+		name: "ServeWarmHit", n: 100,
+		setup: func() (func() error, func() cache.Stats, error) {
+			req, err := serveReq()
+			if err != nil {
+				return nil, nil, err
+			}
+			ctx := context.Background()
+			warm := serve.New(serve.Config{})
+			if err := serveErr(warm.Solve(ctx, req)); err != nil {
+				return nil, nil, fmt.Errorf("prewarm: %v", err)
+			}
+			return func() error {
+					r := warm.Solve(ctx, req)
+					if r.Err == nil && !r.CacheHit {
+						return fmt.Errorf("warm solve missed the cache")
+					}
+					return r.Err
+				},
+				func() cache.Stats { return warm.Stats().Cache }, nil
+		},
+	})
+	benchCases = append(benchCases, benchCase{
+		name: "ServeBatch64", n: 100,
+		setup: func() (func() error, func() cache.Stats, error) {
+			ctx := context.Background()
+			batchReqs := make([]serve.Request, 64)
+			for i := range batchReqs {
+				bin, err := instance(100, 1.2+0.01*float64(i))
+				if err != nil {
+					return nil, nil, err
+				}
+				batchReqs[i] = serve.Request{Tasks: bin.Tasks, Proc: bin.Proc, Solver: "DP"}
+			}
+			batch := serve.New(serve.Config{})
+			return func() error {
+					for _, r := range batch.SolveBatch(ctx, batchReqs) {
+						if r.Err != nil {
+							return r.Err
+						}
+					}
+					return nil
+				},
+				func() cache.Stats { return batch.Stats().Cache }, nil
+		},
+	})
 	// The harness itself: one quick-mode pass over all fifteen experiments
 	// on the full worker pool, the unit CI smokes and the suite scales by.
 	benchCases = append(benchCases, benchCase{
 		name: "ExperimentsQuickSuite", n: len(exper.All()),
-		fn: func() error {
-			_, err := exper.RunSuite(exper.All(), exper.Options{Quick: true, Seed: 1})
-			return err
+		setup: func() (func() error, func() cache.Stats, error) {
+			return func() error {
+				_, err := exper.RunSuite(exper.All(), exper.Options{Quick: true, Seed: 1})
+				return err
+			}, nil, nil
 		},
 	})
 
@@ -275,11 +368,16 @@ func main() {
 		BenchTime:   *benchtime,
 	}
 	for _, c := range benchCases {
+		fn, stats, err := c.setup()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s/n=%d: %v\n", c.name, c.n, err)
+			os.Exit(1)
+		}
 		var runErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := c.fn(); err != nil {
+				if err := fn(); err != nil {
 					runErr = err
 					b.FailNow()
 				}
@@ -298,8 +396,8 @@ func main() {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
-		if c.stats != nil {
-			st := c.stats()
+		if stats != nil {
+			st := stats()
 			res.Cache = &st
 		}
 		rep.Results = append(rep.Results, res)
@@ -309,6 +407,12 @@ func main() {
 		}
 		fmt.Printf("%-30s %-12s %14.0f ns/op %8d B/op %6d allocs/op\n",
 			res.Name, label, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		// Two collections between cases: the first moves sync.Pool scratch
+		// grown by this case to the victim cache, the second frees it, so
+		// the next case starts from a clean heap.
+		fn, stats = nil, nil
+		runtime.GC()
+		runtime.GC()
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -322,4 +426,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *compare != "" {
+		regressed, err := compareReports(*compare, rep, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d case(s) regressed more than %g%%: %v\n", len(regressed), *maxRegress, regressed)
+			pprof.StopCPUProfile()
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions over %g%%\n", *maxRegress)
+	}
 }

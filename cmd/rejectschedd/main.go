@@ -11,6 +11,13 @@
 //	GET  /stats   cache/coalescing counters
 //	GET  /healthz liveness probe
 //
+// Profiling is off by default; -debug-addr starts a second listener that
+// serves only net/http/pprof (GET /debug/pprof/...), kept off the service
+// address so profiling endpoints are never exposed alongside the API:
+//
+//	rejectschedd -addr :8080 -debug-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // See README.md § Serving for the wire format.
 package main
 
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,12 +38,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		shards  = flag.Int("shards", 16, "plan-cache shards (rounded up to a power of two)")
-		entries = flag.Int("entries", 256, "plan-cache entries per shard")
-		workers = flag.Int("workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
-		quantum = flag.Float64("quantum", 0, "fingerprint float quantization (0 = exact bits)")
-		solver  = flag.String("solver", "DP", "default solver for requests that name none")
+		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.Int("shards", 16, "plan-cache shards (rounded up to a power of two)")
+		entries   = flag.Int("entries", 256, "plan-cache entries per shard")
+		workers   = flag.Int("workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
+		quantum   = flag.Float64("quantum", 0, "fingerprint float quantization (0 = exact bits)")
+		solver    = flag.String("solver", "DP", "default solver for requests that name none")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for /debug/pprof (empty = profiling disabled)")
 	)
 	flag.Parse()
 
@@ -56,6 +65,19 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	if *debugAddr != "" {
+		// A dedicated mux: registering pprof on the service handler would
+		// expose profiling to every client that can reach the API.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() { errc <- dbg.ListenAndServe() }()
+		log.Printf("pprof listening on %s", *debugAddr)
+	}
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("rejectschedd listening on %s (default solver %s, %d×%d cache)",
 		*addr, *solver, *shards, *entries)

@@ -28,6 +28,9 @@ import (
 type ApproxDP struct {
 	Eps       float64
 	MaxStates int64 // as in DP; 0 means the default
+	// Workers chunks the table rows as in DP.Workers; 0 or 1 is serial,
+	// any setting returns byte-identical results.
+	Workers int
 }
 
 // Name implements Solver.
@@ -35,16 +38,22 @@ func (a ApproxDP) Name() string { return fmt.Sprintf("ApproxDP(ε=%g)", a.Eps) }
 
 // Solve implements Solver. Heterogeneous instances are rejected, as in DP.
 func (a ApproxDP) Solve(in Instance) (Solution, error) {
+	sol, _, err := a.SolveStats(in)
+	return sol, err
+}
+
+// SolveStats is Solve plus the table work counters.
+func (a ApproxDP) SolveStats(in Instance) (Solution, DPStats, error) {
 	ctx, err := newPooledEvalCtx(in)
 	if err != nil {
-		return Solution{}, err
+		return Solution{}, DPStats{}, err
 	}
 	defer ctx.release()
 	if ctx.hetero {
-		return Solution{}, ErrHeterogeneous
+		return Solution{}, DPStats{}, ErrHeterogeneous
 	}
 	if a.Eps <= 0 || math.IsNaN(a.Eps) {
-		return Solution{}, fmt.Errorf("core: ApproxDP ε = %v, want > 0", a.Eps)
+		return Solution{}, DPStats{}, fmt.Errorf("core: ApproxDP ε = %v, want > 0", a.Eps)
 	}
 	its := ctx.items
 	n := len(its)
@@ -72,12 +81,13 @@ func (a ApproxDP) Solve(in Instance) (Solution, error) {
 		limit = DefaultMaxDPStates
 	}
 	if work := int64(n) * (capScaled + 1); work > limit {
-		return Solution{}, fmt.Errorf("core: ApproxDP needs %d states, over the limit %d (raise ε)", work, limit)
+		return Solution{}, DPStats{}, fmt.Errorf("core: ApproxDP needs %d states, over the limit %d (raise ε)", work, limit)
 	}
 
-	accepted, err := rejectionDP(scaled, capScaled, ctx.energy, float64(k), ctx.fastEnergy, sc)
+	accepted, st, err := rejectionDP(scaled, capScaled, ctx.energy, float64(k), ctx.fastEnergy, a.Workers, sc)
 	if err != nil {
-		return Solution{}, err
+		return Solution{}, st, err
 	}
-	return ctx.evaluate(accepted)
+	sol, err := ctx.evaluate(accepted)
+	return sol, st, err
 }

@@ -5,7 +5,9 @@ import (
 	"math"
 	"slices"
 
+	"dvsreject/internal/conc"
 	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
 )
 
 // evalCtx is the per-instance evaluation context every solver builds once
@@ -32,9 +34,20 @@ import (
 // concurrent use by parallel search workers; callers must not mutate
 // items (sorting solvers clone it first).
 type evalCtx struct {
-	in    Instance
-	items []item      // instance order; treat as read-only
-	idx   map[int]int // task ID → position in in.Tasks.Tasks
+	in       Instance
+	items    []item      // instance order; treat as read-only
+	idx      map[int]int // task ID → position in in.Tasks.Tasks
+	idxGrown int         // largest instance idx has served (see init)
+
+	// Struct-of-arrays mirror of items (same order, same values):
+	// contiguous columns for the scan-heavy solver loops — penalty sums,
+	// marginal-energy sweeps, per-trial admission passes — which walk one
+	// or two of the three fields at a time and waste two thirds of every
+	// cache line on the array-of-structs layout at n = 10⁴–10⁵. The
+	// columns carry the identical floats; nothing arithmetic changes.
+	colC  []int64   // true cycles (task.Columns)
+	colCE []float64 // effective cycles ci·ρi^(1/α)
+	colV  []float64 // rejection penalties (task.Columns)
 
 	deadline float64
 	capacity float64 // smax·D in true cycles
@@ -55,6 +68,21 @@ type evalCtx struct {
 	alpha      float64 // dynamic power exponent
 	idleTotal  float64 // energy of an entirely idle frame, Pind·D
 	hetDenom   float64 // D^(α−1), the heterogeneous surrogate denominator
+
+	// fastPow routes the α ∈ {2, 3} dynamic-power exponentiations through
+	// integer multiplies instead of math.Pow. Opt-in via Instance.FastPow
+	// only: the products differ from math.Pow in the last ulp on some
+	// inputs, so the default path never takes it (a tolerance test, not
+	// the bit-identity corpus, covers it).
+	fastPow bool
+
+	// discreteFast marks instances on discrete-ladder processors, whose
+	// E(w) probes go through curve — the assignDiscrete mirror with the
+	// per-level powers memoized (bit-identical on every probe). The memo
+	// table comes from the ProcProfile when one is attached, otherwise it
+	// is seeded per solve.
+	discreteFast bool
+	curve        speed.Curve
 }
 
 // newEvalCtx validates the instance and builds its evaluation context.
@@ -110,6 +138,12 @@ func (c *evalCtx) init(in Instance) error {
 
 	items := c.items[:0]
 	alpha := m.Alpha
+	cols := in.Tasks.AppendColumns(task.Columns{
+		Cycles:    growI64(c.colC, len(in.Tasks.Tasks))[:0],
+		Penalties: growF64(c.colV, len(in.Tasks.Tasks))[:0],
+	})
+	c.colC, c.colV = cols.Cycles, cols.Penalties
+	colCE := growF64(c.colCE, len(in.Tasks.Tasks))[:0]
 	for _, t := range in.Tasks.Tasks {
 		it := item{id: t.ID, c: t.Cycles, v: t.Penalty}
 		// math.Pow(1, y) is exactly 1 and x·1 is exactly x, so homogeneous
@@ -120,11 +154,21 @@ func (c *evalCtx) init(in Instance) error {
 			it.ce = float64(t.Cycles) * math.Pow(pc, 1/alpha)
 		}
 		items = append(items, it)
+		colCE = append(colCE, it.ce)
 	}
-	if c.idx == nil {
-		c.idx = make(map[int]int, len(in.Tasks.Tasks))
+	c.colCE = colCE
+	// Reuse the pooled index map only while its high-water size stays
+	// near the current instance: clear() walks the whole bucket array, so
+	// a map grown by one 100k-task solve would cost every later small
+	// solve an O(100k) clear.
+	if n := len(in.Tasks.Tasks); c.idx == nil || c.idxGrown > 4*n+1024 {
+		c.idx = make(map[int]int, n)
+		c.idxGrown = n
 	} else {
 		clear(c.idx)
+		if n > c.idxGrown {
+			c.idxGrown = n
+		}
 	}
 	for i, t := range in.Tasks.Tasks {
 		c.idx[t.ID] = i
@@ -156,6 +200,17 @@ func (c *evalCtx) init(in Instance) error {
 	c.capSlack = c.capacity * (1 + 1e-9)
 	c.idleTotal = c.pind * c.deadline
 	c.hetDenom = math.Pow(c.deadline, c.alpha-1)
+	c.fastPow = in.FastPow && (c.alpha == 2 || c.alpha == 3)
+	c.discreteFast = in.Proc.Levels != nil
+	if c.discreteFast {
+		if pp != nil && pp.hasPd {
+			c.curve = speed.NewCurveWithPd(in.Proc, c.deadline, pp.pd)
+		} else {
+			c.curve = speed.NewCurve(in.Proc, c.deadline)
+		}
+	} else {
+		c.curve = speed.Curve{}
+	}
 	return nil
 }
 
@@ -173,6 +228,9 @@ func (c *evalCtx) fits(w float64) bool {
 // Instance.energyOf.
 func (c *evalCtx) energy(w float64) float64 {
 	if !c.fastEnergy {
+		if c.discreteFast {
+			return c.curve.Energy(w)
+		}
 		return c.in.Proc.Energy(w, c.deadline)
 	}
 	// w != w catches NaN, w < 0 catches -Inf, the capacity check catches
@@ -201,9 +259,23 @@ func (c *evalCtx) energy(w float64) float64 {
 	exec := w / s
 	var dyn float64
 	if s > 0 {
-		dyn = c.coeff * math.Pow(s, c.alpha)
+		dyn = c.coeff * c.pow(s)
 	}
 	return (c.pind+dyn)*exec + c.pind*(c.deadline-exec)
+}
+
+// pow is s^α — math.Pow on the default path, repeated multiplication when
+// the instance opted into FastPow and α is the integer 2 or 3. The fast
+// products can differ from math.Pow in the final ulp, which is why they
+// are never the default.
+func (c *evalCtx) pow(s float64) float64 {
+	if c.fastPow {
+		if c.alpha == 3 {
+			return s * s * s
+		}
+		return s * s
+	}
+	return math.Pow(s, c.alpha)
 }
 
 // surrogate estimates the energy of an accepted set from its effective
@@ -213,7 +285,7 @@ func (c *evalCtx) surrogate(wEff float64) float64 {
 	if !c.hetero {
 		return c.energy(wEff)
 	}
-	return c.coeff * math.Pow(wEff, c.alpha) / c.hetDenom
+	return c.coeff * c.pow(wEff) / c.hetDenom
 }
 
 // evaluate builds the full Solution for an accepted ID set, exactly as the
@@ -263,6 +335,58 @@ func minCostWorkload(pen []float64, energy func(float64) float64, scale float64,
 		}
 		if monotone && e >= bestCost && bestW >= 0 {
 			break // energy alone already matches the incumbent
+		}
+	}
+	return bestW, bestCost
+}
+
+// minCostWorkloadParallel is minCostWorkload for monotone energy curves
+// with the frontier compaction chunked over the conc pool. Each chunk
+// collects its local strictly-decreasing penalty frontier — a superset of
+// the global frontier restricted to the chunk — without touching the
+// energy curve; a serial finishing pass then walks the candidates in
+// ascending workload order applying exactly the serial scan's global
+// frontier filter, energy costing, incumbent update and monotone cut-off.
+// The argmin and its tie-breaks therefore match minCostWorkload exactly;
+// only the O(width) penalty-row sweep runs concurrently.
+func minCostWorkloadParallel(pen []float64, energy func(float64) float64, scale float64, workers int) (int64, float64) {
+	n := len(pen)
+	chunk := (n + workers - 1) / workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	nch := (n + chunk - 1) / chunk
+	cands, _ := conc.ForEach(nch, workers, func(k int) ([]int64, error) {
+		lo, hi := k*chunk, min((k+1)*chunk, n)
+		var out []int64
+		frontier := math.Inf(1)
+		for w := lo; w < hi; w++ {
+			fw := pen[w]
+			if math.IsInf(fw, 1) || fw >= frontier {
+				continue
+			}
+			frontier = fw
+			out = append(out, int64(w))
+		}
+		return out, nil
+	})
+
+	bestW, bestCost := int64(-1), math.Inf(1)
+	frontier := math.Inf(1)
+	for _, ws := range cands {
+		for _, w := range ws {
+			fw := pen[w]
+			if fw >= frontier {
+				continue
+			}
+			frontier = fw
+			e := energy(float64(w) * scale)
+			if c := e + fw; c < bestCost {
+				bestCost, bestW = c, w
+			}
+			if e >= bestCost && bestW >= 0 {
+				return bestW, bestCost
+			}
 		}
 	}
 	return bestW, bestCost

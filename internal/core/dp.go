@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"dvsreject/internal/conc"
 )
 
 // DP is the exact pseudo-polynomial solver: dynamic programming over the
@@ -11,9 +13,22 @@ import (
 // w; the answer is min over w ≤ smax·D of E(w) + f[w]. Exact for every
 // homogeneous instance flavour (the energy curve may be non-convex), in
 // O(n·smax·D) time and O(n·smax·D) bits for reconstruction.
+//
+// The table is evaluated by the double-buffered row kernel (dpkernel.go)
+// over only the reachable prefix of each row — at row i no workload above
+// min(smax·D, Σ_{j≤i} c_j) is attainable, so the cells beyond it stay +Inf
+// untouched. Both are exact reformulations of the seed's in-place
+// descending update; outputs are byte-identical.
 type DP struct {
 	// MaxStates bounds n·(capacity+1); 0 means the default of 2^28.
 	MaxStates int64
+	// Workers > 1 chunks each table row (and the monotone final scan)
+	// across that many goroutines on the shared conc pool, with
+	// word-aligned chunks and a deterministic reduction, so results stay
+	// byte-identical to the serial evaluation. 0 or 1 keeps the serial
+	// kernel — the default, since the rows are memory-bound and only
+	// very wide tables amortize the per-row fan-out.
+	Workers int
 }
 
 // Name implements Solver.
@@ -22,17 +37,31 @@ func (DP) Name() string { return "DP" }
 // DefaultMaxDPStates is DP's work limit (n·capacity table cells).
 const DefaultMaxDPStates = int64(1) << 28
 
+// DPStats reports the table work of one rejection-DP run. Serial and
+// row-parallel evaluations of the same instance report identical counts
+// (the differential tests pin this alongside byte-identical outputs).
+type DPStats struct {
+	Rows  int64 // item rows processed
+	Cells int64 // reachable table cells evaluated across all rows
+}
+
 // Solve implements Solver. It returns ErrHeterogeneous for instances with
 // per-task power coefficients: their energy is not a function of a single
 // integer workload.
 func (d DP) Solve(in Instance) (Solution, error) {
+	sol, _, err := d.SolveStats(in)
+	return sol, err
+}
+
+// SolveStats is Solve plus the table work counters.
+func (d DP) SolveStats(in Instance) (Solution, DPStats, error) {
 	ctx, err := newPooledEvalCtx(in)
 	if err != nil {
-		return Solution{}, err
+		return Solution{}, DPStats{}, err
 	}
 	defer ctx.release()
 	if ctx.hetero {
-		return Solution{}, ErrHeterogeneous
+		return Solution{}, DPStats{}, ErrHeterogeneous
 	}
 	cap64 := int64(math.Floor(ctx.capacity * (1 + 1e-12)))
 	limit := d.MaxStates
@@ -40,16 +69,17 @@ func (d DP) Solve(in Instance) (Solution, error) {
 		limit = DefaultMaxDPStates
 	}
 	if work := int64(len(ctx.items)) * (cap64 + 1); work > limit {
-		return Solution{}, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
+		return Solution{}, DPStats{}, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
 	}
 
 	sc := getDPScratch()
 	defer putDPScratch(sc)
-	accepted, err := rejectionDP(ctx.items, cap64, ctx.energy, 1, ctx.fastEnergy, sc)
+	accepted, st, err := rejectionDP(ctx.items, cap64, ctx.energy, 1, ctx.fastEnergy, d.Workers, sc)
 	if err != nil {
-		return Solution{}, err
+		return Solution{}, st, err
 	}
-	return ctx.evaluate(accepted)
+	sol, err := ctx.evaluate(accepted)
+	return sol, st, err
 }
 
 // takeTable is the reconstruction bitset: one bit per (task, workload)
@@ -57,7 +87,7 @@ func (d DP) Solve(in Instance) (Solution, error) {
 // grids.
 type takeTable struct {
 	words []uint64
-	width int64 // cells per task row
+	width int64 // words per task row
 }
 
 func newTakeTable(words []uint64, n int, width int64) takeTable {
@@ -80,69 +110,96 @@ func (t takeTable) get(i int, w int64) bool {
 	return t.words[int64(i)*t.width+w/64]&(1<<uint(w%64)) != 0
 }
 
+// row returns task i's word slice, cell-indexed by w>>6.
+func (t takeTable) row(i int) []uint64 {
+	return t.words[int64(i)*t.width : (int64(i)+1)*t.width]
+}
+
 // rejectionDP solves min energy(scale·w) + Σ rejected v over subsets with
 // Σ item.c ≤ cap64. Callers pass items whose c field is already expressed
 // in DP grid units; scale converts grid units back to true cycles for the
 // energy evaluation (1 for the exact DP). monotone declares the energy
 // curve non-decreasing in w, unlocking the pruned final scan of
 // minCostWorkload; pass false for curves with dormant break-evens or
-// discrete ladders. It returns the accepted IDs.
-func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64, monotone bool, sc *dpScratch) ([]int, error) {
+// discrete ladders. workers > 1 chunks rows and the monotone final scan;
+// any setting returns byte-identical results. It returns the accepted IDs.
+func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64, monotone bool, workers int, sc *dpScratch) ([]int, DPStats, error) {
+	var st DPStats
 	if cap64 < 0 {
-		return nil, fmt.Errorf("core: negative DP capacity %d", cap64)
+		return nil, st, fmt.Errorf("core: negative DP capacity %d", cap64)
 	}
 	n := len(its)
 	width := cap64 + 1
-
-	// Table state comes from the caller's scratch; the Inf refill and the
-	// zeroed bitset put reused buffers in exactly the state fresh make()
-	// calls had them.
-	f := growF64(sc.f, int(width))
-	sc.f = f
-	for w := range f {
-		f[w] = math.Inf(1)
+	if workers < 1 {
+		workers = 1
 	}
-	f[0] = 0
+
+	// Double-buffered rows from the caller's scratch; the Inf refill and
+	// the zeroed bitset put reused buffers in exactly the state fresh
+	// make() calls had them. Cells at or above a row's reachable bound are
+	// never written in either buffer, so they keep this +Inf for the final
+	// scan.
+	prev := growF64(sc.f, int(width))
+	sc.f = prev
+	cur := growF64(sc.f2, int(width))
+	sc.f2 = cur
+	for w := range prev {
+		prev[w] = math.Inf(1)
+	}
+	for w := range cur {
+		cur[w] = math.Inf(1)
+	}
+	prev[0] = 0
 
 	// take records, per reachable workload, whether task i is accepted on
 	// the optimal path reaching it.
 	take := newTakeTable(sc.words, n, width)
 	sc.words = take.words
 
+	var reach int64 // largest attainable workload after the rows so far
 	for i, it := range its {
-		c := it.c
+		st.Rows++
+		c, v := it.c, it.v
 		if c > cap64 {
 			// Can never be accepted: pay the penalty on every path.
-			for w := int64(0); w < width; w++ {
-				if !math.IsInf(f[w], 1) {
-					f[w] += it.v
-				}
-			}
+			hi := reach + 1
+			dpRejectRange(prev, cur, v, 0, hi)
+			st.Cells += hi
+			prev, cur = cur, prev
 			continue
 		}
-		// Descend so each task is used at most once.
-		for w := cap64; w >= 0; w-- {
-			rejectCost := math.Inf(1)
-			if !math.IsInf(f[w], 1) {
-				rejectCost = f[w] + it.v
-			}
-			acceptCost := math.Inf(1)
-			if w >= c && !math.IsInf(f[w-c], 1) {
-				acceptCost = f[w-c]
-			}
-			if acceptCost < rejectCost {
-				f[w] = acceptCost
-				take.set(i, w)
-			} else {
-				f[w] = rejectCost
-			}
+		reach = min(reach+c, cap64)
+		hi := reach + 1
+		rowBits := take.row(i)
+		if workers > 1 && hi >= int64(64*workers) {
+			// Word-aligned chunks own disjoint take words and disjoint cur
+			// cells; every read is from prev, so chunk order is
+			// unobservable and the row equals its serial evaluation.
+			chunk := (hi + int64(workers) - 1) / int64(workers)
+			chunk = (chunk + 63) &^ 63
+			nch := int((hi + chunk - 1) / chunk)
+			conc.ForEach(nch, workers, func(k int) (struct{}, error) {
+				lo := int64(k) * chunk
+				dpRowRange(prev, cur, rowBits, c, v, lo, min(lo+chunk, hi))
+				return struct{}{}, nil
+			})
+		} else {
+			dpRowRange(prev, cur, rowBits, c, v, 0, hi)
 		}
+		st.Cells += hi
+		prev, cur = cur, prev
 	}
+	f := prev
 
 	// Pick the best workload level.
-	bestW, _ := minCostWorkload(f, energy, scale, monotone)
+	var bestW int64
+	if workers > 1 && monotone {
+		bestW, _ = minCostWorkloadParallel(f, energy, scale, workers)
+	} else {
+		bestW, _ = minCostWorkload(f, energy, scale, monotone)
+	}
 	if bestW < 0 {
-		return nil, fmt.Errorf("core: DP found no feasible workload")
+		return nil, st, fmt.Errorf("core: DP found no feasible workload")
 	}
 
 	// Reconstruct.
@@ -156,7 +213,7 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 	}
 	sc.ids = ids
 	if w != 0 {
-		return nil, fmt.Errorf("core: DP reconstruction left workload %d", w)
+		return nil, st, fmt.Errorf("core: DP reconstruction left workload %d", w)
 	}
-	return ids, nil
+	return ids, st, nil
 }

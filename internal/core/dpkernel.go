@@ -1,0 +1,152 @@
+package core
+
+import "math"
+
+// This file holds the rejection-DP row kernel: the innermost loop of the
+// DP-family solvers, which accounts for essentially all of their time on
+// large instances. The kernel computes one item row of the table in
+// double-buffered form,
+//
+//	cur[w] = min(prev[w] + v, prev[w-c])     for w in [lo, hi),
+//
+// recording a take bit whenever the accept arm wins strictly. It replaces
+// the seed's in-place descending update. The two are bit-identical: the
+// in-place loop descends precisely so that every read of f[w-c] still sees
+// the previous row, which is exactly what reading from a separate prev
+// buffer guarantees at any w order — and that freedom is what makes
+// word-blocked vectorized processing and row-chunk parallelism possible.
+//
+// Three further transformations, each exactly value-preserving on the DP's
+// float domain (task penalties are validated finite ≥ 0, so every cell is
+// a non-negative finite penalty sum or +Inf):
+//
+//   - the seed's IsInf guards are dropped: +Inf + v == +Inf exactly, so
+//     the guarded and unguarded updates produce the same bits;
+//   - the float comparison accept < reject is performed on the IEEE-754
+//     bit patterns as unsigned integers — equivalent on non-negative
+//     floats and +Inf (the representations are monotone there), and free
+//     of the FP-to-branch round trip;
+//   - take bits accumulate in a register and store once per 64 cells.
+//
+// On amd64 with AVX2 the 64-cell inner blocks run 4 cells per vector op
+// (dpBlocksAVX2); elsewhere an unrolled scalar loop (dpBlocksGeneric)
+// serves. Both produce the same bytes as the seed loop; the differential
+// and kernel tests pin this.
+
+// dpRejectRange applies the reject-only update cur[w] = prev[w] + v over
+// [lo, hi) — the whole row of an item too large to ever be accepted. Take
+// bits stay zero (the table is cleared up front).
+func dpRejectRange(prev, cur []float64, v float64, lo, hi int64) {
+	for w := lo; w < hi; w++ {
+		cur[w] = prev[w] + v
+	}
+}
+
+// dpRowRange computes cells [lo, hi) of one row. bits is the row's take
+// bitset, indexed by cell (bit w lives in bits[w>>6]); lo must be a
+// multiple of 64 so concurrent chunks of one row own disjoint words. Cells
+// below c take the reject-only arm.
+func dpRowRange(prev, cur []float64, bits []uint64, c int64, v float64, lo, hi int64) {
+	w := lo
+	// Reject-only prefix: cells below c cannot fit the item.
+	for stop := min(c, hi); w < stop; w++ {
+		cur[w] = prev[w] + v
+	}
+	if w >= hi {
+		return
+	}
+	// Scalar head up to the next word boundary. The store rewrites the
+	// whole word; bits below w within it are reject cells, correctly zero.
+	if rem := w & 63; rem != 0 {
+		stop := min(w-rem+64, hi)
+		var word uint64
+		for ; w < stop; w++ {
+			word |= dpCell(prev, cur, c, v, w) << uint(w&63)
+		}
+		bits[(w-1)>>6] = word
+	}
+	// Full 64-cell blocks.
+	if nb := (hi - w) >> 6; nb > 0 {
+		if dpUseAVX2 {
+			dpBlocksAVX2(&prev[w], &prev[w-c], &cur[w], &bits[w>>6], nb, v)
+		} else {
+			dpBlocksGeneric(prev, cur, bits, c, v, w, nb)
+		}
+		w += nb << 6
+	}
+	// Scalar tail.
+	if w < hi {
+		var word uint64
+		for ; w < hi; w++ {
+			word |= dpCell(prev, cur, c, v, w) << uint(w&63)
+		}
+		bits[(hi-1)>>6] = word
+	}
+}
+
+// dpCell computes one cell and returns its take bit (0 or 1).
+func dpCell(prev, cur []float64, c int64, v float64, w int64) uint64 {
+	rb := math.Float64bits(prev[w] + v)
+	ab := math.Float64bits(prev[w-c])
+	// Both operands are < 2^63 (non-negative floats up to +Inf), so the
+	// wrapped difference carries the comparison in its sign bit.
+	t := (ab - rb) >> 63
+	m := rb
+	if ab < rb {
+		m = ab
+	}
+	cur[w] = math.Float64frombits(m)
+	return t
+}
+
+// dpBlocksGeneric is the portable word-blocked kernel: nb full 64-cell
+// blocks starting at the word-aligned cell w0, four cells per unrolled
+// step, with the three active slices pre-sliced per block so the compiler
+// drops the per-cell bounds checks.
+func dpBlocksGeneric(prev, cur []float64, bits []uint64, c int64, v float64, w0, nb int64) {
+	for w := w0; nb > 0; nb-- {
+		pw := prev[w : w+64 : w+64]
+		pa := prev[w-c : w-c+64 : w-c+64]
+		cw := cur[w : w+64 : w+64]
+		var word uint64
+		for j := 0; j < 64; j += 4 {
+			r0 := math.Float64bits(pw[j] + v)
+			a0 := math.Float64bits(pa[j])
+			m0 := r0
+			if a0 < r0 {
+				m0 = a0
+			}
+			cw[j] = math.Float64frombits(m0)
+			word |= ((a0 - r0) >> 63) << uint(j)
+
+			r1 := math.Float64bits(pw[j+1] + v)
+			a1 := math.Float64bits(pa[j+1])
+			m1 := r1
+			if a1 < r1 {
+				m1 = a1
+			}
+			cw[j+1] = math.Float64frombits(m1)
+			word |= ((a1 - r1) >> 63) << uint(j+1)
+
+			r2 := math.Float64bits(pw[j+2] + v)
+			a2 := math.Float64bits(pa[j+2])
+			m2 := r2
+			if a2 < r2 {
+				m2 = a2
+			}
+			cw[j+2] = math.Float64frombits(m2)
+			word |= ((a2 - r2) >> 63) << uint(j+2)
+
+			r3 := math.Float64bits(pw[j+3] + v)
+			a3 := math.Float64bits(pa[j+3])
+			m3 := r3
+			if a3 < r3 {
+				m3 = a3
+			}
+			cw[j+3] = math.Float64frombits(m3)
+			word |= ((a3 - r3) >> 63) << uint(j+3)
+		}
+		bits[w>>6] = word
+		w += 64
+	}
+}

@@ -1,0 +1,24 @@
+//go:build amd64 && !purego
+
+package core
+
+// dpUseAVX2 routes the 64-cell DP blocks through the AVX2 kernel when the
+// CPU and OS support it. The vector kernel is bit-identical to the scalar
+// one: VADDPD/VMINPD/VCMPPD on non-negative doubles and +Inf follow the
+// same IEEE-754 semantics as the scalar ops (no NaNs ever enter the
+// table, and equal values have equal bits, so VMINPD's tie choice is
+// unobservable; the strict VCMPPD less-than matches the scalar take rule).
+var dpUseAVX2 = cpuHasAVX2()
+
+// cpuHasAVX2 reports AVX2 support with OS-enabled YMM state (CPUID +
+// XGETBV). Implemented in dpkernel_amd64.s.
+func cpuHasAVX2() bool
+
+// dpBlocksAVX2 processes nb full 64-cell blocks:
+//
+//	cur[i] = min(prevW[i] + v, prevA[i])
+//	bit i of the block's word = prevA[i] < prevW[i] + v
+//
+// prevW, prevA and cur point at the first cell of the first block; bits at
+// its take word. Implemented in dpkernel_amd64.s.
+func dpBlocksAVX2(prevW, prevA, cur *float64, bits *uint64, nb int64, v float64)

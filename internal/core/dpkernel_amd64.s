@@ -1,0 +1,101 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// AVX2 requires: CPUID max leaf ≥ 7; leaf 1 ECX bits 27 (OSXSAVE) and 28
+// (AVX); XCR0 bits 1–2 (the OS saves XMM and YMM state); leaf 7 EBX bit 5.
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   no
+
+	MOVL $1, AX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  no
+
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dpBlocksAVX2(prevW, prevA, cur *float64, bits *uint64, nb int64, v float64)
+//
+// One 64-cell block per outer iteration: 16 vector groups of 4 doubles.
+// Per group:
+//
+//	Y0 = prevW[j:j+4] + v        (reject arm)
+//	Y1 = prevA[j:j+4]            (accept arm)
+//	cur[j:j+4] = VMINPD(Y0, Y1)
+//	take nibble = VCMPPD LT_OS (Y1 < Y0), packed via VMOVMSKPD
+//
+// The 16 nibbles assemble the block's 64-bit take word in R8, stored once.
+TEXT ·dpBlocksAVX2(SB), NOSPLIT, $0-48
+	MOVQ prevW+0(FP), SI
+	MOVQ prevA+8(FP), DX
+	MOVQ cur+16(FP), DI
+	MOVQ bits+24(FP), BX
+	MOVQ nb+32(FP), CX
+	VBROADCASTSD v+40(FP), Y15
+
+blockloop:
+	XORQ R8, R8
+
+#define GROUP(j) \
+	VMOVUPD   (j*32)(SI), Y0   \
+	VADDPD    Y15, Y0, Y0      \
+	VMOVUPD   (j*32)(DX), Y1   \
+	VMINPD    Y1, Y0, Y2       \
+	VCMPPD    $1, Y0, Y1, Y3   \
+	VMOVUPD   Y2, (j*32)(DI)   \
+	VMOVMSKPD Y3, AX           \
+	SHLQ      $(4*j), AX       \
+	ORQ       AX, R8
+
+	GROUP(0)
+	GROUP(1)
+	GROUP(2)
+	GROUP(3)
+	GROUP(4)
+	GROUP(5)
+	GROUP(6)
+	GROUP(7)
+	GROUP(8)
+	GROUP(9)
+	GROUP(10)
+	GROUP(11)
+	GROUP(12)
+	GROUP(13)
+	GROUP(14)
+	GROUP(15)
+
+#undef GROUP
+
+	MOVQ R8, (BX)
+	ADDQ $512, SI
+	ADDQ $512, DX
+	ADDQ $512, DI
+	ADDQ $8, BX
+	DECQ CX
+	JNZ  blockloop
+	VZEROUPPER
+	RET

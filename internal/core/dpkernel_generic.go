@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package core
+
+// dpUseAVX2 is false off amd64 (or under the purego tag); the word-blocked
+// scalar kernel serves every platform identically.
+const dpUseAVX2 = false
+
+// dpBlocksAVX2 is never reached when dpUseAVX2 is false.
+func dpBlocksAVX2(prevW, prevA, cur *float64, bits *uint64, nb int64, v float64) {
+	panic("core: AVX2 DP kernel called on a platform without it")
+}

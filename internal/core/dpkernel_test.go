@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+)
+
+// randRow draws a DP-domain row: non-negative finite penalty sums with a
+// sprinkling of +Inf (unreachable cells), the only values the rejection DP
+// ever stores.
+func randRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	for i := range row {
+		if rng.Intn(4) == 0 {
+			row[i] = math.Inf(1)
+		} else {
+			row[i] = rng.Float64() * 100
+		}
+	}
+	return row
+}
+
+// refRowCell is the seed's per-cell update: guarded reject arm, guarded
+// accept arm, strict accept-wins comparison.
+func refRowCell(prev []float64, c int64, v float64, w int64) (float64, bool) {
+	rejectCost := math.Inf(1)
+	if !math.IsInf(prev[w], 1) {
+		rejectCost = prev[w] + v
+	}
+	acceptCost := math.Inf(1)
+	if w >= c && !math.IsInf(prev[w-c], 1) {
+		acceptCost = prev[w-c]
+	}
+	if acceptCost < rejectCost {
+		return acceptCost, true
+	}
+	return rejectCost, false
+}
+
+// TestDPRowRangeMatchesSeed drives the row kernel — scalar head/tail,
+// dpBlocksGeneric or dpBlocksAVX2 middle — over random rows and ranges and
+// demands bit-identity with the seed's guarded per-cell update, values and
+// take bits alike.
+func TestDPRowRangeMatchesSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		width := int64(1 + rng.Intn(400))
+		prev := randRow(rng, int(width))
+		c := int64(1 + rng.Intn(int(width)))
+		v := rng.Float64() * 10
+		// lo must be a multiple of 64 (word ownership); hi any bound above.
+		lo := int64(0)
+		if nw := int(width / 64); nw > 0 && rng.Intn(2) == 0 {
+			lo = int64(rng.Intn(nw+1)) * 64
+		}
+		hi := lo + int64(rng.Intn(int(width-lo)+1))
+
+		cur := make([]float64, width)
+		for i := range cur {
+			cur[i] = math.Inf(1)
+		}
+		bits := make([]uint64, (width+63)/64)
+		dpRowRange(prev, cur, bits, c, v, lo, hi)
+
+		for w := lo; w < hi; w++ {
+			want, take := refRowCell(prev, c, v, w)
+			if math.Float64bits(cur[w]) != math.Float64bits(want) {
+				t.Fatalf("trial %d (c=%d lo=%d hi=%d): cur[%d] = %v (bits %x), seed %v (bits %x)",
+					trial, c, lo, hi, w, cur[w], math.Float64bits(cur[w]), want, math.Float64bits(want))
+			}
+			got := bits[w>>6]&(1<<uint(w&63)) != 0
+			if got != take {
+				t.Fatalf("trial %d (c=%d lo=%d hi=%d): take[%d] = %v, seed %v", trial, c, lo, hi, w, got, take)
+			}
+		}
+	}
+}
+
+// TestDPBlocksAVX2MatchesGeneric cross-checks the assembly kernel against
+// the portable one on identical inputs. Skipped where AVX2 is unavailable
+// (the build then has no assembly path to test).
+func TestDPBlocksAVX2MatchesGeneric(t *testing.T) {
+	if !dpUseAVX2 {
+		t.Skip("AVX2 kernel not in use on this machine")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		nb := int64(1 + rng.Intn(8))
+		c := int64(1 + rng.Intn(200))
+		w0 := c + int64(rng.Intn(3))*64 // keep the accept lane in range
+		w0 = (w0 + 63) &^ 63
+		width := w0 + nb*64
+		prev := randRow(rng, int(width))
+		v := rng.Float64() * 10
+
+		curG := make([]float64, width)
+		curA := make([]float64, width)
+		bitsG := make([]uint64, width/64)
+		bitsA := make([]uint64, width/64)
+		dpBlocksGeneric(prev, curG, bitsG, c, v, w0, nb)
+		dpBlocksAVX2(&prev[w0], &prev[w0-c], &curA[w0], &bitsA[w0>>6], nb, v)
+
+		for w := w0; w < width; w++ {
+			if math.Float64bits(curG[w]) != math.Float64bits(curA[w]) {
+				t.Fatalf("trial %d: cur[%d]: generic %x, avx2 %x", trial, w, math.Float64bits(curG[w]), math.Float64bits(curA[w]))
+			}
+		}
+		if !slices.Equal(bitsG[w0>>6:], bitsA[w0>>6:]) {
+			t.Fatalf("trial %d: take words: generic %x, avx2 %x", trial, bitsG[w0>>6:], bitsA[w0>>6:])
+		}
+	}
+}
+
+// dpParallelCorpus is the differential corpus plus instances wide enough
+// (capacity ≥ 64·workers) that the row-parallel path actually engages.
+func dpParallelCorpus(t *testing.T) []diffCase {
+	t.Helper()
+	cases := diffCorpus(t)
+	for s := int64(0); s < 3; s++ {
+		set, err := gen.Frame(rand.New(rand.NewSource(100+s)), gen.Config{
+			N: 120, Load: 1.4, Deadline: 2000, Penalty: gen.PenaltyModel(s % 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}}
+		cases = append(cases, diffCase{fmt.Sprintf("wide-cubic/seed=%d", s), in})
+	}
+	return cases
+}
+
+// TestDPParallelMatchesSerial pins the row-parallel DP to the serial one:
+// identical accepted sets, bit-identical costs, and identical table work
+// counters for every worker count.
+func TestDPParallelMatchesSerial(t *testing.T) {
+	for _, c := range dpParallelCorpus(t) {
+		serial, serialStats, serialErr := DP{}.SolveStats(c.in)
+		for _, workers := range []int{2, 3} {
+			par, parStats, parErr := DP{Workers: workers}.SolveStats(c.in)
+			name := fmt.Sprintf("%s/workers=%d", c.name, workers)
+			sameSolution(t, name, par, serial, parErr, serialErr)
+			if parErr == nil {
+				if par.Cost != serial.Cost {
+					t.Errorf("%s: cost bits %x != serial %x", name, math.Float64bits(par.Cost), math.Float64bits(serial.Cost))
+				}
+				if parStats != serialStats {
+					t.Errorf("%s: stats %+v != serial %+v", name, parStats, serialStats)
+				}
+			}
+		}
+	}
+}
+
+// TestApproxDPParallelMatchesSerial is the same contract for the
+// capacity-rounded DP.
+func TestApproxDPParallelMatchesSerial(t *testing.T) {
+	for _, c := range dpParallelCorpus(t) {
+		for _, eps := range []float64{0.05, 0.3} {
+			serial, serialStats, serialErr := ApproxDP{Eps: eps}.SolveStats(c.in)
+			for _, workers := range []int{2, 3} {
+				par, parStats, parErr := ApproxDP{Eps: eps, Workers: workers}.SolveStats(c.in)
+				name := fmt.Sprintf("%s/eps=%g/workers=%d", c.name, eps, workers)
+				sameSolution(t, name, par, serial, parErr, serialErr)
+				if parErr == nil {
+					if par.Cost != serial.Cost {
+						t.Errorf("%s: cost bits %x != serial %x", name, math.Float64bits(par.Cost), math.Float64bits(serial.Cost))
+					}
+					if parStats != serialStats {
+						t.Errorf("%s: stats %+v != serial %+v", name, parStats, serialStats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialDPLarge is the large-instance differential entry: at
+// n = 10000 the serial kernel, the row-parallel kernel and the seed
+// reference DP must agree on the accepted set and the cost. This is the
+// scale the kernel overhaul targets; the small corpus cannot distinguish a
+// blocked-loop bug that only strikes past the first take word.
+func TestDifferentialDPLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential corpus skipped in -short mode")
+	}
+	set, err := gen.Frame(rand.New(rand.NewSource(424242)), gen.Config{
+		N: 10000, Load: 1.5, Deadline: 12000, Penalty: gen.PenaltyProportional,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}}
+
+	want, wantErr := refDP(in)
+	got, gotStats, gotErr := DP{MaxStates: 1 << 30}.SolveStats(in)
+	sameSolution(t, "serial", got, want, gotErr, wantErr)
+
+	par, parStats, parErr := DP{MaxStates: 1 << 30, Workers: 3}.SolveStats(in)
+	sameSolution(t, "parallel", par, want, parErr, wantErr)
+	if gotErr == nil && parErr == nil {
+		if got.Cost != par.Cost {
+			t.Errorf("parallel cost bits %x != serial %x", math.Float64bits(par.Cost), math.Float64bits(got.Cost))
+		}
+		if gotStats != parStats {
+			t.Errorf("parallel stats %+v != serial %+v", parStats, gotStats)
+		}
+	}
+
+	for _, eps := range []float64{0.3, 2.5} {
+		wantA, wantAErr := refApproxDP(in, eps)
+		gotA, _, gotAErr := ApproxDP{Eps: eps, MaxStates: 1 << 30}.SolveStats(in)
+		sameSolution(t, fmt.Sprintf("approx/eps=%g", eps), gotA, wantA, gotAErr, wantAErr)
+		parA, _, parAErr := ApproxDP{Eps: eps, MaxStates: 1 << 30, Workers: 3}.SolveStats(in)
+		sameSolution(t, fmt.Sprintf("approx-parallel/eps=%g", eps), parA, wantA, parAErr, wantAErr)
+	}
+}
+
+// TestFastPowTolerance bounds the opt-in fast-pow drift: solver costs with
+// Instance.FastPow set must stay within 1e-9 relative of the math.Pow
+// defaults. FastPow is deliberately excluded from the bit-identity corpus —
+// this tolerance bound is its entire contract.
+func TestFastPowTolerance(t *testing.T) {
+	models := []struct {
+		name string
+		proc speed.Proc
+	}{
+		{"cubic", speed.Proc{Model: power.Cubic(), SMax: 1}},
+		{"quadratic", speed.Proc{Model: power.Polynomial{Coeff: 1.5, Alpha: 2}, SMax: 1}},
+	}
+	solvers := []Solver{DP{}, GreedyDensity{}, GreedyMarginal{}, RandomAdmission{Seed: 3, Restarts: 8, Workers: 1}}
+	for _, m := range models {
+		for s := int64(0); s < 4; s++ {
+			in := diffInstance(t, 9000+s, 10+int(s), 0.8+0.3*float64(s), m.proc, false)
+			fast := in
+			fast.FastPow = true
+			for _, solver := range solvers {
+				want, wantErr := solver.Solve(in)
+				got, gotErr := solver.Solve(fast)
+				if (gotErr != nil) != (wantErr != nil) {
+					t.Fatalf("%s/seed=%d/%s: error mismatch: %v vs %v", m.name, s, solver.Name(), gotErr, wantErr)
+				}
+				if gotErr != nil {
+					continue
+				}
+				if diff := math.Abs(got.Cost - want.Cost); diff > 1e-9*(1+math.Abs(want.Cost)) {
+					t.Errorf("%s/seed=%d/%s: fast-pow cost %v, default %v (diff %g)",
+						m.name, s, solver.Name(), got.Cost, want.Cost, diff)
+				}
+			}
+		}
+	}
+	// On exponents outside {2, 3} the flag must be inert: bit-identical.
+	frac := speed.Proc{Model: power.Polynomial{Coeff: 1, Alpha: 2.5}, SMax: 1}
+	in := diffInstance(t, 9100, 12, 1.2, frac, false)
+	fast := in
+	fast.FastPow = true
+	want, wantErr := DP{}.Solve(in)
+	got, gotErr := DP{}.Solve(fast)
+	sameSolution(t, "alpha2.5-inert", got, want, gotErr, wantErr)
+	if gotErr == nil && math.Float64bits(got.Cost) != math.Float64bits(want.Cost) {
+		t.Errorf("alpha2.5-inert: cost bits changed: %x vs %x", math.Float64bits(got.Cost), math.Float64bits(want.Cost))
+	}
+}

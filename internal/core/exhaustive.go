@@ -221,10 +221,17 @@ type searcher struct {
 	cacheValid bool
 	cacheE     []float64
 	cacheSet   []bool
+
+	// ceCol/vCol mirror items' ce and v fields in branch order: the
+	// lowerBound suffix sweep runs once per node over n−idx entries, and
+	// two packed float columns keep it streaming cache lines instead of
+	// striding 32-byte item structs.
+	ceCol []float64
+	vCol  []float64
 }
 
 func newSearcher(ctx *evalCtx, its []item, convex bool) *searcher {
-	return &searcher{
+	s := &searcher{
 		ctx:      ctx,
 		items:    its,
 		convex:   convex,
@@ -232,7 +239,14 @@ func newSearcher(ctx *evalCtx, its []item, convex bool) *searcher {
 		accepted: make([]bool, len(its)),
 		cacheE:   make([]float64, len(its)),
 		cacheSet: make([]bool, len(its)),
+		ceCol:    make([]float64, len(its)),
+		vCol:     make([]float64, len(its)),
 	}
+	for i, it := range its {
+		s.ceCol[i] = it.ce
+		s.vCol[i] = it.v
+	}
+	return s
 }
 
 // costEps breaks ties in favour of the incumbent to keep results stable.
@@ -321,13 +335,13 @@ func (s *searcher) lowerBound(idx int, wEff, vRej float64) float64 {
 	}
 	for i := idx; i < len(s.items); i++ {
 		if !s.cacheSet[i] {
-			s.cacheE[i] = s.ctx.surrogate(wEff + s.items[i].ce)
+			s.cacheE[i] = s.ctx.surrogate(wEff + s.ceCol[i])
 			s.cacheSet[i] = true
 		}
 		// min(v, marginal) by branch: v is finite ≥ 0 and marginal is
 		// finite or +Inf, so this equals math.Min without the call.
 		m := s.cacheE[i] - base
-		if v := s.items[i].v; v < m {
+		if v := s.vCol[i]; v < m {
 			m = v
 		}
 		lb += m

@@ -39,32 +39,30 @@ func ParetoFrontier(in Instance) ([]FrontierPoint, error) {
 	}
 	width := cap64 + 1
 
-	f := make([]float64, width)
-	for w := range f {
-		f[w] = math.Inf(1)
+	// The rows run through the shared double-buffered kernel (dpkernel.go);
+	// its per-cell select equals the seed's math.Min(reject, accept) bit
+	// for bit (no NaNs enter the table and tied values share their bits).
+	// The take bits it records go to a single reused row, ignored here.
+	prev := make([]float64, width)
+	cur := make([]float64, width)
+	for w := range prev {
+		prev[w] = math.Inf(1)
+		cur[w] = math.Inf(1)
 	}
-	f[0] = 0
+	prev[0] = 0
+	bits := make([]uint64, (width+63)/64)
+	var reach int64
 	for _, it := range its {
 		if it.c > cap64 {
-			for w := int64(0); w < width; w++ {
-				if !math.IsInf(f[w], 1) {
-					f[w] += it.v
-				}
-			}
+			dpRejectRange(prev, cur, it.v, 0, reach+1)
+			prev, cur = cur, prev
 			continue
 		}
-		for w := cap64; w >= 0; w-- {
-			reject := math.Inf(1)
-			if !math.IsInf(f[w], 1) {
-				reject = f[w] + it.v
-			}
-			accept := math.Inf(1)
-			if w >= it.c && !math.IsInf(f[w-it.c], 1) {
-				accept = f[w-it.c]
-			}
-			f[w] = math.Min(reject, accept)
-		}
+		reach = min(reach+it.c, cap64)
+		dpRowRange(prev, cur, bits, it.c, it.v, 0, reach+1)
+		prev, cur = cur, prev
 	}
+	f := prev
 
 	// Non-dominated sweep: walk w upward (energy non-decreasing) and keep
 	// points that strictly lower the penalty.

@@ -92,13 +92,22 @@ func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
 		limit = 10 * n
 	}
 
-	acc := seed.AcceptedSet()
+	// The move loops walk the context's struct-of-arrays columns with
+	// position-indexed admission flags: the same floats in the same order
+	// as the seed's item structs and id-keyed map, laid out so the O(n²)
+	// swap scan streams two contiguous float columns per candidate instead
+	// of striding item structs and hashing IDs.
+	colC, colCE, colV := ctx.colC, ctx.colCE, ctx.colV
+	acc := make([]bool, n)
+	for _, id := range seed.Accepted {
+		acc[ctx.idx[id]] = true
+	}
 	var wTrue int64
 	var wEff float64
-	for _, it := range its {
-		if acc[it.id] {
-			wTrue += it.c
-			wEff += it.ce
+	for i, a := range acc {
+		if a {
+			wTrue += colC[i]
+			wEff += colCE[i]
 		}
 	}
 
@@ -107,18 +116,18 @@ func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
 		bestOut, bestIn := -1, -1 // indices to evict / admit (-1 = none)
 		base := ctx.surrogate(wEff)
 
-		for i, it := range its {
+		for i := 0; i < n; i++ {
 			var gain float64
-			if acc[it.id] {
+			if acc[i] {
 				// Reject it: save its energy share, pay its penalty.
-				gain = base - ctx.surrogate(wEff-it.ce) - it.v
+				gain = base - ctx.surrogate(wEff-colCE[i]) - colV[i]
 				if gain > bestGain {
 					bestGain, bestOut, bestIn = gain, i, -1
 				}
 			} else {
-				if ctx.fits(float64(wTrue + it.c)) {
+				if ctx.fits(float64(wTrue + colC[i])) {
 					// Accept it: save its penalty, pay marginal energy.
-					gain = it.v - (ctx.surrogate(wEff+it.ce) - base)
+					gain = colV[i] - (ctx.surrogate(wEff+colCE[i]) - base)
 					if gain > bestGain {
 						bestGain, bestOut, bestIn = gain, -1, i
 					}
@@ -127,15 +136,15 @@ func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
 					continue
 				}
 				// Swap it in for each currently accepted task.
-				for j, jt := range its {
-					if !acc[jt.id] {
+				for j := 0; j < n; j++ {
+					if !acc[j] {
 						continue
 					}
-					if !ctx.fits(float64(wTrue - jt.c + it.c)) {
+					if !ctx.fits(float64(wTrue - colC[j] + colC[i])) {
 						continue
 					}
-					newEff := wEff - jt.ce + it.ce
-					gain = it.v - jt.v - (ctx.surrogate(newEff) - base)
+					newEff := wEff - colCE[j] + colCE[i]
+					gain = colV[i] - colV[j] - (ctx.surrogate(newEff) - base)
 					if gain > bestGain {
 						bestGain, bestOut, bestIn = gain, j, i
 					}
@@ -146,22 +155,22 @@ func (g GreedyMarginal) Solve(in Instance) (Solution, error) {
 			break
 		}
 		if bestOut >= 0 {
-			it := its[bestOut]
-			delete(acc, it.id)
-			wTrue -= it.c
-			wEff -= it.ce
+			acc[bestOut] = false
+			wTrue -= colC[bestOut]
+			wEff -= colCE[bestOut]
 		}
 		if bestIn >= 0 {
-			it := its[bestIn]
-			acc[it.id] = true
-			wTrue += it.c
-			wEff += it.ce
+			acc[bestIn] = true
+			wTrue += colC[bestIn]
+			wEff += colCE[bestIn]
 		}
 	}
 
-	ids := make([]int, 0, len(acc))
-	for id := range acc {
-		ids = append(ids, id)
+	ids := make([]int, 0, n)
+	for i, a := range acc {
+		if a {
+			ids = append(ids, its[i].id)
+		}
 	}
 	return ctx.evaluate(ids)
 }

@@ -21,7 +21,8 @@ import "sync"
 
 // dpScratch bundles the table state of one rejection-DP solve.
 type dpScratch struct {
-	f      []float64 // DP row, one cell per workload level
+	f      []float64 // DP row buffer, one cell per workload level
+	f2     []float64 // second row buffer (the kernel double-buffers rows)
 	words  []uint64  // takeTable backing
 	ids    []int     // reconstruction output
 	scaled []item    // ApproxDP's rounded item view

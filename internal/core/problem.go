@@ -34,6 +34,14 @@ type Instance struct {
 	Tasks task.Set
 	Proc  speed.Proc
 
+	// FastPow opts the solvers into integer-exponent fast paths for the
+	// dynamic-power exponentiations when α ∈ {2, 3} (s·s·s instead of
+	// math.Pow(s, 3)). The products agree with math.Pow to the last ulp
+	// or two but are NOT bit-identical on all inputs, so the flag is off
+	// by default and excluded from the bit-identity contract; a tolerance
+	// test bounds the drift instead.
+	FastPow bool
+
 	// procProfile, when non-nil and matching Proc, lets the evaluation
 	// context reuse the precomputed processor-level derivation. Attached
 	// via WithProcProfile; never affects results.

@@ -3,6 +3,7 @@ package core
 import (
 	"slices"
 
+	"dvsreject/internal/power"
 	"dvsreject/internal/speed"
 )
 
@@ -32,6 +33,12 @@ type ProcProfile struct {
 	pind       float64
 	coeff      float64
 	alpha      float64
+
+	// pd memoizes the per-level dynamic power of discrete-ladder
+	// processors (hasPd marks it built): the grid the DP final scans
+	// query, seeded once via math.Pow so table hits are bit-identical.
+	pd    power.PdTable
+	hasPd bool
 }
 
 // NewProcProfile validates p and precomputes its evaluation constants.
@@ -41,7 +48,7 @@ func NewProcProfile(p speed.Proc) (*ProcProfile, error) {
 	}
 	p.Levels = slices.Clone(p.Levels)
 	m := p.Model
-	return &ProcProfile{
+	pp := &ProcProfile{
 		proc:       p,
 		maxSpeed:   p.MaxSpeed(),
 		convex:     p.Levels == nil && m.Static() == 0 && !p.DormantEnable,
@@ -51,7 +58,12 @@ func NewProcProfile(p speed.Proc) (*ProcProfile, error) {
 		pind:       m.Static(),
 		coeff:      m.Coeff,
 		alpha:      m.Alpha,
-	}, nil
+	}
+	if p.Levels != nil {
+		pp.pd = power.NewPdTable(m, p.Levels)
+		pp.hasPd = true
+	}
+	return pp, nil
 }
 
 // matches reports whether the profile was built from exactly this processor

@@ -1,0 +1,46 @@
+package power
+
+import "slices"
+
+// PdTable memoizes the dynamic power Pd(s) of a model at a fixed,
+// ascending grid of candidate speeds — the discrete ladder the DP and YDS
+// solvers actually query. Each entry is seeded once through the model's
+// own Dynamic (one math.Pow per grid speed), so a table hit returns the
+// exact float the direct evaluation would have produced: memoization is
+// bit-identical by construction, never an approximation.
+type PdTable struct {
+	speeds []float64
+	pd     []float64
+}
+
+// NewPdTable builds the memo table over the given grid. Speeds must be
+// sorted ascending (LevelSet order); the grid is cloned.
+func NewPdTable(m Model, speeds []float64) PdTable {
+	t := PdTable{
+		speeds: slices.Clone(speeds),
+		pd:     make([]float64, len(speeds)),
+	}
+	for i, s := range t.speeds {
+		t.pd[i] = m.Dynamic(s)
+	}
+	return t
+}
+
+// Len returns the grid size.
+func (t PdTable) Len() int { return len(t.speeds) }
+
+// Speed returns grid speed i.
+func (t PdTable) Speed(i int) float64 { return t.speeds[i] }
+
+// At returns Pd(Speed(i)).
+func (t PdTable) At(i int) float64 { return t.pd[i] }
+
+// Lookup returns the memoized Pd(s) for a speed on the grid, matching by
+// exact float bits (any other policy could change solver arithmetic).
+func (t PdTable) Lookup(s float64) (float64, bool) {
+	i, ok := slices.BinarySearch(t.speeds, s)
+	if !ok {
+		return 0, false
+	}
+	return t.pd[i], true
+}

@@ -52,8 +52,11 @@ type Block struct {
 func (s Schedule) Energy(m power.Polynomial) float64 {
 	var e float64
 	for _, b := range s.Blocks {
+		// One Pow per block, not per piece: every piece of a block runs at
+		// the block speed, so the hoisted power is the identical float.
+		pd := m.Dynamic(b.Speed)
 		for _, p := range b.Pieces {
-			e += m.Dynamic(b.Speed) * p.Duration()
+			e += pd * p.Duration()
 		}
 	}
 	return e
@@ -275,8 +278,9 @@ func criticalInterval(live []job) (s, t float64, members []int, g float64) {
 func (s Schedule) EnergyCubic() float64 {
 	var e float64
 	for _, b := range s.Blocks {
+		pd := math.Pow(b.Speed, 3)
 		for _, p := range b.Pieces {
-			e += math.Pow(b.Speed, 3) * p.Duration()
+			e += pd * p.Duration()
 		}
 	}
 	return e

@@ -373,3 +373,81 @@ func TestStatsCount(t *testing.T) {
 		t.Errorf("cache hits/misses = %d/%d, want 1/1", st.Cache.Hits, st.Cache.Misses)
 	}
 }
+
+// TestStatsReadersRaceSolvers hammers Stats() — the GET /stats path — from
+// dedicated reader goroutines while writers solve, batch and reset
+// concurrently. It exists to run under -race: every counter on the stats
+// path must be mutex-guarded (LRU shards) or atomic (engine counters), so
+// a snapshot taken mid-solve is merely slightly stale, never torn. Readers
+// also check per-goroutine monotonicity of the cumulative counters, which
+// a torn or unsynchronized read would eventually violate.
+func TestStatsReadersRaceSolvers(t *testing.T) {
+	e := New(Config{Shards: 4, EntriesPerShard: 8})
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{Tasks: testSet(t, int64(20+i), 12), Proc: testProcs["ideal"], Solver: "DP"}
+	}
+	ctx := context.Background()
+	done := make(chan struct{})
+
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var prev Stats
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := e.Stats()
+				if st.Requests < prev.Requests || st.Cache.Hits < prev.Cache.Hits ||
+					st.Cache.Misses < prev.Cache.Misses || st.Coalesced < prev.Coalesced {
+					t.Errorf("stats went backwards: %+v after %+v", st, prev)
+					return
+				}
+				prev = st
+			}
+		}()
+	}
+
+	var issued uint64
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for iter := 0; iter < 30; iter++ {
+				n := uint64(0)
+				switch iter % 3 {
+				case 0:
+					e.Solve(ctx, reqs[(w+iter)%len(reqs)])
+					n = 1
+				case 1:
+					e.SolveBatch(ctx, reqs[:3])
+					n = 3
+				default:
+					e.Solve(ctx, reqs[(w*2+iter)%len(reqs)])
+					e.Reset()
+					n = 1
+				}
+				mu.Lock()
+				issued += n
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Readers stay live for the writers' whole run, then drain before the
+	// quiescent final snapshot.
+	writers.Wait()
+	close(done)
+	readers.Wait()
+
+	st := e.Stats()
+	if st.Requests != issued {
+		t.Errorf("Requests = %d, want %d", st.Requests, issued)
+	}
+}

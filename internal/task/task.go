@@ -57,16 +57,35 @@ type Set struct {
 // Validate checks the frame and every task, including ID uniqueness.
 // seenPool recycles the ID-uniqueness sets across Validate calls: solvers
 // re-validate their instance on every Solve, and the per-call map was the
-// dominant steady-state allocation of the pooled DP solvers.
-var seenPool = sync.Pool{New: func() any { return make(map[int]bool) }}
+// dominant steady-state allocation of the pooled DP solvers. grown tracks
+// the largest set a pooled map has served: clear() walks a map's whole
+// bucket array (its high-water capacity, not its length), so a map that
+// once validated a 100k-task set would tax every later small Validate with
+// an O(100k) clear. Maps grown far past the current need are dropped and
+// reallocated at the right size instead.
+type seenSet struct {
+	m     map[int]bool
+	grown int
+}
+
+var seenPool = sync.Pool{New: func() any { return &seenSet{m: make(map[int]bool)} }}
 
 func (s Set) Validate() error {
 	if math.IsNaN(s.Deadline) || math.IsInf(s.Deadline, 0) || s.Deadline <= 0 {
 		return fmt.Errorf("task set: deadline = %v, want finite > 0", s.Deadline)
 	}
-	seen := seenPool.Get().(map[int]bool)
-	clear(seen)
-	defer seenPool.Put(seen)
+	ss := seenPool.Get().(*seenSet)
+	if n := len(s.Tasks); ss.grown > 4*n+1024 {
+		ss.m = make(map[int]bool, n)
+		ss.grown = n
+	} else {
+		clear(ss.m)
+		if n > ss.grown {
+			ss.grown = n
+		}
+	}
+	seen := ss.m
+	defer seenPool.Put(ss)
 	for _, t := range s.Tasks {
 		if err := t.Validate(); err != nil {
 			return err
@@ -113,6 +132,27 @@ func (s Set) ByID(id int) (Task, bool) {
 		}
 	}
 	return Task{}, false
+}
+
+// Columns is a struct-of-arrays mirror of a Set's per-task fields:
+// position-aligned contiguous slices for the solver loops that scan one
+// field across every task (penalty sums, capacity sweeps) and would waste
+// most of each cache line walking []Task at large n. Values are copied
+// verbatim; the columns stay valid until the set is mutated.
+type Columns struct {
+	Cycles    []int64
+	Penalties []float64
+}
+
+// AppendColumns fills c with the set's tasks in position order, reusing
+// the slices' backing arrays when they are large enough (callers pass
+// c.Cycles[:0] style slices to recycle buffers across solves).
+func (s Set) AppendColumns(c Columns) Columns {
+	for _, t := range s.Tasks {
+		c.Cycles = append(c.Cycles, t.Cycles)
+		c.Penalties = append(c.Penalties, t.Penalty)
+	}
+	return c
 }
 
 // Index returns a map from task ID to the task's position in Tasks. It is
