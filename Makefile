@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-json bench-diff serve-smoke fuzz experiments examples clean
+.PHONY: all build vet test test-short cover bench bench-json bench-diff serve-smoke fuzz verifyfuzz fuzz-corpus experiments examples clean
 
 all: build vet test
 
@@ -38,6 +38,18 @@ serve-smoke:
 fuzz:
 	$(GO) test ./internal/task/ -fuzz FuzzReadJSON -fuzztime 30s
 	$(GO) test ./internal/task/ -fuzz FuzzReadPeriodicJSON -fuzztime 30s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzSolverInvariants$$' -fuzztime 60s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzMetamorphic$$' -fuzztime 60s
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz '^FuzzServeFingerprint$$' -fuzztime 60s
+
+# Randomized oracle/metamorphic soak through the solver registry; on
+# failure it shrinks the instance and writes a repro (see TESTING.md).
+verifyfuzz:
+	$(GO) run ./cmd/verifyfuzz -duration 60s
+
+# Regenerate the committed seed corpora from verify.SeedInstances().
+fuzz-corpus:
+	$(GO) run ./cmd/verifyfuzz -emit-corpus .
 
 experiments:
 	$(GO) run ./cmd/experiments

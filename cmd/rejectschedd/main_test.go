@@ -1,0 +1,140 @@
+package main
+
+// Error-path coverage of the daemon surface, exercising the same wiring
+// main builds (serve.New + serve.NewHandler): client errors must map to
+// 400, solver rejections to 422, per-request deadline overruns to 504,
+// an empty batch must round-trip, and /stats must reconcile with the
+// traffic the test generated.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dvsreject/internal/serve"
+)
+
+// newTestServer mirrors main's engine construction with the default flags.
+func newTestServer(t *testing.T) (*serve.Engine, *httptest.Server) {
+	t.Helper()
+	engine := serve.New(serve.Config{Shards: 16, EntriesPerShard: 256, DefaultSolver: "DP"})
+	srv := httptest.NewServer(serve.NewHandler(engine))
+	t.Cleanup(srv.Close)
+	return engine, srv
+}
+
+func post(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// smallInstance is a well-formed request body template.
+func smallInstance(solver string) string {
+	return fmt.Sprintf(`{"solver": %q, "deadline": 10, "smax": 1, "tasks": [
+		{"id": 1, "cycles": 4, "penalty": 3},
+		{"id": 2, "cycles": 7, "penalty": 1.5}
+	]}`, solver)
+}
+
+func TestDaemonMalformedJSON(t *testing.T) {
+	_, srv := newTestServer(t)
+	if resp := post(t, srv.URL+"/solve", `{"deadline": `); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(t, srv.URL+"/batch", `[1, 2]`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("batch body of the wrong shape: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDaemonUnknownSolver(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := post(t, srv.URL+"/solve", smallInstance("NOPE"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown solver: status %d, want 422", resp.StatusCode)
+	}
+	var body serve.WireResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == "" {
+		t.Error("422 response carried no error message")
+	}
+}
+
+func TestDaemonTimeout(t *testing.T) {
+	_, srv := newTestServer(t)
+	// A wide DP table (capacity 500000, 60 tasks with pairwise-coprime-ish
+	// cycle counts that defeat gcd rescaling) takes tens of milliseconds;
+	// a 1 ms budget cannot cover it, so the handler must answer 504.
+	var sb strings.Builder
+	sb.WriteString(`{"solver": "DP", "deadline": 500000, "smax": 1, "timeout_ms": 1, "tasks": [`)
+	for i := 0; i < 60; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"id": %d, "cycles": %d, "penalty": %d}`, i+1, 7919+2*i*i+i, 5+i)
+	}
+	sb.WriteString(`]}`)
+	resp := post(t, srv.URL+"/solve", sb.String())
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline overrun: status %d, want 504", resp.StatusCode)
+	}
+	var body serve.WireResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == "" {
+		t.Error("504 response carried no error message")
+	}
+}
+
+func TestDaemonEmptyBatch(t *testing.T) {
+	_, srv := newTestServer(t)
+	for _, body := range []string{`{"requests": []}`, `{}`} {
+		resp := post(t, srv.URL+"/batch", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("empty batch %q: status %d, want 200", body, resp.StatusCode)
+		}
+		var out serve.WireBatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Responses) != 0 {
+			t.Errorf("empty batch %q returned %d responses", body, len(out.Responses))
+		}
+	}
+}
+
+func TestDaemonStatsReconcile(t *testing.T) {
+	engine, srv := newTestServer(t)
+	// Two identical solves: one miss, one hit.
+	for i := 0; i < 2; i++ {
+		if resp := post(t, srv.URL+"/solve", smallInstance("DP")); resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 requests / 1 hit / 1 miss", st)
+	}
+	// The HTTP view must match the engine's own counters.
+	if direct := engine.Stats(); direct != st {
+		t.Errorf("HTTP stats %+v diverge from engine stats %+v", st, direct)
+	}
+}

@@ -1,0 +1,161 @@
+// Command verifyfuzz soaks the solvers against the shared verification
+// oracles: it draws random instances across every processor flavour, runs
+// the full invariant sweep (and optionally the metamorphic battery) on
+// each, and on the first failure shrinks the instance to a minimal repro,
+// writes it as JSON plus a paste-ready Go test case, and exits non-zero.
+//
+// CI runs it as a short smoke (-duration 60s); the nightly job runs it
+// long. -emit-corpus regenerates the committed seed corpora for the
+// native Go fuzz targets from the canonical seed list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify"
+)
+
+func main() {
+	var (
+		duration    = flag.Duration("duration", 60*time.Second, "how long to soak")
+		seed        = flag.Int64("seed", 1, "base RNG seed (worker w uses seed + w·1000003)")
+		solvers     = flag.String("solvers", "", "comma-separated registry names to sweep (default: all)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep goroutines")
+		metamorphic = flag.Bool("metamorphic", true, "also run the metamorphic battery on each draw")
+		out         = flag.String("out", "testdata/shrunk", "directory for failure repros")
+		emitCorpus  = flag.String("emit-corpus", "", "write the canonical fuzz seed corpora under this repo root and exit")
+	)
+	flag.Parse()
+
+	if *emitCorpus != "" {
+		if err := writeCorpora(*emitCorpus); err != nil {
+			fmt.Fprintln(os.Stderr, "verifyfuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opt := verify.Options{}
+	if *solvers != "" {
+		opt.Solvers = strings.Split(*solvers, ",")
+	}
+
+	type failure struct {
+		in   core.Instance
+		meta bool // failed in the metamorphic battery, not the sweep
+		err  error
+	}
+	var (
+		firstMu sync.Mutex
+		first   *failure
+		checked atomic.Int64
+		stop    = make(chan struct{})
+	)
+	report := func(f failure) {
+		firstMu.Lock()
+		defer firstMu.Unlock()
+		if first == nil {
+			first = &f
+			close(stop)
+		}
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*1000003))
+			for time.Now().Before(deadline) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in, _, err := verify.Draw(rng)
+				if err != nil {
+					report(failure{in: in, err: fmt.Errorf("draw: %w", err)})
+					return
+				}
+				if err := verify.CheckInstance(in, opt); err != nil {
+					report(failure{in: in, err: err})
+					return
+				}
+				if *metamorphic {
+					if err := verify.CheckMetamorphic(in, opt); err != nil {
+						report(failure{in: in, meta: true, err: err})
+						return
+					}
+				}
+				checked.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if first == nil {
+		fmt.Printf("verifyfuzz: OK — %d instances swept in %v (%d workers, seed %d)\n",
+			checked.Load(), duration.Round(time.Second), *workers, *seed)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "verifyfuzz: FAILURE after %d clean instances:\n%v\n", checked.Load(), first.err)
+	check := func(c core.Instance) error { return verify.CheckInstance(c, opt) }
+	if first.meta {
+		check = func(c core.Instance) error { return verify.CheckMetamorphic(c, opt) }
+	}
+	small := verify.Shrink(first.in, func(c core.Instance) bool {
+		return verify.SameFailure(check(c), first.err)
+	})
+	stamp := time.Now().UTC().Format("20060102-150405")
+	path := filepath.Join(*out, fmt.Sprintf("verifyfuzz-%s.json", stamp))
+	r := verify.NewRepro(small, first.err, "shrunk by cmd/verifyfuzz; see TESTING.md for the repro workflow")
+	if err := verify.WriteRepro(path, r); err != nil {
+		fmt.Fprintln(os.Stderr, "verifyfuzz: writing repro:", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "\nshrunk repro (%d tasks) written to %s\n", len(small.Tasks.Tasks), path)
+	}
+	fmt.Fprintf(os.Stderr, "\npaste-ready test case:\n\n%s\n", verify.GoTestCase("VerifyfuzzRepro", small))
+	os.Exit(1)
+}
+
+// corpusTargets lists each fuzz target's corpus directory. All targets
+// share the canonical seed list; the codec ignores bytes a target does not
+// use.
+var corpusTargets = []string{
+	"internal/core/testdata/fuzz/FuzzSolverInvariants",
+	"internal/core/testdata/fuzz/FuzzMetamorphic",
+	"internal/serve/testdata/fuzz/FuzzServeFingerprint",
+}
+
+func writeCorpora(root string) error {
+	for _, dir := range corpusTargets {
+		full := filepath.Join(root, dir)
+		if err := os.MkdirAll(full, 0o755); err != nil {
+			return err
+		}
+		for _, s := range verify.SeedInstances() {
+			data, ok := verify.EncodeInstance(s.In)
+			if !ok {
+				return fmt.Errorf("seed %q is not codec-representable", s.Name)
+			}
+			entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(filepath.Join(full, s.Name), []byte(entry), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(dir, s.Name))
+		}
+	}
+	return nil
+}

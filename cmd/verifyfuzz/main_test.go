@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dvsreject/internal/verify"
+)
+
+// TestWriteCorpora pins the -emit-corpus output: one file per canonical
+// seed per fuzz target, in the go-fuzz v1 corpus format, each decoding
+// back to a valid instance.
+func TestWriteCorpora(t *testing.T) {
+	root := t.TempDir()
+	if err := writeCorpora(root); err != nil {
+		t.Fatal(err)
+	}
+	const prefix = "go test fuzz v1\n[]byte("
+	for _, dir := range corpusTargets {
+		for _, s := range verify.SeedInstances() {
+			path := filepath.Join(root, dir, s.Name)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing corpus file: %v", err)
+			}
+			text := string(data)
+			if !strings.HasPrefix(text, prefix) || !strings.HasSuffix(text, ")\n") {
+				t.Fatalf("%s: not in go-fuzz v1 format: %q", path, text)
+			}
+			payload, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(text, prefix), ")\n"))
+			if err != nil {
+				t.Fatalf("%s: cannot unquote corpus payload: %v", path, err)
+			}
+			in, ok := verify.DecodeInstance([]byte(payload))
+			if !ok {
+				t.Fatalf("%s: corpus payload does not decode", path)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s: decoded instance invalid: %v", path, err)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dvsreject/internal/gen"
 	"dvsreject/internal/power"
 	"dvsreject/internal/speed"
+	"dvsreject/internal/verify/oracle"
 )
 
 // This file pins the optimized solver hot paths to reference
@@ -69,6 +70,17 @@ func diffCorpus(t *testing.T) []diffCase {
 	return cases
 }
 
+// frameOf adapts Solution to the shared oracle's mirror struct. (This test
+// file is in package core, so it reaches the oracle leaf directly; the
+// verify layer above would be an import cycle from here.)
+func frameOf(s Solution) oracle.FrameSolution {
+	return oracle.FrameSolution{
+		Accepted: s.Accepted, Rejected: s.Rejected,
+		Assignment: s.Assignment, PerTaskSpeeds: s.PerTaskSpeeds,
+		Energy: s.Energy, Penalty: s.Penalty, Cost: s.Cost,
+	}
+}
+
 // sameSolution asserts an identical accepted set and a cost within 1e-9
 // relative tolerance (in practice the costs are bit-equal; the tolerance
 // absorbs nothing more than documentation).
@@ -81,12 +93,8 @@ func sameSolution(t *testing.T, name string, got, want Solution, gotErr, wantErr
 	if gotErr != nil {
 		return
 	}
-	if !slices.Equal(got.Accepted, want.Accepted) {
-		t.Errorf("%s: accepted %v, want %v", name, got.Accepted, want.Accepted)
-		return
-	}
-	if diff := math.Abs(got.Cost - want.Cost); diff > 1e-9*(1+math.Abs(want.Cost)) {
-		t.Errorf("%s: cost %v, want %v (diff %g)", name, got.Cost, want.Cost, diff)
+	if err := oracle.SameFrameDecision(frameOf(got), frameOf(want), 1e-9); err != nil {
+		t.Errorf("%s: %v", name, err)
 	}
 }
 

@@ -1,63 +1,59 @@
-package core
+package core_test
+
+// The soak lives in the external test package so it can drive the shared
+// verification library (internal/verify imports core, so an in-package
+// test would be an import cycle). The proc table and generator mirror the
+// in-package ones in solvers_test.go, which core_test cannot see.
 
 import (
-	"math"
+	"math/rand"
 	"testing"
 
+	"dvsreject/internal/core"
 	"dvsreject/internal/gen"
-	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/verify"
 )
+
+var soakProcs = map[string]speed.Proc{
+	"ideal-cubic":      {Model: power.Cubic(), SMax: 1},
+	"leaky-disable":    {Model: power.XScale(), SMax: 1},
+	"leaky-dormant":    {Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 2},
+	"discrete-xscale":  {Model: power.XScale(), Levels: power.XScaleLevels()},
+	"discrete-dormant": {Model: power.XScale(), Levels: power.XScaleLevels(), DormantEnable: true, Esw: 2},
+}
 
 // TestSoakExactAgreementAndFeasibility is the heavy randomized
 // cross-validation pass: hundreds of instances across every processor
-// flavour, penalty structure and load regime, checking (1) the two exact
-// solvers agree, (2) no heuristic beats them, and (3) every solution
-// replays cleanly through EDF. Skipped under -short.
+// flavour, penalty structure and load regime, each run through the full
+// verify.CheckInstance battery — per-solver frame invariants with EDF
+// replay, DP/OPT exact agreement, heuristic-not-below, the APPROX quality
+// envelope, Workers bit-identity, and the FastPow drift bound. Skipped
+// under -short.
 func TestSoakExactAgreementAndFeasibility(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	heuristics := []Solver{
-		GreedyDensity{}, GreedyMarginal{}, Rounding{},
-		ApproxDP{Eps: 0.15}, ApproxDPPenalty{Eps: 0.15},
-		AcceptAll{}, RandomAdmission{Seed: 3},
+	opt := verify.Options{
+		Seed:           3,  // the seed soak's RandomAdmission seed
+		MaxExhaustiveN: 13, // keep OPT in the sweep at the soak's n
 	}
 	count := 0
-	for name, proc := range testProcs {
+	for name, proc := range soakProcs {
 		for seed := int64(0); seed < 20; seed++ {
 			for _, load := range []float64{0.5, 1.0, 1.5, 2.2, 3.0} {
-				in := randomInstance(t, seed*31+int64(len(name)), 13, load, proc, gen.PenaltyModel(seed%3))
+				set, err := gen.Frame(rand.New(rand.NewSource(seed*31+int64(len(name)))), gen.Config{
+					N: 13, Load: load, Deadline: 200, SMax: proc.MaxSpeed(),
+					Penalty: gen.PenaltyModel(seed % 3),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := core.Instance{Tasks: set, Proc: proc}
 				count++
-				dp, err := (DP{}).Solve(in)
-				if err != nil {
-					t.Fatalf("%s seed %d load %v: DP: %v", name, seed, load, err)
-				}
-				opt, err := (Exhaustive{}).Solve(in)
-				if err != nil {
-					t.Fatalf("%s seed %d load %v: OPT: %v", name, seed, load, err)
-				}
-				if math.Abs(dp.Cost-opt.Cost) > 1e-6*(1+opt.Cost) {
-					t.Errorf("%s seed %d load %v: DP %v != OPT %v", name, seed, load, dp.Cost, opt.Cost)
-				}
-				for _, h := range heuristics {
-					sol, err := h.Solve(in)
-					if err != nil {
-						t.Fatalf("%s seed %d: %s: %v", name, seed, h.Name(), err)
-					}
-					if sol.Cost < opt.Cost-1e-6*(1+opt.Cost) {
-						t.Errorf("%s seed %d: %s %v beats OPT %v", name, seed, h.Name(), sol.Cost, opt.Cost)
-					}
-				}
-				// EDF replay of the optimum.
-				if len(dp.Accepted) > 0 {
-					jobs := edf.FrameJobs(in.Tasks, dp.Accepted)
-					r, err := edf.Simulate(jobs, dp.Assignment.Profile(0))
-					if err != nil {
-						t.Fatalf("%s seed %d: simulate: %v", name, seed, err)
-					}
-					if !r.Feasible() {
-						t.Errorf("%s seed %d: optimum missed %d deadlines", name, seed, r.Misses)
-					}
+				if err := verify.CheckInstance(in, opt); err != nil {
+					t.Errorf("%s seed %d load %v: %v", name, seed, load, err)
 				}
 			}
 		}

@@ -1,0 +1,68 @@
+// Native fuzz targets wiring the shared verification library onto the
+// solver registry. External test package: internal/verify imports core, so
+// these cannot live in package core (the in-package tests call
+// internal/verify/oracle directly instead).
+package core_test
+
+import (
+	"testing"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify"
+)
+
+// failShrunk minimizes the failing instance while the same (oracle,
+// subject) failure reproduces, then reports a paste-ready repro test case.
+func failShrunk(t *testing.T, in core.Instance, err error, check func(core.Instance) error) {
+	t.Helper()
+	small := verify.Shrink(in, func(c core.Instance) bool {
+		return verify.SameFailure(check(c), err)
+	})
+	t.Fatalf("%v\n\nshrunk repro (%d tasks):\n%s",
+		err, len(small.Tasks.Tasks), verify.GoTestCase("ShrunkRepro", small))
+}
+
+// FuzzSolverInvariants decodes arbitrary bytes into an instance and runs
+// the full oracle battery: every registry solver's solution is recomputed
+// from scratch and checked for EDF feasibility, exact agreement,
+// heuristic-not-below, the APPROX quality bound, Workers bit-identity and
+// FastPow drift.
+func FuzzSolverInvariants(f *testing.F) {
+	for _, s := range verify.SeedInstances() {
+		if data, ok := verify.EncodeInstance(s.In); ok {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, ok := verify.DecodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		check := func(c core.Instance) error { return verify.CheckInstance(c, verify.Options{}) }
+		if err := check(in); err != nil {
+			failShrunk(t, in, err, check)
+		}
+	})
+}
+
+// FuzzMetamorphic decodes arbitrary bytes into an instance and checks the
+// metamorphic battery: task permutation, penalty scaling, zero-penalty
+// duplication and deadline tightening must move the exact optimum only
+// within each transform's provable relation.
+func FuzzMetamorphic(f *testing.F) {
+	for _, s := range verify.SeedInstances() {
+		if data, ok := verify.EncodeInstance(s.In); ok {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, ok := verify.DecodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		check := func(c core.Instance) error { return verify.CheckMetamorphic(c, verify.Options{}) }
+		if err := check(in); err != nil {
+			failShrunk(t, in, err, check)
+		}
+	})
+}

@@ -10,13 +10,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"reflect"
 	"sort"
 	"testing"
 
 	"dvsreject/internal/power"
 	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/speed"
+	"dvsreject/internal/verify/oracle"
 )
 
 // refGaps is the seed Gaps with its unconditional interval sort.
@@ -188,11 +188,38 @@ var dormantProcs = map[string]speed.Proc{
 
 func mustEqualAnalyses(t *testing.T, label string, got, want Analysis) {
 	t.Helper()
-	if math.Float64bits(got.TotalIdle) != math.Float64bits(want.TotalIdle) ||
-		math.Float64bits(got.IdleEnergy) != math.Float64bits(want.IdleEnergy) ||
-		got.Shutdowns != want.Shutdowns ||
-		!reflect.DeepEqual(got.Gaps, want.Gaps) {
-		t.Errorf("%s: analyses diverge\n got %+v\nwant %+v", label, got, want)
+	var d oracle.Diff
+	d.F64("total idle", got.TotalIdle, want.TotalIdle)
+	d.F64("idle energy", got.IdleEnergy, want.IdleEnergy)
+	d.Int("shutdowns", got.Shutdowns, want.Shutdowns)
+	d.Int("gap count", len(got.Gaps), len(want.Gaps))
+	if len(got.Gaps) == len(want.Gaps) {
+		for i := range got.Gaps {
+			d.F64(fmt.Sprintf("gap %d start", i), got.Gaps[i].Start, want.Gaps[i].Start)
+			d.F64(fmt.Sprintf("gap %d end", i), got.Gaps[i].End, want.Gaps[i].End)
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Errorf("%s: analyses diverge: %v", label, err)
+	}
+}
+
+// mustEqualTraces compares two slice traces exactly: edf.Slice is all
+// scalar fields, so == is the full bit-identity check.
+func mustEqualTraces(t *testing.T, label string, got, want []edf.Slice) {
+	t.Helper()
+	var d oracle.Diff
+	d.Int("slice count", len(got), len(want))
+	if d.Ok() {
+		for i := range got {
+			if got[i] != want[i] {
+				d.Add("slice %d: %+v, want %+v", i, got[i], want[i])
+				break
+			}
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Errorf("%s: traces diverge: %v", label, err)
 	}
 }
 
@@ -207,9 +234,7 @@ func TestDifferentialSchedule(t *testing.T) {
 			if wantErr != nil {
 				continue
 			}
-			if !reflect.DeepEqual(got, want) {
-				t.Errorf("%s/%v: traces diverge\n got %+v\nwant %+v", c.label, mode, got, want)
-			}
+			mustEqualTraces(t, fmt.Sprintf("%s/%v", c.label, mode), got, want)
 		}
 	}
 }

@@ -5,15 +5,14 @@ package multiproc
 // refExhaustive below are verbatim copies of the seed implementations
 // (direct speed.Proc.Energy probes, per-move full re-pricing, serial
 // branch-and-bound), and every optimized solver must reproduce their
-// solutions bit for bit — costs compared with ==, partitions with
-// reflect.DeepEqual, and the exhaustive search additionally by explored
-// node count.
+// solutions bit for bit — checked through the shared verify oracles
+// (oracle.EqualPartitionSolutions + oracle.CheckPartition), and the
+// exhaustive search additionally by explored node count.
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"reflect"
 	"sort"
 	"testing"
 
@@ -21,6 +20,7 @@ import (
 	"dvsreject/internal/power"
 	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
+	"dvsreject/internal/verify/oracle"
 )
 
 // refLTFReject is the seed LTFReject.Solve.
@@ -305,20 +305,24 @@ func diffCorpus(t *testing.T) []Instance {
 	return corpus
 }
 
-// mustEqualSolutions compares two solutions exactly: identical costs (==,
-// not a tolerance) and identical partitions.
-func mustEqualSolutions(t *testing.T, label string, got, want Solution) {
+// partitionOf adapts Solution to the shared oracle's mirror struct.
+func partitionOf(s Solution) oracle.PartitionSolution {
+	return oracle.PartitionSolution{
+		PerProc: s.PerProc, Rejected: s.Rejected,
+		Energies: s.Energies, Energy: s.Energy, Penalty: s.Penalty, Cost: s.Cost,
+	}
+}
+
+// mustEqualSolutions compares two solutions through the shared verify
+// oracles: field-for-field bitwise equality, plus a from-scratch partition
+// recompute of the optimized solver's output.
+func mustEqualSolutions(t *testing.T, in Instance, label string, got, want Solution) {
 	t.Helper()
-	if got.Cost != want.Cost || got.Energy != want.Energy || got.Penalty != want.Penalty {
-		t.Errorf("%s: cost/energy/penalty = %v/%v/%v, want %v/%v/%v",
-			label, got.Cost, got.Energy, got.Penalty, want.Cost, want.Energy, want.Penalty)
+	if err := oracle.EqualPartitionSolutions(partitionOf(got), partitionOf(want)); err != nil {
+		t.Errorf("%s: %v", label, err)
 	}
-	if !reflect.DeepEqual(got.PerProc, want.PerProc) || !reflect.DeepEqual(got.Rejected, want.Rejected) {
-		t.Errorf("%s: partition %v / rejected %v, want %v / %v",
-			label, got.PerProc, got.Rejected, want.PerProc, want.Rejected)
-	}
-	if !reflect.DeepEqual(got.Energies, want.Energies) {
-		t.Errorf("%s: energies %v, want %v", label, got.Energies, want.Energies)
+	if err := oracle.CheckPartition(in.Tasks, in.Proc, in.M, partitionOf(got)); err != nil {
+		t.Errorf("%s: %v", label, err)
 	}
 }
 
@@ -332,7 +336,7 @@ func TestDifferentialLTFReject(t *testing.T) {
 		if err != nil {
 			t.Fatalf("instance %d: %v", i, err)
 		}
-		mustEqualSolutions(t, fmtLabel("LTFReject", i), got, want)
+		mustEqualSolutions(t, in, fmtLabel("LTFReject", i), got, want)
 	}
 }
 
@@ -347,7 +351,7 @@ func TestDifferentialLTFRejectLS(t *testing.T) {
 			if err != nil {
 				t.Fatalf("instance %d: %v", i, err)
 			}
-			mustEqualSolutions(t, fmtLabel("LTFRejectLS", i), got, want)
+			mustEqualSolutions(t, in, fmtLabel("LTFRejectLS", i), got, want)
 		}
 	}
 }
@@ -365,7 +369,7 @@ func TestDifferentialExhaustive(t *testing.T) {
 		if err != nil {
 			t.Fatalf("instance %d: %v", i, err)
 		}
-		mustEqualSolutions(t, fmtLabel("Exhaustive", i), got, want)
+		mustEqualSolutions(t, in, fmtLabel("Exhaustive", i), got, want)
 		if gotNodes != wantNodes {
 			t.Errorf("instance %d: explored %d nodes, reference %d", i, gotNodes, wantNodes)
 		}
@@ -374,7 +378,7 @@ func TestDifferentialExhaustive(t *testing.T) {
 		if err != nil {
 			t.Fatalf("instance %d: parallel: %v", i, err)
 		}
-		mustEqualSolutions(t, fmtLabel("ExhaustiveParallel", i), par, want)
+		mustEqualSolutions(t, in, fmtLabel("ExhaustiveParallel", i), par, want)
 	}
 }
 

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"reflect"
 	"slices"
 	"sort"
 	"testing"
@@ -22,6 +21,7 @@ import (
 	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/sched/yds"
 	"dvsreject/internal/speed"
+	"dvsreject/internal/verify/oracle"
 )
 
 // refPlanEnergy is the seed planEnergy: an uncached yds.Compute per probe.
@@ -311,15 +311,26 @@ func onlineCorpus() []struct {
 	return corpus
 }
 
+// admissionOf adapts Result to the shared oracle's mirror struct.
+func admissionOf(r Result) oracle.AdmissionResult {
+	return oracle.AdmissionResult{
+		Accepted: r.Accepted, Rejected: r.Rejected,
+		Energy: r.Energy, Penalty: r.Penalty, Cost: r.Cost, Misses: r.Misses,
+	}
+}
+
+func admissionJobs(jobs []Job) []oracle.AdmissionJob {
+	out := make([]oracle.AdmissionJob, len(jobs))
+	for i, j := range jobs {
+		out[i] = oracle.AdmissionJob{ID: j.ID, Arrival: j.Arrival, Penalty: j.Penalty}
+	}
+	return out
+}
+
 func mustEqualResults(t *testing.T, label string, got, want Result) {
 	t.Helper()
-	if math.Float64bits(got.Energy) != math.Float64bits(want.Energy) ||
-		math.Float64bits(got.Penalty) != math.Float64bits(want.Penalty) ||
-		math.Float64bits(got.Cost) != math.Float64bits(want.Cost) ||
-		got.Misses != want.Misses ||
-		!reflect.DeepEqual(got.Accepted, want.Accepted) ||
-		!reflect.DeepEqual(got.Rejected, want.Rejected) {
-		t.Errorf("%s: results diverge\n got %+v\nwant %+v", label, got, want)
+	if err := oracle.EqualAdmissionResults(admissionOf(got), admissionOf(want)); err != nil {
+		t.Errorf("%s: results diverge: %v\n got %+v\nwant %+v", label, err, got, want)
 	}
 }
 
@@ -343,6 +354,9 @@ func TestDifferentialSimulate(t *testing.T) {
 				continue
 			}
 			mustEqualResults(t, c.label+"/"+p.key, got, want)
+			if err := oracle.CheckAdmission(admissionJobs(c.jobs), admissionOf(got), false); err != nil {
+				t.Errorf("%s/%s: %v", c.label, p.key, err)
+			}
 		}
 	}
 }

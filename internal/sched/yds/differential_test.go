@@ -9,14 +9,13 @@ package yds
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
-	"reflect"
 	"sort"
 	"testing"
 
 	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/speed"
+	"dvsreject/internal/verify/oracle"
 )
 
 // refCriticalInterval is the seed scan over all ordered endpoint pairs.
@@ -171,6 +170,35 @@ func ydsCorpus() [][]edf.Job {
 	return corpus
 }
 
+// mustEqualSchedules compares two YDS schedules exactly through the shared
+// diff collector: block-for-block bitwise speeds, pieces and job IDs.
+func mustEqualSchedules(t *testing.T, label string, got, want Schedule) {
+	t.Helper()
+	var d oracle.Diff
+	d.F64("max speed", got.MaxSpeed, want.MaxSpeed)
+	d.Int("block count", len(got.Blocks), len(want.Blocks))
+	if d.Ok() {
+		for i := range got.Blocks {
+			gb, wb := got.Blocks[i], want.Blocks[i]
+			d.F64(fmt.Sprintf("block %d speed", i), gb.Speed, wb.Speed)
+			d.IDs(fmt.Sprintf("block %d job IDs", i), gb.JobIDs, wb.JobIDs)
+			if len(gb.Pieces) != len(wb.Pieces) {
+				d.Add("block %d: %d pieces, want %d", i, len(gb.Pieces), len(wb.Pieces))
+				continue
+			}
+			for p := range gb.Pieces {
+				if gb.Pieces[p] != wb.Pieces[p] {
+					d.Add("block %d piece %d: %+v, want %+v", i, p, gb.Pieces[p], wb.Pieces[p])
+					break
+				}
+			}
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Errorf("%s: schedules diverge: %v", label, err)
+	}
+}
+
 func TestDifferentialCompute(t *testing.T) {
 	for i, jobs := range ydsCorpus() {
 		want, wantErr := refCompute(jobs)
@@ -178,9 +206,7 @@ func TestDifferentialCompute(t *testing.T) {
 		if (wantErr == nil) != (gotErr == nil) {
 			t.Fatalf("corpus %d: error mismatch: %v vs %v", i, gotErr, wantErr)
 		}
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("corpus %d: schedules diverge\n got %+v\nwant %+v", i, got, want)
-		}
+		mustEqualSchedules(t, fmt.Sprintf("corpus %d", i), got, want)
 	}
 }
 
@@ -192,9 +218,13 @@ func TestDifferentialCriticalInterval(t *testing.T) {
 		}
 		ws, wt, wm, wg := refCriticalInterval(live)
 		gs, gt, gm, gg := criticalInterval(live)
-		if math.Float64bits(gs) != math.Float64bits(ws) || math.Float64bits(gt) != math.Float64bits(wt) ||
-			math.Float64bits(gg) != math.Float64bits(wg) || !reflect.DeepEqual(gm, wm) {
-			t.Errorf("corpus %d: interval (%v,%v,%v,%v), want (%v,%v,%v,%v)", i, gs, gt, gm, gg, ws, wt, wm, wg)
+		var d oracle.Diff
+		d.F64("interval start", gs, ws)
+		d.F64("interval end", gt, wt)
+		d.F64("intensity", gg, wg)
+		d.IDs("members", gm, wm)
+		if err := d.Err(); err != nil {
+			t.Errorf("corpus %d: critical interval diverges: %v", i, err)
 		}
 	}
 }

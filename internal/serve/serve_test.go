@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -12,6 +11,7 @@ import (
 	"dvsreject/internal/power"
 	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
+	"dvsreject/internal/verify"
 )
 
 // mustSet draws a deterministic contested instance.
@@ -46,34 +46,11 @@ func directSolve(t *testing.T, req Request, spec core.SolverSpec) (core.Solution
 	return s.Solve(core.Instance{Tasks: req.Tasks, Proc: req.Proc})
 }
 
+// solutionsBitEqual defers to the shared verification library's
+// bit-identity oracle (the serve contract: a cache hit or coalesced
+// response is indistinguishable from a cold solve).
 func solutionsBitEqual(a, b core.Solution) bool {
-	bits := math.Float64bits
-	intsEq := func(x, y []int) bool {
-		if len(x) != len(y) {
-			return false
-		}
-		for i := range x {
-			if x[i] != y[i] {
-				return false
-			}
-		}
-		return true
-	}
-	floatsEq := func(x, y []float64) bool {
-		if len(x) != len(y) {
-			return false
-		}
-		for i := range x {
-			if bits(x[i]) != bits(y[i]) {
-				return false
-			}
-		}
-		return true
-	}
-	return intsEq(a.Accepted, b.Accepted) && intsEq(a.Rejected, b.Rejected) &&
-		floatsEq(a.PerTaskSpeeds, b.PerTaskSpeeds) &&
-		bits(a.Energy) == bits(b.Energy) && bits(a.Penalty) == bits(b.Penalty) &&
-		bits(a.Cost) == bits(b.Cost) && a.Assignment == b.Assignment
+	return verify.BitIdenticalSolutions(a, b) == nil
 }
 
 var testProcs = map[string]speed.Proc{

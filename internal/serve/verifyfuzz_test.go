@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify"
+)
+
+// FuzzServeFingerprint holds the serving layer to its central promise on
+// arbitrary instances: a cache hit, a batch-deduplicated response and a
+// quantized-fingerprint engine all return solutions bit-identical to the
+// cold solve, the cold solve itself passes the frame oracles, and the
+// engine counters reconcile with the request history.
+func FuzzServeFingerprint(f *testing.F) {
+	for _, s := range verify.SeedInstances() {
+		if data, ok := verify.EncodeInstance(s.In); ok {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, ok := verify.DecodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		solver := "DP"
+		if in.Heterogeneous() {
+			solver = "OPT" // DP is homogeneous-only; instances are ≤ 12 tasks
+		}
+		ctx := context.Background()
+		req := Request{Tasks: in.Tasks, Proc: in.Proc, Solver: solver}
+
+		e := New(Config{Spec: core.SolverSpec{Workers: 1}})
+		cold := e.Solve(ctx, req)
+		if cold.Err != nil {
+			t.Fatalf("cold solve: %v", cold.Err)
+		}
+		if err := verify.CheckSolution(core.Instance{Tasks: in.Tasks, Proc: in.Proc}, cold.Solution); err != nil {
+			t.Fatalf("cold solution fails oracles: %v", err)
+		}
+
+		warm := e.Solve(ctx, req)
+		if warm.Err != nil {
+			t.Fatalf("warm solve: %v", warm.Err)
+		}
+		if !warm.CacheHit {
+			t.Fatal("second identical solve did not hit the plan cache")
+		}
+		if err := verify.BitIdenticalSolutions(warm.Solution, cold.Solution); err != nil {
+			t.Fatalf("cache hit diverges from cold solve: %v", err)
+		}
+
+		for i, r := range e.SolveBatch(ctx, []Request{req, req}) {
+			if r.Err != nil {
+				t.Fatalf("batch[%d]: %v", i, r.Err)
+			}
+			if err := verify.BitIdenticalSolutions(r.Solution, cold.Solution); err != nil {
+				t.Fatalf("batch[%d] diverges from cold solve: %v", i, err)
+			}
+		}
+
+		st := e.Stats()
+		if st.Requests != 4 {
+			t.Fatalf("stats: %d requests recorded, want 4", st.Requests)
+		}
+		if st.Cache.Misses < 1 || st.Cache.Hits < 1 {
+			t.Fatalf("stats do not reconcile: %+v", st)
+		}
+
+		// Quantized fingerprints may share cache slots but must never
+		// change results: the bit-exact hit verification either confirms
+		// the stored request or bypasses to a direct solve.
+		qe := New(Config{Quantum: 0.25, Spec: core.SolverSpec{Workers: 1}})
+		for i := 0; i < 2; i++ {
+			r := qe.Solve(ctx, req)
+			if r.Err != nil {
+				t.Fatalf("quantized solve %d: %v", i, r.Err)
+			}
+			if err := verify.BitIdenticalSolutions(r.Solution, cold.Solution); err != nil {
+				t.Fatalf("quantized solve %d diverges: %v", i, err)
+			}
+		}
+	})
+}

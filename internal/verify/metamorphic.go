@@ -1,0 +1,170 @@
+package verify
+
+import (
+	"math"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/task"
+	"dvsreject/internal/verify/oracle"
+)
+
+// Relation bounds the transformed instance's exact optimum cost c′ against
+// the original's c: Lo·c ≤ c′ ≤ Hi·c. Hi may be +Inf (monotone
+// non-decreasing, no upper bound).
+type Relation struct {
+	Lo, Hi float64
+}
+
+// Transform is one metamorphic instance rewrite with a provable cost
+// relation. Transforms are deterministic so failures shrink and replay
+// exactly.
+type Transform struct {
+	Name string
+	// Apply returns the rewritten instance and the relation its optimum
+	// provably satisfies; ok is false when the transform does not apply to
+	// this instance (the relation would be unsound there).
+	Apply func(in core.Instance) (out core.Instance, rel Relation, ok bool)
+}
+
+// Transforms is the metamorphic battery:
+//
+//   - permute-tasks: reversing the task order and relabeling IDs cannot
+//     change the optimum (the problem is defined on the multiset of tasks);
+//     costs agree up to float reassociation of the penalty sum.
+//   - scale-penalties: multiplying every penalty by κ ≥ 1 bounds the new
+//     optimum in [c, κ·c]: the original optimal set costs at most κ·c under
+//     the new penalties, and any set's new cost dominates its old one.
+//   - duplicate-free-task: appending a copy of a task with penalty 0 leaves
+//     the optimum unchanged — rejecting the copy is free, and accepting it
+//     only adds workload to a non-decreasing energy curve E(W).
+//   - tighten-deadline: shrinking D shrinks both the feasible-speed region
+//     and the capacity, so the optimum is monotone non-decreasing. Sound
+//     only on leakage-free, non-dormant processors: with static power the
+//     frame-long Pind·D term *shrinks* with D and the relation flips.
+var Transforms = []Transform{
+	{Name: "permute-tasks", Apply: permuteTasks},
+	{Name: "scale-penalties", Apply: scalePenalties},
+	{Name: "duplicate-free-task", Apply: duplicateFreeTask},
+	{Name: "tighten-deadline", Apply: tightenDeadline},
+}
+
+func permuteTasks(in core.Instance) (core.Instance, Relation, bool) {
+	n := len(in.Tasks.Tasks)
+	if n == 0 {
+		return in, Relation{}, false
+	}
+	out := in
+	out.Tasks.Tasks = make([]task.Task, n)
+	for i, t := range in.Tasks.Tasks {
+		t.ID = n - i // fresh ascending labels in the reversed order
+		out.Tasks.Tasks[n-1-i] = t
+	}
+	return out, Relation{Lo: 1, Hi: 1}, true
+}
+
+func scalePenalties(in core.Instance) (core.Instance, Relation, bool) {
+	const kappa = 3
+	out := in
+	out.Tasks.Tasks = make([]task.Task, len(in.Tasks.Tasks))
+	for i, t := range in.Tasks.Tasks {
+		if t.Penalty > math.MaxFloat64/kappa {
+			return in, Relation{}, false
+		}
+		t.Penalty *= kappa
+		out.Tasks.Tasks[i] = t
+	}
+	return out, Relation{Lo: 1, Hi: kappa}, true
+}
+
+func duplicateFreeTask(in core.Instance) (core.Instance, Relation, bool) {
+	n := len(in.Tasks.Tasks)
+	if n == 0 {
+		return in, Relation{}, false
+	}
+	maxID := 0
+	for _, t := range in.Tasks.Tasks {
+		if t.ID > maxID {
+			maxID = t.ID
+		}
+	}
+	dup := in.Tasks.Tasks[0]
+	dup.ID = maxID + 1
+	dup.Penalty = 0
+	out := in
+	out.Tasks.Tasks = append(append(make([]task.Task, 0, n+1), in.Tasks.Tasks...), dup)
+	return out, Relation{Lo: 1, Hi: 1}, true
+}
+
+func tightenDeadline(in core.Instance) (core.Instance, Relation, bool) {
+	if in.Proc.Model.Static() != 0 || in.Proc.DormantEnable {
+		return in, Relation{}, false
+	}
+	out := in
+	out.Tasks.Deadline = in.Tasks.Deadline * 0.75
+	return out, Relation{Lo: 1, Hi: math.Inf(1)}, true
+}
+
+// CheckMetamorphic applies every applicable transform to the instance,
+// solves both sides with an exact solver, verifies each solution against
+// the frame oracles, and checks the transformed optimum lands inside the
+// transform's provable relation. Instances with no available exact solver
+// (heterogeneous and larger than Options.MaxExhaustiveN) are skipped.
+func CheckMetamorphic(in core.Instance, opt Options) error {
+	if in.Validate() != nil {
+		return nil
+	}
+	opt = opt.withDefaults()
+	c0, ok, err := exactOptimum(in, opt, "original")
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	for _, tr := range Transforms {
+		out, rel, ok := tr.Apply(in)
+		if !ok || out.Validate() != nil {
+			continue
+		}
+		c1, ok, err := exactOptimum(out, opt, tr.Name)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		var d oracle.Diff
+		lo, hi := rel.Lo*c0, rel.Hi*c0
+		if c1 < lo-opt.Tol*(1+math.Abs(lo)) {
+			d.Add("optimum %v below relation floor %v (original %v)", c1, lo, c0)
+		}
+		if !math.IsInf(hi, 1) && c1 > hi+opt.Tol*(1+math.Abs(hi)) {
+			d.Add("optimum %v above relation ceiling %v (original %v)", c1, hi, c0)
+		}
+		if err := oracle.Fail("metamorphic-relation", tr.Name, d.Err()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exactOptimum solves the instance with the cheapest available exact
+// solver (DP for homogeneous instances, branch-and-bound for small
+// heterogeneous ones), verifies the solution, and returns its cost.
+func exactOptimum(in core.Instance, opt Options, subject string) (float64, bool, error) {
+	var solver core.Solver = core.DP{}
+	if in.Heterogeneous() {
+		if len(in.Tasks.Tasks) > opt.MaxExhaustiveN {
+			return 0, false, nil
+		}
+		solver = core.Exhaustive{}
+	}
+	sol, err := solver.Solve(in)
+	if err != nil {
+		return 0, false, oracle.Fail("solve", subject, err)
+	}
+	if err := CheckSolution(in, sol); err != nil {
+		return 0, false, retag(err, subject)
+	}
+	return sol.Cost, true, nil
+}

@@ -1,0 +1,102 @@
+package oracle
+
+import "sort"
+
+// AdmissionJob is the slice of an online job the accounting oracle needs:
+// identity, arrival (for the penalty summation order) and penalty.
+type AdmissionJob struct {
+	ID      int
+	Arrival float64
+	Penalty float64
+}
+
+// AdmissionResult mirrors online.Result without importing online.
+type AdmissionResult struct {
+	Accepted []int
+	Rejected []int
+	Energy   float64
+	Penalty  float64
+	Cost     float64
+	Misses   int
+}
+
+// CheckAdmission verifies the accounting invariants of an online
+// simulation result:
+//
+//   - accepted and rejected are ascending, disjoint, and together cover
+//     exactly the submitted job IDs;
+//   - Penalty equals the sum of rejected penalties accumulated in arrival
+//     order (stable on ties), bit-exactly — the order the event loop
+//     charges them;
+//   - Cost = Energy + Penalty, bit-exactly;
+//   - a sound policy admitted nothing it then failed to schedule
+//     (Misses = 0) unless allowMisses is set.
+func CheckAdmission(jobs []AdmissionJob, r AdmissionResult, allowMisses bool) error {
+	var d Diff
+	known := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		known[j.ID] = true
+	}
+	seen := make(map[int]string, len(jobs))
+	checkList := func(label string, ids []int) {
+		for i, id := range ids {
+			if i > 0 && ids[i-1] >= id {
+				d.Add("%s not strictly ascending at index %d: %v", label, i, ids)
+				return
+			}
+			if !known[id] {
+				d.Add("%s contains unknown job ID %d", label, id)
+				return
+			}
+			if prev, dup := seen[id]; dup {
+				d.Add("job ID %d appears in both %s and %s", id, prev, label)
+				return
+			}
+			seen[id] = label
+		}
+	}
+	checkList("accepted", r.Accepted)
+	checkList("rejected", r.Rejected)
+	d.Int("accepted+rejected job count", len(r.Accepted)+len(r.Rejected), len(jobs))
+	if !d.Ok() {
+		return Fail("admission-invariants", "result", d.Err())
+	}
+
+	// Penalty recompute in the event loop's charge order: jobs sorted
+	// stably by arrival, rejected ones summed as they are encountered.
+	rejected := make(map[int]bool, len(r.Rejected))
+	for _, id := range r.Rejected {
+		rejected[id] = true
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Arrival < jobs[order[b]].Arrival })
+	var penalty float64
+	for _, oi := range order {
+		if rejected[jobs[oi].ID] {
+			penalty += jobs[oi].Penalty
+		}
+	}
+	d.F64("penalty recompute", r.Penalty, penalty)
+	d.F64("cost identity energy+penalty", r.Cost, r.Energy+r.Penalty)
+	if !allowMisses {
+		d.Int("deadline misses among admitted jobs", r.Misses, 0)
+	}
+	return Fail("admission-invariants", "result", d.Err())
+}
+
+// EqualAdmissionResults compares two online simulation results field-for-
+// field, floats bitwise — the assertion shape of the online differential
+// corpus.
+func EqualAdmissionResults(got, want AdmissionResult) error {
+	var d Diff
+	d.F64("energy", got.Energy, want.Energy)
+	d.F64("penalty", got.Penalty, want.Penalty)
+	d.F64("cost", got.Cost, want.Cost)
+	d.Int("misses", got.Misses, want.Misses)
+	d.IDs("accepted", got.Accepted, want.Accepted)
+	d.IDs("rejected", got.Rejected, want.Rejected)
+	return d.Err()
+}

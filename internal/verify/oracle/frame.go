@@ -1,0 +1,233 @@
+package oracle
+
+import (
+	"math"
+
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// FrameSolution mirrors core.Solution field-for-field without importing
+// core, so the oracles stay usable from inside the solver packages' own
+// test files. internal/verify provides the one-line adapter for callers
+// that hold a core.Solution.
+type FrameSolution struct {
+	Accepted []int
+	Rejected []int
+
+	Assignment    speed.Assignment
+	PerTaskSpeeds []float64
+
+	Energy  float64
+	Penalty float64
+	Cost    float64
+}
+
+// feasibilitySlack mirrors the float slack the production evaluators apply
+// to the capacity comparison.
+const feasibilitySlack = 1e-9
+
+// heterogeneous reports whether any task carries a non-trivial power
+// coefficient, as core.Instance.Heterogeneous does.
+func heterogeneous(set task.Set) bool {
+	for _, t := range set.Tasks {
+		if t.Rho != 0 && t.Rho != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckFrame verifies every paper-level invariant of a single-processor
+// frame solution against the instance it claims to solve:
+//
+//   - the accepted and rejected ID lists are each ascending, disjoint, and
+//     together are exactly the instance's ID set;
+//   - Penalty equals the from-scratch sum of rejected penalties taken in
+//     task order, bit-exactly (the summation order the evaluator uses);
+//   - Energy equals the from-scratch minimum-energy assignment of the
+//     accepted workload (speed.Proc.Assign for homogeneous instances,
+//     speed.AssignHeterogeneous otherwise), bit-exactly, with no solver
+//     evaluation context involved;
+//   - Cost = Energy + Penalty, bit-exactly;
+//   - the accepted workload fits the capacity smax·D;
+//   - the accepted set replays cleanly through the EDF simulator under the
+//     solution's own speed profile (homogeneous instances), or the
+//     per-task speeds are feasible (heterogeneous ones).
+func CheckFrame(set task.Set, proc speed.Proc, sol FrameSolution) error {
+	var d Diff
+
+	// 1. Partition structure.
+	pos := make(map[int]int, len(set.Tasks))
+	for i, t := range set.Tasks {
+		pos[t.ID] = i
+	}
+	seen := make(map[int]string, len(set.Tasks))
+	checkList := func(label string, ids []int) {
+		for i, id := range ids {
+			if i > 0 && ids[i-1] >= id {
+				d.Add("%s not strictly ascending at index %d: %v", label, i, ids)
+				return
+			}
+			if _, ok := pos[id]; !ok {
+				d.Add("%s contains unknown task ID %d", label, id)
+				return
+			}
+			if prev, dup := seen[id]; dup {
+				d.Add("task ID %d appears in both %s and %s", id, prev, label)
+				return
+			}
+			seen[id] = label
+		}
+	}
+	checkList("accepted", sol.Accepted)
+	checkList("rejected", sol.Rejected)
+	d.Int("accepted+rejected task count", len(sol.Accepted)+len(sol.Rejected), len(set.Tasks))
+	if !d.Ok() {
+		return d.Err() // structure is broken; recomputation would mislead
+	}
+
+	// 2–3. From-scratch cost recomputation, following the evaluator's
+	// iteration order exactly: walk the task set in position order,
+	// splitting by membership.
+	accepted := make(map[int]bool, len(sol.Accepted))
+	for _, id := range sol.Accepted {
+		accepted[id] = true
+	}
+	var penalty float64
+	var w int64
+	cycles := make([]int64, 0, len(sol.Accepted))
+	rhos := make([]float64, 0, len(sol.Accepted))
+	for _, t := range set.Tasks {
+		if accepted[t.ID] {
+			w += t.Cycles
+			cycles = append(cycles, t.Cycles)
+			rhos = append(rhos, t.PowerCoeff())
+		} else {
+			penalty += t.Penalty
+		}
+	}
+	d.F64("penalty recompute", sol.Penalty, penalty)
+
+	if float64(w) > proc.Capacity(set.Deadline)*(1+feasibilitySlack) {
+		d.Add("accepted workload %d exceeds capacity %g", w, proc.Capacity(set.Deadline))
+	}
+
+	if heterogeneous(set) {
+		h, err := speed.AssignHeterogeneous(proc.Model, cycles, rhos, set.Deadline, proc.SMax)
+		if err != nil {
+			d.Add("heterogeneous recompute: %v", err)
+		} else {
+			d.F64("energy recompute (heterogeneous)", sol.Energy, h.Energy)
+			d.F64s("per-task speeds", sol.PerTaskSpeeds, h.Speeds)
+			var busy float64
+			for i, s := range h.Speeds {
+				if s > proc.SMax*(1+feasibilitySlack) {
+					d.Add("per-task speed %d = %g exceeds smax %g", i, s, proc.SMax)
+				}
+				if s > 0 {
+					busy += float64(cycles[i]) / s
+				}
+			}
+			if busy > set.Deadline*(1+feasibilitySlack) {
+				d.Add("heterogeneous busy time %g exceeds deadline %g", busy, set.Deadline)
+			}
+		}
+	} else {
+		a, err := proc.Assign(float64(w), set.Deadline)
+		if err != nil {
+			d.Add("assignment recompute: %v", err)
+		} else {
+			d.F64("energy recompute", sol.Energy, a.Total)
+		}
+		// 6. EDF replay under the solution's own profile: the single
+		// mechanical check that the admission decision is actually
+		// schedulable, not just cheap.
+		if len(sol.Accepted) > 0 {
+			jobs := edf.FrameJobs(set, sol.Accepted)
+			r, err := edf.Simulate(jobs, sol.Assignment.Profile(0))
+			if err != nil {
+				d.Add("EDF replay: %v", err)
+			} else if !r.Feasible() {
+				d.Add("EDF replay missed %d deadlines", r.Misses)
+			}
+		}
+	}
+
+	// 4. Cost identity.
+	d.F64("cost identity energy+penalty", sol.Cost, sol.Energy+sol.Penalty)
+
+	return Fail("frame-invariants", "solution", d.Err())
+}
+
+// SameFrameDecision compares two frame solutions the way the differential
+// corpora do: identical accepted sets, costs within tol relative tolerance.
+func SameFrameDecision(got, want FrameSolution, tol float64) error {
+	var d Diff
+	d.IDs("accepted", got.Accepted, want.Accepted)
+	d.F64Tol("cost", got.Cost, want.Cost, tol)
+	return d.Err()
+}
+
+// BitIdenticalFrame compares two frame solutions field-for-field with
+// bitwise float equality — the serve-layer contract that a cache hit or a
+// coalesced response is indistinguishable from a cold solve.
+func BitIdenticalFrame(got, want FrameSolution) error {
+	var d Diff
+	d.IDs("accepted", got.Accepted, want.Accepted)
+	d.IDs("rejected", got.Rejected, want.Rejected)
+	d.F64("energy", got.Energy, want.Energy)
+	d.F64("penalty", got.Penalty, want.Penalty)
+	d.F64("cost", got.Cost, want.Cost)
+	d.F64("assignment.loSpeed", got.Assignment.LoSpeed, want.Assignment.LoSpeed)
+	d.F64("assignment.hiSpeed", got.Assignment.HiSpeed, want.Assignment.HiSpeed)
+	d.F64("assignment.loTime", got.Assignment.LoTime, want.Assignment.LoTime)
+	d.F64("assignment.hiTime", got.Assignment.HiTime, want.Assignment.HiTime)
+	d.F64("assignment.total", got.Assignment.Total, want.Assignment.Total)
+	d.Bool("assignment.shutdown", got.Assignment.Shutdown, want.Assignment.Shutdown)
+	d.F64s("perTaskSpeeds", got.PerTaskSpeeds, want.PerTaskSpeeds)
+	return d.Err()
+}
+
+// CheckNotBelow verifies that a heuristic's cost never undercuts an exact
+// optimum beyond tol relative tolerance — the central relational claim of
+// the paper family (heuristics are upper bounds, exact solvers are tight).
+func CheckNotBelow(subject string, heuristicCost, exactCost, tol float64) error {
+	if heuristicCost < exactCost-tol*(1+math.Abs(exactCost)) {
+		var d Diff
+		d.Add("cost %v beats the exact optimum %v", heuristicCost, exactCost)
+		return Fail("heuristic-not-below-exact", subject, d.Err())
+	}
+	return nil
+}
+
+// CheckExactAgreement verifies two independent exact solvers land on the
+// same optimum cost within tol relative tolerance (their accepted sets may
+// legitimately differ between cost ties).
+func CheckExactAgreement(subject string, a, b float64, tol float64) error {
+	var d Diff
+	d.F64Tol("optimum cost", a, b, tol)
+	return Fail("exact-agreement", subject, d.Err())
+}
+
+// CheckApproxBound verifies the capacity-rounding scheme's documented
+// quality bound against the exact optimum:
+//
+//	approx ≤ (1+5ε)·exact + ε·E(C)
+//
+// where E(C) is the full-capacity energy — the bound internal/core's
+// ApproxDP promises and its test suite enforces on randomized instances.
+func CheckApproxBound(subject string, approxCost, exactCost, eps float64, proc speed.Proc, deadline float64) error {
+	capEnergy := proc.Energy(proc.Capacity(deadline), deadline)
+	if math.IsInf(capEnergy, 1) {
+		capEnergy = 0
+	}
+	bound := (1+5*eps)*exactCost + eps*capEnergy
+	if approxCost > bound*(1+1e-9) {
+		var d Diff
+		d.Add("cost %v exceeds (1+5ε)·OPT + ε·E(C) = %v (OPT %v, ε %g)", approxCost, bound, exactCost, eps)
+		return Fail("approx-bound", subject, d.Err())
+	}
+	return nil
+}

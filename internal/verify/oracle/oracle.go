@@ -1,0 +1,141 @@
+// Package oracle holds the pure invariant oracles of the verification
+// subsystem: functions over plain task/speed/edf values that recompute a
+// solver's claims from scratch and report every divergence.
+//
+// The package is deliberately a *leaf*: it imports only the model layers
+// (task, speed, power, edf) and none of the solver packages, so the
+// in-package tests of internal/core, internal/multiproc, internal/online,
+// internal/dormant and internal/sched/yds can all call it without import
+// cycles. The solver-aware conveniences (running registries, metamorphic
+// sweeps, shrinking) live one level up in internal/verify.
+//
+// Every oracle follows the same contract: nil means "all invariants hold";
+// a non-nil error enumerates each violated invariant with the value the
+// solver reported and the value the oracle recomputed. Recomputation
+// follows the exact arithmetic (summation order, float operations) of the
+// production evaluators, so the comparisons are bit-exact, not
+// tolerance-based, except where a tolerance is the documented contract
+// (heuristic-vs-exact, approximation bounds).
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Diff accumulates labeled mismatches for multi-field comparisons. The
+// zero value is ready to use. Comparisons on float64 fields are bitwise
+// (NaN-safe, −0 ≠ +0), matching the repository's bit-identity contracts.
+type Diff struct {
+	mismatches []string
+}
+
+// F64 records a mismatch unless got and want share the same bit pattern.
+func (d *Diff) F64(label string, got, want float64) {
+	if math.Float64bits(got) != math.Float64bits(want) {
+		d.Add("%s: %v (bits %#x), want %v (bits %#x)",
+			label, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// F64Tol records a mismatch when |got−want| exceeds tol·(1+|want|).
+func (d *Diff) F64Tol(label string, got, want, tol float64) {
+	if diff := math.Abs(got - want); !(diff <= tol*(1+math.Abs(want))) {
+		d.Add("%s: %v, want %v (diff %g, tol %g)", label, got, want, diff, tol)
+	}
+}
+
+// Int records a mismatch unless got == want.
+func (d *Diff) Int(label string, got, want int) {
+	if got != want {
+		d.Add("%s: %d, want %d", label, got, want)
+	}
+}
+
+// Bool records a mismatch unless got == want.
+func (d *Diff) Bool(label string, got, want bool) {
+	if got != want {
+		d.Add("%s: %v, want %v", label, got, want)
+	}
+}
+
+// IDs records a mismatch unless the two ID slices are element-wise equal
+// (nil and empty are interchangeable).
+func (d *Diff) IDs(label string, got, want []int) {
+	if len(got) != len(want) {
+		d.Add("%s: %v, want %v", label, got, want)
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			d.Add("%s: %v, want %v", label, got, want)
+			return
+		}
+	}
+}
+
+// F64s records a mismatch unless the two slices are element-wise
+// bit-identical (nil and empty are interchangeable).
+func (d *Diff) F64s(label string, got, want []float64) {
+	if len(got) != len(want) {
+		d.Add("%s: %v, want %v", label, got, want)
+		return
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			d.Add("%s[%d]: %v, want %v", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// Add records a preformatted mismatch.
+func (d *Diff) Add(format string, args ...any) {
+	d.mismatches = append(d.mismatches, fmt.Sprintf(format, args...))
+}
+
+// Merge folds another error (typically a nested oracle's result) into the
+// diff under a label. A nil err is a no-op.
+func (d *Diff) Merge(label string, err error) {
+	if err != nil {
+		d.Add("%s: %v", label, err)
+	}
+}
+
+// Ok reports whether no mismatch has been recorded.
+func (d *Diff) Ok() bool { return len(d.mismatches) == 0 }
+
+// Err returns nil when no mismatch was recorded, or one error listing all
+// of them.
+func (d *Diff) Err() error {
+	if len(d.mismatches) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s", strings.Join(d.mismatches, "; "))
+}
+
+// Failure tags an oracle violation with a stable (Oracle, Subject) pair so
+// the shrinker can test "does the same failure still reproduce" without
+// string-matching detail text.
+type Failure struct {
+	Oracle  string // which invariant broke, e.g. "cost-recompute"
+	Subject string // which solver/transform it broke for, e.g. "DP"
+	Detail  error  // the full diff
+}
+
+// Error implements error.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("oracle %s failed for %s: %v", f.Oracle, f.Subject, f.Detail)
+}
+
+// Unwrap exposes the detail diff.
+func (f *Failure) Unwrap() error { return f.Detail }
+
+// Fail wraps a non-nil diff error into a tagged Failure; nil stays nil.
+func Fail(oracle, subject string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Failure{Oracle: oracle, Subject: subject, Detail: err}
+}

@@ -1,0 +1,130 @@
+package oracle
+
+import (
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// PartitionSolution mirrors multiproc.Solution without importing
+// multiproc, so the partition oracles remain callable from that package's
+// own test files.
+type PartitionSolution struct {
+	PerProc  [][]int
+	Rejected []int
+
+	Energies []float64
+	Energy   float64
+	Penalty  float64
+	Cost     float64
+}
+
+// CheckPartition verifies a partitioned-EDF solution on M identical
+// processors from scratch:
+//
+//   - every task ID appears exactly once, on one processor or rejected,
+//     and each list is ascending;
+//   - every per-processor workload fits the per-processor capacity;
+//   - each Energies[m] equals speed.Proc.Assign on that processor's load,
+//     bit-exactly, and Energy is their sum in processor order;
+//   - Penalty is the task-order sum of rejected penalties, bit-exactly;
+//   - Cost = Energy + Penalty, bit-exactly.
+//
+// The recomputation follows multiproc.Evaluate's arithmetic order exactly,
+// so all float comparisons are bitwise.
+func CheckPartition(set task.Set, proc speed.Proc, m int, sol PartitionSolution) error {
+	var d Diff
+	if len(sol.PerProc) != m {
+		d.Add("PerProc has %d processors, want %d", len(sol.PerProc), m)
+		return Fail("partition-invariants", "solution", d.Err())
+	}
+
+	pos := make(map[int]int, len(set.Tasks))
+	for i, t := range set.Tasks {
+		pos[t.ID] = i
+	}
+	owner := make(map[int]int, len(set.Tasks)) // id → proc, -1 for rejected
+	checkList := func(label string, procIdx int, ids []int) {
+		for i, id := range ids {
+			if i > 0 && ids[i-1] >= id {
+				d.Add("%s not strictly ascending at index %d: %v", label, i, ids)
+				return
+			}
+			if _, ok := pos[id]; !ok {
+				d.Add("%s contains unknown task ID %d", label, id)
+				return
+			}
+			if prev, dup := owner[id]; dup {
+				d.Add("task ID %d assigned twice (processor %d and %s)", id, prev, label)
+				return
+			}
+			owner[id] = procIdx
+		}
+	}
+	total := 0
+	for pi, ids := range sol.PerProc {
+		checkList("processor", pi, ids)
+		total += len(ids)
+	}
+	checkList("rejected", -1, sol.Rejected)
+	total += len(sol.Rejected)
+	d.Int("assigned+rejected task count", total, len(set.Tasks))
+	if !d.Ok() {
+		return Fail("partition-invariants", "solution", d.Err())
+	}
+
+	// From-scratch recomputation in multiproc.Evaluate's order: loads and
+	// penalty over the task list in position order, then energies in
+	// processor order.
+	loads := make([]int64, m)
+	var penalty float64
+	for _, t := range set.Tasks {
+		if p, ok := owner[t.ID]; ok && p >= 0 {
+			loads[p] += t.Cycles
+		} else {
+			penalty += t.Penalty
+		}
+	}
+	d.F64("penalty recompute", sol.Penalty, penalty)
+
+	var energy float64
+	capacity := proc.Capacity(set.Deadline)
+	for p := 0; p < m; p++ {
+		if float64(loads[p]) > capacity*(1+feasibilitySlack) {
+			d.Add("processor %d load %d exceeds capacity %g", p, loads[p], capacity)
+			continue
+		}
+		a, err := proc.Assign(float64(loads[p]), set.Deadline)
+		if err != nil {
+			d.Add("processor %d recompute: %v", p, err)
+			continue
+		}
+		if p < len(sol.Energies) {
+			d.F64("energy recompute (processor)", sol.Energies[p], a.Total)
+		}
+		energy += a.Total
+	}
+	d.Int("energies length", len(sol.Energies), m)
+	d.F64("energy recompute (total)", sol.Energy, energy)
+	d.F64("cost identity energy+penalty", sol.Cost, sol.Energy+sol.Penalty)
+
+	return Fail("partition-invariants", "solution", d.Err())
+}
+
+// EqualPartitionSolutions compares two partitioned solutions field-for-
+// field, floats bitwise — the assertion shape of the multiproc
+// differential corpus.
+func EqualPartitionSolutions(got, want PartitionSolution) error {
+	var d Diff
+	d.F64("cost", got.Cost, want.Cost)
+	d.F64("energy", got.Energy, want.Energy)
+	d.F64("penalty", got.Penalty, want.Penalty)
+	d.Int("processors", len(got.PerProc), len(want.PerProc))
+	if d.Ok() {
+		for p := range got.PerProc {
+			d.IDs("processor assignment", got.PerProc[p], want.PerProc[p])
+		}
+	}
+	d.IDs("rejected", got.Rejected, want.Rejected)
+	d.F64s("energies", got.Energies, want.Energies)
+	return d.Err()
+}

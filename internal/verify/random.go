@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"math/rand"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/gen"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+)
+
+// Flavour couples a processor flavour with whether its tasks draw
+// heterogeneous power coefficients.
+type Flavour struct {
+	Name   string
+	Proc   speed.Proc
+	Hetero bool
+}
+
+// Flavours spans every processor regime the solvers support: ideal and
+// speed-floored continuous processors, leaky processors with and without
+// the dormant mode, the discrete XScale ladder, and heterogeneous power
+// characteristics. The order is load-bearing for the fuzz codec
+// (DecodeInstance indexes into it), so append only.
+var Flavours = []Flavour{
+	{Name: "ideal-cubic", Proc: speed.Proc{Model: power.Cubic(), SMax: 1}},
+	{Name: "leaky-disable", Proc: speed.Proc{Model: power.XScale(), SMax: 1}},
+	{Name: "leaky-dormant", Proc: speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 2}},
+	{Name: "discrete-xscale", Proc: speed.Proc{Model: power.XScale(), Levels: power.XScaleLevels()}},
+	{Name: "discrete-dormant", Proc: speed.Proc{Model: power.XScale(), Levels: power.XScaleLevels(), DormantEnable: true, Esw: 2}},
+	{Name: "hetero-cubic", Proc: speed.Proc{Model: power.Cubic(), SMax: 1}, Hetero: true},
+	{Name: "ideal-smin", Proc: speed.Proc{Model: power.Cubic(), SMin: 0.25, SMax: 1}},
+}
+
+// drawLoads spans under-load (everything fits comfortably) through heavy
+// over-load (most tasks must be rejected).
+var drawLoads = []float64{0.3, 0.6, 1.0, 1.5, 2.2, 3.0}
+
+// RandomInstance draws one instance of the flavour from the shared
+// experiment generator.
+func RandomInstance(rng *rand.Rand, f Flavour, n int, load float64, pm gen.PenaltyModel) (core.Instance, error) {
+	set, err := gen.Frame(rng, gen.Config{
+		N: n, Load: load, Deadline: 200, SMax: f.Proc.MaxSpeed(),
+		Penalty: pm, HeteroRho: f.Hetero,
+	})
+	if err != nil {
+		return core.Instance{}, err
+	}
+	return core.Instance{Tasks: set, Proc: f.Proc}, nil
+}
+
+// Draw samples one instance across all flavours, sizes, load regimes,
+// penalty structures and the FastPow toggle — the randomized soak's unit
+// of work. Deterministic given the rng state.
+func Draw(rng *rand.Rand) (core.Instance, Flavour, error) {
+	f := Flavours[rng.Intn(len(Flavours))]
+	n := 1 + rng.Intn(12)
+	load := drawLoads[rng.Intn(len(drawLoads))]
+	pm := gen.PenaltyModel(rng.Intn(3))
+	in, err := RandomInstance(rng, f, n, load, pm)
+	if err != nil {
+		return core.Instance{}, f, err
+	}
+	in.FastPow = rng.Intn(2) == 1
+	return in, f, nil
+}

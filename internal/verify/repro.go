@@ -1,0 +1,171 @@
+package verify
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+	"dvsreject/internal/verify/oracle"
+)
+
+// Repro is the on-disk form of a shrunk failing instance: enough to
+// rebuild the exact core.Instance plus the oracle tag that failed, so a
+// committed repro documents what it guards against.
+type Repro struct {
+	Note    string `json:"note,omitempty"`
+	Oracle  string `json:"oracle,omitempty"`
+	Subject string `json:"subject,omitempty"`
+	Failure string `json:"failure,omitempty"`
+
+	Deadline float64     `json:"deadline"`
+	FastPow  bool        `json:"fastpow,omitempty"`
+	Proc     ReproProc   `json:"proc"`
+	Tasks    []ReproTask `json:"tasks"`
+}
+
+// ReproProc flattens speed.Proc and its power model into plain JSON.
+type ReproProc struct {
+	Pind          float64   `json:"pind"`
+	Coeff         float64   `json:"coeff"`
+	Alpha         float64   `json:"alpha"`
+	SMin          float64   `json:"smin,omitempty"`
+	SMax          float64   `json:"smax,omitempty"`
+	Levels        []float64 `json:"levels,omitempty"`
+	DormantEnable bool      `json:"dormant_enable,omitempty"`
+	Esw           float64   `json:"esw,omitempty"`
+}
+
+// ReproTask is one task of the repro instance.
+type ReproTask struct {
+	ID      int     `json:"id"`
+	Cycles  int64   `json:"cycles"`
+	Penalty float64 `json:"penalty"`
+	Rho     float64 `json:"rho,omitempty"`
+}
+
+// NewRepro captures an instance and the failure it provokes.
+func NewRepro(in core.Instance, failure error, note string) Repro {
+	r := Repro{
+		Note:     note,
+		Deadline: in.Tasks.Deadline,
+		FastPow:  in.FastPow,
+		Proc: ReproProc{
+			Pind:          in.Proc.Model.Pind,
+			Coeff:         in.Proc.Model.Coeff,
+			Alpha:         in.Proc.Model.Alpha,
+			SMin:          in.Proc.SMin,
+			SMax:          in.Proc.SMax,
+			Levels:        in.Proc.Levels,
+			DormantEnable: in.Proc.DormantEnable,
+			Esw:           in.Proc.Esw,
+		},
+	}
+	for _, t := range in.Tasks.Tasks {
+		r.Tasks = append(r.Tasks, ReproTask{ID: t.ID, Cycles: t.Cycles, Penalty: t.Penalty, Rho: t.Rho})
+	}
+	if failure != nil {
+		r.Failure = failure.Error()
+		var f *oracle.Failure
+		if errors.As(failure, &f) {
+			r.Oracle, r.Subject = f.Oracle, f.Subject
+		}
+	}
+	return r
+}
+
+// Instance rebuilds the core.Instance the repro describes.
+func (r Repro) Instance() core.Instance {
+	in := core.Instance{
+		Tasks: task.Set{Deadline: r.Deadline},
+		Proc: speed.Proc{
+			Model:         power.Polynomial{Pind: r.Proc.Pind, Coeff: r.Proc.Coeff, Alpha: r.Proc.Alpha},
+			SMin:          r.Proc.SMin,
+			SMax:          r.Proc.SMax,
+			Levels:        r.Proc.Levels,
+			DormantEnable: r.Proc.DormantEnable,
+			Esw:           r.Proc.Esw,
+		},
+		FastPow: r.FastPow,
+	}
+	for _, t := range r.Tasks {
+		in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{ID: t.ID, Cycles: t.Cycles, Penalty: t.Penalty, Rho: t.Rho})
+	}
+	return in
+}
+
+// WriteRepro writes the repro as indented JSON, creating parent
+// directories as needed.
+func WriteRepro(path string, r Repro) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRepro loads a repro written by WriteRepro.
+func ReadRepro(path string) (Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Repro{}, err
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Repro{}, fmt.Errorf("verify: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// GoTestCase renders a ready-to-paste Go test that rebuilds the instance
+// and re-runs the full oracle sweep on it. Paste into an external test
+// package (imports: core, power, speed, task, verify).
+func GoTestCase(testName string, in core.Instance) string {
+	var b strings.Builder
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(&b, "func Test%s(t *testing.T) {\n", testName)
+	b.WriteString("\tin := core.Instance{\n")
+	fmt.Fprintf(&b, "\t\tTasks: task.Set{\n\t\t\tDeadline: %s,\n\t\t\tTasks: []task.Task{\n", g(in.Tasks.Deadline))
+	for _, t := range in.Tasks.Tasks {
+		fmt.Fprintf(&b, "\t\t\t\t{ID: %d, Cycles: %d, Penalty: %s", t.ID, t.Cycles, g(t.Penalty))
+		if t.Rho != 0 {
+			fmt.Fprintf(&b, ", Rho: %s", g(t.Rho))
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("\t\t\t},\n\t\t},\n")
+	fmt.Fprintf(&b, "\t\tProc: speed.Proc{\n\t\t\tModel: power.Polynomial{Pind: %s, Coeff: %s, Alpha: %s},\n",
+		g(in.Proc.Model.Pind), g(in.Proc.Model.Coeff), g(in.Proc.Model.Alpha))
+	if in.Proc.Levels != nil {
+		parts := make([]string, len(in.Proc.Levels))
+		for i, l := range in.Proc.Levels {
+			parts[i] = g(l)
+		}
+		fmt.Fprintf(&b, "\t\t\tLevels: power.LevelSet{%s},\n", strings.Join(parts, ", "))
+	} else {
+		if in.Proc.SMin != 0 {
+			fmt.Fprintf(&b, "\t\t\tSMin: %s,\n", g(in.Proc.SMin))
+		}
+		fmt.Fprintf(&b, "\t\t\tSMax: %s,\n", g(in.Proc.SMax))
+	}
+	if in.Proc.DormantEnable {
+		fmt.Fprintf(&b, "\t\t\tDormantEnable: true,\n\t\t\tEsw: %s,\n", g(in.Proc.Esw))
+	}
+	b.WriteString("\t\t},\n")
+	if in.FastPow {
+		b.WriteString("\t\tFastPow: true,\n")
+	}
+	b.WriteString("\t}\n")
+	b.WriteString("\tif err := verify.CheckInstance(in, verify.Options{}); err != nil {\n\t\tt.Fatal(err)\n\t}\n}\n")
+	return b.String()
+}

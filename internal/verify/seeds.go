@@ -1,0 +1,96 @@
+package verify
+
+import (
+	"dvsreject/internal/core"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// SeedInstance is one canonical fuzz seed: every Fuzz* target f.Adds the
+// encoded form, `verifyfuzz -emit-corpus` writes the same bytes under
+// testdata/fuzz/, and the verify tests pin that each seed stays encodable.
+type SeedInstance struct {
+	Name string
+	In   core.Instance
+}
+
+// SeedInstances returns the canonical corpus:
+//
+//   - whale-anchor: the adversarial penalty structure from
+//     TestRoundingSingleTaskAnchor (one task worth more than the rest of
+//     the frame combined) — the shape that historically separated the
+//     rounding heuristic from the exact solvers;
+//   - high-water: the largest instance the codec can express (12 tasks of
+//     256 cycles at the longest deadline) — the shape class of the
+//     validation-map high-water regression, where a huge set poisoned
+//     pooled state reused by later small solves;
+//   - tiny-after-high-water: the 1-task instance that must stay correct
+//     when solved after high-water shapes;
+//   - hetero-rho: heterogeneous power coefficients across the codec's rho
+//     grid, including the exact-1.0 point;
+//   - discrete-dormant-fastpow: the discrete ladder with shutdown and the
+//     FastPow fast paths on — the most conditional-heavy evaluator path;
+//   - leaky-dormant-overload: a leaky shutdown-capable processor at a
+//     deadline that forces rejection;
+//   - smin-floor: a processor with a speed floor, exercising the energy
+//     plateau below smin.
+func SeedInstances() []SeedInstance {
+	mk := func(proc speed.Proc, deadline float64, fastPow bool, tasks ...task.Task) core.Instance {
+		return core.Instance{
+			Tasks:   task.Set{Tasks: tasks, Deadline: deadline},
+			Proc:    proc,
+			FastPow: fastPow,
+		}
+	}
+	idealCubic := speed.Proc{Model: power.Cubic(), SMax: 1}
+	highWater := make([]task.Task, maxFuzzTasks)
+	for i := range highWater {
+		highWater[i] = task.Task{ID: i + 1, Cycles: 256, Penalty: float64(i) + 0.5}
+	}
+	return []SeedInstance{
+		{"whale-anchor", mk(idealCubic, 10, false,
+			task.Task{ID: 1, Cycles: 9, Penalty: 100},
+			task.Task{ID: 2, Cycles: 2, Penalty: 12},
+			task.Task{ID: 3, Cycles: 2, Penalty: 12},
+			task.Task{ID: 4, Cycles: 2, Penalty: 12},
+			task.Task{ID: 5, Cycles: 2, Penalty: 12},
+			task.Task{ID: 6, Cycles: 2, Penalty: 12},
+		)},
+		{"high-water", core.Instance{
+			Tasks: task.Set{Tasks: highWater, Deadline: 400},
+			Proc:  idealCubic,
+		}},
+		{"tiny-after-high-water", mk(idealCubic, 400, false,
+			task.Task{ID: 1, Cycles: 1, Penalty: 1},
+		)},
+		{"hetero-rho", mk(idealCubic, 100, false,
+			task.Task{ID: 1, Cycles: 40, Penalty: 8, Rho: 0.5},
+			task.Task{ID: 2, Cycles: 30, Penalty: 4, Rho: 1},
+			task.Task{ID: 3, Cycles: 20, Penalty: 2, Rho: 2},
+			task.Task{ID: 4, Cycles: 25, Penalty: 6, Rho: 1.5},
+		)},
+		{"discrete-dormant-fastpow", mk(
+			speed.Proc{Model: power.XScale(), Levels: power.XScaleLevels(), DormantEnable: true, Esw: 2},
+			50, true,
+			task.Task{ID: 1, Cycles: 20, Penalty: 3},
+			task.Task{ID: 2, Cycles: 15, Penalty: 1.5},
+			task.Task{ID: 3, Cycles: 10, Penalty: 0.25},
+			task.Task{ID: 4, Cycles: 8, Penalty: 5},
+			task.Task{ID: 5, Cycles: 4, Penalty: 0.5},
+		)},
+		{"leaky-dormant-overload", mk(
+			speed.Proc{Model: power.XScale(), SMax: 1, DormantEnable: true, Esw: 2},
+			10, false,
+			task.Task{ID: 1, Cycles: 8, Penalty: 2},
+			task.Task{ID: 2, Cycles: 6, Penalty: 4},
+			task.Task{ID: 3, Cycles: 5, Penalty: 1},
+		)},
+		{"smin-floor", mk(
+			speed.Proc{Model: power.Cubic(), SMin: 0.25, SMax: 1},
+			200, false,
+			task.Task{ID: 1, Cycles: 10, Penalty: 2},
+			task.Task{ID: 2, Cycles: 5, Penalty: 0.125},
+		)},
+	}
+}

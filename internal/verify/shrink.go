@@ -1,0 +1,130 @@
+package verify
+
+import (
+	"math"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/task"
+)
+
+// Predicate reports whether an instance still exhibits the failure being
+// minimized. Shrink only ever commits candidates the predicate accepts, so
+// an expensive predicate (a full CheckInstance) is safe.
+type Predicate func(core.Instance) bool
+
+// maxShrinkProbes bounds the total predicate evaluations of one Shrink
+// call; the greedy passes converge long before this on realistic failures.
+const maxShrinkProbes = 4000
+
+// Shrink greedily minimizes an instance while pred keeps holding: it drops
+// task chunks (largest first, ddmin-style), simplifies penalties, cycles
+// and power coefficients toward small round values, rounds the deadline,
+// and clears FastPow. Passes repeat until a fixed point. The input is
+// returned unchanged when pred rejects it outright. Deterministic: same
+// instance and predicate, same minimum.
+func Shrink(in core.Instance, pred Predicate) core.Instance {
+	if !pred(in) {
+		return in
+	}
+	cur := in
+	probes := maxShrinkProbes
+	try := func(cand core.Instance) bool {
+		if probes <= 0 {
+			return false
+		}
+		probes--
+		if pred(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && probes > 0; {
+		changed = false
+
+		// Drop contiguous task chunks, halving the chunk size. On a
+		// successful drop the same index is retried (the list shifted).
+		for size := len(cur.Tasks.Tasks) / 2; size >= 1; size /= 2 {
+			for i := 0; i+size <= len(cur.Tasks.Tasks); {
+				if try(withoutTasks(cur, i, size)) {
+					changed = true
+				} else {
+					i++
+				}
+			}
+		}
+
+		// Simplify per-task values toward the smallest that still fails.
+		for i := 0; i < len(cur.Tasks.Tasks); i++ {
+			t := cur.Tasks.Tasks[i]
+			for _, p := range []float64{0, 1, math.Floor(t.Penalty)} {
+				if p != cur.Tasks.Tasks[i].Penalty && p < cur.Tasks.Tasks[i].Penalty {
+					nt := cur.Tasks.Tasks[i]
+					nt.Penalty = p
+					if try(withTask(cur, i, nt)) {
+						changed = true
+					}
+				}
+			}
+			for _, c := range []int64{1, t.Cycles / 2} {
+				if c >= 1 && c < cur.Tasks.Tasks[i].Cycles {
+					nt := cur.Tasks.Tasks[i]
+					nt.Cycles = c
+					if try(withTask(cur, i, nt)) {
+						changed = true
+					}
+				}
+			}
+			if cur.Tasks.Tasks[i].Rho != 0 {
+				nt := cur.Tasks.Tasks[i]
+				nt.Rho = 0
+				if try(withTask(cur, i, nt)) {
+					changed = true
+				}
+			}
+		}
+
+		// Round or halve the deadline.
+		for _, d := range []float64{math.Floor(cur.Tasks.Deadline), cur.Tasks.Deadline / 2} {
+			if d > 0 && d < cur.Tasks.Deadline {
+				cand := cur
+				cand.Tasks.Deadline = d
+				if try(cand) {
+					changed = true
+				}
+			}
+		}
+
+		if cur.FastPow {
+			cand := cur
+			cand.FastPow = false
+			if try(cand) {
+				changed = true
+			}
+		}
+	}
+	return cur
+}
+
+// withoutTasks returns the instance minus tasks [i, i+size), with a fresh
+// backing slice.
+func withoutTasks(in core.Instance, i, size int) core.Instance {
+	old := in.Tasks.Tasks
+	tasks := make([]task.Task, 0, len(old)-size)
+	tasks = append(append(tasks, old[:i]...), old[i+size:]...)
+	out := in
+	out.Tasks.Tasks = tasks
+	return out
+}
+
+// withTask returns the instance with task i replaced, with a fresh backing
+// slice.
+func withTask(in core.Instance, i int, t task.Task) core.Instance {
+	tasks := make([]task.Task, len(in.Tasks.Tasks))
+	copy(tasks, in.Tasks.Tasks)
+	tasks[i] = t
+	out := in
+	out.Tasks.Tasks = tasks
+	return out
+}

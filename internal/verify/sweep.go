@@ -1,0 +1,219 @@
+package verify
+
+import (
+	"errors"
+	"math"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify/oracle"
+)
+
+// AllSolvers is every registry name, in sweep order. Exact solvers first so
+// the relational oracles have their baseline by the time heuristics run.
+var AllSolvers = []string{
+	"DP", "OPT", "GREEDY", "S-GREEDY", "ROUNDING",
+	"APPROX", "APPROX-V", "RAND", "ACCEPT-ALL", "REJECT-ALL",
+}
+
+// Options configures the invariant sweeps. The zero value is the standard
+// configuration used by the fuzz targets and the soak CLI.
+type Options struct {
+	// Solvers is the registry-name subset to sweep; nil means AllSolvers.
+	Solvers []string
+	// Eps is the accuracy knob handed to APPROX/APPROX-V; 0 means 0.15.
+	Eps float64
+	// Seed seeds RAND; 0 means 1.
+	Seed int64
+	// Workers is the parallel fan-out cross-checked for bit-identity
+	// against the serial run on the solvers that parallelize; 0 means 4.
+	Workers int
+	// MaxExhaustiveN caps the instance size OPT is asked to solve;
+	// 0 means 12.
+	MaxExhaustiveN int
+	// Tol is the relative tolerance of the cross-solver cost comparisons
+	// (exact agreement, heuristic-not-below); 0 means 1e-6.
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Solvers == nil {
+		o.Solvers = AllSolvers
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.15
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.MaxExhaustiveN == 0 {
+		o.MaxExhaustiveN = 12
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	return o
+}
+
+// fastPowTol bounds the cost drift the FastPow fast paths may introduce:
+// the per-exponentiation error is an ulp or two, but near-ties in the
+// search can flip to a different accepted set whose exact cost differs by
+// the tie margin.
+const fastPowTol = 1e-9
+
+// CheckInstance runs the whole oracle battery on one instance: every
+// requested solver is built through the core.NewSolver registry, solved
+// serially, and checked against the frame invariants; then the relational
+// oracles (exact agreement, heuristic-not-below, the APPROX quality bound),
+// the Workers bit-identity contracts, and the FastPow drift bound. Invalid
+// instances are out of scope and return nil. The first violated invariant
+// is returned as an *oracle.Failure tagged with the responsible solver.
+func CheckInstance(in core.Instance, opt Options) error {
+	if in.Validate() != nil {
+		return nil
+	}
+	opt = opt.withDefaults()
+	n := len(in.Tasks.Tasks)
+
+	spec := core.SolverSpec{Eps: opt.Eps, Seed: opt.Seed, Workers: 1}
+	sols := make(map[string]core.Solution, len(opt.Solvers))
+	for _, name := range opt.Solvers {
+		if name == "OPT" && n > opt.MaxExhaustiveN {
+			continue
+		}
+		s, err := core.NewSolver(name, spec)
+		if err != nil {
+			return err
+		}
+		sol, err := s.Solve(in)
+		if errors.Is(err, core.ErrHeterogeneous) {
+			continue // documented scope limit, not a failure
+		}
+		if err != nil {
+			return oracle.Fail("solve", name, err)
+		}
+		if err := CheckSolution(in, sol); err != nil {
+			return retag(err, name)
+		}
+		sols[name] = sol
+	}
+
+	// Relational oracles against the exact baseline.
+	exact := math.Inf(1)
+	haveExact := false
+	for _, name := range []string{"DP", "OPT"} {
+		if sol, ok := sols[name]; ok {
+			exact = math.Min(exact, sol.Cost)
+			haveExact = true
+		}
+	}
+	if dp, ok := sols["DP"]; ok {
+		if ex, ok := sols["OPT"]; ok {
+			if err := oracle.CheckExactAgreement("DP vs OPT", dp.Cost, ex.Cost, opt.Tol); err != nil {
+				return err
+			}
+		}
+	}
+	if haveExact {
+		for _, name := range opt.Solvers {
+			sol, ok := sols[name]
+			if !ok || name == "DP" || name == "OPT" {
+				continue
+			}
+			if err := oracle.CheckNotBelow(name, sol.Cost, exact, opt.Tol); err != nil {
+				return err
+			}
+		}
+		if sol, ok := sols["APPROX"]; ok {
+			if dp, withDP := sols["DP"]; withDP && approxEnvelopeApplies(in, dp, opt.Eps) {
+				err := oracle.CheckApproxBound("APPROX", sol.Cost, exact, opt.Eps, in.Proc, in.Tasks.Deadline)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Workers bit-identity: the parallel searchers document byte-identical
+	// results for any worker count; hold them to it against the serial run.
+	parallel := map[string]core.Solver{
+		"DP":     core.DP{Workers: opt.Workers},
+		"OPT":    core.Exhaustive{Workers: opt.Workers},
+		"APPROX": core.ApproxDP{Eps: opt.Eps, Workers: opt.Workers},
+		"RAND":   core.RandomAdmission{Seed: opt.Seed, Workers: opt.Workers},
+	}
+	for _, name := range opt.Solvers {
+		base, ok := sols[name]
+		ps, para := parallel[name]
+		if !ok || !para {
+			continue
+		}
+		sol, err := ps.Solve(in)
+		if err != nil {
+			return oracle.Fail("workers-determinism", name, err)
+		}
+		if err := BitIdenticalSolutions(sol, base); err != nil {
+			return oracle.Fail("workers-determinism", name, err)
+		}
+	}
+
+	// FastPow drift bound: the fast exponent paths may flip near-ties in
+	// the search, but an exact solver's optimum cost must stay within ulp
+	// tolerance (the final re-cost is always exact math.Pow arithmetic).
+	if !in.FastPow {
+		fp := in
+		fp.FastPow = true
+		for _, name := range []string{"DP", "OPT"} {
+			base, ok := sols[name]
+			if !ok {
+				continue
+			}
+			s, err := core.NewSolver(name, spec)
+			if err != nil {
+				return err
+			}
+			sol, err := s.Solve(fp)
+			if err != nil {
+				return oracle.Fail("fastpow-drift", name, err)
+			}
+			if err := CheckSolution(fp, sol); err != nil {
+				return retag(err, name+" (fastpow)")
+			}
+			var d oracle.Diff
+			d.F64Tol("optimum cost under FastPow", sol.Cost, base.Cost, fastPowTol)
+			if err := oracle.Fail("fastpow-drift", name, d.Err()); err != nil {
+				return err
+			}
+		}
+	}
+
+	return nil
+}
+
+// approxEnvelopeApplies reports whether the (1+5ε)·OPT + ε·E(C) envelope
+// is in scope for this instance: the exact optimum's accepted set must
+// survive ApproxDP's conservative cycle rounding within the scaled
+// capacity. When rounding displaces the optimal set, the scheme is forced
+// onto a different admission whose extra cost is penalty-denominated and
+// not bounded by any energy term (a task slightly under capacity with an
+// enormous penalty makes the ratio arbitrary), so the envelope is only
+// checked in the non-displacement regime — the one the scheme's analysis
+// and its unit tests cover.
+func approxEnvelopeApplies(in core.Instance, dp core.Solution, eps float64) bool {
+	capTrue := in.Capacity()
+	n := len(in.Tasks.Tasks)
+	k := int64(math.Floor(eps * capTrue / float64(n+1)))
+	if k < 1 {
+		k = 1
+	}
+	accepted := dp.AcceptedSet()
+	var scaled int64
+	for _, t := range in.Tasks.Tasks {
+		if accepted[t.ID] {
+			scaled += (t.Cycles + k - 1) / k
+		}
+	}
+	return scaled <= int64(math.Floor(capTrue*(1+1e-12)/float64(k)))
+}

@@ -1,0 +1,77 @@
+// Package verify is the solver-aware layer of the verification subsystem:
+// it adapts core types onto the pure oracles of internal/verify/oracle and
+// adds everything that needs the solver registry — whole-registry invariant
+// sweeps (CheckInstance), metamorphic transforms with provable cost
+// relations (CheckMetamorphic), a byte codec for native Go fuzz targets
+// (DecodeInstance/EncodeInstance), a greedy minimizing shrinker (Shrink),
+// and JSON/Go repro emission (Repro, GoTestCase).
+//
+// Because this package imports internal/core it can only be used from
+// external test packages (package core_test) and from packages above core
+// (serve, cmd). In-package solver tests call internal/verify/oracle
+// directly; the adapters here are one-liners so both layers check the same
+// invariants.
+package verify
+
+import (
+	"errors"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify/oracle"
+)
+
+// Frame converts a core.Solution to the oracle's mirror struct.
+func Frame(s core.Solution) oracle.FrameSolution {
+	return oracle.FrameSolution{
+		Accepted:      s.Accepted,
+		Rejected:      s.Rejected,
+		Assignment:    s.Assignment,
+		PerTaskSpeeds: s.PerTaskSpeeds,
+		Energy:        s.Energy,
+		Penalty:       s.Penalty,
+		Cost:          s.Cost,
+	}
+}
+
+// CheckSolution runs the full frame-invariant oracle — partition structure,
+// bit-exact cost recompute, capacity fit, EDF replay — on a solved
+// instance.
+func CheckSolution(in core.Instance, sol core.Solution) error {
+	return oracle.CheckFrame(in.Tasks, in.Proc, Frame(sol))
+}
+
+// BitIdenticalSolutions compares two solutions field-for-field with bitwise
+// float equality — the serve-layer contract that cached and coalesced
+// responses are indistinguishable from cold solves, and the determinism
+// contract of the Workers knobs.
+func BitIdenticalSolutions(got, want core.Solution) error {
+	return oracle.BitIdenticalFrame(Frame(got), Frame(want))
+}
+
+// SameDecision compares two solutions the way the differential corpora do:
+// identical accepted sets, costs within tol relative tolerance.
+func SameDecision(got, want core.Solution, tol float64) error {
+	return oracle.SameFrameDecision(Frame(got), Frame(want), tol)
+}
+
+// SameFailure reports whether two errors are the same oracle violation:
+// both wrap an oracle.Failure with equal Oracle and Subject tags. It is the
+// equivalence the shrinker preserves, so detail text (which changes as the
+// instance shrinks) never matters.
+func SameFailure(a, b error) bool {
+	var fa, fb *oracle.Failure
+	if !errors.As(a, &fa) || !errors.As(b, &fb) {
+		return false
+	}
+	return fa.Oracle == fb.Oracle && fa.Subject == fb.Subject
+}
+
+// retag rewrites the Subject of a Failure (oracles tag generically, the
+// sweep knows which solver produced the value).
+func retag(err error, subject string) error {
+	var f *oracle.Failure
+	if errors.As(err, &f) {
+		return &oracle.Failure{Oracle: f.Oracle, Subject: subject, Detail: f.Detail}
+	}
+	return oracle.Fail("check", subject, err)
+}
