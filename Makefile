@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-json bench-diff serve-smoke fuzz verifyfuzz fuzz-corpus experiments examples clean
+.PHONY: all build vet test test-short cover bench bench-json bench-diff serve-smoke cluster-smoke fuzz verifyfuzz fuzz-corpus experiments examples clean
 
 all: build vet test
 
@@ -23,9 +23,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# BENCH_serve.json is the -suite comparison matrix: single-node HTTP
+# baseline, 3-node cluster over HTTP and the binary wire protocol, and a
+# coalescing burst run — one {"runs": [...]} report with per-shard rows.
 bench-json:
 	$(GO) run ./cmd/bench -o BENCH_core.json
-	$(GO) run ./cmd/loadgen -duration 5s -conns 4 -o BENCH_serve.json
+	$(GO) run ./cmd/loadgen -suite -duration 5s -conns 4 -o BENCH_serve.json
 
 # Re-measure and diff against the committed baseline; fails on any case
 # more than 15% slower (tune with e.g. BENCH_DIFF_FLAGS="-max-regress 25").
@@ -35,12 +38,19 @@ bench-diff:
 serve-smoke:
 	$(GO) run ./cmd/loadgen -duration 2s -conns 4 -check
 
+# 3-shard cluster under -race over both protocols, every response checked
+# bit-identically against a direct solve.
+cluster-smoke:
+	$(GO) run -race ./cmd/loadgen -nodes 3 -proto http -duration 2s -conns 4 -instances 16 -n 30 -rotate 500ms -check
+	$(GO) run -race ./cmd/loadgen -nodes 3 -proto wire -duration 2s -conns 4 -instances 16 -n 30 -rotate 500ms -check
+
 fuzz:
 	$(GO) test ./internal/task/ -fuzz FuzzReadJSON -fuzztime 30s
 	$(GO) test ./internal/task/ -fuzz FuzzReadPeriodicJSON -fuzztime 30s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzSolverInvariants$$' -fuzztime 60s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzMetamorphic$$' -fuzztime 60s
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz '^FuzzServeFingerprint$$' -fuzztime 60s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime 60s
 
 # Randomized oracle/metamorphic soak through the solver registry; on
 # failure it shrinks the instance and writes a repro (see TESTING.md).

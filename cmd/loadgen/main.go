@@ -1,23 +1,32 @@
-// Command loadgen drives a rejectschedd daemon with a Zipf-repeated
-// instance workload and reports latency percentiles and throughput.
+// Command loadgen drives the serving tier — one daemon or a
+// consistent-hash cluster — with a Zipf-repeated instance workload and
+// reports latency percentiles and throughput.
 //
 //	loadgen -addr http://127.0.0.1:8080 -duration 10s -conns 8 -check
 //
-// With -addr empty it self-hosts an in-process engine on a loopback
-// port, so the serving stack can be benchmarked with one command:
+// With -addr empty it self-hosts in process: -nodes N brings up an N-node
+// cluster (wire + HTTP listeners per node, warm-cache replication between
+// them), so the whole serving stack can be benchmarked with one command:
 //
-//	loadgen -duration 10s -o BENCH_serve.json
+//	loadgen -nodes 3 -proto wire -duration 10s -o BENCH_serve.json
 //
 // The instance pool is drawn deterministically from -seed; request i
 // targets instance Zipf(i), so a small hot set dominates — the cache-hit
-// regime the daemon is built for. -check precomputes every instance's
-// solution with a direct solver run and fails (exit 1) on any non-200
-// response or any response that is not bit-identical to the direct solve.
+// regime the daemon is built for. -rotate swaps the pool for a fresh one
+// every interval, so cold misses (and the coalescing of concurrent
+// identical ones) recur instead of vanishing after the first second.
+// -burst X switches to rounds of X concurrent identical requests against
+// a fresh instance per round — the singleflight worst case. -check
+// precomputes every instance's solution with a direct solver run and
+// fails (exit 1) on any error or any response that is not bit-identical
+// to the direct solve. -suite runs the comparison matrix (single node vs
+// cluster, HTTP/JSON vs binary wire) and writes one report per run.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,62 +38,101 @@ import (
 	"os"
 	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"dvsreject/internal/cluster"
 	"dvsreject/internal/core"
 	"dvsreject/internal/gen"
 	"dvsreject/internal/serve"
-	"dvsreject/internal/task"
+	"dvsreject/internal/verify"
 )
 
 type options struct {
-	Addr      string
+	Addr      string // external daemon(s), comma-separated; "" self-hosts
+	Ring      string // ring identities for external clusters (default: the -addr list)
+	Nodes     int    // self-hosted cluster size (0/1 = single node)
+	Proto     string // http | wire
 	Duration  time.Duration
 	Conns     int
 	Instances int
 	N         int
 	Zipf      float64
+	Rotate    time.Duration // pool rotation period (0 = static pool)
+	Burst     int           // concurrent identical requests per round (0 = Zipf mode)
 	Seed      int64
 	Solver    string
 	Batch     int
 	Check     bool
+	Suite     bool
 	Out       string
+	Name      string // run label in the report
+}
+
+// shardRow is one node's counters in the report.
+type shardRow struct {
+	Addr  string            `json:"addr"`
+	Stats cluster.NodeStats `json:"stats"`
 }
 
 // report is the JSON consumed by `make bench-json` (BENCH_serve.json).
 type report struct {
+	Name       string      `json:"name,omitempty"`
+	Proto      string      `json:"proto"`
+	Nodes      int         `json:"nodes"`
 	DurationS  float64     `json:"duration_s"`
 	Conns      int         `json:"conns"`
 	Instances  int         `json:"instances"`
 	N          int         `json:"n"`
 	Solver     string      `json:"solver"`
 	Batch      int         `json:"batch,omitempty"`
+	Burst      int         `json:"burst,omitempty"`
+	RotateS    float64     `json:"rotate_s,omitempty"`
 	Requests   int         `json:"requests"`
 	Errors     int         `json:"errors"`
 	Mismatches int         `json:"mismatches"`
+	Shed       int         `json:"shed,omitempty"`
 	Throughput float64     `json:"throughput_rps"`
 	P50us      float64     `json:"p50_us"`
 	P95us      float64     `json:"p95_us"`
 	P99us      float64     `json:"p99_us"`
 	Server     serve.Stats `json:"server_stats"`
+	Shards     []shardRow  `json:"shards,omitempty"`
+}
+
+// suiteReport wraps the -suite comparison matrix.
+type suiteReport struct {
+	Runs []report `json:"runs"`
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.Addr, "addr", "", "daemon base URL; empty self-hosts an in-process engine")
+	flag.StringVar(&o.Addr, "addr", "", "daemon address(es), comma-separated; empty self-hosts in process (HTTP base URLs for -proto http, host:port wire addresses for -proto wire)")
+	flag.StringVar(&o.Ring, "ring", "", "ring identities for an external cluster, comma-separated and parallel to -addr (default: the -addr list; must match the wire addresses the shards were started with)")
+	flag.IntVar(&o.Nodes, "nodes", 1, "self-hosted cluster size")
+	flag.StringVar(&o.Proto, "proto", "http", "client protocol: http (JSON) or wire (binary)")
 	flag.DurationVar(&o.Duration, "duration", 5*time.Second, "how long to drive load")
 	flag.IntVar(&o.Conns, "conns", 8, "concurrent client workers")
-	flag.IntVar(&o.Instances, "instances", 64, "distinct instances in the pool")
+	flag.IntVar(&o.Instances, "instances", 64, "distinct instances per pool epoch")
 	flag.IntVar(&o.N, "n", 50, "tasks per instance")
 	flag.Float64Var(&o.Zipf, "zipf", 1.1, "Zipf exponent of instance popularity (> 1)")
+	flag.DurationVar(&o.Rotate, "rotate", time.Second, "swap the instance pool every interval so cold misses recur (0 = static pool)")
+	flag.IntVar(&o.Burst, "burst", 0, "burst mode: this many concurrent identical requests per round on a fresh instance (0 = Zipf mode)")
 	flag.Int64Var(&o.Seed, "seed", 1, "workload seed")
 	flag.StringVar(&o.Solver, "solver", "DP", "solver requested per instance")
-	flag.IntVar(&o.Batch, "batch", 0, "POST /batch with this many requests per call (0 = /solve)")
+	flag.IntVar(&o.Batch, "batch", 0, "POST /batch with this many requests per call (0 = /solve; http, single node only)")
 	flag.BoolVar(&o.Check, "check", false, "verify every response bit-identically against a direct solve")
+	flag.BoolVar(&o.Suite, "suite", false, "run the comparison matrix (1-node http, N-node http, N-node wire, burst) and emit {\"runs\": [...]}")
 	flag.StringVar(&o.Out, "o", "", "write the JSON report to this file")
 	flag.Parse()
 
+	if o.Suite {
+		if err := runSuite(o, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	rep, err := run(o, os.Stdout)
 	if err != nil {
 		log.Fatal(err)
@@ -94,112 +142,157 @@ func main() {
 	}
 }
 
-func run(o options, w io.Writer) (report, error) {
-	base := o.Addr
-	if base == "" {
-		engine := serve.New(serve.Config{DefaultSolver: o.Solver})
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return report{}, err
-		}
-		srv := &http.Server{Handler: serve.NewHandler(engine)}
-		go srv.Serve(l)
-		defer srv.Close()
-		base = "http://" + l.Addr().String()
-		fmt.Fprintf(w, "self-hosted engine on %s\n", base)
+// runSuite executes the comparison matrix self-hosted: the single-node
+// HTTP baseline, the cluster over both protocols, and a wire burst run
+// that drives concurrent identical cold misses through singleflight.
+func runSuite(o options, w io.Writer) error {
+	nodes := o.Nodes
+	if nodes < 2 {
+		nodes = 3
 	}
+	burstDur := min(o.Duration, 3*time.Second)
+	configs := []options{
+		{Name: "1node-http", Nodes: 1, Proto: "http"},
+		{Name: fmt.Sprintf("%dnode-http", nodes), Nodes: nodes, Proto: "http"},
+		{Name: fmt.Sprintf("%dnode-wire", nodes), Nodes: nodes, Proto: "wire"},
+		{Name: "burst-wire", Nodes: 1, Proto: "wire", Burst: o.Conns,
+			N: 30000, Instances: 64, Rotate: -1, Duration: burstDur},
+	}
+	var suite suiteReport
+	for _, c := range configs {
+		ro := o
+		ro.Suite, ro.Out, ro.Addr = false, "", ""
+		ro.Name, ro.Nodes, ro.Proto, ro.Burst = c.Name, c.Nodes, c.Proto, c.Burst
+		if c.N != 0 {
+			ro.N, ro.Instances, ro.Duration = c.N, c.Instances, c.Duration
+		}
+		if c.Rotate < 0 {
+			ro.Rotate = 0
+		}
+		fmt.Fprintf(w, "=== %s ===\n", ro.Name)
+		rep, err := run(ro, w)
+		if err != nil {
+			return fmt.Errorf("suite run %s: %w", ro.Name, err)
+		}
+		if rep.Errors > 0 || rep.Mismatches > 0 {
+			return fmt.Errorf("suite run %s: %d errors, %d mismatches", ro.Name, rep.Errors, rep.Mismatches)
+		}
+		suite.Runs = append(suite.Runs, rep)
+	}
+	if o.Out != "" {
+		b, err := json.MarshalIndent(suite, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(o.Out, append(b, '\n'), 0o644)
+	}
+	return nil
+}
 
-	bodies, expected, err := buildWorkload(o)
+// target is one shard from the client's point of view.
+type target struct {
+	httpBase string
+	wireAddr string
+	node     *cluster.Node // self-hosted only
+}
+
+// workload is the pregenerated request pool: epochs × instances requests,
+// flattened epoch-major, with per-request routing and (under -check) the
+// reference solutions.
+type workload struct {
+	reqs     []serve.Request
+	bodies   [][]byte // http JSON forms
+	expected []core.Solution
+	route    []int // owner target per request
+	epochs   int
+}
+
+func run(o options, w io.Writer) (report, error) {
+	if o.Proto == "" {
+		o.Proto = "http"
+	}
+	if o.Proto != "http" && o.Proto != "wire" {
+		return report{}, fmt.Errorf("loadgen: -proto %q, want http or wire", o.Proto)
+	}
+	targets, ringIDs, cleanup, err := resolveTargets(o, w)
 	if err != nil {
 		return report{}, err
 	}
+	defer cleanup()
+	if o.Batch > 0 && (o.Proto != "http" || len(targets) > 1) {
+		return report{}, fmt.Errorf("loadgen: -batch requires -proto http and a single node")
+	}
 
-	client := &http.Client{Transport: &http.Transport{
+	wl, err := buildWorkload(o)
+	if err != nil {
+		return report{}, err
+	}
+	ring := cluster.NewRing(ringIDs, 0)
+	wl.route = make([]int, len(wl.reqs))
+	for i, req := range wl.reqs {
+		wl.route[i] = ring.Owner(serve.Fingerprint(req, 0))
+	}
+
+	httpc := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        o.Conns * 2,
 		MaxIdleConnsPerHost: o.Conns * 2,
 	}}
 
-	type workerOut struct {
-		lats       []time.Duration
-		requests   int
-		errors     int
-		mismatches int
+	nworkers := o.Conns
+	if o.Burst > 0 {
+		nworkers = o.Burst
 	}
-	outs := make([]workerOut, o.Conns)
-	deadline := time.Now().Add(o.Duration)
+	workers := make([]*worker, nworkers)
+	for i := range workers {
+		workers[i] = &worker{id: i, o: o, wl: wl, targets: targets, httpc: httpc}
+	}
+	defer func() {
+		for _, wk := range workers {
+			wk.close()
+		}
+	}()
+
 	start := time.Now()
-	var wg sync.WaitGroup
-	for wi := 0; wi < o.Conns; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(o.Seed + int64(wi)*7919))
-			zipf := rand.NewZipf(rng, o.Zipf, 1, uint64(o.Instances-1))
-			out := &outs[wi]
-			for time.Now().Before(deadline) {
-				if o.Batch > 0 {
-					idx := make([]int, o.Batch)
-					for k := range idx {
-						idx[k] = int(zipf.Uint64())
-					}
-					out.requests += o.Batch
-					t0 := time.Now()
-					resps, err := postBatch(client, base, bodies, idx, o.Check)
-					lat := time.Since(t0)
-					if err != nil {
-						out.errors++
-						continue
-					}
-					for k := range idx {
-						out.lats = append(out.lats, lat/time.Duration(o.Batch))
-						if o.Check && !responseMatches(resps[k], expected[idx[k]]) {
-							out.mismatches++
-						}
-					}
-					continue
-				}
-				i := int(zipf.Uint64())
-				out.requests++
-				t0 := time.Now()
-				resp, err := postSolve(client, base, bodies[i], o.Check)
-				out.lats = append(out.lats, time.Since(t0))
-				if err != nil {
-					out.errors++
-					continue
-				}
-				if o.Check && !responseMatches(resp, expected[i]) {
-					out.mismatches++
-				}
-			}
-		}(wi)
+	deadline := start.Add(o.Duration)
+	if o.Burst > 0 {
+		runBurst(o, workers, deadline)
+	} else {
+		runZipf(o, workers, start, deadline)
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep := report{
+		Name: o.Name, Proto: o.Proto, Nodes: len(targets),
 		DurationS: elapsed.Seconds(),
 		Conns:     o.Conns, Instances: o.Instances, N: o.N,
-		Solver: o.Solver, Batch: o.Batch,
+		Solver: o.Solver, Batch: o.Batch, Burst: o.Burst,
+		RotateS: o.Rotate.Seconds(),
 	}
 	var lats []time.Duration
-	for _, out := range outs {
-		rep.Requests += out.requests
-		rep.Errors += out.errors
-		rep.Mismatches += out.mismatches
-		lats = append(lats, out.lats...)
+	for _, wk := range workers {
+		rep.Requests += wk.out.requests
+		rep.Errors += wk.out.errors
+		rep.Mismatches += wk.out.mismatches
+		rep.Shed += wk.out.shed
+		lats = append(lats, wk.out.lats...)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
 	rep.P50us = percentileUS(lats, 0.50)
 	rep.P95us = percentileUS(lats, 0.95)
 	rep.P99us = percentileUS(lats, 0.99)
-	rep.Server = fetchStats(client, base)
+	rep.Shards = collectShards(httpc, targets)
+	for _, sh := range rep.Shards {
+		rep.Server = addStats(rep.Server, sh.Stats.Engine)
+	}
 
-	fmt.Fprintf(w, "%d requests in %.2fs (%.0f req/s), p50 %.1fµs p95 %.1fµs p99 %.1fµs, %d errors, %d mismatches\n",
-		rep.Requests, rep.DurationS, rep.Throughput, rep.P50us, rep.P95us, rep.P99us, rep.Errors, rep.Mismatches)
-	fmt.Fprintf(w, "server: %d cache hits / %d misses / %d evictions, %d coalesced, %d bypasses\n",
-		rep.Server.Cache.Hits, rep.Server.Cache.Misses, rep.Server.Cache.Evictions,
-		rep.Server.Coalesced, rep.Server.Bypasses)
+	fmt.Fprintf(w, "%d requests in %.2fs (%.0f req/s), p50 %.1fµs p95 %.1fµs p99 %.1fµs, %d errors, %d mismatches, %d shed\n",
+		rep.Requests, rep.DurationS, rep.Throughput, rep.P50us, rep.P95us, rep.P99us, rep.Errors, rep.Mismatches, rep.Shed)
+	for _, sh := range rep.Shards {
+		fmt.Fprintf(w, "shard %s: %d reqs, %d hits / %d misses, %d coalesced, %d warmed, %d repl sent / %d applied, %d wire solves\n",
+			sh.Addr, sh.Stats.Engine.Requests, sh.Stats.Engine.Cache.Hits, sh.Stats.Engine.Cache.Misses,
+			sh.Stats.Engine.Coalesced, sh.Stats.Engine.Warmed, sh.Stats.ReplSent, sh.Stats.ReplApplied, sh.Stats.WireSolves)
+	}
 
 	if o.Out != "" {
 		b, err := json.MarshalIndent(rep, "", "  ")
@@ -213,62 +306,306 @@ func run(o options, w io.Writer) (report, error) {
 	return rep, nil
 }
 
-// buildWorkload draws the instance pool and, when -check is on, its
-// reference solutions.
-func buildWorkload(o options) ([][]byte, []serve.WireResponse, error) {
+// resolveTargets either parses the external -addr list or self-hosts a
+// -nodes cluster with wire and HTTP listeners per node. The returned ring
+// identities are what consistent-hash routing keys on: the wire addresses
+// for self-hosted clusters (the same identities the shards replicate by),
+// the -ring list (or the -addr list) for external ones.
+func resolveTargets(o options, w io.Writer) ([]target, []string, func(), error) {
+	if o.Addr != "" {
+		addrs := strings.Split(o.Addr, ",")
+		ringIDs := addrs
+		if o.Ring != "" {
+			ringIDs = strings.Split(o.Ring, ",")
+			if len(ringIDs) != len(addrs) {
+				return nil, nil, nil, fmt.Errorf("loadgen: -ring lists %d identities for %d addrs", len(ringIDs), len(addrs))
+			}
+		}
+		targets := make([]target, len(addrs))
+		for i, a := range addrs {
+			if o.Proto == "wire" {
+				targets[i] = target{wireAddr: a, httpBase: ""}
+			} else {
+				targets[i] = target{httpBase: a}
+			}
+		}
+		return targets, ringIDs, func() {}, nil
+	}
+
+	nodes := o.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	wireLns := make([]net.Listener, nodes)
+	wireAddrs := make([]string, nodes)
+	for i := range wireLns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		wireLns[i] = ln
+		wireAddrs[i] = ln.Addr().String()
+	}
+	targets := make([]target, nodes)
+	clusterNodes := make([]*cluster.Node, nodes)
+	var srvs []*http.Server
+	for i := range targets {
+		nd := cluster.NewNode(cluster.NodeConfig{
+			Engine: serve.Config{DefaultSolver: o.Solver},
+			Self:   wireAddrs[i],
+			Peers:  wireAddrs,
+		})
+		clusterNodes[i] = nd
+		go nd.ServeWire(wireLns[i])
+		hl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, n := range clusterNodes[:i+1] {
+				n.Close()
+			}
+			return nil, nil, nil, err
+		}
+		srv := &http.Server{Handler: nd.Handler()}
+		srvs = append(srvs, srv)
+		go srv.Serve(hl)
+		targets[i] = target{httpBase: "http://" + hl.Addr().String(), wireAddr: wireAddrs[i], node: nd}
+	}
+	fmt.Fprintf(w, "self-hosted %d-node cluster (%s)\n", nodes, strings.Join(wireAddrs, ", "))
+	cleanup := func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+		for _, n := range clusterNodes {
+			n.Close()
+		}
+	}
+	return targets, wireAddrs, cleanup, nil
+}
+
+// runZipf drives the steady-state workload: each worker draws Zipf-hot
+// instances from the epoch active at the time of the request, so every
+// rotation re-introduces a burst of cold misses on hot keys.
+func runZipf(o options, workers []*worker, start, deadline time.Time) {
+	var wg sync.WaitGroup
+	for _, wk := range workers {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(wk.id)*7919))
+			zipf := rand.NewZipf(rng, o.Zipf, 1, uint64(o.Instances-1))
+			for time.Now().Before(deadline) {
+				epoch := 0
+				if o.Rotate > 0 {
+					epoch = int(time.Since(start) / o.Rotate)
+					if epoch >= wk.wl.epochs {
+						epoch = wk.wl.epochs - 1
+					}
+				}
+				idx := epoch*o.Instances + int(zipf.Uint64())
+				if o.Batch > 0 {
+					wk.solveBatch(idx, zipf, epoch)
+					continue
+				}
+				wk.solveOne(idx)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// runBurst drives rounds of len(workers) concurrent identical requests,
+// each round against the next (cold, until the pool wraps) instance —
+// the singleflight stress shape.
+func runBurst(o options, workers []*worker, deadline time.Time) {
+	for round := 0; time.Now().Before(deadline); round++ {
+		idx := round % len(workers[0].wl.reqs)
+		startCh := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, wk := range workers {
+			wg.Add(1)
+			go func(wk *worker) {
+				defer wg.Done()
+				<-startCh
+				wk.solveOne(idx)
+			}(wk)
+		}
+		close(startCh)
+		wg.Wait()
+	}
+}
+
+type workerOut struct {
+	lats       []time.Duration
+	requests   int
+	errors     int
+	mismatches int
+	shed       int
+}
+
+// worker is one load-generating client: its own wire connections (one per
+// shard), a shared HTTP transport, and private counters.
+type worker struct {
+	id      int
+	o       options
+	wl      *workload
+	targets []target
+	httpc   *http.Client
+	wcs     []*cluster.WireClient
+	out     workerOut
+}
+
+func (wk *worker) close() {
+	for _, c := range wk.wcs {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func (wk *worker) wire(t int) *cluster.WireClient {
+	if wk.wcs == nil {
+		wk.wcs = make([]*cluster.WireClient, len(wk.targets))
+	}
+	if wk.wcs[t] == nil {
+		wk.wcs[t] = cluster.NewWireClient(wk.targets[t].wireAddr)
+	}
+	return wk.wcs[t]
+}
+
+// solveOne sends request idx to its owner shard and verifies the response
+// when -check is on.
+func (wk *worker) solveOne(idx int) {
+	t := wk.wl.route[idx]
+	wk.out.requests++
+	t0 := time.Now()
+	if wk.o.Proto == "wire" {
+		res, err := wk.wire(t).Solve(wk.wl.reqs[idx])
+		wk.out.lats = append(wk.out.lats, time.Since(t0))
+		if err != nil {
+			var sheddErr *cluster.ShedError
+			if errors.As(err, &sheddErr) {
+				wk.out.shed++
+			} else {
+				wk.out.errors++
+			}
+			return
+		}
+		if wk.o.Check && verify.BitIdenticalSolutions(res.Solution, wk.wl.expected[idx]) != nil {
+			wk.out.mismatches++
+		}
+		return
+	}
+	resp, err := postSolve(wk.httpc, wk.targets[t].httpBase, wk.wl.bodies[idx], wk.o.Check)
+	wk.out.lats = append(wk.out.lats, time.Since(t0))
+	if err != nil {
+		if errors.Is(err, errShed) {
+			wk.out.shed++
+		} else {
+			wk.out.errors++
+		}
+		return
+	}
+	if wk.o.Check && !responseMatches(resp, toWireResponse(wk.wl.expected[idx])) {
+		wk.out.mismatches++
+	}
+}
+
+// solveBatch sends one /batch call of o.Batch Zipf draws from epoch.
+func (wk *worker) solveBatch(first int, zipf *rand.Zipf, epoch int) {
+	o := wk.o
+	idx := make([]int, o.Batch)
+	idx[0] = first
+	for k := 1; k < len(idx); k++ {
+		idx[k] = epoch*o.Instances + int(zipf.Uint64())
+	}
+	wk.out.requests += o.Batch
+	t0 := time.Now()
+	resps, err := postBatch(wk.httpc, wk.targets[0].httpBase, wk.wl.bodies, idx, o.Check)
+	lat := time.Since(t0)
+	if err != nil {
+		wk.out.errors++
+		return
+	}
+	for k := range idx {
+		wk.out.lats = append(wk.out.lats, lat/time.Duration(o.Batch))
+		if o.Check && !responseMatches(resps[k], toWireResponse(wk.wl.expected[idx[k]])) {
+			wk.out.mismatches++
+		}
+	}
+}
+
+// buildWorkload draws the instance pools — one per rotation epoch — and,
+// when -check is on, their reference solutions.
+func buildWorkload(o options) (*workload, error) {
 	if o.Instances < 1 || o.N < 1 || o.Conns < 1 {
-		return nil, nil, fmt.Errorf("loadgen: instances, n and conns must be ≥ 1")
+		return nil, fmt.Errorf("loadgen: instances, n and conns must be ≥ 1")
 	}
 	if o.Zipf <= 1 {
-		return nil, nil, fmt.Errorf("loadgen: -zipf must be > 1")
+		return nil, fmt.Errorf("loadgen: -zipf must be > 1")
 	}
-	bodies := make([][]byte, o.Instances)
-	expected := make([]serve.WireResponse, o.Instances)
-	for i := range bodies {
+	epochs := 1
+	if o.Rotate > 0 {
+		epochs = int(o.Duration/o.Rotate) + 2
+		// Bound pregeneration: past this the tail epochs just stay warm
+		// longer.
+		if cap := 4096 / o.Instances; epochs > cap && cap >= 1 {
+			epochs = cap
+		}
+	}
+	wl := &workload{epochs: epochs}
+	total := epochs * o.Instances
+	wl.reqs = make([]serve.Request, total)
+	wl.bodies = make([][]byte, total)
+	if o.Check {
+		wl.expected = make([]core.Solution, total)
+	}
+	for i := 0; i < total; i++ {
 		set, err := gen.Frame(rand.New(rand.NewSource(o.Seed+int64(i))), gen.Config{
 			N:       o.N,
 			Load:    1.2,
 			Penalty: gen.PenaltyModel(int64(i) % 3),
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		wreq := serve.WireRequest{Deadline: set.Deadline, SMax: 1, Solver: o.Solver}
 		for _, t := range set.Tasks {
 			wreq.Tasks = append(wreq.Tasks, serve.WireTask{ID: t.ID, Cycles: t.Cycles, Penalty: t.Penalty, Rho: t.Rho})
 		}
-		if bodies[i], err = json.Marshal(wreq); err != nil {
-			return nil, nil, err
+		if wl.bodies[i], err = json.Marshal(wreq); err != nil {
+			return nil, err
+		}
+		if wl.reqs[i], err = wreq.ToRequest(); err != nil {
+			return nil, err
 		}
 		if o.Check {
-			if expected[i], err = directSolve(set, o.Solver); err != nil {
-				return nil, nil, err
+			if wl.expected[i], err = directSolve(wl.reqs[i]); err != nil {
+				return nil, err
 			}
 		}
 	}
-	return bodies, expected, nil
+	return wl, nil
 }
 
-// directSolve computes the reference wire response the daemon must
+// directSolve computes the reference solution the serving tier must
 // reproduce bit for bit.
-func directSolve(set task.Set, solver string) (serve.WireResponse, error) {
-	s, err := core.NewSolver(solver, core.SolverSpec{})
-	if err != nil {
-		return serve.WireResponse{}, err
+func directSolve(req serve.Request) (core.Solution, error) {
+	name := req.Solver
+	if name == "" {
+		name = "DP"
 	}
-	req := serve.WireRequest{Deadline: set.Deadline, SMax: 1}
-	sreq, err := req.ToRequest()
+	s, err := core.NewSolver(name, core.SolverSpec{})
 	if err != nil {
-		return serve.WireResponse{}, err
+		return core.Solution{}, err
 	}
-	sol, err := s.Solve(core.Instance{Tasks: set, Proc: sreq.Proc})
-	if err != nil {
-		return serve.WireResponse{}, err
-	}
+	return s.Solve(core.Instance{Tasks: req.Tasks, Proc: req.Proc, FastPow: req.FastPow})
+}
+
+// toWireResponse flattens a reference solution for HTTP comparison.
+func toWireResponse(sol core.Solution) serve.WireResponse {
 	return serve.WireResponse{
 		Accepted: sol.Accepted, Rejected: sol.Rejected,
 		Energy: sol.Energy, Penalty: sol.Penalty, Cost: sol.Cost,
-	}, nil
+	}
 }
 
 // responseMatches compares a wire response against the reference: same
@@ -293,6 +630,9 @@ func orEmpty(s []int) []int {
 	return s
 }
 
+// errShed marks a 429 from the admission controller on the HTTP path.
+var errShed = errors.New("request shed")
+
 // postSolve sends one request. Without decode it drains the body unparsed —
 // on a shared CPU the client's JSON decoding competes with the server, and
 // uncheck runs only need the status line and the latency.
@@ -309,6 +649,9 @@ func postSolve(client *http.Client, base string, body []byte, decode bool) (serv
 		}
 	} else {
 		io.Copy(io.Discard, resp.Body)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return out, errShed
 	}
 	if resp.StatusCode != http.StatusOK {
 		return out, fmt.Errorf("status %d: %s", resp.StatusCode, out.Error)
@@ -349,16 +692,57 @@ func postBatch(client *http.Client, base string, bodies [][]byte, idx []int, dec
 	return out.Responses, nil
 }
 
-// fetchStats best-effort reads the daemon's counters for the report.
-func fetchStats(client *http.Client, base string) serve.Stats {
+// collectShards snapshots per-node counters: directly for self-hosted
+// nodes, over HTTP for external ones (accepting both the cluster
+// NodeStats shape and a legacy daemon's bare engine stats).
+func collectShards(client *http.Client, targets []target) []shardRow {
+	rows := make([]shardRow, len(targets))
+	for i, t := range targets {
+		addr := t.wireAddr
+		if addr == "" {
+			addr = t.httpBase
+		}
+		rows[i].Addr = addr
+		if t.node != nil {
+			rows[i].Stats = t.node.Stats()
+			continue
+		}
+		if t.httpBase != "" {
+			rows[i].Stats = fetchNodeStats(client, t.httpBase)
+		}
+	}
+	return rows
+}
+
+func fetchNodeStats(client *http.Client, base string) cluster.NodeStats {
 	resp, err := client.Get(base + "/stats")
 	if err != nil {
-		return serve.Stats{}
+		return cluster.NodeStats{}
 	}
 	defer resp.Body.Close()
-	var st serve.Stats
-	json.NewDecoder(resp.Body).Decode(&st)
-	return st
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return cluster.NodeStats{}
+	}
+	var ns cluster.NodeStats
+	json.Unmarshal(raw, &ns)
+	if ns.Engine == (serve.Stats{}) {
+		// Legacy daemon: /stats is the bare engine counters.
+		json.Unmarshal(raw, &ns.Engine)
+	}
+	return ns
+}
+
+func addStats(a, b serve.Stats) serve.Stats {
+	a.Requests += b.Requests
+	a.Coalesced += b.Coalesced
+	a.Bypasses += b.Bypasses
+	a.Warmed += b.Warmed
+	a.Cache.Hits += b.Cache.Hits
+	a.Cache.Misses += b.Cache.Misses
+	a.Cache.Evictions += b.Cache.Evictions
+	a.Cache.Entries += b.Cache.Entries
+	return a
 }
 
 func percentileUS(sorted []time.Duration, p float64) float64 {

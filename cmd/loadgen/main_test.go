@@ -59,11 +59,108 @@ func TestSelfHostedBatchCheck(t *testing.T) {
 	}
 }
 
+// TestClusterCheck drives a self-hosted 3-node cluster over both
+// protocols with rotation on, verifying every response bit-identically.
+func TestClusterCheck(t *testing.T) {
+	for _, proto := range []string{"http", "wire"} {
+		t.Run(proto, func(t *testing.T) {
+			var out strings.Builder
+			rep, err := run(options{
+				Nodes:     3,
+				Proto:     proto,
+				Duration:  400 * time.Millisecond,
+				Rotate:    150 * time.Millisecond,
+				Conns:     4,
+				Instances: 8,
+				N:         12,
+				Zipf:      1.2,
+				Seed:      3,
+				Solver:    "DP",
+				Check:     true,
+			}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Requests == 0 {
+				t.Fatal("no requests completed")
+			}
+			if rep.Errors != 0 || rep.Mismatches != 0 {
+				t.Fatalf("%d errors, %d mismatches:\n%s", rep.Errors, rep.Mismatches, out.String())
+			}
+			if len(rep.Shards) != 3 {
+				t.Fatalf("%d shard rows, want 3", len(rep.Shards))
+			}
+			var reqs uint64
+			for _, sh := range rep.Shards {
+				reqs += sh.Stats.Engine.Requests
+			}
+			if reqs == 0 {
+				t.Fatal("no shard served any request")
+			}
+		})
+	}
+}
+
+// TestBurstMode drives the burst shape — concurrent identical requests
+// on fresh instances — and requires bit-identical responses throughout.
+func TestBurstMode(t *testing.T) {
+	var out strings.Builder
+	rep, err := run(options{
+		Proto:     "wire",
+		Burst:     4,
+		Conns:     4,
+		Duration:  300 * time.Millisecond,
+		Instances: 16,
+		N:         2000,
+		Zipf:      1.2,
+		Seed:      4,
+		Solver:    "DP",
+		Check:     true,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Fatalf("%d errors, %d mismatches:\n%s", rep.Errors, rep.Mismatches, out.String())
+	}
+	// Each round is one cold solve shared by 4 clients: the engine must
+	// have answered most requests without solving (hit or coalesced).
+	cheap := rep.Server.Cache.Hits + rep.Server.Coalesced
+	if cheap == 0 {
+		t.Fatalf("burst rounds produced no hits or coalesced responses:\n%s", out.String())
+	}
+}
+
 func TestWorkloadValidation(t *testing.T) {
-	if _, _, err := buildWorkload(options{Instances: 0, N: 5, Conns: 1, Zipf: 1.1}); err == nil {
+	if _, err := buildWorkload(options{Instances: 0, N: 5, Conns: 1, Zipf: 1.1}); err == nil {
 		t.Error("instances = 0 accepted")
 	}
-	if _, _, err := buildWorkload(options{Instances: 4, N: 5, Conns: 1, Zipf: 1.0}); err == nil {
+	if _, err := buildWorkload(options{Instances: 4, N: 5, Conns: 1, Zipf: 1.0}); err == nil {
 		t.Error("zipf = 1.0 accepted")
+	}
+}
+
+func TestRotationBuildsEpochPools(t *testing.T) {
+	wl, err := buildWorkload(options{
+		Instances: 4, N: 5, Conns: 1, Zipf: 1.1,
+		Duration: time.Second, Rotate: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.epochs < 2 {
+		t.Fatalf("rotation built %d epochs, want ≥ 2", wl.epochs)
+	}
+	if len(wl.reqs) != wl.epochs*4 {
+		t.Fatalf("pool has %d requests for %d epochs × 4 instances", len(wl.reqs), wl.epochs)
+	}
+	// Distinct epochs must hold distinct instances — otherwise rotation
+	// never re-introduces cold misses.
+	if len(wl.reqs[0].Tasks.Tasks) == 0 || wl.reqs[0].Tasks.Deadline == wl.reqs[4].Tasks.Deadline &&
+		wl.reqs[0].Tasks.Tasks[0].Cycles == wl.reqs[4].Tasks.Tasks[0].Cycles {
+		t.Fatal("epoch 0 and epoch 1 share instance 0")
 	}
 }

@@ -1,6 +1,7 @@
 // Command rejectschedd is the long-running solve daemon: a batched,
-// cache-fronted HTTP/JSON front end over the dvsreject solvers
-// (internal/serve).
+// cache-fronted front end over the dvsreject solvers, serving HTTP/JSON
+// (internal/serve) and optionally the binary wire protocol
+// (internal/wire) side by side.
 //
 //	rejectschedd -addr :8080 -shards 16 -entries 256 -workers 0
 //
@@ -8,8 +9,23 @@
 //
 //	POST /solve   one instance            → one solution
 //	POST /batch   {"requests": [...]}     → positional solutions
-//	GET  /stats   cache/coalescing counters
+//	GET  /stats   node counters (engine, admission, replication, wire)
 //	GET  /healthz liveness probe
+//
+// Clustering: -wire-addr starts the binary-protocol listener and -peers
+// lists every shard's wire address (including this node's). The peer
+// list is the consistent-hash ring identity set — every shard and every
+// routing client must be started with the same list. Cold solves are
+// replicated to the key's next ring node, warming its cache
+// (internal/cluster):
+//
+//	rejectschedd -addr :8080 -wire-addr 10.0.0.1:9090 \
+//	    -peers 10.0.0.1:9090,10.0.0.2:9090,10.0.0.3:9090
+//
+// Overload shedding: -capacity bounds the estimated in-flight solver
+// cost (µs); past it, requests whose rejection penalty is too small for
+// the backlog are answered 429 + Retry-After — the paper's
+// energy-vs-penalty rejection calculus applied to the serving tier.
 //
 // Profiling is off by default; -debug-addr starts a second listener that
 // serves only net/http/pprof (GET /debug/pprof/...), kept off the service
@@ -18,7 +34,7 @@
 //	rejectschedd -addr :8080 -debug-addr 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
-// See README.md § Serving for the wire format.
+// See README.md § Serving for the wire formats.
 package main
 
 import (
@@ -26,19 +42,26 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dvsreject/internal/cluster"
 	"dvsreject/internal/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		wireAddr  = flag.String("wire-addr", "", "binary wire-protocol listen address (empty = wire protocol disabled)")
+		peers     = flag.String("peers", "", "comma-separated wire addresses of every cluster shard, this one included (empty = standalone)")
+		capacity  = flag.Float64("capacity", 0, "admission capacity in estimated in-flight solver µs (0 = no shedding)")
+		slope     = flag.Float64("slope", 0, "overload shedding price in penalty per µs of cost per unit overload (0 = default 0.05)")
 		shards    = flag.Int("shards", 16, "plan-cache shards (rounded up to a power of two)")
 		entries   = flag.Int("entries", 256, "plan-cache entries per shard")
 		workers   = flag.Int("workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
@@ -48,16 +71,46 @@ func main() {
 	)
 	flag.Parse()
 
-	engine := serve.New(serve.Config{
-		Shards:          *shards,
-		EntriesPerShard: *entries,
-		Workers:         *workers,
-		Quantum:         *quantum,
-		DefaultSolver:   *solver,
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	self := *wireAddr
+	if len(peerList) > 0 {
+		if self == "" {
+			log.Fatal("rejectschedd: -peers requires -wire-addr (the ring identities are wire addresses)")
+		}
+		found := false
+		for _, p := range peerList {
+			if p == self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("rejectschedd: -wire-addr %s is not in -peers %s", self, *peers)
+		}
+	} else if self != "" {
+		peerList = []string{self}
+	}
+
+	node := cluster.NewNode(cluster.NodeConfig{
+		Engine: serve.Config{
+			Shards:          *shards,
+			EntriesPerShard: *entries,
+			Workers:         *workers,
+			Quantum:         *quantum,
+			DefaultSolver:   *solver,
+		},
+		Self:      self,
+		Peers:     peerList,
+		Admission: cluster.AdmissionConfig{Capacity: *capacity, Slope: *slope},
 	})
+	defer node.Close()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewHandler(engine),
+		Handler:           node.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -65,6 +118,14 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go node.ServeWire(ln)
+		log.Printf("wire protocol listening on %s (%d peers on the ring)", *wireAddr, len(peerList))
+	}
 	if *debugAddr != "" {
 		// A dedicated mux: registering pprof on the service handler would
 		// expose profiling to every client that can reach the API.
@@ -92,8 +153,8 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
-		st := engine.Stats()
-		log.Printf("shutdown: %d requests, %d cache hits, %d coalesced",
-			st.Requests, st.Cache.Hits, st.Coalesced)
+		st := node.Stats()
+		log.Printf("shutdown: %d requests, %d cache hits, %d coalesced, %d warmed, %d shed",
+			st.Engine.Requests, st.Engine.Cache.Hits, st.Engine.Coalesced, st.Engine.Warmed, st.Admission.Shed)
 	}
 }

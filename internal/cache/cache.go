@@ -96,6 +96,16 @@ func (c *LRU[K, V]) Put(key K, val V) {
 	c.pushFront(n)
 }
 
+// Contains reports whether key is cached, without touching the hit/miss
+// counters or the recency order. Replication uses it to probe for occupied
+// slots without skewing the stats a benchmark reads.
+func (c *LRU[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Len returns the number of live entries.
 func (c *LRU[K, V]) Len() int {
 	c.mu.Lock()
@@ -200,6 +210,10 @@ func (s *Sharded[V]) Get(key string) (V, bool) { return s.shard(key).Get(key) }
 
 // Put inserts or replaces the value for key.
 func (s *Sharded[V]) Put(key string, val V) { s.shard(key).Put(key, val) }
+
+// Contains reports whether key is cached, without touching counters or
+// recency.
+func (s *Sharded[V]) Contains(key string) bool { return s.shard(key).Contains(key) }
 
 // Clear drops every entry in every shard.
 func (s *Sharded[V]) Clear() {

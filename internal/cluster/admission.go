@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"dvsreject/internal/serve"
+)
+
+// EstimateCost returns the estimated solver microseconds for one request —
+// the admission controller's unit of in-flight work. The per-solver
+// coefficients are calibrated against the committed BENCH_core.json rows
+// on the reference box (DP ≈ 0.5 µs/task, the greedy family ≈ 0.03
+// µs/task, exhaustive exponential); they only need to rank requests and
+// track aggregate backlog, not predict wall time precisely.
+func EstimateCost(req serve.Request) float64 {
+	n := float64(len(req.Tasks.Tasks))
+	switch req.Solver {
+	case "OPT":
+		// 2^n subsets; capped so one absurd request saturates rather than
+		// overflows the controller.
+		return math.Min(0.05*math.Exp2(n), 1e9)
+	case "GREEDY", "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL":
+		return 2 + 0.03*n
+	case "RAND":
+		return 2 + 0.1*n
+	default:
+		// DP, APPROX, APPROX-V and anything unknown: the pseudopolynomial
+		// row kernels, linear in n at fixed load.
+		return 5 + 0.5*n
+	}
+}
+
+// RequestPenalty returns the total rejection penalty riding on a request —
+// what is forfeited if the whole instance is shed instead of solved. This
+// is the serving-tier analogue of a task's rejection penalty v_i in the
+// paper's cost model.
+func RequestPenalty(req serve.Request) float64 {
+	var sum float64
+	for _, t := range req.Tasks.Tasks {
+		sum += t.Penalty
+	}
+	return sum
+}
+
+// AdmissionConfig parameterizes the overload controller.
+type AdmissionConfig struct {
+	// Capacity is the estimated-microsecond budget of concurrently
+	// admitted work. ≤ 0 disables admission control entirely (every
+	// request admitted).
+	Capacity float64
+	// Slope is the shedding price in penalty units charged per estimated
+	// microsecond of cost per unit of overload. Mirroring the paper's
+	// rule — reject a task when its penalty is below the energy saved —
+	// a request is shed when its penalty is below Slope·(load−1)·cost:
+	// the deeper the overload, the higher the penalty bar. 0 means the
+	// default 0.05.
+	Slope float64
+	// Drain is the backlog drain rate in estimated microseconds of work
+	// retired per microsecond of wall time (≈ effective solver
+	// parallelism). It converts excess backlog into the Retry-After hint.
+	// 0 means GOMAXPROCS.
+	Drain float64
+}
+
+// AdmissionStats is a snapshot of the controller's counters.
+type AdmissionStats struct {
+	// Admitted counts requests allowed through the gate.
+	Admitted uint64 `json:"admitted"`
+	// Shed counts requests rejected with 429.
+	Shed uint64 `json:"shed"`
+	// ShedPenalty accumulates the rejection penalty of shed requests —
+	// the serving-tier analogue of the solver's Σ v_i over rejected
+	// tasks.
+	ShedPenalty float64 `json:"shed_penalty"`
+	// InflightCost is the estimated microseconds of admitted work
+	// currently in flight.
+	InflightCost float64 `json:"inflight_cost"`
+}
+
+// Admission is the cost-model overload controller. It implements
+// serve.Gate: Admit charges a request's estimated cost against the
+// capacity, Release refunds it. Under overload it sheds lowest-penalty
+// requests first — exactly the calculus the solvers apply to tasks,
+// lifted to the serving tier. A nil *Admission admits everything.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu          sync.Mutex
+	inflight    float64
+	admitted    uint64
+	shed        uint64
+	shedPenalty float64
+}
+
+// NewAdmission builds a controller; nil-safe to use with a zero or
+// disabled config.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Slope <= 0 {
+		cfg.Slope = 0.05
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = float64(runtime.GOMAXPROCS(0))
+	}
+	return &Admission{cfg: cfg}
+}
+
+// Admit implements serve.Gate. It reports whether the request may proceed
+// and, when shedding, how long the client should wait for the excess
+// backlog to drain.
+func (a *Admission) Admit(req serve.Request) (bool, time.Duration) {
+	if a == nil || a.cfg.Capacity <= 0 {
+		return true, 0
+	}
+	cost := EstimateCost(req)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	next := a.inflight + cost
+	if next <= a.cfg.Capacity {
+		a.inflight = next
+		a.admitted++
+		return true, 0
+	}
+	load := next / a.cfg.Capacity
+	price := a.cfg.Slope * (load - 1) * cost
+	if pen := RequestPenalty(req); pen < price {
+		a.shed++
+		a.shedPenalty += pen
+		// Retry once the backlog above capacity has drained at the
+		// configured rate.
+		excess := next - a.cfg.Capacity
+		retry := time.Duration(excess/a.cfg.Drain) * time.Microsecond
+		return false, min(max(retry, time.Millisecond), 5*time.Second)
+	}
+	// High-penalty request: worth serving even past capacity.
+	a.inflight = next
+	a.admitted++
+	return true, 0
+}
+
+// Release implements serve.Gate, refunding the cost charged by Admit.
+func (a *Admission) Release(req serve.Request) {
+	if a == nil || a.cfg.Capacity <= 0 {
+		return
+	}
+	cost := EstimateCost(req)
+	a.mu.Lock()
+	a.inflight = max(a.inflight-cost, 0)
+	a.mu.Unlock()
+}
+
+// Stats snapshots the controller.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Admitted:     a.admitted,
+		Shed:         a.shed,
+		ShedPenalty:  a.shedPenalty,
+		InflightCost: a.inflight,
+	}
+}

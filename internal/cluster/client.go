@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dvsreject/internal/serve"
+	"dvsreject/internal/wire"
+)
+
+// ShedError is a 429 from the admission controller, carrying the server's
+// backoff hint.
+type ShedError struct {
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *ShedError) Error() string { return e.Msg }
+
+// RemoteError is any other error frame: a solver rejection (422), a bad
+// request (400) or a timeout (504) reported by the peer.
+type RemoteError struct {
+	Code int
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote %d: %s", e.Code, e.Msg) }
+
+// WireClient is a client for one node's binary-protocol port. It keeps a
+// single persistent connection; a broken connection is redialed once per
+// call. Calls are serialized — the protocol answers frames in order, so
+// one connection carries one request at a time. Use one client per worker
+// for concurrency.
+type WireClient struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewWireClient returns a client for addr; the connection is dialed
+// lazily.
+func NewWireClient(addr string) *WireClient {
+	return &WireClient{addr: addr}
+}
+
+// Close drops the connection; the client remains usable (it redials).
+func (c *WireClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Solve runs one request against the peer, returning the decoded result.
+// Error frames surface as *ShedError (429) or *RemoteError (anything
+// else); transport failures return the underlying error after one redial
+// attempt.
+func (c *WireClient) Solve(req serve.Request) (wire.Result, error) {
+	payload := wire.EncodeRequest(toWireRequest(req))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, resp, err := c.roundTrip(wire.FrameSolve, payload)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	switch t {
+	case wire.FrameSolution:
+		return wire.DecodeResult(resp)
+	case wire.FrameError:
+		werr, err := wire.DecodeError(resp)
+		if err != nil {
+			return wire.Result{}, err
+		}
+		if werr.Code == http.StatusTooManyRequests {
+			return wire.Result{}, &ShedError{RetryAfter: werr.RetryAfter, Msg: werr.Msg}
+		}
+		return wire.Result{}, &RemoteError{Code: werr.Code, Msg: werr.Msg}
+	default:
+		c.drop()
+		return wire.Result{}, fmt.Errorf("wire: unexpected reply frame type %d", t)
+	}
+}
+
+// Push writes one one-way frame (replication). No reply is read.
+func (c *WireClient) Push(t wire.FrameType, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.write(t, payload)
+}
+
+// roundTrip writes a frame and reads the in-order reply. Callers hold mu.
+func (c *WireClient) roundTrip(t wire.FrameType, payload []byte) (wire.FrameType, []byte, error) {
+	if err := c.write(t, payload); err != nil {
+		return 0, nil, err
+	}
+	rt, resp, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		c.drop()
+		return 0, nil, err
+	}
+	return rt, resp, nil
+}
+
+// write sends one frame, dialing if needed and redialing once on a write
+// error (the peer restarted, the idle connection was reset). Callers hold
+// mu.
+func (c *WireClient) write(t wire.FrameType, payload []byte) error {
+	if c.conn == nil {
+		if err := c.dial(); err != nil {
+			return err
+		}
+		return c.writeOnce(t, payload)
+	}
+	if err := c.writeOnce(t, payload); err != nil {
+		c.drop()
+		if derr := c.dial(); derr != nil {
+			return derr
+		}
+		return c.writeOnce(t, payload)
+	}
+	return nil
+}
+
+func (c *WireClient) writeOnce(t wire.FrameType, payload []byte) error {
+	err := wire.WriteFrame(c.conn, t, payload)
+	if err != nil {
+		c.drop()
+	}
+	return err
+}
+
+func (c *WireClient) dial() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+func (c *WireClient) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Client routes requests across a cluster by consistent hash of the
+// canonical request fingerprint — the same placement every node's
+// replication uses, so a routed request lands on the shard whose cache
+// owns it. Safe for concurrent use only insofar as each underlying
+// WireClient serializes; for full-rate load use one Client per worker.
+type Client struct {
+	ring  *Ring
+	nodes []*WireClient
+}
+
+// NewClient builds a routing client over the peer identities (wire
+// addresses). vnodes 0 means the ring default.
+func NewClient(peers []string, vnodes int) *Client {
+	c := &Client{ring: NewRing(peers, vnodes)}
+	for i := 0; i < c.ring.Len(); i++ {
+		c.nodes = append(c.nodes, NewWireClient(c.ring.ID(i)))
+	}
+	return c
+}
+
+// Route returns the owner shard index for a request.
+func (c *Client) Route(req serve.Request) int {
+	return c.ring.Owner(serve.Fingerprint(req, 0))
+}
+
+// Solve routes the request to its owner shard and solves it there.
+func (c *Client) Solve(req serve.Request) (wire.Result, int, error) {
+	i := c.Route(req)
+	res, err := c.nodes[i].Solve(req)
+	return res, i, err
+}
+
+// Close closes every per-node connection.
+func (c *Client) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/verify"
+)
+
+// TestConcurrentIdenticalMissesCoalesce pins the singleflight contract the
+// load generator's burst mode exercises: concurrent identical requests
+// against a cold cache share one solver run. The instance is big enough
+// that the leader is still solving when the followers arrive, so at least
+// one follower must join its flight; every response, shared or not, stays
+// bit-identical to a direct solve.
+func TestConcurrentIdenticalMissesCoalesce(t *testing.T) {
+	const (
+		workers = 8
+		// n is sized so one DP solve outlasts a scheduler preemption
+		// quantum (~10 ms): on one CPU the leader's flight must still be
+		// in progress when the follower goroutines get scheduled, or they
+		// would find a finished cache entry instead of joining. ~20 ms at
+		// the committed DP throughput.
+		n      = 40000
+		rounds = 10
+	)
+	e := New(Config{DefaultSolver: "DP"})
+
+	for round := 0; round < rounds; round++ {
+		req := Request{
+			Tasks: mustSet(int64(round), n),
+			Proc:  speed.Proc{Model: power.Cubic(), SMax: 1},
+		}
+		want, err := core.DP{}.Solve(core.Instance{Tasks: req.Tasks, Proc: req.Proc})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		start := make(chan struct{})
+		resps := make([]Response, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				resps[i] = e.Solve(context.Background(), req)
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+
+		for i, r := range resps {
+			if r.Err != nil {
+				t.Fatalf("round %d worker %d: %v", round, i, r.Err)
+			}
+			if err := verify.BitIdenticalSolutions(r.Solution, want); err != nil {
+				t.Fatalf("round %d worker %d: response differs from direct solve: %v", round, i, err)
+			}
+		}
+		st := e.Stats()
+		// Every worker that raced the leader misses the cache first, so
+		// Misses counts concurrency, not solver runs; Entries counts
+		// solves — exactly one Put per round's flight.
+		if st.Cache.Entries != round+1 {
+			t.Fatalf("round %d: cache entries = %d, want %d (one solve per flight)", round, st.Cache.Entries, round+1)
+		}
+		if st.Coalesced > 0 {
+			return // followers joined a live flight — the property holds
+		}
+	}
+	t.Fatalf("no coalescing in %d rounds of %d concurrent identical cold misses", rounds, workers)
+}
+
+// TestWarmInstallsReplicatedEntry pins the replication seam: a Warm'd
+// (request, solution) pair serves later identical requests as cache hits,
+// bit-identically, and never clobbers an occupied slot.
+func TestWarmInstallsReplicatedEntry(t *testing.T) {
+	e := New(Config{DefaultSolver: "DP"})
+	req := Request{
+		Solver: "DP",
+		Tasks:  mustSet(7, 40),
+		Proc:   speed.Proc{Model: power.Cubic(), SMax: 1},
+	}
+	sol, err := core.DP{}.Solve(core.Instance{Tasks: req.Tasks, Proc: req.Proc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !e.Warm(req, sol) {
+		t.Fatal("Warm into an empty slot reported not installed")
+	}
+	if e.Warm(req, sol) {
+		t.Error("Warm clobbered an occupied slot")
+	}
+	if got := e.Stats().Warmed; got != 1 {
+		t.Errorf("Warmed = %d, want 1", got)
+	}
+
+	resp := e.Solve(context.Background(), req)
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if !resp.CacheHit {
+		t.Error("request after Warm was not a cache hit")
+	}
+	if err := verify.BitIdenticalSolutions(resp.Solution, sol); err != nil {
+		t.Errorf("warmed hit differs from pushed solution: %v", err)
+	}
+}

@@ -10,8 +10,10 @@ import (
 )
 
 // fingerprintVersion is folded into every digest so a future change to the
-// encoding can never alias keys produced by an older layout.
-const fingerprintVersion = 1
+// encoding can never alias keys produced by an older layout. Version 2
+// added the FastPow flag: a FastPow solve is a distinct cached artifact
+// from the exact solve of the same instance.
+const fingerprintVersion = 2
 
 // Fingerprint returns the canonical cache key of a request: a sha256 digest
 // over the solver name, the processor description and the task set with
@@ -30,7 +32,7 @@ func Fingerprint(req Request, quantum float64) string {
 	// One exact-size allocation: the encoding is fixed-width per field
 	// (8 bytes per float/int, 1 byte per bool), so the length is known up
 	// front. This is the hot path of every cache hit.
-	size := 8 + 8 + len(req.Solver) + // version, solver
+	size := 8 + 8 + len(req.Solver) + 1 + // version, solver, fastpow
 		7*8 + 1 + 8*len(req.Proc.Levels) + // processor
 		8 + 8 + 32*len(req.Tasks.Tasks) // deadline, count, tasks
 	buf := make([]byte, 0, size)
@@ -38,6 +40,11 @@ func Fingerprint(req Request, quantum float64) string {
 	buf = binary.LittleEndian.AppendUint64(buf, fingerprintVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(req.Solver)))
 	buf = append(buf, req.Solver...)
+	if req.FastPow {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 
 	buf = appendProc(buf, req, quantum)
 
@@ -120,7 +127,7 @@ func sortedTasks(ts []task.Task) []task.Task {
 // output.
 func requestsEqual(a, b Request) bool {
 	bits := math.Float64bits
-	if a.Solver != b.Solver ||
+	if a.Solver != b.Solver || a.FastPow != b.FastPow ||
 		bits(a.Tasks.Deadline) != bits(b.Tasks.Deadline) ||
 		len(a.Tasks.Tasks) != len(b.Tasks.Tasks) {
 		return false

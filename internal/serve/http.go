@@ -35,6 +35,7 @@ type WireRequest struct {
 	Deadline  float64    `json:"deadline"`
 	SMin      float64    `json:"smin,omitempty"`
 	SMax      float64    `json:"smax"`
+	FastPow   bool       `json:"fastpow,omitempty"`
 	TimeoutMS int64      `json:"timeout_ms,omitempty"`
 	Tasks     []WireTask `json:"tasks"`
 }
@@ -101,6 +102,7 @@ func (w WireRequest) ToRequest() (Request, error) {
 		Tasks:   set,
 		Proc:    proc,
 		Solver:  w.Solver,
+		FastPow: w.FastPow,
 		Timeout: time.Duration(w.TimeoutMS) * time.Millisecond,
 	}, nil
 }
@@ -128,16 +130,33 @@ func toWire(r Response) WireResponse {
 	return w
 }
 
-// NewHandler wires the engine's HTTP surface:
+// Gate is the admission hook consulted before a request reaches the
+// engine. Admit reports whether the request may proceed and, when it may
+// not, how long the client should back off; every admitted request gets
+// exactly one Release once its response is ready. The cluster layer
+// implements Gate with a cost-model admission controller; a nil Gate
+// admits everything.
+type Gate interface {
+	Admit(req Request) (ok bool, retryAfter time.Duration)
+	Release(req Request)
+}
+
+// NewHandler wires the engine's HTTP surface with no admission gate.
+func NewHandler(e *Engine) http.Handler { return NewGatedHandler(e, nil) }
+
+// NewGatedHandler wires the engine's HTTP surface:
 //
 //	POST /solve   one WireRequest  → WireResponse
 //	POST /batch   WireBatch        → WireBatchResponse (positional)
 //	GET  /stats   engine counters
 //	GET  /healthz liveness probe
 //
-// /solve distinguishes client errors (400), solver/timeout errors (422/504)
-// and success (200). /batch returns 200 with per-item errors inline.
-func NewHandler(e *Engine) http.Handler {
+// /solve distinguishes client errors (400), overload shedding (429 with a
+// Retry-After header), solver/timeout errors (422/504) and success (200).
+// /batch returns 200 with per-item errors inline; gating is per item, so
+// an overloaded node sheds the low-penalty fraction of a batch rather than
+// the whole call.
+func NewGatedHandler(e *Engine, gate Gate) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
@@ -150,6 +169,14 @@ func NewHandler(e *Engine) http.Handler {
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		if gate != nil {
+			ok, retryAfter := gate.Admit(req)
+			if !ok {
+				writeOverloaded(w, retryAfter)
+				return
+			}
+			defer gate.Release(req)
 		}
 		resp := e.Solve(r.Context(), req)
 		writeJSON(w, solveStatus(resp.Err), toWire(resp))
@@ -164,17 +191,31 @@ func NewHandler(e *Engine) http.Handler {
 		out := WireBatchResponse{Responses: make([]WireResponse, len(batch.Requests))}
 		reqs := make([]Request, 0, len(batch.Requests))
 		idx := make([]int, 0, len(batch.Requests))
+		admitted := make([]Request, 0, len(batch.Requests))
 		for i, wreq := range batch.Requests {
 			req, err := wreq.ToRequest()
 			if err != nil {
 				out.Responses[i] = WireResponse{Error: err.Error()}
 				continue
 			}
+			if gate != nil {
+				ok, retryAfter := gate.Admit(req)
+				if !ok {
+					out.Responses[i] = WireResponse{Error: OverloadedMsg(retryAfter)}
+					continue
+				}
+				admitted = append(admitted, req)
+			}
 			reqs = append(reqs, req)
 			idx = append(idx, i)
 		}
 		for j, resp := range e.SolveBatch(r.Context(), reqs) {
 			out.Responses[idx[j]] = toWire(resp)
+		}
+		if gate != nil {
+			for _, req := range admitted {
+				gate.Release(req)
+			}
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -221,4 +262,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, WireResponse{Error: err.Error()})
+}
+
+// writeOverloaded sheds a request: 429 plus a Retry-After header. The
+// header only speaks whole seconds, so the precise backoff also rides in
+// the body (and in an X-Retry-After-Ms header for clients that parse it).
+func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if retryAfter%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	w.Header().Set("X-Retry-After-Ms", fmt.Sprint(retryAfter.Milliseconds()))
+	writeJSON(w, http.StatusTooManyRequests, WireResponse{Error: OverloadedMsg(retryAfter)})
+}
+
+// OverloadedMsg is the shed-request error text, shared by /solve, /batch
+// items and the wire protocol's error frames.
+func OverloadedMsg(retryAfter time.Duration) string {
+	return fmt.Sprintf("overloaded: low-penalty request shed, retry after %dms", retryAfter.Milliseconds())
 }

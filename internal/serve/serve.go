@@ -49,6 +49,12 @@ type Config struct {
 	DefaultSolver string
 	// Spec configures solver construction (ε, seed, per-solver workers).
 	Spec core.SolverSpec
+	// OnColdSolve, when non-nil, observes every successful cold solve just
+	// after its entry is cached: the cluster layer hooks warm-cache
+	// replication here. The request passed is the engine's private clone,
+	// so the callback may retain it. It runs on the solving goroutine —
+	// keep it cheap (enqueue, don't send).
+	OnColdSolve func(req Request, sol core.Solution)
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +77,11 @@ type Request struct {
 	Tasks  task.Set
 	Proc   speed.Proc
 	Solver string // experiment-table name; "" = engine default
+	// FastPow opts this solve into the integer-exponent fast paths (see
+	// core.Instance.FastPow). It participates in caching: a FastPow solve
+	// and an exact solve of the same instance are distinct cache entries,
+	// because their results need not be bit-identical.
+	FastPow bool
 	// Timeout, when > 0, bounds this request even inside a batch.
 	Timeout time.Duration
 }
@@ -96,6 +107,9 @@ type Stats struct {
 	// failed the bit-exact verification (permuted tasks, quantum
 	// collisions) and were solved directly.
 	Bypasses uint64 `json:"bypasses"`
+	// Warmed counts cache entries installed by Warm — solutions pushed in
+	// from a peer's cold solve rather than computed here.
+	Warmed uint64 `json:"warmed"`
 	// Cache aggregates the plan-cache shard counters.
 	Cache cache.Stats `json:"cache"`
 }
@@ -116,6 +130,7 @@ type Engine struct {
 	requests  atomic.Uint64
 	coalesced atomic.Uint64
 	bypasses  atomic.Uint64
+	warmed    atomic.Uint64
 }
 
 // New builds an engine from cfg (zero value fine, see Config).
@@ -254,6 +269,9 @@ func (e *Engine) solveOne(ctx context.Context, req Request, pp *core.ProcProfile
 		}
 		ent := entry{req: creq, sol: sol}
 		e.cache.Put(fp, ent)
+		if e.cfg.OnColdSolve != nil {
+			e.cfg.OnColdSolve(creq, sol)
+		}
 		return ent, nil
 	})
 	if err != nil {
@@ -279,11 +297,30 @@ func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, error) {
 	if err != nil {
 		return core.Solution{}, err
 	}
-	in := core.Instance{Tasks: req.Tasks, Proc: req.Proc}
+	in := core.Instance{Tasks: req.Tasks, Proc: req.Proc, FastPow: req.FastPow}
 	if pp != nil {
 		in = in.WithProcProfile(pp)
 	}
 	return solver.Solve(in)
+}
+
+// Warm installs a solved entry pushed from a peer — the warm-cache
+// replication path. The pair must come from a bit-exact solver run (the
+// wire codec preserves every bit); the usual requestsEqual verification
+// still gates every later hit, so a corrupted push can waste a slot but
+// never change a served result. An occupied slot is left alone: the local
+// entry is at least as fresh. Reports whether the entry was installed.
+func (e *Engine) Warm(req Request, sol core.Solution) bool {
+	if req.Solver == "" {
+		req.Solver = e.cfg.DefaultSolver
+	}
+	fp := Fingerprint(req, e.cfg.Quantum)
+	if e.cache.Contains(fp) {
+		return false
+	}
+	e.cache.Put(fp, entry{req: cloneRequest(req), sol: cloneSolution(sol)})
+	e.warmed.Add(1)
+	return true
 }
 
 // Stats snapshots the engine counters.
@@ -292,6 +329,7 @@ func (e *Engine) Stats() Stats {
 		Requests:  e.requests.Load(),
 		Coalesced: e.coalesced.Load(),
 		Bypasses:  e.bypasses.Load(),
+		Warmed:    e.warmed.Load(),
 		Cache:     e.cache.Stats(),
 	}
 }

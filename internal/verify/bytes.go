@@ -2,64 +2,21 @@ package verify
 
 import (
 	"dvsreject/internal/core"
-	"dvsreject/internal/speed"
-	"dvsreject/internal/task"
+	"dvsreject/internal/wire"
 )
 
-// The fuzz codec maps arbitrary bytes onto valid instances so the native
-// Go fuzzers explore the instance space instead of the JSON parser:
-//
-//	header:  [flavour] [n] [deadline] [flags]
-//	per task (4 bytes): [cycles-1] [penaltyHi] [penaltyLo] [rho]
-//
-// flavour indexes Flavours mod its length; n is 1 + b mod 12 (capped by the
-// bytes actually supplied); deadline indexes fuzzDeadlines; flags bit 0 is
-// FastPow. Cycles span [1, 256] so tiny deadlines force rejection and large
-// ones fit everything. Penalties are (hi·256+lo)/64 — a /64 fixed-point
-// grid chosen so the adversarial penalty structures from the regression
-// corpus (100, 12, …) encode exactly. Rho bytes only matter on
-// heterogeneous flavours and map onto [0.5, 2.0].
-var fuzzDeadlines = []float64{10, 50, 100, 200, 400}
+// The grid fuzz codec was promoted to internal/wire (fuzzcodec.go) so the
+// serving cluster's binary protocol and the fuzz projection live in one
+// package; these wrappers bind it to verify's canonical Flavours table so
+// every existing fuzz target, seed corpus and repro keeps its byte format.
 
 // maxFuzzTasks bounds decoded instances so the exact solvers stay fast.
-const maxFuzzTasks = 12
+const maxFuzzTasks = wire.MaxFuzzTasks
 
 // DecodeInstance decodes fuzz bytes into a valid instance. ok is false
 // when the data is too short to describe at least one task.
 func DecodeInstance(data []byte) (core.Instance, bool) {
-	if len(data) < 8 {
-		return core.Instance{}, false
-	}
-	f := Flavours[int(data[0])%len(Flavours)]
-	n := 1 + int(data[1])%maxFuzzTasks
-	deadline := fuzzDeadlines[int(data[2])%len(fuzzDeadlines)]
-	fastPow := data[3]&1 == 1
-	body := data[4:]
-	if avail := len(body) / 4; n > avail {
-		n = avail
-	}
-	tasks := make([]task.Task, n)
-	for i := range tasks {
-		b := body[4*i : 4*i+4]
-		t := task.Task{
-			ID:      i + 1,
-			Cycles:  1 + int64(b[0]),
-			Penalty: float64(uint16(b[1])<<8|uint16(b[2])) / 64,
-		}
-		if f.Hetero {
-			t.Rho = 0.5 + 1.5*float64(b[3])/255
-		}
-		tasks[i] = t
-	}
-	in := core.Instance{
-		Tasks:   task.Set{Tasks: tasks, Deadline: deadline},
-		Proc:    f.Proc,
-		FastPow: fastPow,
-	}
-	if in.Validate() != nil {
-		return core.Instance{}, false
-	}
-	return in, true
+	return wire.DecodeFuzzInstance(data, Flavours)
 }
 
 // EncodeInstance is the inverse for authoring seed corpora: it returns the
@@ -67,70 +24,5 @@ func DecodeInstance(data []byte) (core.Instance, bool) {
 // codec's grid (unknown flavour, off-grid deadline/penalty/rho, more than
 // maxFuzzTasks tasks, or IDs not 1..n in order).
 func EncodeInstance(in core.Instance) ([]byte, bool) {
-	fi := -1
-	for i, f := range Flavours {
-		if procEqual(in.Proc, f.Proc) && f.Hetero == anyRho(in.Tasks.Tasks) {
-			fi = i
-			break
-		}
-	}
-	di := -1
-	for i, d := range fuzzDeadlines {
-		if in.Tasks.Deadline == d {
-			di = i
-			break
-		}
-	}
-	n := len(in.Tasks.Tasks)
-	if fi < 0 || di < 0 || n < 1 || n > maxFuzzTasks {
-		return nil, false
-	}
-	data := make([]byte, 4, 4+4*n)
-	data[0], data[1], data[2] = byte(fi), byte(n-1), byte(di)
-	if in.FastPow {
-		data[3] = 1
-	}
-	for i, t := range in.Tasks.Tasks {
-		p64 := t.Penalty * 64
-		pi := uint16(p64)
-		var rho byte
-		if Flavours[fi].Hetero {
-			r := (t.Rho - 0.5) / 1.5 * 255
-			rho = byte(r + 0.5)
-			if 0.5+1.5*float64(rho)/255 != t.Rho {
-				return nil, false
-			}
-		} else if t.Rho != 0 {
-			return nil, false
-		}
-		if t.ID != i+1 || t.Cycles < 1 || t.Cycles > 256 ||
-			float64(pi) != p64 {
-			return nil, false
-		}
-		data = append(data, byte(t.Cycles-1), byte(pi>>8), byte(pi), rho)
-	}
-	return data, true
-}
-
-func procEqual(a, b speed.Proc) bool {
-	if a.Model != b.Model || a.SMin != b.SMin || a.SMax != b.SMax ||
-		a.DormantEnable != b.DormantEnable || a.Esw != b.Esw ||
-		len(a.Levels) != len(b.Levels) {
-		return false
-	}
-	for i := range a.Levels {
-		if a.Levels[i] != b.Levels[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func anyRho(tasks []task.Task) bool {
-	for _, t := range tasks {
-		if t.Rho != 0 {
-			return true
-		}
-	}
-	return false
+	return wire.EncodeFuzzInstance(in, Flavours)
 }

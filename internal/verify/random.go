@@ -7,15 +7,13 @@ import (
 	"dvsreject/internal/gen"
 	"dvsreject/internal/power"
 	"dvsreject/internal/speed"
+	"dvsreject/internal/wire"
 )
 
 // Flavour couples a processor flavour with whether its tasks draw
-// heterogeneous power coefficients.
-type Flavour struct {
-	Name   string
-	Proc   speed.Proc
-	Hetero bool
-}
+// heterogeneous power coefficients. The type lives in internal/wire beside
+// the fuzz codec that indexes it; this alias keeps verify's surface intact.
+type Flavour = wire.Flavour
 
 // Flavours spans every processor regime the solvers support: ideal and
 // speed-floored continuous processors, leaky processors with and without

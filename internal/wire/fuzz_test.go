@@ -1,0 +1,75 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify"
+	"dvsreject/internal/wire"
+)
+
+// FuzzWireFrame hammers the frame reader and every payload decoder with
+// arbitrary bytes and pins the canonical-codec property: any payload a
+// decoder accepts must re-encode to exactly the input bytes. A frame that
+// parses is also re-framed and re-read to pin the frame layer itself.
+func FuzzWireFrame(f *testing.F) {
+	for _, s := range verify.SeedInstances() {
+		req := wire.Request{Solver: "DP", Tasks: s.In.Tasks, Proc: s.In.Proc, FastPow: s.In.FastPow}
+		var buf bytes.Buffer
+		wire.WriteFrame(&buf, wire.FrameSolve, wire.EncodeRequest(req))
+		f.Add(buf.Bytes())
+
+		sol := core.Solution{Accepted: []int{1}, Rejected: []int{2}, Energy: 1, Cost: 1}
+		buf.Reset()
+		wire.WriteFrame(&buf, wire.FrameReplicate, wire.EncodeReplicate(req, sol))
+		f.Add(buf.Bytes())
+	}
+	var ebuf bytes.Buffer
+	wire.WriteFrame(&ebuf, wire.FrameError, wire.EncodeError(wire.Error{Code: 429, Msg: "x"}))
+	f.Add(ebuf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, payload, err := wire.ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Re-frame and re-read: the frame layer must be a clean bijection
+		// on whatever it accepts.
+		var buf bytes.Buffer
+		if err := wire.WriteFrame(&buf, ft, payload); err != nil {
+			t.Fatalf("re-frame: %v", err)
+		}
+		ft2, p2, err := wire.ReadFrame(&buf)
+		if err != nil || ft2 != ft || !bytes.Equal(p2, payload) {
+			t.Fatalf("frame round-trip mangled: %v", err)
+		}
+
+		switch ft {
+		case wire.FrameSolve:
+			if req, err := wire.DecodeRequest(payload); err == nil {
+				if !bytes.Equal(wire.EncodeRequest(req), payload) {
+					t.Fatal("accepted request payload is not canonical")
+				}
+			}
+		case wire.FrameSolution:
+			if res, err := wire.DecodeResult(payload); err == nil {
+				if !bytes.Equal(wire.EncodeResult(res), payload) {
+					t.Fatal("accepted result payload is not canonical")
+				}
+			}
+		case wire.FrameError:
+			if e, err := wire.DecodeError(payload); err == nil {
+				if !bytes.Equal(wire.EncodeError(e), payload) {
+					t.Fatal("accepted error payload is not canonical")
+				}
+			}
+		case wire.FrameReplicate:
+			if req, sol, err := wire.DecodeReplicate(payload); err == nil {
+				if !bytes.Equal(wire.EncodeReplicate(req, sol), payload) {
+					t.Fatal("accepted replicate payload is not canonical")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"dvsreject/internal/core"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// The fuzz codec maps arbitrary bytes onto valid instances so the native
+// Go fuzzers explore the instance space instead of the JSON parser:
+//
+//	header:  [flavour] [n] [deadline] [flags]
+//	per task (4 bytes): [cycles-1] [penaltyHi] [penaltyLo] [rho]
+//
+// flavour indexes the caller's flavour table mod its length; n is
+// 1 + b mod MaxFuzzTasks (capped by the bytes actually supplied); deadline
+// indexes FuzzDeadlines; flags bit 0 is FastPow. Cycles span [1, 256] so
+// tiny deadlines force rejection and large ones fit everything. Penalties
+// are (hi·256+lo)/64 — a /64 fixed-point grid chosen so the adversarial
+// penalty structures from the regression corpus (100, 12, …) encode
+// exactly. Rho bytes only matter on heterogeneous flavours and map onto
+// [0.5, 2.0].
+//
+// This is deliberately NOT the serving codec: it projects onto a small
+// grid so every byte string is near a valid instance. The full-space
+// request codec lives in codec.go. It was promoted here from
+// internal/verify so both codecs share one package; internal/verify keeps
+// thin wrappers bound to its flavour table.
+
+// Flavour couples a processor flavour with whether its tasks draw
+// heterogeneous power coefficients. internal/verify aliases this type and
+// owns the canonical table; the codec only indexes whatever table it is
+// handed.
+type Flavour struct {
+	Name   string
+	Proc   speed.Proc
+	Hetero bool
+}
+
+// FuzzDeadlines is the deadline grid of the fuzz codec.
+var FuzzDeadlines = []float64{10, 50, 100, 200, 400}
+
+// MaxFuzzTasks bounds decoded instances so the exact solvers stay fast.
+const MaxFuzzTasks = 12
+
+// DecodeFuzzInstance decodes fuzz bytes into a valid instance drawn from
+// flavours. ok is false when the data is too short to describe at least
+// one task, or when the decoded instance fails validation.
+func DecodeFuzzInstance(data []byte, flavours []Flavour) (core.Instance, bool) {
+	if len(data) < 8 || len(flavours) == 0 {
+		return core.Instance{}, false
+	}
+	f := flavours[int(data[0])%len(flavours)]
+	n := 1 + int(data[1])%MaxFuzzTasks
+	deadline := FuzzDeadlines[int(data[2])%len(FuzzDeadlines)]
+	fastPow := data[3]&1 == 1
+	body := data[4:]
+	if avail := len(body) / 4; n > avail {
+		n = avail
+	}
+	tasks := make([]task.Task, n)
+	for i := range tasks {
+		b := body[4*i : 4*i+4]
+		t := task.Task{
+			ID:      i + 1,
+			Cycles:  1 + int64(b[0]),
+			Penalty: float64(uint16(b[1])<<8|uint16(b[2])) / 64,
+		}
+		if f.Hetero {
+			t.Rho = 0.5 + 1.5*float64(b[3])/255
+		}
+		tasks[i] = t
+	}
+	in := core.Instance{
+		Tasks:   task.Set{Tasks: tasks, Deadline: deadline},
+		Proc:    f.Proc,
+		FastPow: fastPow,
+	}
+	if in.Validate() != nil {
+		return core.Instance{}, false
+	}
+	return in, true
+}
+
+// EncodeFuzzInstance is the inverse for authoring seed corpora: it returns
+// the byte form of an instance, or ok=false when the instance is outside
+// the codec's grid (unknown flavour, off-grid deadline/penalty/rho, more
+// than MaxFuzzTasks tasks, or IDs not 1..n in order).
+func EncodeFuzzInstance(in core.Instance, flavours []Flavour) ([]byte, bool) {
+	fi := -1
+	for i, f := range flavours {
+		if ProcEqual(in.Proc, f.Proc) && f.Hetero == anyRho(in.Tasks.Tasks) {
+			fi = i
+			break
+		}
+	}
+	di := -1
+	for i, d := range FuzzDeadlines {
+		if in.Tasks.Deadline == d {
+			di = i
+			break
+		}
+	}
+	n := len(in.Tasks.Tasks)
+	if fi < 0 || di < 0 || n < 1 || n > MaxFuzzTasks {
+		return nil, false
+	}
+	data := make([]byte, 4, 4+4*n)
+	data[0], data[1], data[2] = byte(fi), byte(n-1), byte(di)
+	if in.FastPow {
+		data[3] = 1
+	}
+	for i, t := range in.Tasks.Tasks {
+		p64 := t.Penalty * 64
+		pi := uint16(p64)
+		var rho byte
+		if flavours[fi].Hetero {
+			r := (t.Rho - 0.5) / 1.5 * 255
+			rho = byte(r + 0.5)
+			if 0.5+1.5*float64(rho)/255 != t.Rho {
+				return nil, false
+			}
+		} else if t.Rho != 0 {
+			return nil, false
+		}
+		if t.ID != i+1 || t.Cycles < 1 || t.Cycles > 256 ||
+			float64(pi) != p64 {
+			return nil, false
+		}
+		data = append(data, byte(t.Cycles-1), byte(pi>>8), byte(pi), rho)
+	}
+	return data, true
+}
+
+// ProcEqual reports bit-exact equality of two processor descriptions.
+func ProcEqual(a, b speed.Proc) bool {
+	if a.Model != b.Model || a.SMin != b.SMin || a.SMax != b.SMax ||
+		a.DormantEnable != b.DormantEnable || a.Esw != b.Esw ||
+		len(a.Levels) != len(b.Levels) {
+		return false
+	}
+	for i := range a.Levels {
+		if a.Levels[i] != b.Levels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func anyRho(tasks []task.Task) bool {
+	for _, t := range tasks {
+		if t.Rho != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+// Package wire is the binary protocol shared by the serving cluster: a
+// length-prefixed, versioned frame layer over TCP plus canonical codecs
+// for the full instance space (raw float64 bit patterns, so off-grid
+// deadlines, penalties and rho coefficients round-trip exactly).
+//
+// Frame layout (all integers little-endian):
+//
+//	u32 length   — byte count of everything after the length word (≥ 2)
+//	u8  version  — Version; a reader rejects frames from a future layout
+//	u8  type     — one of the Frame* constants
+//	...payload   — type-specific, see codec.go
+//
+// Payload codecs are canonical: every value has exactly one encoding,
+// decoders reject trailing bytes, and re-encoding a decoded payload
+// reproduces the input byte for byte (FuzzWireFrame pins this). That makes
+// replicated cache entries bit-exact by construction — a solution pushed to
+// a warm replica is indistinguishable from the local solve that produced
+// it.
+//
+// The package also hosts the compact fuzz codec promoted from
+// internal/verify: a grid projection of the instance space onto a small
+// byte alphabet, used by the native Go fuzz targets (see fuzzcodec.go).
+package wire
+
+// Version is the wire-format version byte carried by every frame. Bump it
+// on any change to the frame or payload layouts; readers reject frames
+// whose version they do not speak, so mixed-version clusters fail loudly
+// instead of mis-decoding.
+const Version = 1
+
+// FrameType discriminates frame payloads.
+type FrameType byte
+
+const (
+	// FrameSolve carries an encoded Request; the peer answers with a
+	// FrameSolution or FrameError.
+	FrameSolve FrameType = 1
+	// FrameSolution carries an encoded solved Request outcome.
+	FrameSolution FrameType = 2
+	// FrameError carries a status code, a Retry-After hint and a message.
+	FrameError FrameType = 3
+	// FrameReplicate carries a (request, solution) pair pushed to the next
+	// replica on the ring after a cold solve. It is one-way: the receiver
+	// warms its cache and sends nothing back.
+	FrameReplicate FrameType = 4
+)
+
+// MaxFrame bounds a single frame. A 100k-task request is ~3.2 MB; 64 MB
+// leaves room for the largest instances the HTTP path accepts while keeping
+// a malicious length word from allocating unbounded memory.
+const MaxFrame = 64 << 20
