@@ -50,24 +50,26 @@ import (
 )
 
 type options struct {
-	Addr      string // external daemon(s), comma-separated; "" self-hosts
-	Ring      string // ring identities for external clusters (default: the -addr list)
-	Nodes     int    // self-hosted cluster size (0/1 = single node)
-	Proto     string // http | wire
-	Duration  time.Duration
-	Conns     int
-	Instances int
-	N         int
-	Zipf      float64
-	Rotate    time.Duration // pool rotation period (0 = static pool)
-	Burst     int           // concurrent identical requests per round (0 = Zipf mode)
-	Seed      int64
-	Solver    string
-	Batch     int
-	Check     bool
-	Suite     bool
-	Out       string
-	Name      string // run label in the report
+	Addr       string // external daemon(s), comma-separated; "" self-hosts
+	Ring       string // ring identities for external clusters (default: the -addr list)
+	Nodes      int    // self-hosted cluster size (0/1 = single node)
+	Proto      string // http | wire
+	Duration   time.Duration
+	Conns      int
+	Instances  int
+	N          int
+	Zipf       float64
+	Rotate     time.Duration // pool rotation period (0 = static pool)
+	Burst      int           // concurrent identical requests per round (0 = Zipf mode)
+	Seed       int64
+	Solver     string
+	Batch      int
+	Check      bool
+	Suite      bool
+	Out        string
+	Name       string  // run label in the report
+	Compare    string  // baseline report to diff against
+	MaxRegress float64 // throughput drop percentage that fails the run
 }
 
 // shardRow is one node's counters in the report.
@@ -125,6 +127,8 @@ func main() {
 	flag.BoolVar(&o.Check, "check", false, "verify every response bit-identically against a direct solve")
 	flag.BoolVar(&o.Suite, "suite", false, "run the comparison matrix (1-node http, N-node http, N-node wire, burst) and emit {\"runs\": [...]}")
 	flag.StringVar(&o.Out, "o", "", "write the JSON report to this file")
+	flag.StringVar(&o.Compare, "compare", "", "baseline JSON report (suite or single run) to diff against; exit non-zero when throughput regresses")
+	flag.Float64Var(&o.MaxRegress, "max-regress", 30, "with -compare, the throughput drop percentage that fails the run")
 	flag.Parse()
 
 	if o.Suite {
@@ -140,6 +144,80 @@ func main() {
 	if rep.Errors > 0 || rep.Mismatches > 0 {
 		log.Fatalf("loadgen: %d errors, %d mismatches", rep.Errors, rep.Mismatches)
 	}
+	if err := gateCompare(o, []report{rep}, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// gateCompare diffs fresh runs against the -compare baseline and errors
+// when any run's throughput regressed beyond -max-regress percent.
+func gateCompare(o options, fresh []report, w io.Writer) error {
+	if o.Compare == "" {
+		return nil
+	}
+	regressed, err := compareRuns(o.Compare, fresh, o.MaxRegress, w)
+	if err != nil {
+		return err
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("loadgen: %d run(s) regressed more than %g%%: %v", len(regressed), o.MaxRegress, regressed)
+	}
+	fmt.Fprintf(w, "no throughput regressions over %g%%\n", o.MaxRegress)
+	return nil
+}
+
+// compareRuns diffs fresh runs against the baseline report at path (a
+// -suite {"runs": [...]} report or a single-run report), keyed by run
+// name. Throughput gates: it is the stable aggregate on shared runners.
+// p50 latency is printed informationally only — percentiles are too noisy
+// to fail a build on.
+func compareRuns(path string, fresh []report, maxRegress float64, w io.Writer) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base suiteReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(base.Runs) == 0 {
+		var one report
+		if err := json.Unmarshal(data, &one); err == nil && one.Requests > 0 {
+			base.Runs = []report{one}
+		}
+	}
+	key := func(r report) string {
+		if r.Name != "" {
+			return r.Name
+		}
+		return fmt.Sprintf("%s/%dnode/burst=%d", r.Proto, r.Nodes, r.Burst)
+	}
+	old := make(map[string]report, len(base.Runs))
+	for _, r := range base.Runs {
+		old[key(r)] = r
+	}
+	var regressed []string
+	fmt.Fprintf(w, "\n%-24s %12s %12s %9s %12s\n", "run (vs "+path+")", "old req/s", "new req/s", "delta", "p50 µs")
+	for _, r := range fresh {
+		k := key(r)
+		b, ok := old[k]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %12s %12.0f %9s %12.1f\n", k, "-", r.Throughput, "new", r.P50us)
+			continue
+		}
+		delete(old, k)
+		delta := (r.Throughput - b.Throughput) / b.Throughput * 100
+		mark := ""
+		if delta < -maxRegress {
+			mark = "  REGRESSION"
+			regressed = append(regressed, k)
+		}
+		fmt.Fprintf(w, "%-24s %12.0f %12.0f %+8.1f%% %12.1f%s\n", k, b.Throughput, r.Throughput, delta, r.P50us, mark)
+	}
+	for k := range old {
+		fmt.Fprintf(w, "%-24s %12s %12s %9s\n", k, "-", "-", "removed")
+	}
+	return regressed, nil
 }
 
 // runSuite executes the comparison matrix self-hosted: the single-node
@@ -184,9 +262,11 @@ func runSuite(o options, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return os.WriteFile(o.Out, append(b, '\n'), 0o644)
+		if err := os.WriteFile(o.Out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
-	return nil
+	return gateCompare(o, suite.Runs, w)
 }
 
 // target is one shard from the client's point of view.
@@ -289,9 +369,10 @@ func run(o options, w io.Writer) (report, error) {
 	fmt.Fprintf(w, "%d requests in %.2fs (%.0f req/s), p50 %.1fµs p95 %.1fµs p99 %.1fµs, %d errors, %d mismatches, %d shed\n",
 		rep.Requests, rep.DurationS, rep.Throughput, rep.P50us, rep.P95us, rep.P99us, rep.Errors, rep.Mismatches, rep.Shed)
 	for _, sh := range rep.Shards {
-		fmt.Fprintf(w, "shard %s: %d reqs, %d hits / %d misses, %d coalesced, %d warmed, %d repl sent / %d applied, %d wire solves\n",
+		fmt.Fprintf(w, "shard %s: %d reqs, %d hits / %d misses, %d delta, %d coalesced, %d warmed, %d repl sent / %d applied, %d wire solves\n",
 			sh.Addr, sh.Stats.Engine.Requests, sh.Stats.Engine.Cache.Hits, sh.Stats.Engine.Cache.Misses,
-			sh.Stats.Engine.Coalesced, sh.Stats.Engine.Warmed, sh.Stats.ReplSent, sh.Stats.ReplApplied, sh.Stats.WireSolves)
+			sh.Stats.Engine.DeltaSolves, sh.Stats.Engine.Coalesced, sh.Stats.Engine.Warmed,
+			sh.Stats.ReplSent, sh.Stats.ReplApplied, sh.Stats.WireSolves)
 	}
 
 	if o.Out != "" {
@@ -738,6 +819,8 @@ func addStats(a, b serve.Stats) serve.Stats {
 	a.Coalesced += b.Coalesced
 	a.Bypasses += b.Bypasses
 	a.Warmed += b.Warmed
+	a.DeltaSolves += b.DeltaSolves
+	a.DeltaParents += b.DeltaParents
 	a.Cache.Hits += b.Cache.Hits
 	a.Cache.Misses += b.Cache.Misses
 	a.Cache.Evictions += b.Cache.Evictions

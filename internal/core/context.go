@@ -99,16 +99,16 @@ func newEvalCtx(in Instance) (*evalCtx, error) {
 // Solution has been built, and must not let the Solution alias context
 // state (evaluate never does).
 func newPooledEvalCtx(in Instance) (*evalCtx, error) {
-	c := ctxPool.Get().(*evalCtx)
+	c := ctxPool.Load().Get().(*evalCtx)
 	if err := c.init(in); err != nil {
-		ctxPool.Put(c)
+		ctxPool.Load().Put(c)
 		return nil, err
 	}
 	return c, nil
 }
 
 // release returns a pooled context; c must not be used afterwards.
-func (c *evalCtx) release() { ctxPool.Put(c) }
+func (c *evalCtx) release() { ctxPool.Load().Put(c) }
 
 // init validates the instance and (re)builds the context in place, reusing
 // the items backing array and the id→index map across pool generations.
@@ -402,13 +402,13 @@ func evaluateIndexed(in Instance, idx map[int]int, hetero bool, accepted []int) 
 	// lookup. Scratch comes from a global pool per call — evaluateIndexed
 	// runs concurrently on parallel search workers — and is zeroed before
 	// release.
-	sc := evalScratchPool.Get().(*evalScratch)
+	sc := evalScratchPool.Load().Get().(*evalScratch)
 	n := len(in.Tasks.Tasks)
 	sc.flags = growBool(sc.flags, n)
 	flags := sc.flags
 	release := func() {
 		clear(flags)
-		evalScratchPool.Put(sc)
+		evalScratchPool.Load().Put(sc)
 	}
 	for _, id := range accepted {
 		p, ok := idx[id]

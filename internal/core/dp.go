@@ -29,6 +29,19 @@ type DP struct {
 	// kernel — the default, since the rows are memory-bound and only
 	// very wide tables amortize the per-row fan-out.
 	Workers int
+	// CheckpointStride is the row-snapshot interval of SolveCheckpoint:
+	// a warm re-solve restarts at the last checkpoint at or before the
+	// first divergent task, so smaller strides cut the warm-up replay at
+	// the price of stride-proportional snapshot memory in the DPState.
+	// 0 means DefaultCheckpointStride. Solve results never depend on it.
+	CheckpointStride int
+}
+
+func (d DP) checkpointStride() int {
+	if d.CheckpointStride > 0 {
+		return d.CheckpointStride
+	}
+	return DefaultCheckpointStride
 }
 
 // Name implements Solver.
@@ -55,6 +68,17 @@ func (d DP) Solve(in Instance) (Solution, error) {
 
 // SolveStats is Solve plus the table work counters.
 func (d DP) SolveStats(in Instance) (Solution, DPStats, error) {
+	return d.solve(in, nil)
+}
+
+// solve is the shared implementation of SolveStats and SolveCheckpoint:
+// rec, when non-nil, records the checkpointed row state of the run (see
+// dpstate.go). Recording never changes a bit of the solution — it only
+// copies row snapshots and the finished take table out of the solve.
+func (d DP) solve(in Instance, rec *DPState) (Solution, DPStats, error) {
+	if rec != nil {
+		rec.valid = false
+	}
 	ctx, err := newPooledEvalCtx(in)
 	if err != nil {
 		return Solution{}, DPStats{}, err
@@ -72,11 +96,19 @@ func (d DP) SolveStats(in Instance) (Solution, DPStats, error) {
 		return Solution{}, DPStats{}, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
 	}
 
+	var onRow func(rows int, f []float64, reach int64)
+	if rec != nil {
+		rec.begin(cap64, d.checkpointStride(), len(ctx.items))
+		onRow = rec.noteRow
+	}
 	sc := getDPScratch()
 	defer putDPScratch(sc)
-	accepted, st, err := rejectionDP(ctx.items, cap64, ctx.energy, 1, ctx.fastEnergy, d.Workers, sc)
+	accepted, st, err := rejectionDP(ctx.items, cap64, ctx.energy, 1, ctx.fastEnergy, d.Workers, sc, onRow)
 	if err != nil {
 		return Solution{}, st, err
+	}
+	if rec != nil {
+		rec.finish(ctx.items, sc.words)
 	}
 	sol, err := ctx.evaluate(accepted)
 	return sol, st, err
@@ -123,7 +155,12 @@ func (t takeTable) row(i int) []uint64 {
 // minCostWorkload; pass false for curves with dormant break-evens or
 // discrete ladders. workers > 1 chunks rows and the monotone final scan;
 // any setting returns byte-identical results. It returns the accepted IDs.
-func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64, monotone bool, workers int, sc *dpScratch) ([]int, DPStats, error) {
+//
+// onRow, when non-nil, observes the finished row buffer after each item:
+// rows is the number of items folded in so far and f[0:reach+1] holds the
+// finite prefix (cells above reach are untouched +Inf). The checkpoint
+// recorder (dpstate.go) snapshots here; f must not be retained.
+func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale float64, monotone bool, workers int, sc *dpScratch, onRow func(rows int, f []float64, reach int64)) ([]int, DPStats, error) {
 	var st DPStats
 	if cap64 < 0 {
 		return nil, st, fmt.Errorf("core: negative DP capacity %d", cap64)
@@ -166,6 +203,9 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 			dpRejectRange(prev, cur, v, 0, hi)
 			st.Cells += hi
 			prev, cur = cur, prev
+			if onRow != nil {
+				onRow(i+1, prev, reach)
+			}
 			continue
 		}
 		reach = min(reach+c, cap64)
@@ -188,6 +228,9 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 		}
 		st.Cells += hi
 		prev, cur = cur, prev
+		if onRow != nil {
+			onRow(i+1, prev, reach)
+		}
 	}
 	f := prev
 

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file holds the sync.Pools behind the DP-family solvers' steady-state
 // allocation behavior. One DP solve is a handful of large, short-lived
@@ -30,10 +33,13 @@ type dpScratch struct {
 	take   []bool    // ApproxDPPenalty's reconstruction table, flattened
 }
 
-var dpScratchPool = sync.Pool{New: func() any { return &dpScratch{} }}
+// The pools sit behind atomic pointers so PurgeSolverScratch can swap in
+// empty replacements: a pool itself has no "drop everything now" operation,
+// but an unreferenced pool is collected — buffers and all — at the next GC.
+var dpScratchPool = newPoolPtr(func() any { return &dpScratch{} })
 
-func getDPScratch() *dpScratch   { return dpScratchPool.Get().(*dpScratch) }
-func putDPScratch(sc *dpScratch) { dpScratchPool.Put(sc) }
+func getDPScratch() *dpScratch   { return dpScratchPool.Load().Get().(*dpScratch) }
+func putDPScratch(sc *dpScratch) { dpScratchPool.Load().Put(sc) }
 
 // evalScratch is the per-call working set of evaluateIndexed.
 type evalScratch struct {
@@ -42,11 +48,30 @@ type evalScratch struct {
 	rhos   []float64
 }
 
-var evalScratchPool = sync.Pool{New: func() any { return &evalScratch{} }}
+var evalScratchPool = newPoolPtr(func() any { return &evalScratch{} })
 
 // ctxPool recycles evaluation contexts (their items slice and id→index
 // map) for the solvers that release them.
-var ctxPool = sync.Pool{New: func() any { return &evalCtx{} }}
+var ctxPool = newPoolPtr(func() any { return &evalCtx{} })
+
+func newPoolPtr(newFn func() any) *atomic.Pointer[sync.Pool] {
+	p := &atomic.Pointer[sync.Pool]{}
+	p.Store(&sync.Pool{New: newFn})
+	return p
+}
+
+// PurgeSolverScratch detaches every pooled solver buffer — DP rows and
+// bitsets, evaluation contexts, evaluate scratch — so the next GC frees
+// them. One n=10⁵ solve grows the pooled buffers to match and they stay
+// that size for every later solve; long-lived callers (the serve engine
+// after a jumbo request) purge so one large instance stops taxing the
+// small ones that follow. In-flight solves keep working: a buffer checked
+// out before the purge is simply returned to the fresh pool afterwards.
+func PurgeSolverScratch() {
+	dpScratchPool.Store(&sync.Pool{New: func() any { return &dpScratch{} }})
+	evalScratchPool.Store(&sync.Pool{New: func() any { return &evalScratch{} }})
+	ctxPool.Store(&sync.Pool{New: func() any { return &evalCtx{} }})
+}
 
 // growF64 returns a length-n slice reusing buf's backing when it is large
 // enough. Contents are unspecified; callers re-initialize.

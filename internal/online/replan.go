@@ -1,0 +1,170 @@
+package online
+
+import (
+	"fmt"
+
+	"dvsreject/internal/core"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/task"
+)
+
+// Replanner maintains a frame instance under a stream of events — task
+// arrivals, cancellations and revisions — and keeps the exact rejection-DP
+// plan current after each one. Instead of the replan-from-scratch path
+// (one full DP table per event), it evolves a single checkpointed
+// core.DPState: each event re-runs only the DP rows at or after the first
+// task the event touched, which for the dominant arrival case is the new
+// tail alone. Every plan is bit-identical to a cold core.DP solve of the
+// same task set — the replan tests pin this per event.
+//
+// The frame deadline and the processor are fixed at construction: they
+// determine the DP's grid capacity, and a capacity change invalidates
+// every recorded row. Not safe for concurrent use.
+type Replanner struct {
+	// DP configures the solver (workers, state limit, checkpoint stride).
+	// Set before the first event; the zero value is the standard DP.
+	DP core.DP
+	// Cold disables warm-starting: every event re-solves from scratch.
+	// It exists as the baseline the benchmarks and tests compare against.
+	Cold bool
+	// FastPow opts every replan into the integer-exponent fast paths (see
+	// core.Instance.FastPow). Set before the first event; warm and cold
+	// solves of the same stream see the same flag, so plans stay
+	// bit-identical either way.
+	FastPow bool
+
+	proc     speed.Proc
+	deadline float64
+	tasks    []task.Task
+	byID     map[int]int
+	st       core.DPState
+	warm     bool
+	last     core.Solution
+	stats    ReplanStats
+}
+
+// ReplanStats counts the incremental work across a Replanner's lifetime.
+type ReplanStats struct {
+	Events     int
+	WarmSolves int   // events served by an incremental re-solve
+	ColdSolves int   // events that rebuilt the table (first event, early-row edits)
+	RowsRerun  int64 // DP rows actually evaluated
+	RowsFull   int64 // rows a from-scratch policy would have evaluated
+}
+
+// NewReplanner builds an empty replanner for one frame.
+func NewReplanner(proc speed.Proc, deadline float64) *Replanner {
+	return &Replanner{
+		proc:     proc,
+		deadline: deadline,
+		byID:     make(map[int]int),
+	}
+}
+
+// Len returns the current task count.
+func (r *Replanner) Len() int { return len(r.tasks) }
+
+// Plan returns the solution of the last event. The slices alias the
+// replanner's copy; callers that retain them across events must clone.
+func (r *Replanner) Plan() core.Solution { return r.last }
+
+// Stats snapshots the work counters.
+func (r *Replanner) Stats() ReplanStats { return r.stats }
+
+// Snapshot returns the current frame instance with a private task-list
+// copy — what the last plan was solved against.
+func (r *Replanner) Snapshot() core.Instance {
+	ts := make([]task.Task, len(r.tasks))
+	copy(ts, r.tasks)
+	return core.Instance{
+		Tasks:   task.Set{Tasks: ts, Deadline: r.deadline},
+		Proc:    r.proc,
+		FastPow: r.FastPow,
+	}
+}
+
+// Arrive appends a new task and replans. Divergence is at the old tail,
+// so the incremental path re-runs one row plus the final scan.
+func (r *Replanner) Arrive(t task.Task) (core.Solution, error) {
+	if _, dup := r.byID[t.ID]; dup {
+		return core.Solution{}, fmt.Errorf("online: replan: duplicate task ID %d", t.ID)
+	}
+	r.tasks = append(r.tasks, t)
+	r.byID[t.ID] = len(r.tasks) - 1
+	return r.replan()
+}
+
+// Withdraw removes a task (a cancellation) and replans over the surviving
+// suffix: rows before the removed index are reused verbatim.
+func (r *Replanner) Withdraw(id int) (core.Solution, error) {
+	i, ok := r.byID[id]
+	if !ok {
+		return core.Solution{}, fmt.Errorf("online: replan: unknown task ID %d", id)
+	}
+	r.tasks = append(r.tasks[:i], r.tasks[i+1:]...)
+	delete(r.byID, id)
+	for j := i; j < len(r.tasks); j++ {
+		r.byID[r.tasks[j].ID] = j
+	}
+	return r.replan()
+}
+
+// Revise replaces the task with t's ID in place and replans.
+func (r *Replanner) Revise(t task.Task) (core.Solution, error) {
+	i, ok := r.byID[t.ID]
+	if !ok {
+		return core.Solution{}, fmt.Errorf("online: replan: unknown task ID %d", t.ID)
+	}
+	r.tasks[i] = t
+	return r.replan()
+}
+
+// replan brings the plan current after a task-list edit.
+func (r *Replanner) replan() (core.Solution, error) {
+	r.stats.Events++
+	n := len(r.tasks)
+	r.stats.RowsFull += int64(n)
+	if n == 0 {
+		r.warm = false
+		r.last = core.Solution{}
+		return r.last, nil
+	}
+	in := core.Instance{
+		Tasks:   task.Set{Tasks: r.tasks, Deadline: r.deadline},
+		Proc:    r.proc,
+		FastPow: r.FastPow,
+	}
+	if !r.Cold && r.warm {
+		sol, stats, ok, err := r.DP.SolveFrom(&r.st, in, true)
+		if err != nil {
+			r.warm = false
+			return core.Solution{}, err
+		}
+		if ok {
+			r.stats.WarmSolves++
+			r.stats.RowsRerun += stats.Rows
+			r.last = sol
+			return sol, nil
+		}
+		// Divergence before the first checkpoint (or an invalidated
+		// state): rebuild below.
+	}
+	var (
+		sol core.Solution
+		err error
+	)
+	if r.Cold {
+		sol, err = r.DP.Solve(in)
+	} else {
+		sol, _, err = r.DP.SolveCheckpoint(in, &r.st)
+	}
+	if err != nil {
+		r.warm = false
+		return core.Solution{}, err
+	}
+	r.warm = !r.Cold
+	r.stats.ColdSolves++
+	r.stats.RowsRerun += int64(n)
+	r.last = sol
+	return sol, nil
+}

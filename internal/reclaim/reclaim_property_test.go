@@ -1,0 +1,131 @@
+package reclaim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/sched/edf"
+	"dvsreject/internal/speed"
+)
+
+// replayProfile converts a frame trace into the piecewise-constant speed
+// profile the EDF oracle understands. A top-speed tail segment past the
+// last step absorbs floating-point cycle residue so the replay cannot
+// manufacture a spurious miss; a genuinely late schedule still misses,
+// because the miss check compares completion times against the deadline.
+func replayProfile(tr Trace, d, smax float64) speed.Profile {
+	var pr speed.Profile
+	for _, s := range tr.Steps {
+		pr = append(pr, speed.Segment{Start: s.Start, End: s.Start + s.Time, Speed: s.Speed})
+	}
+	end := 0.0
+	if len(pr) > 0 {
+		end = pr[len(pr)-1].End
+	}
+	return append(pr, speed.Segment{Start: end, End: d + 1, Speed: smax})
+}
+
+// TestReclaimEDFOracleReplay is the independent safety check for every
+// reclamation policy: random frames (including tight fits with zero
+// headroom) are executed under each policy, the resulting speed trace is
+// replayed through the preemptive EDF simulator, and every actual job must
+// complete by the frame deadline. On top of the replay it asserts the
+// energy ordering the policies promise: reclaimed (CC) never exceeds the
+// static baseline, and the clairvoyant oracle never exceeds CC.
+func TestReclaimEDFOracleReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(12)
+		tasks := make([]Task, 0, n)
+		var wcet int64
+		for i := 0; i < n; i++ {
+			w := 1 + int64(rng.Intn(40))
+			tasks = append(tasks, Task{ID: i + 1, WCET: w, Actual: 1 + rng.Int63n(w)})
+			wcet += w
+		}
+		smax := 0.5 + 1.5*rng.Float64()
+		slack := 1 + 3*rng.Float64()
+		if trial%7 == 0 {
+			slack = 1 // tight fit: ΣWCET exactly fills smax·d
+		}
+		d := float64(wcet) / smax * slack
+
+		energy := make(map[Policy]float64)
+		for _, pol := range []Policy{Static, CycleConserving, Oracle} {
+			tr, err := Run(tasks, d, power.Cubic(), smax, pol)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, pol, err)
+			}
+			if tr.Finish > d*(1+1e-9) {
+				t.Fatalf("trial %d %v: finish %v past frame %v", trial, pol, tr.Finish, d)
+			}
+			energy[pol] = tr.Energy
+
+			jobs := make([]edf.Job, len(tasks))
+			for i, tk := range tasks {
+				jobs[i] = edf.Job{TaskID: tk.ID, Release: 0, Deadline: d, Cycles: float64(tk.Actual)}
+			}
+			res, err := edf.Simulate(jobs, replayProfile(tr, d, smax))
+			if err != nil {
+				t.Fatalf("trial %d %v: replay: %v", trial, pol, err)
+			}
+			if res.Misses != 0 {
+				t.Fatalf("trial %d %v: EDF replay missed %d deadlines", trial, pol, res.Misses)
+			}
+		}
+		if energy[CycleConserving] > energy[Static]*(1+1e-9) {
+			t.Fatalf("trial %d: reclaimed energy %v above static baseline %v",
+				trial, energy[CycleConserving], energy[Static])
+		}
+		if energy[Oracle] > energy[CycleConserving]*(1+1e-9) {
+			t.Fatalf("trial %d: oracle energy %v above CC %v",
+				trial, energy[Oracle], energy[CycleConserving])
+		}
+	}
+}
+
+// TestReclaimEmptySlack pins the empty-slack edge: when every task uses
+// its full budget there is nothing to reclaim, and cycle-conserving must
+// degenerate to the static plan — same per-step speeds, times and
+// energies, same finish.
+func TestReclaimEmptySlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		tasks := make([]Task, 0, n)
+		var wcet int64
+		for i := 0; i < n; i++ {
+			w := 1 + int64(rng.Intn(25))
+			tasks = append(tasks, Task{ID: i + 1, WCET: w, Actual: w})
+			wcet += w
+		}
+		smax := 0.5 + rng.Float64()
+		d := float64(wcet) / smax * (1 + rng.Float64())
+		st, err := Run(tasks, d, power.Cubic(), smax, Static)
+		if err != nil {
+			t.Fatalf("trial %d: static: %v", trial, err)
+		}
+		cc, err := Run(tasks, d, power.Cubic(), smax, CycleConserving)
+		if err != nil {
+			t.Fatalf("trial %d: cc: %v", trial, err)
+		}
+		if len(st.Steps) != len(cc.Steps) {
+			t.Fatalf("trial %d: step counts differ: %d vs %d", trial, len(st.Steps), len(cc.Steps))
+		}
+		for i := range st.Steps {
+			a, b := st.Steps[i], cc.Steps[i]
+			if !close(a.Speed, b.Speed) || !close(a.Time, b.Time) || !close(a.Energy, b.Energy) {
+				t.Fatalf("trial %d step %d: static %+v, cc %+v", trial, i, a, b)
+			}
+		}
+		if !close(st.Energy, cc.Energy) || !close(st.Finish, cc.Finish) {
+			t.Fatalf("trial %d: static E=%v F=%v, cc E=%v F=%v",
+				trial, st.Energy, st.Finish, cc.Energy, cc.Finish)
+		}
+	}
+}

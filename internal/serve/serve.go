@@ -55,6 +55,18 @@ type Config struct {
 	// so the callback may retain it. It runs on the solving goroutine —
 	// keep it cheap (enqueue, don't send).
 	OnColdSolve func(req Request, sol core.Solution)
+	// DisableDelta turns off the structural similarity index (delta.go):
+	// every cache miss cold-solves. Results are never affected either
+	// way — the delta path is bit-identical by construction.
+	DisableDelta bool
+	// DeltaParents bounds the similarity index's resident DPState count;
+	// 0 means 16.
+	DeltaParents int
+	// DeltaBytes bounds the index's retained state memory; 0 means 64 MiB.
+	DeltaBytes int64
+	// DeltaStride is the DP checkpoint interval recorded for warm starts;
+	// 0 means core.DefaultCheckpointStride.
+	DeltaStride int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +122,11 @@ type Stats struct {
 	// Warmed counts cache entries installed by Warm — solutions pushed in
 	// from a peer's cold solve rather than computed here.
 	Warmed uint64 `json:"warmed"`
+	// DeltaSolves counts cache misses served by a warm-start delta solve
+	// from a structurally similar parent instead of a cold DP run.
+	DeltaSolves uint64 `json:"delta_solves"`
+	// DeltaParents is the similarity index's resident parent-state count.
+	DeltaParents int `json:"delta_parents"`
 	// Cache aggregates the plan-cache shard counters.
 	Cache cache.Stats `json:"cache"`
 }
@@ -126,20 +143,26 @@ type Engine struct {
 	cfg   Config
 	cache *cache.Sharded[entry]
 	group cache.Group[entry]
+	delta *deltaIndex // nil when DisableDelta
 
-	requests  atomic.Uint64
-	coalesced atomic.Uint64
-	bypasses  atomic.Uint64
-	warmed    atomic.Uint64
+	requests    atomic.Uint64
+	coalesced   atomic.Uint64
+	bypasses    atomic.Uint64
+	warmed      atomic.Uint64
+	deltaSolves atomic.Uint64
 }
 
 // New builds an engine from cfg (zero value fine, see Config).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		cache: cache.NewSharded[entry](cfg.Shards, cfg.EntriesPerShard),
 	}
+	if !cfg.DisableDelta {
+		e.delta = newDeltaIndex(cfg.DeltaParents, cfg.DeltaBytes)
+	}
+	return e
 }
 
 // Solve answers one request, consulting the plan cache and collapsing
@@ -291,8 +314,18 @@ func (e *Engine) solveOne(ctx context.Context, req Request, pp *core.ProcProfile
 }
 
 // run resolves the solver and executes it, attaching the precomputed
-// processor profile when one is available.
+// processor profile when one is available. DP solves route through the
+// delta path; jumbo requests purge the core scratch pools afterwards so
+// one huge solve stops taxing the small ones that follow.
 func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, error) {
+	sol, err := e.runSolver(req, pp)
+	if len(req.Tasks.Tasks) >= jumboTasks {
+		core.PurgeSolverScratch()
+	}
+	return sol, err
+}
+
+func (e *Engine) runSolver(req Request, pp *core.ProcProfile) (core.Solution, error) {
 	solver, err := core.NewSolver(req.Solver, e.cfg.Spec)
 	if err != nil {
 		return core.Solution{}, err
@@ -301,7 +334,42 @@ func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, error) {
 	if pp != nil {
 		in = in.WithProcProfile(pp)
 	}
+	if dp, ok := solver.(core.DP); ok && e.delta != nil {
+		return e.deltaSolve(dp, req, in)
+	}
 	return solver.Solve(in)
+}
+
+// deltaSolve is the DP route: try a warm start from a structurally
+// similar solved parent; otherwise cold-solve with checkpoint recording
+// and register the state as a parent for future near-misses.
+func (e *Engine) deltaSolve(dp core.DP, req Request, in core.Instance) (core.Solution, error) {
+	stride := e.cfg.DeltaStride
+	if stride <= 0 {
+		stride = core.DefaultCheckpointStride
+	}
+	dp.CheckpointStride = stride
+	cap64 := core.DPGridCapacity(in)
+	chain := deltaChain(nil, req.Tasks.Tasks, cap64)
+	if parent := e.delta.lookup(cap64, chain, stride); parent != nil {
+		sol, _, ok, err := dp.SolveFrom(parent, in, false)
+		if err != nil {
+			// The same failure a cold solve reports (validation, hetero,
+			// state limit) — don't solve twice to report it twice.
+			return core.Solution{}, err
+		}
+		if ok {
+			e.deltaSolves.Add(1)
+			return sol, nil
+		}
+	}
+	st := &core.DPState{}
+	sol, _, err := dp.SolveCheckpoint(in, st)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	e.delta.register(st, cap64, chain)
+	return sol, nil
 }
 
 // Warm installs a solved entry pushed from a peer — the warm-cache
@@ -326,18 +394,22 @@ func (e *Engine) Warm(req Request, sol core.Solution) bool {
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Requests:  e.requests.Load(),
-		Coalesced: e.coalesced.Load(),
-		Bypasses:  e.bypasses.Load(),
-		Warmed:    e.warmed.Load(),
-		Cache:     e.cache.Stats(),
+		Requests:     e.requests.Load(),
+		Coalesced:    e.coalesced.Load(),
+		Bypasses:     e.bypasses.Load(),
+		Warmed:       e.warmed.Load(),
+		DeltaSolves:  e.deltaSolves.Load(),
+		DeltaParents: e.delta.parents(),
+		Cache:        e.cache.Stats(),
 	}
 }
 
-// Reset empties the plan cache (counters are preserved). Benchmarks use it
-// to measure cold solves.
+// Reset empties the plan cache and the similarity index (counters are
+// preserved). Benchmarks use it to measure cold solves — clearing the
+// index too keeps them honest, or a "cold" run would be delta-warmed.
 func (e *Engine) Reset() {
 	e.cache.Clear()
+	e.delta.clear()
 }
 
 // cloneRequest deep-copies the request's slices so cache entries never
