@@ -32,10 +32,10 @@ bench-json:
 
 # Re-measure and diff against the committed baselines; fails on any core
 # case more than 15% slower (tune with e.g. BENCH_DIFF_FLAGS="-max-regress 25")
-# or any serve suite run whose throughput dropped more than 30%
-# (SERVE_DIFF_FLAGS="-max-regress 50").
+# or doubling its allocs/op, or any serve suite run whose throughput
+# dropped more than 30% (SERVE_DIFF_FLAGS="-max-regress 50").
 bench-diff:
-	$(GO) run ./cmd/bench -compare BENCH_core.json -o /tmp/bench-new.json $(BENCH_DIFF_FLAGS)
+	$(GO) run ./cmd/bench -compare BENCH_core.json -max-allocs-regress 100 -o /tmp/bench-new.json $(BENCH_DIFF_FLAGS)
 	$(GO) run ./cmd/loadgen -suite -duration 2s -conns 4 -compare BENCH_serve.json -o /tmp/loadgen-new.json $(SERVE_DIFF_FLAGS)
 
 serve-smoke:
@@ -53,6 +53,7 @@ fuzz:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzSolverInvariants$$' -fuzztime 60s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzMetamorphic$$' -fuzztime 60s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzDeltaSolve$$' -fuzztime 60s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzSparseDense$$' -fuzztime 60s
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz '^FuzzServeFingerprint$$' -fuzztime 60s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime 60s
 

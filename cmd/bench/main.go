@@ -126,9 +126,12 @@ func serveErr(r serve.Response) error { return r.Err }
 
 // compareReports prints per-case ns/op deltas of fresh against the baseline
 // report at path and returns the names of cases whose slowdown exceeds
-// maxRegress percent. Cases present on only one side are reported but never
-// gate (a new benchmark has no baseline to regress against).
-func compareReports(path string, fresh report, maxRegress float64) ([]string, error) {
+// maxRegress percent, or — when maxAllocsRegress > 0 — whose allocs/op
+// grew by more than that percentage AND by more than a small absolute
+// floor (4 allocations, so 1→2 on a near-zero-alloc case never gates).
+// Cases present on only one side are reported but never gate (a new
+// benchmark has no baseline to regress against).
+func compareReports(path string, fresh report, maxRegress, maxAllocsRegress float64) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -164,6 +167,11 @@ func compareReports(path string, fresh report, maxRegress float64) ([]string, er
 			mark = "  REGRESSION"
 			regressed = append(regressed, k)
 		}
+		if maxAllocsRegress > 0 && r.AllocsPerOp-b.AllocsPerOp > 4 &&
+			float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxAllocsRegress/100) {
+			mark += fmt.Sprintf("  ALLOCS %d→%d", b.AllocsPerOp, r.AllocsPerOp)
+			regressed = append(regressed, k+" (allocs)")
+		}
 		fmt.Printf("%-42s %14.0f %14.0f %+8.1f%%%s\n", k, b.NsPerOp, r.NsPerOp, delta, mark)
 	}
 	for k := range old {
@@ -178,6 +186,7 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "minimum measuring time per benchmark (forwarded to the testing package)")
 	compare := flag.String("compare", "", "baseline JSON report to diff against; exit non-zero on regressions")
 	maxRegress := flag.Float64("max-regress", 15, "with -compare, the ns/op slowdown percentage that fails the run")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", 0, "with -compare, the allocs/op growth percentage that fails the run (0 disables; a 4-alloc absolute floor filters noise)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the benchmark run to this file")
 	flag.Parse()
@@ -548,6 +557,59 @@ func main() {
 			return fn, func() cache.Stats { return eng.Stats().Cache }, nil
 		},
 	})
+	// The sparse-regime pair: one pairwise-coprime instance on a 2^22-wide
+	// grid, solved by the dense kernel (admitted, but ~66M grid cells) and
+	// by the sparse dominance-pruned rows (~2k breakpoints). The README's
+	// ≥10× sparse-regime claim is the ratio of these two. The beyond-wall
+	// case is the same family at n=40 on a 2^26 grid — 2.7G cells, past
+	// the dense state budget entirely — which only the sparse rows solve.
+	sparseInstance := func(n int, deadline float64) (core.Instance, error) {
+		set, err := gen.Sparse(rand.New(rand.NewSource(42)), gen.SparseConfig{
+			N: n, Deadline: deadline,
+		})
+		if err != nil {
+			return core.Instance{}, err
+		}
+		return core.Instance{
+			Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1},
+		}, nil
+	}
+	benchCases = append(benchCases, benchCase{
+		name: "DPSparseRegimeDense", n: 28,
+		setup: func() (func() error, func() cache.Stats, error) {
+			in, err := sparseInstance(28, 1<<22)
+			if err != nil {
+				return nil, nil, err
+			}
+			d := core.DP{Sparse: core.SparseOff}
+			return func() error { _, err := d.Solve(in); return err }, nil, nil
+		},
+	})
+	benchCases = append(benchCases, benchCase{
+		name: "DPSparseRegimeSparse", n: 28,
+		setup: func() (func() error, func() cache.Stats, error) {
+			in, err := sparseInstance(28, 1<<22)
+			if err != nil {
+				return nil, nil, err
+			}
+			d := core.DP{Sparse: core.SparseOn}
+			return func() error { _, err := d.Solve(in); return err }, nil, nil
+		},
+	})
+	benchCases = append(benchCases, benchCase{
+		name: "DPSparseBeyondWall", n: 40,
+		setup: func() (func() error, func() cache.Stats, error) {
+			in, err := sparseInstance(40, 1<<26)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := (core.DP{Sparse: core.SparseOff}).Solve(in); err == nil {
+				return nil, nil, fmt.Errorf("dense kernel unexpectedly admitted the beyond-wall grid")
+			}
+			d := core.DP{} // auto mode routes past the dense wall to sparse rows
+			return func() error { _, err := d.Solve(in); return err }, nil, nil
+		},
+	})
 	// The harness itself: one quick-mode pass over all fifteen experiments
 	// on the full worker pool, the unit CI smokes and the suite scales by.
 	benchCases = append(benchCases, benchCase{
@@ -630,6 +692,7 @@ func main() {
 	printRatio("warm modify speedup", "DPColdWide/n=1000", "DPWarmModify/n=1000")
 	printRatio("online replan speedup", "OnlineReplanCold/n=1000", "OnlineReplanIncremental/n=1000")
 	printRatio("serve delta speedup", "ServeColdSolve/n=1000", "ServeDeltaSolve/n=1000")
+	printRatio("sparse rows speedup", "DPSparseRegimeDense/n=28", "DPSparseRegimeSparse/n=28")
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -657,13 +720,14 @@ func main() {
 		f.Close()
 	}
 	if *compare != "" {
-		regressed, err := compareReports(*compare, rep, *maxRegress)
+		regressed, err := compareReports(*compare, rep, *maxRegress, *maxAllocsRegress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
 		if len(regressed) > 0 {
-			fmt.Fprintf(os.Stderr, "bench: %d case(s) regressed more than %g%%: %v\n", len(regressed), *maxRegress, regressed)
+			fmt.Fprintf(os.Stderr, "bench: %d case(s) regressed (ns/op over %g%% or allocs/op over %g%%): %v\n",
+				len(regressed), *maxRegress, *maxAllocsRegress, regressed)
 			pprof.StopCPUProfile()
 			os.Exit(1)
 		}

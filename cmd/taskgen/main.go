@@ -4,6 +4,7 @@
 // Usage:
 //
 //	taskgen -n 30 -load 1.5 -deadline 200 -penalty uniform -seed 7 > inst.json
+//	taskgen -family sparse -n 20 -seed 7 > sparse.json
 package main
 
 import (
@@ -19,9 +20,11 @@ import (
 
 // options are the command's flags, separated for testability.
 type options struct {
+	Family       string
 	N            int
 	Load         float64
 	Deadline     float64
+	DeadlineSet  bool // -deadline given explicitly (family defaults differ)
 	SMax         float64
 	Penalty      string
 	PenaltyScale float64
@@ -33,6 +36,7 @@ type options struct {
 
 func main() {
 	var o options
+	flag.StringVar(&o.Family, "family", "frame", "instance family: frame | sparse (large pairwise-coprime cycles)")
 	flag.IntVar(&o.N, "n", 20, "number of tasks")
 	flag.Float64Var(&o.Load, "load", 1.5, "system load Σci/(smax·D)")
 	flag.Float64Var(&o.Deadline, "deadline", 1000, "frame length D")
@@ -44,6 +48,11 @@ func main() {
 	flag.BoolVar(&o.Periodic, "periodic", false, "generate a periodic instance instead of a frame instance")
 	flag.Float64Var(&o.Utilization, "util", 1.2, "total utilization of the periodic instance (with -periodic)")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "deadline" {
+			o.DeadlineSet = true
+		}
+	})
 
 	if err := generate(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
@@ -62,6 +71,28 @@ func generate(w io.Writer, o options) error {
 		pm = gen.PenaltyInverse
 	default:
 		return fmt.Errorf("unknown penalty model %q", o.Penalty)
+	}
+
+	switch o.Family {
+	case "", "frame":
+	case "sparse":
+		if o.Periodic {
+			return fmt.Errorf("-family sparse and -periodic are mutually exclusive")
+		}
+		deadline := o.Deadline
+		if !o.DeadlineSet {
+			deadline = 0 // gen.Sparse defaults to 2^24
+		}
+		set, err := gen.Sparse(rand.New(rand.NewSource(o.Seed)), gen.SparseConfig{
+			N: o.N, Deadline: deadline, Load: o.Load, SMax: o.SMax,
+			Penalty: pm, PenaltyScale: o.PenaltyScale,
+		})
+		if err != nil {
+			return err
+		}
+		return task.Instance{Set: set, SMax: o.SMax}.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown family %q (want frame or sparse)", o.Family)
 	}
 
 	if o.Periodic {

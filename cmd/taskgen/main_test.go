@@ -84,3 +84,36 @@ func TestGeneratePeriodic(t *testing.T) {
 		t.Errorf("tasks = %d, want 10", len(pi.Set.Tasks))
 	}
 }
+
+func TestGenerateSparseFamily(t *testing.T) {
+	var out bytes.Buffer
+	o := options{Family: "sparse", N: 12, Load: 1.2, SMax: 1, Penalty: "uniform", PenaltyScale: 1, Seed: 5}
+	if err := generate(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := task.ReadJSON(&out)
+	if err != nil {
+		t.Fatalf("generated JSON does not parse: %v", err)
+	}
+	if inst.Set.Deadline != 1<<24 {
+		t.Errorf("deadline = %v, want the sparse family default 2^24", inst.Set.Deadline)
+	}
+	if len(inst.Set.Tasks) != 12 {
+		t.Errorf("tasks = %d, want 12", len(inst.Set.Tasks))
+	}
+	// An explicit -deadline overrides the family default.
+	out.Reset()
+	o.Deadline, o.DeadlineSet = 1<<20, true
+	if err := generate(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if inst, err = task.ReadJSON(&out); err != nil || inst.Set.Deadline != 1<<20 {
+		t.Errorf("explicit deadline not honored: %v (err %v)", inst.Set.Deadline, err)
+	}
+	if err := generate(&out, options{Family: "sparse", Periodic: true, N: 5, SMax: 1, Penalty: "uniform"}); err == nil {
+		t.Error("sparse+periodic accepted")
+	}
+	if err := generate(&out, options{Family: "nope", N: 5, SMax: 1, Penalty: "uniform"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

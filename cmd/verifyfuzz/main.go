@@ -136,6 +136,7 @@ func main() {
 var corpusTargets = []string{
 	"internal/core/testdata/fuzz/FuzzSolverInvariants",
 	"internal/core/testdata/fuzz/FuzzMetamorphic",
+	"internal/core/testdata/fuzz/FuzzSparseDense",
 	"internal/serve/testdata/fuzz/FuzzServeFingerprint",
 }
 

@@ -113,6 +113,20 @@ type (
 	RandomAdmission = core.RandomAdmission
 	// Rounding is the relaxation-and-round solver (E-GREEDY style).
 	Rounding = core.Rounding
+
+	// SparseMode selects the DP row representation (see DP.Sparse).
+	SparseMode = core.SparseMode
+)
+
+// DP.Sparse row-representation modes. SparseAuto (the zero value) keeps
+// grids the dense state budget admits on the dense kernel and routes
+// larger ones to the sparse breakpoint rows; SparseOn and SparseOff
+// force one representation. All three are bit-identical where both
+// kernels can solve.
+const (
+	SparseAuto = core.SparseAuto
+	SparseOn   = core.SparseOn
+	SparseOff  = core.SparseOff
 )
 
 // NewInstance validates and bundles a task set with a processor.
@@ -179,9 +193,9 @@ func StandardSolvers(seed int64, eps float64) []Solver {
 // SolverByName's defaults (ε = 0.1, seed = 1, solver-default workers).
 type SolverSpec = core.SolverSpec
 
-// SolverByName resolves the experiment-table names ("DP", "GREEDY",
-// "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL", "RAND", "OPT", "APPROX-V",
-// "APPROX") to a solver. APPROX takes ε = 0.1.
+// SolverByName resolves the experiment-table names ("DP", "DP-SPARSE",
+// "GREEDY", "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL", "RAND",
+// "OPT", "APPROX-V", "APPROX") to a solver. APPROX takes ε = 0.1.
 func SolverByName(name string) (Solver, error) {
 	return core.NewSolver(name, core.SolverSpec{})
 }

@@ -6,15 +6,17 @@ import (
 	"sync"
 	"time"
 
+	"dvsreject/internal/core"
 	"dvsreject/internal/serve"
 )
 
 // EstimateCost returns the estimated solver microseconds for one request —
 // the admission controller's unit of in-flight work. The per-solver
 // coefficients are calibrated against the committed BENCH_core.json rows
-// on the reference box (DP ≈ 0.5 µs/task, the greedy family ≈ 0.03
-// µs/task, exhaustive exponential); they only need to rank requests and
-// track aggregate backlog, not predict wall time precisely.
+// on the reference box (dense DP ≈ 0.5 ns/grid cell, sparse DP ≈ 4
+// ns/breakpoint, the greedy family ≈ 0.03 µs/task, exhaustive
+// exponential); they only need to rank requests and track aggregate
+// backlog, not predict wall time precisely.
 func EstimateCost(req serve.Request) float64 {
 	n := float64(len(req.Tasks.Tasks))
 	switch req.Solver {
@@ -26,10 +28,34 @@ func EstimateCost(req serve.Request) float64 {
 		return 2 + 0.03*n
 	case "RAND":
 		return 2 + 0.1*n
-	default:
-		// DP, APPROX, APPROX-V and anything unknown: the pseudopolynomial
-		// row kernels, linear in n at fixed load.
+	case "APPROX", "APPROX-V":
+		// The approximation scalers shrink any grid to fit their state
+		// budget, so work stays linear in n regardless of the deadline.
 		return 5 + 0.5*n
+	default:
+		// DP, DP-SPARSE and anything unknown: pseudopolynomial row
+		// kernels whose work tracks table cells, not task count — a flat
+		// per-task rate would let one deadline-heavy grid through as
+		// cheap. Charge by the grid the request actually spans.
+		cap64 := core.DPGridCapacity(core.Instance{Tasks: req.Tasks, Proc: req.Proc})
+		if cap64 < 0 {
+			// Unrepresentable grid: the solve fails validation almost
+			// immediately, so charge the old flat rate.
+			return 5 + 0.5*n
+		}
+		cells := n * float64(cap64+1)
+		if cells <= float64(core.DefaultMaxDPStates) {
+			// Dense-admitted: the vectorized row kernel, ≈ 0.5 ns/cell.
+			return 5 + 0.0005*cells
+		}
+		// Beyond the dense wall the auto mode solves sparse rows. True
+		// breakpoint counts depend on cycle collisions and dominance, so
+		// charge the pessimistic bound — all-distinct subset sums —
+		// clipped by the grid and the sparse cell budget, at ≈ 4
+		// ns/breakpoint for the scalar merge.
+		est := math.Min(math.Exp2(math.Min(n, 40)), cells)
+		est = math.Min(est, float64(core.DefaultMaxSparseCells))
+		return 5 + 0.004*est
 	}
 }
 

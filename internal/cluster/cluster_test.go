@@ -121,15 +121,37 @@ func penaltyReq(n int, pen float64) serve.Request {
 	}
 }
 
+// TestEstimateCostWidthAware pins the cost model's grid awareness: a
+// deadline-heavy DP request past the dense wall must charge for its
+// sparse breakpoint bound, while the budget-bound approximators stay
+// flat in n no matter the width.
+func TestEstimateCostWidthAware(t *testing.T) {
+	narrow := penaltyReq(100, 1) // width 101: dense regime
+	wide := penaltyReq(100, 1)
+	wide.Tasks.Deadline = 1 << 26 // 100·2^26 cells: beyond the dense wall
+	nc, wc := EstimateCost(narrow), EstimateCost(wide)
+	if wc <= 100*nc {
+		t.Fatalf("beyond-wall DP cost %.1f not ≫ dense cost %.1f", wc, nc)
+	}
+	approxNarrow, approxWide := narrow, wide
+	approxNarrow.Solver = "APPROX"
+	approxWide.Solver = "APPROX"
+	an, aw := EstimateCost(approxNarrow), EstimateCost(approxWide)
+	if an != aw {
+		t.Fatalf("APPROX cost depends on grid width: %.1f vs %.1f", an, aw)
+	}
+}
+
 func TestAdmissionShedsLowPenaltyFirst(t *testing.T) {
-	// Capacity 100 estimated-µs. A DP request with n=100 costs 55, so two
-	// admits fill the gate and the third is over capacity.
-	a := NewAdmission(AdmissionConfig{Capacity: 100, Slope: 0.05, Drain: 1})
+	// Capacity 15 estimated-µs. A DP request with n=100 on a width-101
+	// grid costs 5 + 0.0005·100·101 ≈ 10, so one admit nearly fills the
+	// gate and the second is over capacity.
+	a := NewAdmission(AdmissionConfig{Capacity: 15, Slope: 0.05, Drain: 1})
 	filler := penaltyReq(100, 1000)
 	if ok, _ := a.Admit(filler); !ok {
 		t.Fatal("first request not admitted under empty gate")
 	}
-	// Second pushes past capacity (110 > 100): overload pricing starts,
+	// Second pushes past capacity (≈20 > 15): overload pricing starts,
 	// but its penalty is enormous, so it is served anyway.
 	rich := penaltyReq(100, 1e6)
 	if ok, _ := a.Admit(rich); !ok {

@@ -85,7 +85,7 @@ func TestApproxDPPenaltyMagnitudeIndependence(t *testing.T) {
 		})
 	}
 	budget := int64(100_000)
-	if _, err := (DP{MaxStates: budget}).Solve(in); err == nil {
+	if _, err := (DP{MaxStates: budget, Sparse: SparseOff}).Solve(in); err == nil {
 		t.Fatal("capacity DP unexpectedly fit the budget")
 	}
 	sol, err := (ApproxDPPenalty{Eps: 0.2, MaxStates: budget}).Solve(in)

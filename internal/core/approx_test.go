@@ -114,7 +114,7 @@ func TestApproxDPShrinksTable(t *testing.T) {
 		in.Tasks.Tasks = append(in.Tasks.Tasks, task.Task{ID: i, Cycles: 90000, Penalty: 5000})
 	}
 	budget := int64(100_000)
-	if _, err := (DP{MaxStates: budget}).Solve(in); err == nil {
+	if _, err := (DP{MaxStates: budget, Sparse: SparseOff}).Solve(in); err == nil {
 		t.Fatal("exact DP unexpectedly fit the state budget")
 	}
 	if _, err := (ApproxDP{Eps: 0.2, MaxStates: budget}).Solve(in); err != nil {

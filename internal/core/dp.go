@@ -20,7 +20,9 @@ import (
 // untouched. Both are exact reformulations of the seed's in-place
 // descending update; outputs are byte-identical.
 type DP struct {
-	// MaxStates bounds n·(capacity+1); 0 means the default of 2^28.
+	// MaxStates bounds the table work: dense solves count n·(capacity+1)
+	// grid cells (0 means DefaultMaxDPStates), sparse solves count actual
+	// row breakpoints (0 means DefaultMaxSparseCells).
 	MaxStates int64
 	// Workers > 1 chunks each table row (and the monotone final scan)
 	// across that many goroutines on the shared conc pool, with
@@ -35,6 +37,12 @@ type DP struct {
 	// the price of stride-proportional snapshot memory in the DPState.
 	// 0 means DefaultCheckpointStride. Solve results never depend on it.
 	CheckpointStride int
+	// Sparse selects the row representation (dpsparse.go): SparseAuto
+	// (the default) keeps the dense kernel for every grid the state
+	// budget admits and switches to sparse dominance-pruned rows beyond
+	// it; SparseOn forces sparse rows; SparseOff forces dense. All modes
+	// return bit-identical solutions on instances they can solve.
+	Sparse SparseMode
 }
 
 func (d DP) checkpointStride() int {
@@ -45,7 +53,12 @@ func (d DP) checkpointStride() int {
 }
 
 // Name implements Solver.
-func (DP) Name() string { return "DP" }
+func (d DP) Name() string {
+	if d.Sparse == SparseOn {
+		return "DP-SPARSE"
+	}
+	return "DP"
+}
 
 // DefaultMaxDPStates is DP's work limit (n·capacity table cells).
 const DefaultMaxDPStates = int64(1) << 28
@@ -55,7 +68,13 @@ const DefaultMaxDPStates = int64(1) << 28
 // (the differential tests pin this alongside byte-identical outputs).
 type DPStats struct {
 	Rows  int64 // item rows processed
-	Cells int64 // reachable table cells evaluated across all rows
+	Cells int64 // reachable dense table cells evaluated across all rows
+	// SparseCells counts the breakpoints kept across sparse rows; zero on
+	// a pure dense solve. DenseRows counts the rows the dense kernel
+	// evaluated — equal to Rows on a dense solve, zero on a pure sparse
+	// one, and in between when the adaptive switchover fired mid-run.
+	SparseCells int64
+	DenseRows   int64
 }
 
 // Solve implements Solver. It returns ErrHeterogeneous for instances with
@@ -92,8 +111,12 @@ func (d DP) solve(in Instance, rec *DPState) (Solution, DPStats, error) {
 	if limit == 0 {
 		limit = DefaultMaxDPStates
 	}
+	if d.Sparse == SparseOn || (d.Sparse == SparseAuto && len(ctx.items) > 0 && cap64 >= 0 &&
+		(cap64 >= limit || int64(len(ctx.items))*(cap64+1) > limit)) {
+		return d.solveSparse(ctx, cap64, rec)
+	}
 	if work := int64(len(ctx.items)) * (cap64 + 1); work > limit {
-		return Solution{}, DPStats{}, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
+		return Solution{}, DPStats{}, denseStatesErr(work, len(ctx.items), cap64, limit)
 	}
 
 	var onRow func(rows int, f []float64, reach int64)
@@ -112,6 +135,12 @@ func (d DP) solve(in Instance, rec *DPState) (Solution, DPStats, error) {
 	}
 	sol, err := ctx.evaluate(accepted)
 	return sol, st, err
+}
+
+// denseStatesErr reports a dense grid over the state budget with the
+// numbers that produced it and the ways out.
+func denseStatesErr(work int64, n int, cap64, limit int64) error {
+	return fmt.Errorf("core: DP needs %d states (%d tasks × %d workload levels), over the limit %d: use ApproxDP for an approximate solve, or sparse rows (DP.Sparse = SparseOn, solver %q) for an exact one", work, n, cap64+1, limit, "DP-SPARSE")
 }
 
 // takeTable is the reconstruction bitset: one bit per (task, workload)
@@ -196,6 +225,7 @@ func rejectionDP(its []item, cap64 int64, energy func(float64) float64, scale fl
 	var reach int64 // largest attainable workload after the rows so far
 	for i, it := range its {
 		st.Rows++
+		st.DenseRows++
 		c, v := it.c, it.v
 		if c > cap64 {
 			// Can never be accepted: pay the penalty on every path.

@@ -113,8 +113,13 @@ func TestDPStateLimit(t *testing.T) {
 		task.Task{ID: 1, Cycles: 4, Penalty: 1},
 		task.Task{ID: 2, Cycles: 4, Penalty: 1},
 	)
-	if _, err := (&DP{MaxStates: 10}).Solve(in); err == nil {
-		t.Error("state limit not enforced")
+	if _, err := (&DP{MaxStates: 10, Sparse: SparseOff}).Solve(in); err == nil {
+		t.Error("dense state limit not enforced")
+	}
+	// The auto mode routes the over-budget grid to the sparse kernel
+	// instead of failing: 10 breakpoints cover this instance's rows.
+	if _, err := (&DP{MaxStates: 10}).Solve(in); err != nil {
+		t.Errorf("auto mode did not fall back to sparse rows: %v", err)
 	}
 }
 

@@ -25,6 +25,15 @@ const DefaultCheckpointStride = 64
 // Two instances sharing the grid capacity and an item prefix therefore
 // share those rows bit-for-bit.
 //
+// A state records either dense or sparse rows, matching the kernel that
+// produced it (DP.Sparse), never a mix: dense states hold the packed take
+// table plus f-row snapshots, sparse states hold the breakpoint arenas of
+// dpsparse.go plus (workload, value) breakpoint snapshots. One extra
+// validity caveat applies to sparse states whose rows were dominance-
+// pruned (recorded under a monotone energy curve): such rows carry only
+// the penalty frontier, which is exact only for monotone final scans, so
+// SolveFrom declines non-monotone instances instead of warm-starting them.
+//
 // The zero value is ready for SolveCheckpoint. A state being read by
 // SolveFrom(..., evolve=false) is never written and may serve any number
 // of concurrent readers; evolve=true mutates the state in place and
@@ -38,6 +47,19 @@ type DPState struct {
 	items  []item
 	words  []uint64 // packed take bits, rows 0..n-1
 	snaps  []dpSnap // ascending by row; last row always snapshotted
+
+	sparse  bool // rows recorded by the sparse kernel
+	pruned  bool // sparse rows carry only the dominance frontier
+	sp      sparseRows
+	spSnaps []sparseSnap // ascending by row; last row always snapshotted
+}
+
+// sparseSnap is one sparse row snapshot: the kept (workload, value)
+// breakpoints after `row` items have been folded in.
+type sparseSnap struct {
+	row int
+	ws  []int64
+	fs  []float64
 }
 
 // dpSnap is one f-row snapshot: the finite prefix after `row` items have
@@ -66,6 +88,12 @@ func (st *DPState) Reset() { st.valid = false }
 // replay. The serve-layer similarity index registers its hash-chain keys
 // at exactly these rows.
 func (st *DPState) AppendSnapshotRows(buf []int) []int {
+	if st.sparse {
+		for _, s := range st.spSnaps {
+			buf = append(buf, s.row)
+		}
+		return buf
+	}
 	for _, s := range st.snaps {
 		buf = append(buf, s.row)
 	}
@@ -75,6 +103,13 @@ func (st *DPState) AppendSnapshotRows(buf []int) []int {
 // MemoryBytes estimates the state's retained heap: the take table, the
 // snapshots and the item copy. Cache budgets evict on it.
 func (st *DPState) MemoryBytes() int64 {
+	if st.sparse {
+		b := st.sp.memoryBytes()
+		for _, s := range st.spSnaps {
+			b += int64(len(s.ws))*8 + int64(len(s.fs))*8
+		}
+		return b + int64(len(st.items))*32
+	}
 	b := int64(len(st.words)) * 8
 	for _, s := range st.snaps {
 		b += int64(len(s.f)) * 8
@@ -83,14 +118,73 @@ func (st *DPState) MemoryBytes() int64 {
 	return b
 }
 
-// begin resets the state for a fresh recording, keeping backing arrays.
+// begin resets the state for a fresh dense recording, keeping backing
+// arrays.
 func (st *DPState) begin(cap64 int64, stride, n int) {
 	st.valid = false
+	st.sparse = false
 	st.cap64 = cap64
 	st.stride = stride
 	st.n = n
 	st.perRow = (cap64 + 1 + 63) / 64
 	st.snaps = st.snaps[:0]
+	st.spSnaps = st.spSnaps[:0]
+}
+
+// beginSparse resets the state for a fresh sparse recording; the solver
+// writes the row arenas (st.sp) in place as it runs.
+func (st *DPState) beginSparse(cap64 int64, stride, n int, pruned bool) {
+	st.valid = false
+	st.sparse = true
+	st.pruned = pruned
+	st.cap64 = cap64
+	st.stride = stride
+	st.n = n
+	st.perRow = 0
+	st.snaps = st.snaps[:0]
+	st.spSnaps = st.spSnaps[:0]
+}
+
+// noteSparseRow is the sparse recording hook: snapshot breakpoints on the
+// stride grid and at the final row.
+func (st *DPState) noteSparseRow(rows int, ws []int64, fs []float64) {
+	if rows%st.stride != 0 && rows != st.n {
+		return
+	}
+	st.addSparseSnap(rows, ws, fs)
+}
+
+// noteEvolvedSparseRow is noteSparseRow against the evolving target row
+// count, matching what a cold sparse recording of the evolved instance
+// would have snapshotted from this row on.
+func (st *DPState) noteEvolvedSparseRow(rows, n int, ws []int64, fs []float64) {
+	if rows%st.stride != 0 && rows != n {
+		return
+	}
+	st.addSparseSnap(rows, ws, fs)
+}
+
+// addSparseSnap appends a breakpoint snapshot, reusing the buffers of a
+// previously truncated snapshot slot when one is available.
+func (st *DPState) addSparseSnap(row int, ws []int64, fs []float64) {
+	if k := len(st.spSnaps); k > 0 && st.spSnaps[k-1].row == row {
+		return
+	}
+	var s sparseSnap
+	if len(st.spSnaps) < cap(st.spSnaps) {
+		s = st.spSnaps[:len(st.spSnaps)+1][len(st.spSnaps)]
+	}
+	s.row = row
+	s.ws = append(s.ws[:0], ws...)
+	s.fs = append(s.fs[:0], fs...)
+	st.spSnaps = append(st.spSnaps, s)
+}
+
+// finishSparse copies the item prefix and marks the state valid; the row
+// arenas were written in place by the solver.
+func (st *DPState) finishSparse(items []item) {
+	st.items = append(st.items[:0], items...)
+	st.valid = true
 }
 
 // noteRow is the rejectionDP onRow hook: snapshot on the stride grid and
@@ -205,12 +299,17 @@ func (d DP) SolveFrom(st *DPState, in Instance, evolve bool) (sol Solution, stat
 	if cap64 != st.cap64 {
 		return Solution{}, stats, false, nil
 	}
+	if st.sparse {
+		// Sparse states re-run on the sparse kernel under the breakpoint
+		// budget; the dense grid-area admission below does not apply.
+		return d.solveFromSparse(ctx, st, cap64, evolve)
+	}
 	limit := d.MaxStates
 	if limit == 0 {
 		limit = DefaultMaxDPStates
 	}
 	if work := int64(len(ctx.items)) * (cap64 + 1); work > limit {
-		return Solution{}, stats, false, fmt.Errorf("core: DP needs %d states, over the limit %d (use ApproxDP)", work, limit)
+		return Solution{}, stats, false, denseStatesErr(work, len(ctx.items), cap64, limit)
 	}
 
 	items := ctx.items

@@ -71,86 +71,89 @@ func maxTaskID(ts []task.Task) int {
 }
 
 // TestDPStateDifferentialCorpus sweeps the delta shapes over the shared
-// differential corpus, for serial and row-parallel solvers and two
-// checkpoint strides.
+// differential corpus, for serial and row-parallel solvers, two
+// checkpoint strides, and both row representations (the cold reference
+// stays dense, so sparse warm starts are pinned across representations).
 func TestDPStateDifferentialCorpus(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		for _, stride := range []int{3, 64} {
-			d := DP{Workers: workers, CheckpointStride: stride}
-			t.Run(fmt.Sprintf("workers=%d/stride=%d", workers, stride), func(t *testing.T) {
-				for _, c := range diffCorpus(t) {
-					var st DPState
-					parent, _, err := d.SolveCheckpoint(c.in, &st)
-					if c.in.Heterogeneous() {
-						if err != ErrHeterogeneous {
-							t.Fatalf("%s: hetero parent: got %v, want ErrHeterogeneous", c.name, err)
+			for _, mode := range []SparseMode{SparseOff, SparseOn} {
+				d := DP{Workers: workers, CheckpointStride: stride, Sparse: mode}
+				t.Run(fmt.Sprintf("workers=%d/stride=%d/sparse=%d", workers, stride, mode), func(t *testing.T) {
+					for _, c := range diffCorpus(t) {
+						var st DPState
+						parent, _, err := d.SolveCheckpoint(c.in, &st)
+						if c.in.Heterogeneous() {
+							if err != ErrHeterogeneous {
+								t.Fatalf("%s: hetero parent: got %v, want ErrHeterogeneous", c.name, err)
+							}
+							if _, _, ok, ferr := d.SolveFrom(&st, c.in, false); ok || ferr != nil {
+								t.Fatalf("%s: invalid state warmed: ok=%v err=%v", c.name, ok, ferr)
+							}
+							continue
 						}
-						if _, _, ok, ferr := d.SolveFrom(&st, c.in, false); ok || ferr != nil {
-							t.Fatalf("%s: invalid state warmed: ok=%v err=%v", c.name, ok, ferr)
+						if err != nil {
+							t.Fatalf("%s: parent solve: %v", c.name, err)
 						}
-						continue
-					}
-					if err != nil {
-						t.Fatalf("%s: parent solve: %v", c.name, err)
-					}
-					coldRef, err := DP{Workers: workers}.Solve(c.in)
-					if err != nil {
-						t.Fatalf("%s: cold ref: %v", c.name, err)
-					}
-					if err := oracle.BitIdenticalFrame(frameOf(parent), frameOf(coldRef)); err != nil {
-						t.Fatalf("%s: SolveCheckpoint vs Solve: %v", c.name, err)
-					}
+						coldRef, err := DP{Workers: workers}.Solve(c.in)
+						if err != nil {
+							t.Fatalf("%s: cold ref: %v", c.name, err)
+						}
+						if err := oracle.BitIdenticalFrame(frameOf(parent), frameOf(coldRef)); err != nil {
+							t.Fatalf("%s: SolveCheckpoint vs Solve: %v", c.name, err)
+						}
 
-					ts := c.in.Tasks.Tasks
-					n := len(ts)
-					nextID := maxTaskID(ts) + 1
-					rng := rand.New(rand.NewSource(int64(n)))
+						ts := c.in.Tasks.Tasks
+						n := len(ts)
+						nextID := maxTaskID(ts) + 1
+						rng := rand.New(rand.NewSource(int64(n)))
 
-					// Identical re-solve: zero rows re-run.
-					warmVsCold(t, c.name+"/identical", d, &st, c.in, true)
+						// Identical re-solve: zero rows re-run.
+						warmVsCold(t, c.name+"/identical", d, &st, c.in, true)
 
-					// Append one and three tasks.
-					app := cloneTasks(c.in)
-					app = append(app, task.Task{ID: nextID, Cycles: 1 + rng.Int63n(30), Penalty: rng.Float64() * 5})
-					warmVsCold(t, c.name+"/append1", d, &st, withTasks(c.in, app), true)
-					for k := 0; k < 2; k++ {
-						app = append(app, task.Task{ID: nextID + 1 + k, Cycles: 1 + rng.Int63n(30), Penalty: rng.Float64() * 5})
-					}
-					warmVsCold(t, c.name+"/append3", d, &st, withTasks(c.in, app), true)
+						// Append one and three tasks.
+						app := cloneTasks(c.in)
+						app = append(app, task.Task{ID: nextID, Cycles: 1 + rng.Int63n(30), Penalty: rng.Float64() * 5})
+						warmVsCold(t, c.name+"/append1", d, &st, withTasks(c.in, app), true)
+						for k := 0; k < 2; k++ {
+							app = append(app, task.Task{ID: nextID + 1 + k, Cycles: 1 + rng.Int63n(30), Penalty: rng.Float64() * 5})
+						}
+						warmVsCold(t, c.name+"/append3", d, &st, withTasks(c.in, app), true)
 
-					// Remove the tail task (divergence at n-1). Warmable
-					// only when a checkpoint exists at or before row n-1 —
-					// i.e. the stride fits inside the instance.
-					tailWarm := stride <= n-1
-					warmVsCold(t, c.name+"/remove-tail", d, &st, withTasks(c.in, cloneTasks(c.in)[:n-1]), tailWarm)
+						// Remove the tail task (divergence at n-1). Warmable
+						// only when a checkpoint exists at or before row n-1 —
+						// i.e. the stride fits inside the instance.
+						tailWarm := stride <= n-1
+						warmVsCold(t, c.name+"/remove-tail", d, &st, withTasks(c.in, cloneTasks(c.in)[:n-1]), tailWarm)
 
-					// Modify the last task's penalty, then its cycles.
-					mod := cloneTasks(c.in)
-					mod[n-1].Penalty *= 1.75
-					warmVsCold(t, c.name+"/modify-penalty", d, &st, withTasks(c.in, mod), tailWarm)
-					mod = cloneTasks(c.in)
-					mod[n-1].Cycles += 7
-					warmVsCold(t, c.name+"/modify-cycles", d, &st, withTasks(c.in, mod), tailWarm)
+						// Modify the last task's penalty, then its cycles.
+						mod := cloneTasks(c.in)
+						mod[n-1].Penalty *= 1.75
+						warmVsCold(t, c.name+"/modify-penalty", d, &st, withTasks(c.in, mod), tailWarm)
+						mod = cloneTasks(c.in)
+						mod[n-1].Cycles += 7
+						warmVsCold(t, c.name+"/modify-cycles", d, &st, withTasks(c.in, mod), tailWarm)
 
-					// Mutate the first task: divergence at row 0 precedes
-					// every checkpoint, so the state must decline (the
-					// caller cold-solves; nothing would be saved anyway).
-					front := cloneTasks(c.in)
-					front[0].Penalty += 0.5
-					warmVsCold(t, c.name+"/modify-front", d, &st, withTasks(c.in, front), false)
+						// Mutate the first task: divergence at row 0 precedes
+						// every checkpoint, so the state must decline (the
+						// caller cold-solves; nothing would be saved anyway).
+						front := cloneTasks(c.in)
+						front[0].Penalty += 0.5
+						warmVsCold(t, c.name+"/modify-front", d, &st, withTasks(c.in, front), false)
 
-					// A different deadline changes the grid capacity: the
-					// state must decline, never serve stale rows.
-					shrunk := c.in
-					shrunk.Tasks.Tasks = cloneTasks(c.in)
-					shrunk.Tasks.Deadline *= 0.5
-					if _, _, ok, err := d.SolveFrom(&st, shrunk, false); ok && err == nil {
-						if cap64 := DPGridCapacity(shrunk); cap64 != st.GridCapacity() {
-							t.Fatalf("%s: warmed across capacity change", c.name)
+						// A different deadline changes the grid capacity: the
+						// state must decline, never serve stale rows.
+						shrunk := c.in
+						shrunk.Tasks.Tasks = cloneTasks(c.in)
+						shrunk.Tasks.Deadline *= 0.5
+						if _, _, ok, err := d.SolveFrom(&st, shrunk, false); ok && err == nil {
+							if cap64 := DPGridCapacity(shrunk); cap64 != st.GridCapacity() {
+								t.Fatalf("%s: warmed across capacity change", c.name)
+							}
 						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -166,48 +169,50 @@ func TestDPStateEvolveStream(t *testing.T) {
 		{"discrete-dormant", speed.Proc{Model: power.XScale(), Levels: power.XScaleLevels(), DormantEnable: true, Esw: 2}},
 	}
 	for _, pc := range procs {
-		t.Run(pc.name, func(t *testing.T) {
-			rng := rand.New(rand.NewSource(7))
-			d := DP{CheckpointStride: 8}
-			var st DPState
-			var ts []task.Task
-			const deadline = 150
-			for ev := 0; ev < 60; ev++ {
-				switch {
-				case len(ts) > 4 && ev%11 == 5:
-					// Cancel a random task (divergence at its index).
-					i := rng.Intn(len(ts))
-					ts = append(ts[:i], ts[i+1:]...)
-				case len(ts) > 2 && ev%7 == 3:
-					// Revise a random task's penalty.
-					i := rng.Intn(len(ts))
-					ts[i].Penalty = rng.Float64() * 8
-				default:
-					ts = append(ts, task.Task{ID: ev + 1, Cycles: 1 + rng.Int63n(25), Penalty: rng.Float64() * 6})
-				}
-				in := Instance{Tasks: task.Set{Tasks: slices.Clone(ts), Deadline: deadline}, Proc: pc.proc}
-				cold, err := DP{}.Solve(in)
-				if err != nil {
-					t.Fatalf("event %d: cold: %v", ev, err)
-				}
-				var warm Solution
-				if st.Valid() {
-					var ok bool
-					warm, _, ok, err = d.SolveFrom(&st, in, true)
-					if err == nil && !ok {
+		for _, mode := range []SparseMode{SparseOff, SparseOn} {
+			t.Run(fmt.Sprintf("%s/sparse=%d", pc.name, mode), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(7))
+				d := DP{CheckpointStride: 8, Sparse: mode}
+				var st DPState
+				var ts []task.Task
+				const deadline = 150
+				for ev := 0; ev < 60; ev++ {
+					switch {
+					case len(ts) > 4 && ev%11 == 5:
+						// Cancel a random task (divergence at its index).
+						i := rng.Intn(len(ts))
+						ts = append(ts[:i], ts[i+1:]...)
+					case len(ts) > 2 && ev%7 == 3:
+						// Revise a random task's penalty.
+						i := rng.Intn(len(ts))
+						ts[i].Penalty = rng.Float64() * 8
+					default:
+						ts = append(ts, task.Task{ID: ev + 1, Cycles: 1 + rng.Int63n(25), Penalty: rng.Float64() * 6})
+					}
+					in := Instance{Tasks: task.Set{Tasks: slices.Clone(ts), Deadline: deadline}, Proc: pc.proc}
+					cold, err := DP{}.Solve(in)
+					if err != nil {
+						t.Fatalf("event %d: cold: %v", ev, err)
+					}
+					var warm Solution
+					if st.Valid() {
+						var ok bool
+						warm, _, ok, err = d.SolveFrom(&st, in, true)
+						if err == nil && !ok {
+							warm, _, err = d.SolveCheckpoint(in, &st)
+						}
+					} else {
 						warm, _, err = d.SolveCheckpoint(in, &st)
 					}
-				} else {
-					warm, _, err = d.SolveCheckpoint(in, &st)
+					if err != nil {
+						t.Fatalf("event %d: warm: %v", ev, err)
+					}
+					if err := oracle.BitIdenticalFrame(frameOf(warm), frameOf(cold)); err != nil {
+						t.Fatalf("event %d (n=%d): %v", ev, len(ts), err)
+					}
 				}
-				if err != nil {
-					t.Fatalf("event %d: warm: %v", ev, err)
-				}
-				if err := oracle.BitIdenticalFrame(frameOf(warm), frameOf(cold)); err != nil {
-					t.Fatalf("event %d (n=%d): %v", ev, len(ts), err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -24,13 +24,16 @@ import (
 
 // dpScratch bundles the table state of one rejection-DP solve.
 type dpScratch struct {
-	f      []float64 // DP row buffer, one cell per workload level
-	f2     []float64 // second row buffer (the kernel double-buffers rows)
-	words  []uint64  // takeTable backing
-	ids    []int     // reconstruction output
-	scaled []item    // ApproxDP's rounded item view
-	g      []int64   // ApproxDPPenalty's row, one cell per penalty level
-	take   []bool    // ApproxDPPenalty's reconstruction table, flattened
+	f      []float64  // DP row buffer, one cell per workload level
+	f2     []float64  // second row buffer (the kernel double-buffers rows)
+	words  []uint64   // takeTable backing
+	ids    []int      // reconstruction output
+	scaled []item     // ApproxDP's rounded item view
+	g      []int64    // ApproxDPPenalty's row, one cell per penalty level
+	take   []bool     // ApproxDPPenalty's reconstruction table, flattened
+	spRec  sparseRows // sparse per-row breakpoint record (unrecorded sparse solves)
+	spF    []float64  // sparse row value buffers (the merge double-buffers values;
+	spF2   []float64  // workloads live in the spRec arenas)
 }
 
 // The pools sit behind atomic pointers so PurgeSolverScratch can swap in

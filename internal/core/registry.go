@@ -29,15 +29,18 @@ func (sp SolverSpec) withDefaults() SolverSpec {
 	return sp
 }
 
-// NewSolver resolves the experiment-table names ("DP", "OPT", "GREEDY",
-// "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL", "RAND", "APPROX",
-// "APPROX-V") to a solver configured by spec. It is the single registry the
-// package facade, the CLIs and the serving layer share.
+// NewSolver resolves the experiment-table names ("DP", "DP-SPARSE",
+// "OPT", "GREEDY", "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL",
+// "RAND", "APPROX", "APPROX-V") to a solver configured by spec. It is the
+// single registry the package facade, the CLIs and the serving layer
+// share.
 func NewSolver(name string, spec SolverSpec) (Solver, error) {
 	spec = spec.withDefaults()
 	switch name {
 	case "DP":
 		return DP{}, nil
+	case "DP-SPARSE":
+		return DP{Sparse: SparseOn}, nil
 	case "OPT":
 		return Exhaustive{Workers: spec.Workers}, nil
 	case "GREEDY":

@@ -153,6 +153,100 @@ func Frame(rng *rand.Rand, c Config) (task.Set, error) {
 	return s, nil
 }
 
+// SparseConfig describes the sparse-regime frame family: a modest number
+// of tasks with large, pairwise-coprime cycle counts. The DP grid width
+// is smax·Deadline cycles — with the defaults, beyond the dense kernel's
+// state budget from n ≈ 16 on — while pairwise-coprime cycles keep
+// accepted-workload subset sums from colliding, so the sparse
+// dominance-pruned rows stay tiny where the dense grid would not even be
+// admitted.
+type SparseConfig struct {
+	N        int     // number of tasks, > 0 (modest: tens, not thousands)
+	Deadline float64 // frame length, > 0 (default 2^24)
+	Load     float64 // target Σci/(smax·D), > 0 (default 1.2, forcing rejection)
+	SMax     float64 // top speed (default 1.0)
+	Penalty  PenaltyModel
+	// PenaltyScale multiplies every penalty (default 1; see Config).
+	PenaltyScale float64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c SparseConfig) withDefaults() SparseConfig {
+	if c.Deadline == 0 {
+		c.Deadline = 1 << 24
+	}
+	if c.Load == 0 {
+		c.Load = 1.2
+	}
+	if c.SMax == 0 {
+		c.SMax = 1.0
+	}
+	if c.PenaltyScale == 0 {
+		c.PenaltyScale = 1.0
+	}
+	return c
+}
+
+// gcd64 is the Euclidean greatest common divisor.
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Sparse draws one sparse-regime instance: cycles uniform in
+// [0.5, 1.5]·mean, then nudged upward until pairwise coprime with every
+// earlier task (coprime pairs are dense among large integers, so the walk
+// is a handful of steps). Penalties use the same energy-unit calibration
+// as Frame, keeping accept/reject decisions contested.
+func Sparse(rng *rand.Rand, c SparseConfig) (task.Set, error) {
+	c = c.withDefaults()
+	if err := (Config{N: c.N, Deadline: c.Deadline, Load: c.Load, SMax: c.SMax,
+		PenaltyScale: c.PenaltyScale}).Validate(); err != nil {
+		return task.Set{}, err
+	}
+
+	targetTotal := c.Load * c.SMax * c.Deadline
+	mean := targetTotal / float64(c.N)
+	s := task.Set{Deadline: c.Deadline, Tasks: make([]task.Task, 0, c.N)}
+	for i := 0; i < c.N; i++ {
+		cycles := int64(math.Max(1, math.Round(mean*(0.5+rng.Float64()))))
+	adjust:
+		for {
+			for _, prev := range s.Tasks {
+				if gcd64(cycles, prev.Cycles) != 1 {
+					cycles++
+					continue adjust
+				}
+			}
+			break
+		}
+		s.Tasks = append(s.Tasks, task.Task{ID: i, Cycles: cycles})
+	}
+
+	unit := math.Pow(c.Load*c.SMax, 2)
+	for i := range s.Tasks {
+		var v float64
+		ci := float64(s.Tasks[i].Cycles)
+		switch c.Penalty {
+		case PenaltyUniform:
+			v = rng.Float64() * 2 * mean * unit
+		case PenaltyProportional:
+			v = ci * unit * (0.5 + rng.Float64())
+		case PenaltyInverse:
+			v = mean * mean / ci * unit * (0.5 + rng.Float64())
+		default:
+			return task.Set{}, fmt.Errorf("gen: unknown penalty model %d", int(c.Penalty))
+		}
+		s.Tasks[i].Penalty = v * c.PenaltyScale
+	}
+	if err := s.Validate(); err != nil {
+		return task.Set{}, fmt.Errorf("gen: generated invalid set: %w", err)
+	}
+	return s, nil
+}
+
 // UUniFast draws n utilizations summing exactly to total, uniformly over
 // the simplex (Bini & Buttazzo). total may exceed 1 for overloaded systems.
 func UUniFast(rng *rand.Rand, n int, total float64) []float64 {

@@ -127,6 +127,12 @@ type Stats struct {
 	DeltaSolves uint64 `json:"delta_solves"`
 	// DeltaParents is the similarity index's resident parent-state count.
 	DeltaParents int `json:"delta_parents"`
+	// SparseSolves counts DP runs (cold, checkpointed, or warm) that used
+	// the sparse row representation for at least one row.
+	SparseSolves uint64 `json:"sparse_solves"`
+	// SparseCells totals the breakpoints stored across those sparse rows —
+	// the sparse analogue of dense grid cells, for capacity planning.
+	SparseCells uint64 `json:"sparse_cells"`
 	// Cache aggregates the plan-cache shard counters.
 	Cache cache.Stats `json:"cache"`
 }
@@ -150,6 +156,9 @@ type Engine struct {
 	bypasses    atomic.Uint64
 	warmed      atomic.Uint64
 	deltaSolves atomic.Uint64
+
+	sparseSolves atomic.Uint64
+	sparseCells  atomic.Uint64
 }
 
 // New builds an engine from cfg (zero value fine, see Config).
@@ -334,10 +343,25 @@ func (e *Engine) runSolver(req Request, pp *core.ProcProfile) (core.Solution, er
 	if pp != nil {
 		in = in.WithProcProfile(pp)
 	}
-	if dp, ok := solver.(core.DP); ok && e.delta != nil {
-		return e.deltaSolve(dp, req, in)
+	if dp, ok := solver.(core.DP); ok {
+		if e.delta != nil {
+			return e.deltaSolve(dp, req, in)
+		}
+		sol, stats, err := dp.SolveStats(in)
+		if err == nil {
+			e.noteDPStats(stats)
+		}
+		return sol, err
 	}
 	return solver.Solve(in)
+}
+
+// noteDPStats folds one DP run's row statistics into the engine counters.
+func (e *Engine) noteDPStats(st core.DPStats) {
+	if st.SparseCells > 0 {
+		e.sparseSolves.Add(1)
+		e.sparseCells.Add(uint64(st.SparseCells))
+	}
 }
 
 // deltaSolve is the DP route: try a warm start from a structurally
@@ -352,7 +376,7 @@ func (e *Engine) deltaSolve(dp core.DP, req Request, in core.Instance) (core.Sol
 	cap64 := core.DPGridCapacity(in)
 	chain := deltaChain(nil, req.Tasks.Tasks, cap64)
 	if parent := e.delta.lookup(cap64, chain, stride); parent != nil {
-		sol, _, ok, err := dp.SolveFrom(parent, in, false)
+		sol, stats, ok, err := dp.SolveFrom(parent, in, false)
 		if err != nil {
 			// The same failure a cold solve reports (validation, hetero,
 			// state limit) — don't solve twice to report it twice.
@@ -360,14 +384,16 @@ func (e *Engine) deltaSolve(dp core.DP, req Request, in core.Instance) (core.Sol
 		}
 		if ok {
 			e.deltaSolves.Add(1)
+			e.noteDPStats(stats)
 			return sol, nil
 		}
 	}
 	st := &core.DPState{}
-	sol, _, err := dp.SolveCheckpoint(in, st)
+	sol, stats, err := dp.SolveCheckpoint(in, st)
 	if err != nil {
 		return core.Solution{}, err
 	}
+	e.noteDPStats(stats)
 	e.delta.register(st, cap64, chain)
 	return sol, nil
 }
@@ -400,6 +426,8 @@ func (e *Engine) Stats() Stats {
 		Warmed:       e.warmed.Load(),
 		DeltaSolves:  e.deltaSolves.Load(),
 		DeltaParents: e.delta.parents(),
+		SparseSolves: e.sparseSolves.Load(),
+		SparseCells:  e.sparseCells.Load(),
 		Cache:        e.cache.Stats(),
 	}
 }

@@ -349,6 +349,45 @@ func TestStatsCount(t *testing.T) {
 	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
 		t.Errorf("cache hits/misses = %d/%d, want 1/1", st.Cache.Hits, st.Cache.Misses)
 	}
+	if st.SparseSolves != 0 || st.SparseCells != 0 {
+		t.Errorf("dense-regime solve bumped sparse counters: %d solves / %d cells",
+			st.SparseSolves, st.SparseCells)
+	}
+}
+
+// TestStatsSparseSolves pins the sparse counters: a beyond-the-dense-wall
+// instance must route through the sparse kernel (cold and delta-warmed)
+// and report its breakpoint footprint.
+func TestStatsSparseSolves(t *testing.T) {
+	set, err := gen.Sparse(rand.New(rand.NewSource(3)), gen.SparseConfig{N: 18, Deadline: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{})
+	ctx := context.Background()
+	if resp := e.Solve(ctx, Request{Tasks: set, Proc: testProcs["ideal"], Solver: "DP"}); resp.Err != nil {
+		t.Fatalf("cold sparse solve: %v", resp.Err)
+	}
+	st := e.Stats()
+	if st.SparseSolves != 1 || st.SparseCells == 0 {
+		t.Fatalf("after cold solve: SparseSolves=%d SparseCells=%d, want 1 solve with cells",
+			st.SparseSolves, st.SparseCells)
+	}
+	// A tail-append near-miss warms from the recorded sparse parent and
+	// counts as a second sparse solve.
+	mut := set
+	mut.Tasks = append(append([]task.Task(nil), set.Tasks...),
+		task.Task{ID: 1000, Cycles: 12345, Penalty: 2})
+	if resp := e.Solve(ctx, Request{Tasks: mut, Proc: testProcs["ideal"], Solver: "DP"}); resp.Err != nil {
+		t.Fatalf("warm sparse solve: %v", resp.Err)
+	}
+	st = e.Stats()
+	if st.DeltaSolves != 1 {
+		t.Fatalf("DeltaSolves = %d, want 1", st.DeltaSolves)
+	}
+	if st.SparseSolves != 2 {
+		t.Fatalf("SparseSolves = %d, want 2 (cold + warm)", st.SparseSolves)
+	}
 }
 
 // TestStatsReadersRaceSolvers hammers Stats() — the GET /stats path — from

@@ -92,5 +92,16 @@ func SeedInstances() []SeedInstance {
 			task.Task{ID: 1, Cycles: 10, Penalty: 2},
 			task.Task{ID: 2, Cycles: 5, Penalty: 0.125},
 		)},
+		{"sparse-coprime", mk(idealCubic, 400, false,
+			// Pairwise-coprime cycles near the codec's 256-cycle ceiling:
+			// the widest accepted-workload spread the grid can express,
+			// the shape class the sparse dominance-pruned rows target.
+			task.Task{ID: 1, Cycles: 251, Penalty: 9},
+			task.Task{ID: 2, Cycles: 241, Penalty: 7.5},
+			task.Task{ID: 3, Cycles: 239, Penalty: 6},
+			task.Task{ID: 4, Cycles: 233, Penalty: 10},
+			task.Task{ID: 5, Cycles: 229, Penalty: 4.25},
+			task.Task{ID: 6, Cycles: 227, Penalty: 8},
+		)},
 	}
 }

@@ -11,7 +11,7 @@ import (
 // AllSolvers is every registry name, in sweep order. Exact solvers first so
 // the relational oracles have their baseline by the time heuristics run.
 var AllSolvers = []string{
-	"DP", "OPT", "GREEDY", "S-GREEDY", "ROUNDING",
+	"DP", "DP-SPARSE", "OPT", "GREEDY", "S-GREEDY", "ROUNDING",
 	"APPROX", "APPROX-V", "RAND", "ACCEPT-ALL", "REJECT-ALL",
 }
 
@@ -103,7 +103,7 @@ func CheckInstance(in core.Instance, opt Options) error {
 	// Relational oracles against the exact baseline.
 	exact := math.Inf(1)
 	haveExact := false
-	for _, name := range []string{"DP", "OPT"} {
+	for _, name := range []string{"DP", "DP-SPARSE", "OPT"} {
 		if sol, ok := sols[name]; ok {
 			exact = math.Min(exact, sol.Cost)
 			haveExact = true
@@ -115,11 +115,18 @@ func CheckInstance(in core.Instance, opt Options) error {
 				return err
 			}
 		}
+		// The sparse rows are documented bit-identical to dense, a far
+		// stronger contract than cost agreement — hold them to it.
+		if sp, ok := sols["DP-SPARSE"]; ok {
+			if err := BitIdenticalSolutions(sp, dp); err != nil {
+				return oracle.Fail("sparse-dense-identity", "DP-SPARSE", err)
+			}
+		}
 	}
 	if haveExact {
 		for _, name := range opt.Solvers {
 			sol, ok := sols[name]
-			if !ok || name == "DP" || name == "OPT" {
+			if !ok || name == "DP" || name == "DP-SPARSE" || name == "OPT" {
 				continue
 			}
 			if err := oracle.CheckNotBelow(name, sol.Cost, exact, opt.Tol); err != nil {
@@ -139,10 +146,11 @@ func CheckInstance(in core.Instance, opt Options) error {
 	// Workers bit-identity: the parallel searchers document byte-identical
 	// results for any worker count; hold them to it against the serial run.
 	parallel := map[string]core.Solver{
-		"DP":     core.DP{Workers: opt.Workers},
-		"OPT":    core.Exhaustive{Workers: opt.Workers},
-		"APPROX": core.ApproxDP{Eps: opt.Eps, Workers: opt.Workers},
-		"RAND":   core.RandomAdmission{Seed: opt.Seed, Workers: opt.Workers},
+		"DP":        core.DP{Workers: opt.Workers},
+		"DP-SPARSE": core.DP{Sparse: core.SparseOn, Workers: opt.Workers},
+		"OPT":       core.Exhaustive{Workers: opt.Workers},
+		"APPROX":    core.ApproxDP{Eps: opt.Eps, Workers: opt.Workers},
+		"RAND":      core.RandomAdmission{Seed: opt.Seed, Workers: opt.Workers},
 	}
 	for _, name := range opt.Solvers {
 		base, ok := sols[name]
@@ -165,7 +173,7 @@ func CheckInstance(in core.Instance, opt Options) error {
 	if !in.FastPow {
 		fp := in
 		fp.FastPow = true
-		for _, name := range []string{"DP", "OPT"} {
+		for _, name := range []string{"DP", "DP-SPARSE", "OPT"} {
 			base, ok := sols[name]
 			if !ok {
 				continue
