@@ -42,7 +42,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.Solver, "solver", "DP", "solver: DP | DP-SPARSE | OPT | GREEDY | S-GREEDY | ROUNDING | ACCEPT-ALL | REJECT-ALL | RAND | APPROX")
+	flag.StringVar(&o.Solver, "solver", "DP", "solver: DP | DP-SPARSE | OPT | GREEDY | S-GREEDY | ROUNDING | ACCEPT-ALL | REJECT-ALL | RAND | APPROX | ANYTIME")
 	flag.StringVar(&o.Model, "model", "cubic", "power model: cubic | xscale")
 	flag.BoolVar(&o.Discrete, "discrete", false, "use the XScale discrete frequency ladder")
 	flag.Float64Var(&o.Esw, "esw", -1, "dormant-mode switch energy (< 0 disables the dormant mode)")
@@ -61,7 +61,7 @@ func main() {
 }
 
 // allSolverNames is the -all lineup, cheapest-exact first.
-var allSolverNames = []string{"DP", "DP-SPARSE", "APPROX", "APPROX-V", "ROUNDING", "S-GREEDY", "GREEDY", "ACCEPT-ALL", "RAND", "REJECT-ALL"}
+var allSolverNames = []string{"DP", "DP-SPARSE", "APPROX", "APPROX-V", "ANYTIME", "ROUNDING", "S-GREEDY", "GREEDY", "ACCEPT-ALL", "RAND", "REJECT-ALL"}
 
 // buildProc assembles the processor from the model flags and the
 // instance's speed range.

@@ -27,6 +27,12 @@
 // the backlog are answered 429 + Retry-After — the paper's
 // energy-vs-penalty rejection calculus applied to the serving tier.
 //
+// Anytime fallback: -anytime-budget 50ms arms the anytime Pareto tier
+// (internal/anytime) for exact-DP requests. A solve whose estimated cost
+// exceeds its timeout_ms, or that exhausts the DP state budget, is
+// answered within the budget by the island search — the response carries
+// "anytime": true plus a certified "gap" bound, and is never cached.
+//
 // Profiling is off by default; -debug-addr starts a second listener that
 // serves only net/http/pprof (GET /debug/pprof/...), kept off the service
 // address so profiling endpoints are never exposed alongside the API:
@@ -67,6 +73,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
 		quantum   = flag.Float64("quantum", 0, "fingerprint float quantization (0 = exact bits)")
 		solver    = flag.String("solver", "DP", "default solver for requests that name none")
+		anytime   = flag.Duration("anytime-budget", 0, "arm the anytime Pareto fallback with this per-solve wall budget: DP requests whose estimated cost exceeds their timeout, or that die on the DP state budget, get a best-effort front point with a certified gap bound instead of an error (0 = disabled)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for /debug/pprof (empty = profiling disabled)")
 	)
 	flag.Parse()
@@ -101,6 +108,8 @@ func main() {
 			Workers:         *workers,
 			Quantum:         *quantum,
 			DefaultSolver:   *solver,
+			AnytimeBudget:   *anytime,
+			EstimateCost:    cluster.EstimateCost,
 		},
 		Self:      self,
 		Peers:     peerList,

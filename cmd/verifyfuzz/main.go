@@ -138,6 +138,14 @@ var corpusTargets = []string{
 	"internal/core/testdata/fuzz/FuzzMetamorphic",
 	"internal/core/testdata/fuzz/FuzzSparseDense",
 	"internal/serve/testdata/fuzz/FuzzServeFingerprint",
+	"internal/anytime/testdata/fuzz/FuzzAnytimeFront",
+}
+
+// corpusExtras appends typed fuzz-parameter lines for targets whose
+// signature goes beyond the instance bytes. FuzzAnytimeFront fuzzes a
+// generation budget and a worker count on top of the instance.
+var corpusExtras = map[string]string{
+	"internal/anytime/testdata/fuzz/FuzzAnytimeFront": "byte('\\x10')\nbyte('\\x04')\n",
 }
 
 func writeCorpora(root string) error {
@@ -151,7 +159,7 @@ func writeCorpora(root string) error {
 			if !ok {
 				return fmt.Errorf("seed %q is not codec-representable", s.Name)
 			}
-			entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n%s", data, corpusExtras[dir])
 			if err := os.WriteFile(filepath.Join(full, s.Name), []byte(entry), 0o644); err != nil {
 				return err
 			}

@@ -27,10 +27,18 @@ func TestWriteCorpora(t *testing.T) {
 				t.Fatalf("missing corpus file: %v", err)
 			}
 			text := string(data)
-			if !strings.HasPrefix(text, prefix) || !strings.HasSuffix(text, ")\n") {
+			if !strings.HasPrefix(text, prefix) {
 				t.Fatalf("%s: not in go-fuzz v1 format: %q", path, text)
 			}
-			payload, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(text, prefix), ")\n"))
+			rest := strings.TrimPrefix(text, prefix)
+			quoted, extras, ok := strings.Cut(rest, ")\n")
+			if !ok {
+				t.Fatalf("%s: instance arg not terminated: %q", path, text)
+			}
+			if extras != corpusExtras[dir] {
+				t.Fatalf("%s: extra fuzz args = %q, want %q", path, extras, corpusExtras[dir])
+			}
+			payload, err := strconv.Unquote(quoted)
 			if err != nil {
 				t.Fatalf("%s: cannot unquote corpus payload: %v", path, err)
 			}

@@ -38,6 +38,10 @@ import (
 	"dvsreject/internal/power"
 	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
+
+	// Registers the "ANYTIME" island-search solver with the registry so
+	// SolverByName resolves it.
+	_ "dvsreject/internal/anytime"
 )
 
 // Core model types, re-exported from the internal packages so downstream
@@ -195,7 +199,13 @@ type SolverSpec = core.SolverSpec
 
 // SolverByName resolves the experiment-table names ("DP", "DP-SPARSE",
 // "GREEDY", "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL", "RAND",
-// "OPT", "APPROX-V", "APPROX") to a solver. APPROX takes ε = 0.1.
+// "OPT", "APPROX-V", "APPROX", "ANYTIME") to a solver. APPROX takes
+// ε = 0.1. ANYTIME is the island-parallel Pareto search
+// (internal/anytime): at the registry's fixed generation budget it is
+// bit-deterministic for a given Seed across any Workers count — the same
+// contract DP-SPARSE makes versus dense DP — while wall-clock-budgeted
+// runs (Budget/SolveUntil on the underlying solver) trade that
+// reproducibility for a hard deadline.
 func SolverByName(name string) (Solver, error) {
 	return core.NewSolver(name, core.SolverSpec{})
 }

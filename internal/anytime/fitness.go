@@ -1,0 +1,56 @@
+package anytime
+
+// This file holds the population-fitness kernel: the innermost loop of
+// the anytime tier, which scores whole populations of packed accept
+// bitmasks through the struct-of-arrays evaluation columns. Like the
+// rejection-DP row kernel it owes its speed to branch-free select — the
+// accept decision is applied with mask arithmetic instead of a branch per
+// bit, so the loop pipelines regardless of genome entropy — and to
+// writing no per-genome state beyond two output cells. It allocates
+// nothing: all five slices are caller-owned scratch.
+
+// EvaluateFitness scores a packed population against the evaluation
+// columns. pop holds len(w) genomes of stride words each (genome g's bit
+// i — task i accepted — lives at pop[g*stride + i/64] bit i%64); cycles
+// and penalties are the instance-order columns from core.BatchEval. For
+// each genome it writes the accepted workload in true cycles to w[g] and
+// the accepted penalty sum to accPen[g], accumulated in column order.
+// The caller turns these into costs as E(w) + (Σv − accPen).
+//
+// The kernel is pure and allocation-free; disjoint genome ranges may be
+// scored concurrently.
+func EvaluateFitness(cycles []int64, penalties []float64, pop []uint64, stride int, w []int64, accPen []float64) {
+	n := len(cycles)
+	for g := range w {
+		words := pop[g*stride : g*stride+stride]
+		var tw int64
+		var pen float64
+		i := 0
+		for k, word := range words {
+			lim := n - k*64
+			if lim > 64 {
+				lim = 64
+			}
+			if word == 0 {
+				i += lim
+				continue
+			}
+			for j := 0; j < lim; j++ {
+				m := int64(word>>uint(j)) & 1
+				tw += cycles[i] &^ (m - 1)
+				pen += penalties[i] * float64(m)
+				i++
+			}
+		}
+		w[g] = tw
+		accPen[g] = pen
+	}
+}
+
+// genomeWords returns the packed word count for n tasks.
+func genomeWords(n int) int { return (n + 63) / 64 }
+
+func bitGet(g []uint64, i int) bool { return g[i>>6]>>(uint(i)&63)&1 != 0 }
+func bitSet(g []uint64, i int)      { g[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(g []uint64, i int)    { g[i>>6] &^= 1 << (uint(i) & 63) }
+func bitFlip(g []uint64, i int)     { g[i>>6] ^= 1 << (uint(i) & 63) }

@@ -1,0 +1,107 @@
+package anytime
+
+import "sort"
+
+// point is one archived (energy, penalty) trade-off and the genome that
+// achieves it. cost = energy + penalty is kernel arithmetic — the final
+// front is re-costed exactly through core.Evaluate before it is returned.
+type point struct {
+	energy  float64
+	penalty float64
+	cost    float64
+	genome  []uint64
+}
+
+// archive is the streaming non-dominated store: points sorted by strictly
+// ascending energy and, by the dominance invariant, strictly descending
+// penalty. Inserts are dominance-filtered in O(log f + removed); when the
+// budget overflows, the interior point with the smallest crowding area is
+// dropped — never an endpoint and never the current cheapest point, so
+// the incumbent best cost is monotone non-increasing for the archive's
+// whole lifetime. Genome slabs of evicted points are recycled.
+type archive struct {
+	pts  []point
+	max  int
+	free [][]uint64
+}
+
+func newArchive(max int) *archive {
+	if max < 4 {
+		max = 4
+	}
+	return &archive{max: max}
+}
+
+// insert offers one (energy, penalty) point; the genome is copied.
+// Reports whether the point entered the archive (it was not dominated).
+func (a *archive) insert(energy, penalty, cost float64, genome []uint64) bool {
+	i := sort.Search(len(a.pts), func(k int) bool { return a.pts[k].energy >= energy })
+	if i > 0 && a.pts[i-1].penalty <= penalty {
+		return false // dominated by a cheaper-energy point
+	}
+	if i < len(a.pts) && a.pts[i].energy == energy && a.pts[i].penalty <= penalty {
+		return false // an equal-or-better point already holds this energy
+	}
+	// Remove the run of now-dominated points (energy ≥ new, penalty ≥ new).
+	j := i
+	for j < len(a.pts) && a.pts[j].penalty >= penalty {
+		a.recycle(a.pts[j].genome)
+		j++
+	}
+	np := point{energy: energy, penalty: penalty, cost: cost, genome: a.clone(genome)}
+	if j > i {
+		a.pts[i] = np
+		a.pts = append(a.pts[:i+1], a.pts[j:]...)
+	} else {
+		a.pts = append(a.pts, point{})
+		copy(a.pts[i+1:], a.pts[i:])
+		a.pts[i] = np
+	}
+	if len(a.pts) > a.max {
+		a.thin()
+	}
+	return true
+}
+
+// thin evicts the interior point with the smallest crowding area
+// (e[i+1]−e[i−1])·(p[i−1]−p[i+1]), keeping both endpoints and the
+// cheapest point. Ties break to the lowest index.
+func (a *archive) thin() {
+	minCost := 0
+	for i := 1; i < len(a.pts); i++ {
+		if a.pts[i].cost < a.pts[minCost].cost {
+			minCost = i
+		}
+	}
+	victim, best := -1, 0.0
+	for i := 1; i < len(a.pts)-1; i++ {
+		if i == minCost {
+			continue
+		}
+		area := (a.pts[i+1].energy - a.pts[i-1].energy) * (a.pts[i-1].penalty - a.pts[i+1].penalty)
+		if victim < 0 || area < best {
+			victim, best = i, area
+		}
+	}
+	if victim < 0 {
+		return // max < 3 endpoints-plus-best degenerate case; keep them all
+	}
+	a.recycle(a.pts[victim].genome)
+	a.pts = append(a.pts[:victim], a.pts[victim+1:]...)
+}
+
+func (a *archive) clone(g []uint64) []uint64 {
+	if n := len(a.free); n > 0 {
+		c := a.free[n-1]
+		a.free = a.free[:n-1]
+		if len(c) == len(g) {
+			copy(c, g)
+			return c
+		}
+	}
+	c := make([]uint64, len(g))
+	copy(c, g)
+	return c
+}
+
+func (a *archive) recycle(g []uint64) { a.free = append(a.free, g) }

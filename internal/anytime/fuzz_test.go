@@ -1,0 +1,82 @@
+// Fuzz target for the anytime Pareto tier: arbitrary instances are
+// solved at a fuzzed generation budget and worker count, and the
+// streamed-front contract is checked — every point feasible under EDF
+// replay, mutual non-dominance, Best minimal and never below the
+// certified lower bound, and bit-identical results across worker counts
+// for the fixed-generation configuration.
+package anytime_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dvsreject/internal/anytime"
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify"
+)
+
+func checkAnytimeFuzz(gens, workers int) func(core.Instance) error {
+	return func(in core.Instance) error {
+		base, err := anytime.Solver{Seed: 1, Workers: 1, Generations: gens}.SolveUntil(context.Background(), in)
+		if errors.Is(err, core.ErrHeterogeneous) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("solve (gens=%d): %w", gens, err)
+		}
+		if err := verify.CheckAnytimeResult(in, base); err != nil {
+			return fmt.Errorf("gens=%d: %w", gens, err)
+		}
+		// The search seeds the S-GREEDY incumbent on every codec-sized
+		// instance, so even a one-generation budget must not end worse.
+		if sg, err := (core.GreedyMarginal{}).Solve(in); err == nil {
+			if base.Best.Cost > sg.Cost*(1+1e-6)+1e-6 {
+				return fmt.Errorf("gens=%d: best %v worse than S-GREEDY %v", gens, base.Best.Cost, sg.Cost)
+			}
+		}
+		alt, err := anytime.Solver{Seed: 1, Workers: workers, Generations: gens}.SolveUntil(context.Background(), in)
+		if err != nil {
+			return fmt.Errorf("solve (gens=%d, workers=%d): %w", gens, workers, err)
+		}
+		if alt.Generations != base.Generations || len(alt.Front) != len(base.Front) {
+			return fmt.Errorf("workers=%d: shape differs (gens %d vs %d, front %d vs %d)",
+				workers, alt.Generations, base.Generations, len(alt.Front), len(base.Front))
+		}
+		if err := verify.BitIdenticalSolutions(alt.Best, base.Best); err != nil {
+			return fmt.Errorf("workers=%d: best differs: %w", workers, err)
+		}
+		for i := range alt.Front {
+			if err := verify.BitIdenticalSolutions(alt.Front[i], base.Front[i]); err != nil {
+				return fmt.Errorf("workers=%d: front[%d] differs: %w", workers, i, err)
+			}
+		}
+		return nil
+	}
+}
+
+// FuzzAnytimeFront decodes arbitrary bytes into an instance and fuzzes
+// the anytime tier across its budget axis (generation count) and worker
+// counts, checking the Pareto-front contract on every combination.
+func FuzzAnytimeFront(f *testing.F) {
+	for _, s := range verify.SeedInstances() {
+		if data, ok := verify.EncodeInstance(s.In); ok {
+			f.Add(data, uint8(16), uint8(4))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, gens, workers uint8) {
+		in, ok := verify.DecodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		check := checkAnytimeFuzz(1+int(gens)%24, 1+int(workers)%8)
+		if err := check(in); err != nil {
+			small := verify.Shrink(in, func(c core.Instance) bool {
+				return verify.SameFailure(check(c), err)
+			})
+			t.Fatalf("%v\n\nshrunk repro (%d tasks):\n%s",
+				err, len(small.Tasks.Tasks), verify.GoTestCase("ShrunkRepro", small))
+		}
+	})
+}

@@ -32,6 +32,11 @@ func EstimateCost(req serve.Request) float64 {
 		// The approximation scalers shrink any grid to fit their state
 		// budget, so work stays linear in n regardless of the deadline.
 		return 5 + 0.5*n
+	case "ANYTIME":
+		// The registry configuration runs Islands·Pop·Generations genome
+		// evaluations of n bits each through the batch kernel; at the
+		// defaults that is wall-bounded and roughly linear in n.
+		return 30 + 10*n
 	default:
 		// DP, DP-SPARSE and anything unknown: pseudopolynomial row
 		// kernels whose work tracks table cells, not task count — a flat

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -137,10 +138,17 @@ func (d DP) solve(in Instance, rec *DPState) (Solution, DPStats, error) {
 	return sol, st, err
 }
 
+// ErrStateBudget is wrapped by every DP refusal caused by the state
+// budget — a dense grid over MaxStates or a sparse row set past its
+// breakpoint limit. Callers with a fallback tier (the serve engine's
+// anytime route) match it with errors.Is; the full message still carries
+// the numbers that produced the refusal.
+var ErrStateBudget = errors.New("state budget exceeded")
+
 // denseStatesErr reports a dense grid over the state budget with the
 // numbers that produced it and the ways out.
 func denseStatesErr(work int64, n int, cap64, limit int64) error {
-	return fmt.Errorf("core: DP needs %d states (%d tasks × %d workload levels), over the limit %d: use ApproxDP for an approximate solve, or sparse rows (DP.Sparse = SparseOn, solver %q) for an exact one", work, n, cap64+1, limit, "DP-SPARSE")
+	return fmt.Errorf("core: DP needs %d states (%d tasks × %d workload levels), over the limit %d (%w): use ApproxDP for an approximate solve, or sparse rows (DP.Sparse = SparseOn, solver %q) for an exact one", work, n, cap64+1, limit, ErrStateBudget, "DP-SPARSE")
 }
 
 // takeTable is the reconstruction bitset: one bit per (task, workload)

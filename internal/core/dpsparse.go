@@ -150,7 +150,7 @@ func sparseStep(rows *sparseRows, prevW []int64, prevF []float64, buf []float64,
 }
 
 func sparseBudgetErr(limit int64, row, n int) error {
-	return fmt.Errorf("core: sparse DP passed %d row breakpoints by row %d/%d; raise MaxStates or use ApproxDP", limit, row, n)
+	return fmt.Errorf("core: sparse DP passed %d row breakpoints by row %d/%d (%w); raise MaxStates or use ApproxDP", limit, row, n, ErrStateBudget)
 }
 
 // solveSparse is the sparse-row counterpart of the dense rejectionDP path

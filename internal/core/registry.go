@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // SolverSpec parameterizes solver construction by experiment-table name.
 // The zero value reproduces the historical defaults of the package facade's
@@ -29,11 +32,35 @@ func (sp SolverSpec) withDefaults() SolverSpec {
 	return sp
 }
 
+// extSolvers holds solver constructors registered from outside the
+// package (see RegisterSolver). Registration happens in init functions,
+// but the mutex keeps the map safe against late registrations racing
+// concurrent NewSolver calls.
+var (
+	extMu      sync.RWMutex
+	extSolvers map[string]func(SolverSpec) (Solver, error)
+)
+
+// RegisterSolver adds a named constructor to the NewSolver registry, for
+// solver tiers that live outside this package but must resolve through
+// the same name table the facade, the CLIs and the serving layer share
+// (internal/anytime registers "ANYTIME" this way — core cannot import it
+// without a cycle). Registering a name the built-in switch already owns
+// has no effect: built-ins win. Meant to be called from init.
+func RegisterSolver(name string, ctor func(SolverSpec) (Solver, error)) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	if extSolvers == nil {
+		extSolvers = make(map[string]func(SolverSpec) (Solver, error))
+	}
+	extSolvers[name] = ctor
+}
+
 // NewSolver resolves the experiment-table names ("DP", "DP-SPARSE",
 // "OPT", "GREEDY", "S-GREEDY", "ROUNDING", "ACCEPT-ALL", "REJECT-ALL",
-// "RAND", "APPROX", "APPROX-V") to a solver configured by spec. It is the
-// single registry the package facade, the CLIs and the serving layer
-// share.
+// "RAND", "APPROX", "APPROX-V", plus registered extensions such as
+// "ANYTIME") to a solver configured by spec. It is the single registry
+// the package facade, the CLIs and the serving layer share.
 func NewSolver(name string, spec SolverSpec) (Solver, error) {
 	spec = spec.withDefaults()
 	switch name {
@@ -60,6 +87,12 @@ func NewSolver(name string, spec SolverSpec) (Solver, error) {
 	case "APPROX-V":
 		return ApproxDPPenalty{Eps: spec.Eps}, nil
 	default:
+		extMu.RLock()
+		ctor := extSolvers[name]
+		extMu.RUnlock()
+		if ctor != nil {
+			return ctor(spec)
+		}
 		return nil, fmt.Errorf("core: unknown solver %q", name)
 	}
 }

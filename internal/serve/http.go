@@ -49,7 +49,12 @@ type WireResponse struct {
 	Cost      float64 `json:"cost"`
 	CacheHit  bool    `json:"cache_hit,omitempty"`
 	Coalesced bool    `json:"coalesced,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// Anytime marks an answer from the anytime Pareto tier; Gap is its
+	// certified optimality bound ((cost − LB)/cost, 0 = proven optimal).
+	// Gap is omitted when no lower bound was available.
+	Anytime bool    `json:"anytime,omitempty"`
+	Gap     float64 `json:"gap,omitempty"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // WireBatch is the /batch request body.
@@ -120,6 +125,10 @@ func toWire(r Response) WireResponse {
 		Cost:      r.Solution.Cost,
 		CacheHit:  r.CacheHit,
 		Coalesced: r.Coalesced,
+		Anytime:   r.Anytime,
+	}
+	if r.Anytime && r.Gap >= 0 {
+		w.Gap = r.Gap
 	}
 	if w.Accepted == nil {
 		w.Accepted = []int{}

@@ -18,10 +18,13 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"math"
 	"slices"
 	"sync/atomic"
 	"time"
 
+	"dvsreject/internal/anytime"
 	"dvsreject/internal/cache"
 	"dvsreject/internal/conc"
 	"dvsreject/internal/core"
@@ -67,6 +70,19 @@ type Config struct {
 	// DeltaStride is the DP checkpoint interval recorded for warm starts;
 	// 0 means core.DefaultCheckpointStride.
 	DeltaStride int
+	// AnytimeBudget, when > 0, arms the anytime Pareto fallback tier for
+	// exact-DP requests: a solve whose predicted cost exceeds its Timeout
+	// (see EstimateCost), or that dies on the DP state budget, is answered
+	// by internal/anytime within min(AnytimeBudget, Timeout) instead of
+	// timing out or erroring. Anytime responses are flagged
+	// (Response.Anytime) and never cached — they are budget-dependent, not
+	// bit-reproducible. 0 disables the tier entirely.
+	AnytimeBudget time.Duration
+	// EstimateCost predicts a request's solve cost in microseconds (the
+	// cluster layer plugs in its admission cost model). Only consulted for
+	// deadline pricing when AnytimeBudget > 0; nil disables the priced
+	// route, leaving just the state-budget fallback.
+	EstimateCost func(req Request) float64
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +123,14 @@ type Response struct {
 	// Coalesced marks a response shared with a concurrent or same-batch
 	// identical request (singleflight or batch dedup).
 	Coalesced bool
+	// Anytime marks a response served by the anytime Pareto tier instead
+	// of the requested exact solver — either deadline-priced routing or a
+	// DP state-budget fallback. Anytime responses are never cached.
+	Anytime bool
+	// Gap is the certified optimality-gap bound of an anytime response:
+	// (cost − lower bound) / cost, so 0 means proven optimal. Negative
+	// when no lower bound was available for the instance.
+	Gap float64
 }
 
 // Stats is a point-in-time snapshot of engine counters.
@@ -133,15 +157,28 @@ type Stats struct {
 	// SparseCells totals the breakpoints stored across those sparse rows —
 	// the sparse analogue of dense grid cells, for capacity planning.
 	SparseCells uint64 `json:"sparse_cells"`
+	// AnytimeSolves counts responses served by the anytime Pareto tier
+	// (deadline-priced routing plus state-budget fallbacks).
+	AnytimeSolves uint64 `json:"anytime_solves"`
 	// Cache aggregates the plan-cache shard counters.
 	Cache cache.Stats `json:"cache"`
 }
 
 // entry is one cached plan: the solution plus a private snapshot of the
-// exact request that produced it, for bit-exact hit verification.
+// exact request that produced it, for bit-exact hit verification. Anytime
+// entries only live inside a singleflight group — they are never Put.
 type entry struct {
-	req Request
-	sol core.Solution
+	req     Request
+	sol     core.Solution
+	anytime bool
+	gap     float64
+}
+
+// anytimeNote rides alongside a solution through run/runSolver so the
+// caching layer knows an anytime answer must not be cached.
+type anytimeNote struct {
+	used bool
+	gap  float64
 }
 
 // Engine is the cache-fronted solve engine. Safe for concurrent use.
@@ -157,8 +194,9 @@ type Engine struct {
 	warmed      atomic.Uint64
 	deltaSolves atomic.Uint64
 
-	sparseSolves atomic.Uint64
-	sparseCells  atomic.Uint64
+	sparseSolves  atomic.Uint64
+	sparseCells   atomic.Uint64
+	anytimeSolves atomic.Uint64
 }
 
 // New builds an engine from cfg (zero value fine, see Config).
@@ -289,20 +327,25 @@ func (e *Engine) solveOne(ctx context.Context, req Request, pp *core.ProcProfile
 		// directly — storing would evict the slot's owner on every
 		// alternation, and correctness forbids serving its solution.
 		e.bypasses.Add(1)
-		sol, err := e.run(req, pp)
-		return Response{Solution: sol, Err: err}
+		sol, an, err := e.run(req, pp)
+		return Response{Solution: sol, Err: err, Anytime: an.used, Gap: an.gap}
 	}
 
 	ent, err, shared := e.group.Do(ctx, fp, func() (entry, error) {
 		creq := cloneRequest(req)
-		sol, solveErr := e.run(creq, pp)
+		sol, an, solveErr := e.run(creq, pp)
 		if solveErr != nil {
 			return entry{}, solveErr
 		}
-		ent := entry{req: creq, sol: sol}
-		e.cache.Put(fp, ent)
-		if e.cfg.OnColdSolve != nil {
-			e.cfg.OnColdSolve(creq, sol)
+		ent := entry{req: creq, sol: sol, anytime: an.used, gap: an.gap}
+		if !an.used {
+			// Anytime answers are budget-dependent, not bit-reproducible:
+			// caching (or replicating) one would let it shadow a later
+			// exact solve of the same instance.
+			e.cache.Put(fp, ent)
+			if e.cfg.OnColdSolve != nil {
+				e.cfg.OnColdSolve(creq, sol)
+			}
 		}
 		return ent, nil
 	})
@@ -313,47 +356,113 @@ func (e *Engine) solveOne(ctx context.Context, req Request, pp *core.ProcProfile
 		// Joined a flight for a colliding request: its solution is not
 		// ours. Solve directly.
 		e.bypasses.Add(1)
-		sol, err := e.run(req, pp)
-		return Response{Solution: sol, Err: err}
+		sol, an, err := e.run(req, pp)
+		return Response{Solution: sol, Err: err, Anytime: an.used, Gap: an.gap}
 	}
 	if shared {
 		e.coalesced.Add(1)
 	}
-	return Response{Solution: cloneSolution(ent.sol), Coalesced: shared}
+	return Response{Solution: cloneSolution(ent.sol), Coalesced: shared, Anytime: ent.anytime, Gap: ent.gap}
 }
 
 // run resolves the solver and executes it, attaching the precomputed
 // processor profile when one is available. DP solves route through the
 // delta path; jumbo requests purge the core scratch pools afterwards so
 // one huge solve stops taxing the small ones that follow.
-func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, error) {
-	sol, err := e.runSolver(req, pp)
+func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, anytimeNote, error) {
+	sol, an, err := e.runSolver(req, pp)
 	if len(req.Tasks.Tasks) >= jumboTasks {
 		core.PurgeSolverScratch()
 	}
-	return sol, err
+	return sol, an, err
 }
 
-func (e *Engine) runSolver(req Request, pp *core.ProcProfile) (core.Solution, error) {
-	solver, err := core.NewSolver(req.Solver, e.cfg.Spec)
-	if err != nil {
-		return core.Solution{}, err
-	}
+func (e *Engine) runSolver(req Request, pp *core.ProcProfile) (core.Solution, anytimeNote, error) {
 	in := core.Instance{Tasks: req.Tasks, Proc: req.Proc, FastPow: req.FastPow}
 	if pp != nil {
 		in = in.WithProcProfile(pp)
 	}
-	if dp, ok := solver.(core.DP); ok {
-		if e.delta != nil {
-			return e.deltaSolve(dp, req, in)
+	if e.anytimePriced(req) {
+		if sol, an, aerr := e.anytimeSolve(req, in); aerr == nil {
+			return sol, an, nil
 		}
-		sol, stats, err := dp.SolveStats(in)
-		if err == nil {
-			e.noteDPStats(stats)
-		}
-		return sol, err
+		// The tier declined the instance (e.g. heterogeneous rho) — let
+		// the exact solver have it after all.
 	}
-	return solver.Solve(in)
+	solver, err := core.NewSolver(req.Solver, e.cfg.Spec)
+	if err != nil {
+		return core.Solution{}, anytimeNote{}, err
+	}
+	if dp, ok := solver.(core.DP); ok {
+		var sol core.Solution
+		if e.delta != nil {
+			sol, err = e.deltaSolve(dp, req, in)
+		} else {
+			var stats core.DPStats
+			sol, stats, err = dp.SolveStats(in)
+			if err == nil {
+				e.noteDPStats(stats)
+			}
+		}
+		if err != nil && e.anytimeFallback(req, err) {
+			if asol, an, aerr := e.anytimeSolve(req, in); aerr == nil {
+				return asol, an, nil
+			}
+			// Tier declined too: report the original DP failure.
+		}
+		return sol, anytimeNote{}, err
+	}
+	sol, err := solver.Solve(in)
+	return sol, anytimeNote{}, err
+}
+
+// anytimeEligible limits the anytime tier to the exact DP solvers — the
+// heuristics are already fast, and an explicit "ANYTIME" request flows
+// the normal registry path (fixed generations, deterministic, cacheable).
+func anytimeEligible(solver string) bool {
+	return solver == "DP" || solver == "DP-SPARSE"
+}
+
+// anytimePriced reports whether a request should skip the exact solver
+// outright: the tier is armed, the request carries a deadline, and the
+// cost model predicts the exact solve would blow through it.
+func (e *Engine) anytimePriced(req Request) bool {
+	if e.cfg.AnytimeBudget <= 0 || e.cfg.EstimateCost == nil || req.Timeout <= 0 {
+		return false
+	}
+	if !anytimeEligible(req.Solver) {
+		return false
+	}
+	return e.cfg.EstimateCost(req) > float64(req.Timeout.Microseconds())
+}
+
+// anytimeFallback reports whether a failed exact solve should be retried
+// on the anytime tier: only state-budget exhaustion qualifies —
+// validation errors would fail there identically.
+func (e *Engine) anytimeFallback(req Request, err error) bool {
+	return e.cfg.AnytimeBudget > 0 && anytimeEligible(req.Solver) && errors.Is(err, core.ErrStateBudget)
+}
+
+// anytimeSolve answers a request on the anytime Pareto tier within
+// min(AnytimeBudget, Timeout), returning the best feasible front point
+// plus its certified optimality-gap bound (negative when the lower-bound
+// machinery declined the instance).
+func (e *Engine) anytimeSolve(req Request, in core.Instance) (core.Solution, anytimeNote, error) {
+	budget := e.cfg.AnytimeBudget
+	if req.Timeout > 0 && req.Timeout < budget {
+		budget = req.Timeout
+	}
+	s := anytime.Solver{Seed: e.cfg.Spec.Seed, Workers: e.cfg.Spec.Workers, Budget: budget}
+	res, err := s.SolveUntil(context.Background(), in)
+	if err != nil {
+		return core.Solution{}, anytimeNote{}, err
+	}
+	gap := res.Gap
+	if math.IsNaN(gap) {
+		gap = -1
+	}
+	e.anytimeSolves.Add(1)
+	return res.Best, anytimeNote{used: true, gap: gap}, nil
 }
 
 // noteDPStats folds one DP run's row statistics into the engine counters.
@@ -420,15 +529,16 @@ func (e *Engine) Warm(req Request, sol core.Solution) bool {
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Requests:     e.requests.Load(),
-		Coalesced:    e.coalesced.Load(),
-		Bypasses:     e.bypasses.Load(),
-		Warmed:       e.warmed.Load(),
-		DeltaSolves:  e.deltaSolves.Load(),
-		DeltaParents: e.delta.parents(),
-		SparseSolves: e.sparseSolves.Load(),
-		SparseCells:  e.sparseCells.Load(),
-		Cache:        e.cache.Stats(),
+		Requests:      e.requests.Load(),
+		Coalesced:     e.coalesced.Load(),
+		Bypasses:      e.bypasses.Load(),
+		Warmed:        e.warmed.Load(),
+		DeltaSolves:   e.deltaSolves.Load(),
+		DeltaParents:  e.delta.parents(),
+		SparseSolves:  e.sparseSolves.Load(),
+		SparseCells:   e.sparseCells.Load(),
+		AnytimeSolves: e.anytimeSolves.Load(),
+		Cache:         e.cache.Stats(),
 	}
 }
 

@@ -1,0 +1,117 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"dvsreject/internal/anytime"
+	"dvsreject/internal/core"
+	"dvsreject/internal/verify/oracle"
+)
+
+// anytimeOracleGens is the fixed generation count the Pareto oracle runs
+// the anytime solver at — small enough for the fuzz and soak loops, large
+// enough that the search has actually moved past its seeds. The contract
+// checked is configuration-independent; the early-optimality exit ends
+// most tiny instances after one barrier anyway.
+const anytimeOracleGens = 16
+
+// CheckAnytimeResult checks one anytime Result against the streamed-front
+// contract: every front point EDF-feasible, the points mutually
+// non-dominated on their exact energy/penalty values (energy strictly
+// ascending, penalty strictly descending), Best a member of and minimal
+// over the front, and no point below the certified lower bound when one
+// was computed.
+func CheckAnytimeResult(in core.Instance, res anytime.Result) error {
+	if len(res.Front) == 0 {
+		return oracle.Fail("anytime-front", "ANYTIME", errors.New("empty front"))
+	}
+	foundBest := false
+	for i, sol := range res.Front {
+		if err := CheckSolution(in, sol); err != nil {
+			return retag(err, fmt.Sprintf("ANYTIME front[%d]", i))
+		}
+		if i > 0 {
+			prev := res.Front[i-1]
+			if !(sol.Energy > prev.Energy && sol.Penalty < prev.Penalty) {
+				return oracle.Fail("anytime-front", "ANYTIME", fmt.Errorf(
+					"front not mutually non-dominated at %d: (E=%v, V=%v) after (E=%v, V=%v)",
+					i, sol.Energy, sol.Penalty, prev.Energy, prev.Penalty))
+			}
+		}
+		if sol.Cost < res.Best.Cost {
+			return oracle.Fail("anytime-front", "ANYTIME", fmt.Errorf(
+				"front[%d] cost %v undercuts Best %v", i, sol.Cost, res.Best.Cost))
+		}
+		if sol.Cost == res.Best.Cost && sol.Energy == res.Best.Energy && sol.Penalty == res.Best.Penalty {
+			foundBest = true
+		}
+	}
+	if !foundBest {
+		return oracle.Fail("anytime-front", "ANYTIME", errors.New("Best is not an element of Front"))
+	}
+	if !math.IsNaN(res.LowerBound) && res.Best.Cost < res.LowerBound*(1-1e-9) {
+		return oracle.Fail("anytime-front", "ANYTIME", fmt.Errorf(
+			"Best %v below the certified lower bound %v", res.Best.Cost, res.LowerBound))
+	}
+	return nil
+}
+
+// CheckAnytimeFront is the Pareto-front oracle for the anytime tier: it
+// runs the solver in its deterministic fixed-generation configuration and
+// checks CheckAnytimeResult, that the result is never worse than S-GREEDY
+// (whose incumbent the search seeds on every instance this size), and the
+// Workers bit-identity contract against a parallel re-run. Invalid and
+// heterogeneous instances are out of scope and return nil.
+func CheckAnytimeFront(in core.Instance, opt Options) error {
+	if in.Validate() != nil {
+		return nil
+	}
+	opt = opt.withDefaults()
+	s := anytime.Solver{Seed: opt.Seed, Workers: 1, Generations: anytimeOracleGens}
+	res, err := s.SolveUntil(context.Background(), in)
+	if errors.Is(err, core.ErrHeterogeneous) {
+		return nil
+	}
+	if err != nil {
+		return oracle.Fail("anytime-front", "ANYTIME", err)
+	}
+	if err := CheckAnytimeResult(in, res); err != nil {
+		return err
+	}
+	if sg, err := (core.GreedyMarginal{}).Solve(in); err == nil {
+		if err := oracle.CheckNotAbove("ANYTIME vs S-GREEDY", res.Best.Cost, sg.Cost, opt.Tol); err != nil {
+			return err
+		}
+	}
+	s.Workers = opt.Workers
+	para, err := s.SolveUntil(context.Background(), in)
+	if err != nil {
+		return oracle.Fail("workers-determinism", "ANYTIME", err)
+	}
+	if err := sameAnytimeResult(para, res); err != nil {
+		return oracle.Fail("workers-determinism", "ANYTIME", err)
+	}
+	return nil
+}
+
+// sameAnytimeResult demands bit-identical fronts from two runs.
+func sameAnytimeResult(got, want anytime.Result) error {
+	if got.Generations != want.Generations {
+		return fmt.Errorf("generations: %d vs %d", got.Generations, want.Generations)
+	}
+	if len(got.Front) != len(want.Front) {
+		return fmt.Errorf("front size: %d vs %d", len(got.Front), len(want.Front))
+	}
+	if err := BitIdenticalSolutions(got.Best, want.Best); err != nil {
+		return fmt.Errorf("best: %w", err)
+	}
+	for i := range got.Front {
+		if err := BitIdenticalSolutions(got.Front[i], want.Front[i]); err != nil {
+			return fmt.Errorf("front[%d]: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -202,6 +202,18 @@ func CheckNotBelow(subject string, heuristicCost, exactCost, tol float64) error 
 	return nil
 }
 
+// CheckNotAbove verifies a solver's cost never exceeds a baseline it
+// documents dominating, beyond tol relative tolerance — the anytime
+// tier's claim against S-GREEDY, whose incumbent it seeds.
+func CheckNotAbove(subject string, cost, baselineCost, tol float64) error {
+	if cost > baselineCost+tol*(1+math.Abs(baselineCost)) {
+		var d Diff
+		d.Add("cost %v exceeds the dominated baseline %v", cost, baselineCost)
+		return Fail("not-above-baseline", subject, d.Err())
+	}
+	return nil
+}
+
 // CheckExactAgreement verifies two independent exact solvers land on the
 // same optimum cost within tol relative tolerance (their accepted sets may
 // legitimately differ between cost ties).

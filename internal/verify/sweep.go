@@ -3,7 +3,9 @@ package verify
 import (
 	"errors"
 	"math"
+	"slices"
 
+	"dvsreject/internal/anytime"
 	"dvsreject/internal/core"
 	"dvsreject/internal/verify/oracle"
 )
@@ -12,7 +14,7 @@ import (
 // the relational oracles have their baseline by the time heuristics run.
 var AllSolvers = []string{
 	"DP", "DP-SPARSE", "OPT", "GREEDY", "S-GREEDY", "ROUNDING",
-	"APPROX", "APPROX-V", "RAND", "ACCEPT-ALL", "REJECT-ALL",
+	"APPROX", "APPROX-V", "RAND", "ACCEPT-ALL", "REJECT-ALL", "ANYTIME",
 }
 
 // Options configures the invariant sweeps. The zero value is the standard
@@ -151,6 +153,7 @@ func CheckInstance(in core.Instance, opt Options) error {
 		"OPT":       core.Exhaustive{Workers: opt.Workers},
 		"APPROX":    core.ApproxDP{Eps: opt.Eps, Workers: opt.Workers},
 		"RAND":      core.RandomAdmission{Seed: opt.Seed, Workers: opt.Workers},
+		"ANYTIME":   anytime.Solver{Seed: opt.Seed, Workers: opt.Workers},
 	}
 	for _, name := range opt.Solvers {
 		base, ok := sols[name]
@@ -194,6 +197,14 @@ func CheckInstance(in core.Instance, opt Options) error {
 			if err := oracle.Fail("fastpow-drift", name, d.Err()); err != nil {
 				return err
 			}
+		}
+	}
+
+	// The anytime tier's own contract goes beyond the single-solution
+	// invariants above: the whole streamed front must hold up.
+	if slices.Contains(opt.Solvers, "ANYTIME") {
+		if err := CheckAnytimeFront(in, opt); err != nil {
+			return err
 		}
 	}
 
