@@ -54,6 +54,7 @@ func BenchmarkExp12(b *testing.B) { benchExperiment(b, "E12") }
 func BenchmarkExp13(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkExp14(b *testing.B) { benchExperiment(b, "E14") }
 func BenchmarkExp15(b *testing.B) { benchExperiment(b, "E15") }
+func BenchmarkExp16(b *testing.B) { benchExperiment(b, "E16") }
 
 // benchInstance builds one deterministic contested instance.
 func benchInstance(b *testing.B, n int, load float64) core.Instance {

@@ -100,6 +100,27 @@ func multiprocInstance(n, m int) (multiproc.Instance, error) {
 	return multiproc.Instance{Tasks: set, Proc: speed.Proc{Model: power.Cubic(), SMax: 1}, M: m}, nil
 }
 
+// heteroInstance is the HeteroPartition case: a two-type big.LITTLE
+// vector (half the processors at smax 1, half at 0.5) with total load
+// scaled so the platform sees load 1.5.
+func heteroInstance(n, m int) (multiproc.HeteroInstance, error) {
+	procs, err := gen.BigLittle(gen.BigLittleConfig{NBig: m / 2, NLittle: m - m/2, Ratio: 2})
+	if err != nil {
+		return multiproc.HeteroInstance{}, err
+	}
+	smaxTotal := 0.0
+	for _, p := range procs {
+		smaxTotal += p.SMax
+	}
+	set, err := gen.Frame(rand.New(rand.NewSource(42)), gen.Config{
+		N: n, Load: 1.5 * smaxTotal, Deadline: 1000,
+	})
+	if err != nil {
+		return multiproc.HeteroInstance{}, err
+	}
+	return multiproc.HeteroInstance{Tasks: set, Procs: procs}, nil
+}
+
 // dormantWorkload mirrors BenchmarkDormantCompare: a light-load storm on a
 // dormant-enable XScale processor, redrawing jointly infeasible draws.
 func dormantWorkload(n int) ([]edf.Job, float64, speed.Proc, error) {
@@ -265,6 +286,18 @@ func main() {
 					return nil, nil, err
 				}
 				return func() error { _, err := (multiproc.LTFRejectLS{}).Solve(in); return err }, nil, nil
+			},
+		})
+	}
+	for _, m := range []int{2, 4} {
+		benchCases = append(benchCases, benchCase{
+			name: "HeteroPartition", n: 24, m: m,
+			setup: func() (func() error, func() cache.Stats, error) {
+				in, err := heteroInstance(24, m)
+				if err != nil {
+					return nil, nil, err
+				}
+				return func() error { _, err := (multiproc.HeteroPartition{}).Solve(in); return err }, nil, nil
 			},
 		})
 	}

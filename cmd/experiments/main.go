@@ -6,7 +6,7 @@
 //
 //	experiments [-run E4] [-trials 25] [-seed 1] [-quick] [-workers 0] [-timing]
 //
-// Without -run, every experiment E1..E15 runs in order. Experiments and
+// Without -run, every experiment E1..E16 runs in order. Experiments and
 // their trials run concurrently on a bounded worker pool (-workers; 0 means
 // GOMAXPROCS, 1 forces a serial run); results are aggregated in index
 // order, so stdout is byte-identical for every worker count at a fixed

@@ -9,6 +9,7 @@
 //	rejectsched -solver S-GREEDY -model xscale -discrete -esw 0.5 < inst.json
 //	rejectsched -all < inst.json       # compare every solver
 //	rejectsched -trace < inst.json     # ASCII Gantt of the schedule
+//	rejectsched -procs 1,1,0.5 < inst.json  # heterogeneous 3-processor solve
 package main
 
 import (
@@ -16,9 +17,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"dvsreject"
+	"dvsreject/internal/multiproc"
 	"dvsreject/internal/power"
 	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/speed"
@@ -38,6 +42,7 @@ type options struct {
 	Frontier  bool
 	BreakEven bool
 	Workers   int
+	Procs     string
 }
 
 func main() {
@@ -52,6 +57,7 @@ func main() {
 	flag.BoolVar(&o.Frontier, "frontier", false, "print the exact energy/penalty Pareto frontier")
 	flag.BoolVar(&o.BreakEven, "breakeven", false, "print each task's admission-threshold penalty")
 	flag.IntVar(&o.Workers, "workers", 0, "parallel-search workers for OPT and RAND (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&o.Procs, "procs", "", "comma-separated per-processor smax list (e.g. 1,1,0.5): heterogeneous partitioned solve")
 	flag.Parse()
 
 	if err := run(os.Stdin, os.Stdout, o); err != nil {
@@ -98,6 +104,9 @@ func run(r io.Reader, w io.Writer, o options) error {
 	inst, err := task.ReadJSON(r)
 	if err != nil {
 		return err
+	}
+	if o.Procs != "" {
+		return runHetero(inst, w, o)
 	}
 	proc, err := buildProc(o, inst.SMin, inst.SMax)
 	if err != nil {
@@ -217,6 +226,58 @@ func run(r io.Reader, w io.Writer, o options) error {
 			fmt.Fprintln(w)
 			fmt.Fprint(w, trace.Gantt(r, profile, inst.Set.Deadline, 72))
 		}
+	}
+	return nil
+}
+
+// runHetero handles -procs: a heterogeneous partitioned solve over the
+// listed per-processor smax values, reported with the certified optimality
+// gap from the pooled lower-bound relaxation.
+func runHetero(inst task.Instance, w io.Writer, o options) error {
+	var procs []speed.Proc
+	for i, field := range strings.Split(o.Procs, ",") {
+		smax, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return fmt.Errorf("-procs[%d]: %w", i, err)
+		}
+		proc, err := buildProc(o, 0, smax)
+		if err != nil {
+			return err
+		}
+		procs = append(procs, proc)
+	}
+
+	name := o.Solver
+	if name == "" || name == "DP" {
+		name = "HETERO-PART" // the hetero default mirrors -solver's
+	}
+	solver, ok := multiproc.HeteroSolverByName(name)
+	if !ok {
+		return fmt.Errorf("-procs requires a heterogeneous solver (%s), got %q",
+			strings.Join(multiproc.HeteroSolverNames(), " | "), o.Solver)
+	}
+
+	in := multiproc.HeteroInstance{Tasks: inst.Set, Procs: procs}
+	res, err := multiproc.SolveHeteroCertified(in, solver)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "solver      %s\n", solver.Name())
+	fmt.Fprintf(w, "processors  %d (smax %s)\n", len(procs), o.Procs)
+	fmt.Fprintf(w, "tasks       %d accepted, %d rejected of %d\n",
+		len(inst.Set.Tasks)-len(res.Rejected), len(res.Rejected), len(inst.Set.Tasks))
+	for m, ids := range res.PerProc {
+		fmt.Fprintf(w, "proc %-6d %v (energy %.6f)\n", m, ids, res.Energies[m])
+	}
+	fmt.Fprintf(w, "rejected    %v\n", res.Rejected)
+	fmt.Fprintf(w, "energy      %.6f\n", res.Energy)
+	fmt.Fprintf(w, "penalty     %.6f\n", res.Penalty)
+	fmt.Fprintf(w, "total cost  %.6f\n", res.Cost)
+	if res.Gap >= 0 {
+		fmt.Fprintf(w, "lower bound %.6f (certified gap %.2f%%)\n", res.LowerBound, 100*res.Gap)
+	} else {
+		fmt.Fprintln(w, "lower bound unavailable (discrete levels or dormant mode)")
 	}
 	return nil
 }

@@ -178,3 +178,39 @@ func TestRunWorkers(t *testing.T) {
 			outputs[0], outputs[1])
 	}
 }
+
+func TestRunHeteroProcs(t *testing.T) {
+	var out bytes.Buffer
+	err := run(strings.NewReader(testInstance), &out,
+		options{Solver: "DP", Model: "cubic", Esw: -1, Procs: "1,0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"solver      HETERO-PART", "processors  2", "proc 0", "proc 1", "lower bound", "certified gap"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Explicit hetero solver names route through the registry.
+	out.Reset()
+	err = run(strings.NewReader(testInstance), &out,
+		options{Solver: "HETERO-LS", Model: "cubic", Esw: -1, Procs: "1,1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "solver      HETERO-LS") {
+		t.Errorf("explicit hetero solver not honoured:\n%s", out.String())
+	}
+
+	// A non-hetero solver name with -procs is an error, as is a bad list.
+	if err := run(strings.NewReader(testInstance), &out,
+		options{Solver: "GREEDY", Model: "cubic", Esw: -1, Procs: "1,0.5"}); err == nil {
+		t.Error("single-processor solver with -procs not rejected")
+	}
+	if err := run(strings.NewReader(testInstance), &out,
+		options{Solver: "DP", Model: "cubic", Esw: -1, Procs: "1,fast"}); err == nil {
+		t.Error("malformed -procs list not rejected")
+	}
+}

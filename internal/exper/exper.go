@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"E13", "slack reclamation after admission: energy vs BCET/WCET", Exp13},
 		{"E14", "procrastination (ALAP) vs eager idle energy vs Esw", Exp14},
 		{"E15", "heterogeneous power characteristics: cost vs OPT", Exp15},
+		{"E16", "big.LITTLE heterogeneous processors: cost vs speed ratio", Exp16},
 	}
 }
 

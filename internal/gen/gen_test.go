@@ -261,3 +261,36 @@ func TestPenaltyModelString(t *testing.T) {
 		t.Errorf("unknown model String() = %q", PenaltyModel(9).String())
 	}
 }
+
+func TestBigLittle(t *testing.T) {
+	procs, err := BigLittle(BigLittleConfig{NBig: 2, NLittle: 3, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 5 {
+		t.Fatalf("got %d processors, want 5", len(procs))
+	}
+	for i, p := range procs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("processor %d: %v", i, err)
+		}
+		want := 1.0
+		if i >= 2 {
+			want = 0.25
+		}
+		if p.SMax != want {
+			t.Errorf("processor %d: SMax %g, want %g", i, p.SMax, want)
+		}
+	}
+	if _, err := BigLittle(BigLittleConfig{Ratio: 0.5}); err == nil {
+		t.Error("sub-unit speed ratio not rejected")
+	}
+	// Defaults: one of each at ratio 2.
+	procs, err = BigLittle(BigLittleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 2 || procs[1].SMax != 0.5 {
+		t.Errorf("defaults gave %d procs, little SMax %g", len(procs), procs[1].SMax)
+	}
+}

@@ -1,0 +1,60 @@
+package gen
+
+import (
+	"fmt"
+
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+)
+
+// BigLittleConfig describes a two-type heterogeneous processor vector:
+// NBig fast cores at SMax 1 and NLittle slow cores at SMax 1/Ratio, all
+// sharing one power model. It mirrors the big.LITTLE platforms the
+// heterogeneous experiments sweep.
+type BigLittleConfig struct {
+	// NBig is the fast-core count; 0 means 1.
+	NBig int
+	// NLittle is the slow-core count; 0 means 1.
+	NLittle int
+	// Ratio is the big:little maximum-speed ratio; 0 means 2. Ratio 1
+	// degenerates to an identical-processor vector.
+	Ratio float64
+	// XScale selects the XScale-calibrated polynomial instead of the ideal
+	// cubic.
+	XScale bool
+}
+
+func (c BigLittleConfig) withDefaults() BigLittleConfig {
+	if c.NBig <= 0 {
+		c.NBig = 1
+	}
+	if c.NLittle <= 0 {
+		c.NLittle = 1
+	}
+	if c.Ratio == 0 {
+		c.Ratio = 2
+	}
+	return c
+}
+
+// BigLittle builds the processor vector of a BigLittleConfig: big cores
+// first, then little ones, deterministically (no randomness — the vector
+// is a platform description, not a draw).
+func BigLittle(c BigLittleConfig) ([]speed.Proc, error) {
+	c = c.withDefaults()
+	if c.Ratio < 1 {
+		return nil, fmt.Errorf("gen: big.LITTLE speed ratio %g < 1", c.Ratio)
+	}
+	model := power.Cubic()
+	if c.XScale {
+		model = power.XScale()
+	}
+	procs := make([]speed.Proc, 0, c.NBig+c.NLittle)
+	for i := 0; i < c.NBig; i++ {
+		procs = append(procs, speed.Proc{Model: model, SMax: 1})
+	}
+	for i := 0; i < c.NLittle; i++ {
+		procs = append(procs, speed.Proc{Model: model, SMax: 1 / c.Ratio})
+	}
+	return procs, nil
+}

@@ -115,8 +115,12 @@ func Evaluate(in Instance, assign Assignment) (Solution, error) {
 		Energies: make([]float64, in.M),
 	}
 	loads := make([]int64, in.M)
+	known := 0
 	for _, t := range in.Tasks.Tasks {
 		m, ok := assign[t.ID]
+		if ok {
+			known++
+		}
 		if !ok || m < 0 {
 			sol.Rejected = append(sol.Rejected, t.ID)
 			sol.Penalty += t.Penalty
@@ -127,6 +131,9 @@ func Evaluate(in Instance, assign Assignment) (Solution, error) {
 		}
 		sol.PerProc[m] = append(sol.PerProc[m], t.ID)
 		loads[m] += t.Cycles
+	}
+	if known != len(assign) {
+		return Solution{}, fmt.Errorf("multiproc: assignment references %d unknown task IDs", len(assign)-known)
 	}
 	for m := 0; m < in.M; m++ {
 		slices.Sort(sol.PerProc[m])

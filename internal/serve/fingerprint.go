@@ -6,14 +6,17 @@ import (
 	"math"
 	"slices"
 
+	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
 )
 
 // fingerprintVersion is folded into every digest so a future change to the
 // encoding can never alias keys produced by an older layout. Version 2
 // added the FastPow flag: a FastPow solve is a distinct cached artifact
-// from the exact solve of the same instance.
-const fingerprintVersion = 2
+// from the exact solve of the same instance. Version 3 added the
+// heterogeneous processor vector: a profile-vector solve can never alias
+// a single-processor key.
+const fingerprintVersion = 3
 
 // Fingerprint returns the canonical cache key of a request: a sha256 digest
 // over the solver name, the processor description and the task set with
@@ -32,8 +35,12 @@ func Fingerprint(req Request, quantum float64) string {
 	// One exact-size allocation: the encoding is fixed-width per field
 	// (8 bytes per float/int, 1 byte per bool), so the length is known up
 	// front. This is the hot path of every cache hit.
+	procSize := 7*8 + 1 + 8*len(req.Proc.Levels)
+	for _, p := range req.Procs {
+		procSize += 7*8 + 1 + 8*len(p.Levels)
+	}
 	size := 8 + 8 + len(req.Solver) + 1 + // version, solver, fastpow
-		7*8 + 1 + 8*len(req.Proc.Levels) + // processor
+		8 + procSize + // vector length, processor(s)
 		8 + 8 + 32*len(req.Tasks.Tasks) // deadline, count, tasks
 	buf := make([]byte, 0, size)
 
@@ -46,7 +53,7 @@ func Fingerprint(req Request, quantum float64) string {
 		buf = append(buf, 0)
 	}
 
-	buf = appendProc(buf, req, quantum)
+	buf = appendProcs(buf, req, quantum)
 
 	buf = appendFloat(buf, req.Tasks.Deadline, quantum)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(req.Tasks.Tasks)))
@@ -61,19 +68,34 @@ func Fingerprint(req Request, quantum float64) string {
 	return string(sum[:])
 }
 
-// procKey is the exact-bits digest of the processor description alone. The
-// batch planner uses it to build one ProcProfile per distinct processor.
+// procKey is the exact-bits digest of the processor description alone —
+// the whole profile vector for heterogeneous requests. The batch planner
+// uses it to build one ProcProfile per distinct single processor.
 func procKey(req Request) string {
 	var buf []byte
-	buf = appendProc(buf, req, 0)
+	buf = appendProcs(buf, req, 0)
 	sum := sha256.Sum256(buf)
 	return string(sum[:])
 }
 
-// appendProc encodes the processor description (model, speed range, levels,
-// dormant mode) into buf.
-func appendProc(buf []byte, req Request, quantum float64) []byte {
-	p := req.Proc
+// appendProcs encodes the request's processor description: a vector-length
+// prefix (0 for the single-processor form) followed by each processor.
+// The prefix keeps an M=1 heterogeneous request from aliasing the
+// single-processor encoding of the same profile.
+func appendProcs(buf []byte, req Request, quantum float64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(req.Procs)))
+	if len(req.Procs) == 0 {
+		return appendProc(buf, req.Proc, quantum)
+	}
+	for _, p := range req.Procs {
+		buf = appendProc(buf, p, quantum)
+	}
+	return buf
+}
+
+// appendProc encodes one processor description (model, speed range,
+// levels, dormant mode) into buf.
+func appendProc(buf []byte, p speed.Proc, quantum float64) []byte {
 	buf = appendFloat(buf, p.Model.Pind, quantum)
 	buf = appendFloat(buf, p.Model.Coeff, quantum)
 	buf = appendFloat(buf, p.Model.Alpha, quantum)
@@ -139,7 +161,20 @@ func requestsEqual(a, b Request) bool {
 			return false
 		}
 	}
-	p, q := a.Proc, b.Proc
+	if !procBitsEqual(a.Proc, b.Proc) || len(a.Procs) != len(b.Procs) {
+		return false
+	}
+	for i := range a.Procs {
+		if !procBitsEqual(a.Procs[i], b.Procs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// procBitsEqual is the bit-exact processor comparison behind requestsEqual.
+func procBitsEqual(p, q speed.Proc) bool {
+	bits := math.Float64bits
 	if bits(p.Model.Pind) != bits(q.Model.Pind) ||
 		bits(p.Model.Coeff) != bits(q.Model.Coeff) ||
 		bits(p.Model.Alpha) != bits(q.Model.Alpha) ||

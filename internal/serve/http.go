@@ -28,16 +28,31 @@ type WireTask struct {
 // esw omitted (or null) leaves the dormant mode disabled, matching the
 // CLI's esw < 0 convention.
 type WireRequest struct {
-	Solver    string     `json:"solver,omitempty"` // "" = daemon default
-	Model     string     `json:"model,omitempty"`  // cubic | xscale
-	Discrete  bool       `json:"discrete,omitempty"`
-	Esw       *float64   `json:"esw,omitempty"`
-	Deadline  float64    `json:"deadline"`
-	SMin      float64    `json:"smin,omitempty"`
-	SMax      float64    `json:"smax"`
-	FastPow   bool       `json:"fastpow,omitempty"`
-	TimeoutMS int64      `json:"timeout_ms,omitempty"`
-	Tasks     []WireTask `json:"tasks"`
+	Solver    string   `json:"solver,omitempty"` // "" = daemon default
+	Model     string   `json:"model,omitempty"`  // cubic | xscale
+	Discrete  bool     `json:"discrete,omitempty"`
+	Esw       *float64 `json:"esw,omitempty"`
+	Deadline  float64  `json:"deadline"`
+	SMin      float64  `json:"smin,omitempty"`
+	SMax      float64  `json:"smax"`
+	FastPow   bool     `json:"fastpow,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	// Procs, when non-empty, makes this a heterogeneous M-processor solve
+	// over the listed profiles; the top-level model/smin/smax/discrete/esw
+	// fields are then ignored. The response carries per-processor placement
+	// and the certified optimality gap.
+	Procs []WireProc `json:"procs,omitempty"`
+	Tasks []WireTask `json:"tasks"`
+}
+
+// WireProc is one processor profile of a heterogeneous request, with the
+// same model conventions as the top-level WireRequest fields.
+type WireProc struct {
+	Model    string   `json:"model,omitempty"` // cubic | xscale
+	Discrete bool     `json:"discrete,omitempty"`
+	Esw      *float64 `json:"esw,omitempty"`
+	SMin     float64  `json:"smin,omitempty"`
+	SMax     float64  `json:"smax"`
 }
 
 // WireResponse is one solve result on the wire.
@@ -54,7 +69,11 @@ type WireResponse struct {
 	// Gap is omitted when no lower bound was available.
 	Anytime bool    `json:"anytime,omitempty"`
 	Gap     float64 `json:"gap,omitempty"`
-	Error   string  `json:"error,omitempty"`
+	// Hetero carries the heterogeneous extension of a profile-vector solve:
+	// per-processor placement and the certified gap against the pooled
+	// lower bound. Omitted on single-processor responses.
+	Hetero *HeteroInfo `json:"hetero,omitempty"`
+	Error  string      `json:"error,omitempty"`
 }
 
 // WireBatch is the /batch request body.
@@ -67,37 +86,56 @@ type WireBatchResponse struct {
 	Responses []WireResponse `json:"responses"`
 }
 
-// ToRequest converts the wire form to an engine request.
-func (w WireRequest) ToRequest() (Request, error) {
-	esw := -1.0
-	if w.Esw != nil {
-		esw = *w.Esw
+// wireProc builds one processor from the shared wire conventions.
+func wireProc(model string, discrete bool, esw *float64, smin, smax float64) (speed.Proc, error) {
+	e := -1.0
+	if esw != nil {
+		e = *esw
 	}
 	var proc speed.Proc
-	switch w.Model {
+	switch model {
 	case "", "cubic":
-		if w.Discrete {
-			return Request{}, fmt.Errorf(`"discrete" requires "model": "xscale"`)
+		if discrete {
+			return speed.Proc{}, fmt.Errorf(`"discrete" requires "model": "xscale"`)
 		}
-		proc = speed.Proc{Model: power.Cubic(), SMin: w.SMin, SMax: w.SMax}
-		if esw >= 0 {
-			proc.DormantEnable = true
-			proc.Esw = esw
-		}
+		proc = speed.Proc{Model: power.Cubic(), SMin: smin, SMax: smax}
 	case "xscale":
 		proc = speed.Proc{Model: power.XScale(), SMax: 1}
-		if w.Discrete {
+		if discrete {
 			proc.Levels = power.XScaleLevels()
 		} else {
-			proc.SMin = w.SMin
-			proc.SMax = w.SMax
-		}
-		if esw >= 0 {
-			proc.DormantEnable = true
-			proc.Esw = esw
+			proc.SMin = smin
+			proc.SMax = smax
 		}
 	default:
-		return Request{}, fmt.Errorf("unknown power model %q", w.Model)
+		return speed.Proc{}, fmt.Errorf("unknown power model %q", model)
+	}
+	if e >= 0 {
+		proc.DormantEnable = true
+		proc.Esw = e
+	}
+	return proc, nil
+}
+
+// ToRequest converts the wire form to an engine request.
+func (w WireRequest) ToRequest() (Request, error) {
+	var proc speed.Proc
+	var procs []speed.Proc
+	if len(w.Procs) > 0 {
+		procs = make([]speed.Proc, 0, len(w.Procs))
+		for i, wp := range w.Procs {
+			p, err := wireProc(wp.Model, wp.Discrete, wp.Esw, wp.SMin, wp.SMax)
+			if err != nil {
+				return Request{}, fmt.Errorf("procs[%d]: %w", i, err)
+			}
+			procs = append(procs, p)
+		}
+	} else {
+		var err error
+		proc, err = wireProc(w.Model, w.Discrete, w.Esw, w.SMin, w.SMax)
+		if err != nil {
+			return Request{}, err
+		}
 	}
 	set := task.Set{Deadline: w.Deadline, Tasks: make([]task.Task, 0, len(w.Tasks))}
 	for _, t := range w.Tasks {
@@ -106,6 +144,7 @@ func (w WireRequest) ToRequest() (Request, error) {
 	return Request{
 		Tasks:   set,
 		Proc:    proc,
+		Procs:   procs,
 		Solver:  w.Solver,
 		FastPow: w.FastPow,
 		Timeout: time.Duration(w.TimeoutMS) * time.Millisecond,
@@ -130,6 +169,7 @@ func toWire(r Response) WireResponse {
 	if r.Anytime && r.Gap >= 0 {
 		w.Gap = r.Gap
 	}
+	w.Hetero = r.Hetero
 	if w.Accepted == nil {
 		w.Accepted = []int{}
 	}

@@ -248,3 +248,50 @@ func TestWireRequestEsw(t *testing.T) {
 		t.Error("omitted esw enabled the dormant mode")
 	}
 }
+
+// TestHandlerSolveHetero: a wire request with a processor vector routes
+// to the heterogeneous tier and the response carries the HeteroInfo
+// extension with a certified gap.
+func TestHandlerSolveHetero(t *testing.T) {
+	e := New(Config{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	wreq := wireInstance(21, 10)
+	wreq.SMax = 0
+	wreq.Procs = []WireProc{{SMax: 1}, {SMax: 0.5}}
+	resp, body := postJSON(t, srv.URL+"/solve", wreq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got WireResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Hetero == nil {
+		t.Fatal("hetero wire response missing its extension")
+	}
+	if len(got.Hetero.PerProc) != 2 || len(got.Hetero.Energies) != 2 {
+		t.Fatalf("hetero extension shape %d/%d procs, want 2/2",
+			len(got.Hetero.PerProc), len(got.Hetero.Energies))
+	}
+	if got.Hetero.Gap < 0 {
+		t.Errorf("convex vector reported uncertified gap %g", got.Hetero.Gap)
+	}
+	if math.Abs(got.Cost-(got.Energy+got.Penalty)) > 1e-9*(1+got.Cost) {
+		t.Errorf("cost %g does not decompose into energy %g + penalty %g", got.Cost, got.Energy, got.Penalty)
+	}
+	if e.Stats().HeteroSolves != 1 {
+		t.Errorf("HeteroSolves = %d, want 1", e.Stats().HeteroSolves)
+	}
+
+	// A bad per-processor model is a 400 naming the offending slot.
+	wreq.Procs[1].Model = "warp"
+	resp, body = postJSON(t, srv.URL+"/solve", wreq)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad proc model: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "procs[1]") {
+		t.Errorf("error %s does not name the offending processor", body)
+	}
+}

@@ -19,6 +19,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"slices"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"dvsreject/internal/cache"
 	"dvsreject/internal/conc"
 	"dvsreject/internal/core"
+	"dvsreject/internal/multiproc"
 	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
 )
@@ -102,8 +104,15 @@ func (c Config) withDefaults() Config {
 // per-request deadline. Timeout does not participate in caching — it bounds
 // this call, not the solution.
 type Request struct {
-	Tasks  task.Set
-	Proc   speed.Proc
+	Tasks task.Set
+	Proc  speed.Proc
+	// Procs, when non-empty, makes this a heterogeneous M-processor solve
+	// over the profile vector (Proc is then ignored): the engine routes it
+	// to the internal/multiproc hetero tier and the response carries a
+	// HeteroInfo with the partition and its certified optimality gap.
+	// Hetero responses cache normally — the solvers are deterministic —
+	// but never replicate to peers (the wire codec is single-processor).
+	Procs  []speed.Proc
 	Solver string // experiment-table name; "" = engine default
 	// FastPow opts this solve into the integer-exponent fast paths (see
 	// core.Instance.FastPow). It participates in caching: a FastPow solve
@@ -131,6 +140,24 @@ type Response struct {
 	// (cost − lower bound) / cost, so 0 means proven optimal. Negative
 	// when no lower bound was available for the instance.
 	Gap float64
+	// Hetero carries the heterogeneous extension of a profile-vector
+	// solve: per-processor placement and the certified gap against
+	// multiproc.HeteroLowerBound. Nil on single-processor responses.
+	Hetero *HeteroInfo
+}
+
+// HeteroInfo is the heterogeneous extension of a response.
+type HeteroInfo struct {
+	// PerProc[m] lists the task IDs accepted on processor m, ascending.
+	PerProc [][]int `json:"per_proc"`
+	// Energies[m] is processor m's frame energy.
+	Energies []float64 `json:"energies"`
+	// LowerBound is the certified multiproc.HeteroLowerBound; only
+	// meaningful when Gap ≥ 0.
+	LowerBound float64 `json:"lower_bound"`
+	// Gap is (cost − LowerBound)/cost clamped at 0, so 0 means proven
+	// optimal; negative when the bound declined the processor flavours.
+	Gap float64 `json:"gap"`
 }
 
 // Stats is a point-in-time snapshot of engine counters.
@@ -160,6 +187,9 @@ type Stats struct {
 	// AnytimeSolves counts responses served by the anytime Pareto tier
 	// (deadline-priced routing plus state-budget fallbacks).
 	AnytimeSolves uint64 `json:"anytime_solves"`
+	// HeteroSolves counts cold solves routed to the heterogeneous
+	// profile-vector tier (cache hits of hetero entries don't re-count).
+	HeteroSolves uint64 `json:"hetero_solves"`
 	// Cache aggregates the plan-cache shard counters.
 	Cache cache.Stats `json:"cache"`
 }
@@ -172,6 +202,7 @@ type entry struct {
 	sol     core.Solution
 	anytime bool
 	gap     float64
+	hetero  *HeteroInfo
 }
 
 // anytimeNote rides alongside a solution through run/runSolver so the
@@ -197,6 +228,7 @@ type Engine struct {
 	sparseSolves  atomic.Uint64
 	sparseCells   atomic.Uint64
 	anytimeSolves atomic.Uint64
+	heteroSolves  atomic.Uint64
 }
 
 // New builds an engine from cfg (zero value fine, see Config).
@@ -248,6 +280,9 @@ func (e *Engine) SolveBatch(ctx context.Context, reqs []Request) []Response {
 	profiles := make(map[string]*core.ProcProfile)
 	ppOf := make([]*core.ProcProfile, len(creqs))
 	for i, r := range creqs {
+		if len(r.Procs) > 0 {
+			continue // hetero solves don't use a single-processor profile
+		}
 		pk := procKey(r)
 		pp, ok := profiles[pk]
 		if !ok {
@@ -321,29 +356,31 @@ func (e *Engine) solveOne(ctx context.Context, req Request, pp *core.ProcProfile
 
 	if ent, ok := e.cache.Get(fp); ok {
 		if requestsEqual(ent.req, req) {
-			return Response{Solution: cloneSolution(ent.sol), CacheHit: true}
+			return Response{Solution: cloneSolution(ent.sol), CacheHit: true, Hetero: cloneHetero(ent.hetero)}
 		}
 		// Slot collision: same fingerprint, different bits. Solve
 		// directly — storing would evict the slot's owner on every
 		// alternation, and correctness forbids serving its solution.
 		e.bypasses.Add(1)
-		sol, an, err := e.run(req, pp)
-		return Response{Solution: sol, Err: err, Anytime: an.used, Gap: an.gap}
+		sol, an, hi, err := e.run(req, pp)
+		return Response{Solution: sol, Err: err, Anytime: an.used, Gap: an.gap, Hetero: hi}
 	}
 
 	ent, err, shared := e.group.Do(ctx, fp, func() (entry, error) {
 		creq := cloneRequest(req)
-		sol, an, solveErr := e.run(creq, pp)
+		sol, an, hi, solveErr := e.run(creq, pp)
 		if solveErr != nil {
 			return entry{}, solveErr
 		}
-		ent := entry{req: creq, sol: sol, anytime: an.used, gap: an.gap}
+		ent := entry{req: creq, sol: sol, anytime: an.used, gap: an.gap, hetero: hi}
 		if !an.used {
 			// Anytime answers are budget-dependent, not bit-reproducible:
 			// caching (or replicating) one would let it shadow a later
-			// exact solve of the same instance.
+			// exact solve of the same instance. Hetero entries cache — the
+			// tier is deterministic — but never replicate: the peer wire
+			// codec is single-processor.
 			e.cache.Put(fp, ent)
-			if e.cfg.OnColdSolve != nil {
+			if e.cfg.OnColdSolve != nil && hi == nil {
 				e.cfg.OnColdSolve(creq, sol)
 			}
 		}
@@ -356,42 +393,46 @@ func (e *Engine) solveOne(ctx context.Context, req Request, pp *core.ProcProfile
 		// Joined a flight for a colliding request: its solution is not
 		// ours. Solve directly.
 		e.bypasses.Add(1)
-		sol, an, err := e.run(req, pp)
-		return Response{Solution: sol, Err: err, Anytime: an.used, Gap: an.gap}
+		sol, an, hi, err := e.run(req, pp)
+		return Response{Solution: sol, Err: err, Anytime: an.used, Gap: an.gap, Hetero: hi}
 	}
 	if shared {
 		e.coalesced.Add(1)
 	}
-	return Response{Solution: cloneSolution(ent.sol), Coalesced: shared, Anytime: ent.anytime, Gap: ent.gap}
+	return Response{Solution: cloneSolution(ent.sol), Coalesced: shared, Anytime: ent.anytime, Gap: ent.gap, Hetero: cloneHetero(ent.hetero)}
 }
 
 // run resolves the solver and executes it, attaching the precomputed
 // processor profile when one is available. DP solves route through the
 // delta path; jumbo requests purge the core scratch pools afterwards so
 // one huge solve stops taxing the small ones that follow.
-func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, anytimeNote, error) {
-	sol, an, err := e.runSolver(req, pp)
+func (e *Engine) run(req Request, pp *core.ProcProfile) (core.Solution, anytimeNote, *HeteroInfo, error) {
+	sol, an, hi, err := e.runSolver(req, pp)
 	if len(req.Tasks.Tasks) >= jumboTasks {
 		core.PurgeSolverScratch()
 	}
-	return sol, an, err
+	return sol, an, hi, err
 }
 
-func (e *Engine) runSolver(req Request, pp *core.ProcProfile) (core.Solution, anytimeNote, error) {
+func (e *Engine) runSolver(req Request, pp *core.ProcProfile) (core.Solution, anytimeNote, *HeteroInfo, error) {
+	if len(req.Procs) > 0 {
+		sol, hi, err := e.runHetero(req)
+		return sol, anytimeNote{}, hi, err
+	}
 	in := core.Instance{Tasks: req.Tasks, Proc: req.Proc, FastPow: req.FastPow}
 	if pp != nil {
 		in = in.WithProcProfile(pp)
 	}
 	if e.anytimePriced(req) {
 		if sol, an, aerr := e.anytimeSolve(req, in); aerr == nil {
-			return sol, an, nil
+			return sol, an, nil, nil
 		}
 		// The tier declined the instance (e.g. heterogeneous rho) — let
 		// the exact solver have it after all.
 	}
 	solver, err := core.NewSolver(req.Solver, e.cfg.Spec)
 	if err != nil {
-		return core.Solution{}, anytimeNote{}, err
+		return core.Solution{}, anytimeNote{}, nil, err
 	}
 	if dp, ok := solver.(core.DP); ok {
 		var sol core.Solution
@@ -406,14 +447,52 @@ func (e *Engine) runSolver(req Request, pp *core.ProcProfile) (core.Solution, an
 		}
 		if err != nil && e.anytimeFallback(req, err) {
 			if asol, an, aerr := e.anytimeSolve(req, in); aerr == nil {
-				return asol, an, nil
+				return asol, an, nil, nil
 			}
 			// Tier declined too: report the original DP failure.
 		}
-		return sol, anytimeNote{}, err
+		return sol, anytimeNote{}, nil, err
 	}
 	sol, err := solver.Solve(in)
-	return sol, anytimeNote{}, err
+	return sol, anytimeNote{}, nil, err
+}
+
+// runHetero answers a heterogeneous profile-vector request on the
+// internal/multiproc tier: the requested hetero solver (the exact-DP
+// names route to HETERO-PART, the default) plus the certified
+// optimality gap from multiproc.HeteroLowerBound.
+func (e *Engine) runHetero(req Request) (core.Solution, *HeteroInfo, error) {
+	hs, ok := multiproc.HeteroSolverByName(req.Solver)
+	if !ok {
+		if req.Solver != "DP" && req.Solver != "DP-SPARSE" {
+			return core.Solution{}, nil, fmt.Errorf("serve: solver %q cannot solve a heterogeneous processor vector", req.Solver)
+		}
+		hs = multiproc.HeteroPartition{}
+	}
+	in := multiproc.HeteroInstance{Tasks: req.Tasks, Procs: req.Procs}
+	res, err := multiproc.SolveHeteroCertified(in, hs)
+	if err != nil {
+		return core.Solution{}, nil, err
+	}
+	accepted := make([]int, 0, len(req.Tasks.Tasks)-len(res.Rejected))
+	for _, ids := range res.PerProc {
+		accepted = append(accepted, ids...)
+	}
+	slices.Sort(accepted)
+	sol := core.Solution{
+		Accepted: accepted,
+		Rejected: res.Rejected,
+		Energy:   res.Energy,
+		Penalty:  res.Penalty,
+		Cost:     res.Cost,
+	}
+	e.heteroSolves.Add(1)
+	return sol, &HeteroInfo{
+		PerProc:    res.PerProc,
+		Energies:   res.Energies,
+		LowerBound: res.LowerBound,
+		Gap:        res.Gap,
+	}, nil
 }
 
 // anytimeEligible limits the anytime tier to the exact DP solvers — the
@@ -514,6 +593,11 @@ func (e *Engine) deltaSolve(dp core.DP, req Request, in core.Instance) (core.Sol
 // never change a served result. An occupied slot is left alone: the local
 // entry is at least as fresh. Reports whether the entry was installed.
 func (e *Engine) Warm(req Request, sol core.Solution) bool {
+	if len(req.Procs) > 0 {
+		// Hetero entries never replicate: the wire codec is
+		// single-processor, and a pushed entry would lack its HeteroInfo.
+		return false
+	}
 	if req.Solver == "" {
 		req.Solver = e.cfg.DefaultSolver
 	}
@@ -538,6 +622,7 @@ func (e *Engine) Stats() Stats {
 		SparseSolves:  e.sparseSolves.Load(),
 		SparseCells:   e.sparseCells.Load(),
 		AnytimeSolves: e.anytimeSolves.Load(),
+		HeteroSolves:  e.heteroSolves.Load(),
 		Cache:         e.cache.Stats(),
 	}
 }
@@ -555,7 +640,29 @@ func (e *Engine) Reset() {
 func cloneRequest(req Request) Request {
 	req.Tasks.Tasks = slices.Clone(req.Tasks.Tasks)
 	req.Proc.Levels = slices.Clone(req.Proc.Levels)
+	if req.Procs != nil {
+		procs := slices.Clone(req.Procs)
+		for i := range procs {
+			procs[i].Levels = slices.Clone(procs[i].Levels)
+		}
+		req.Procs = procs
+	}
 	return req
+}
+
+// cloneHetero deep-copies a response's hetero extension so callers may
+// mutate their response without corrupting the cache.
+func cloneHetero(h *HeteroInfo) *HeteroInfo {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.PerProc = make([][]int, len(h.PerProc))
+	for i, ids := range h.PerProc {
+		c.PerProc[i] = slices.Clone(ids)
+	}
+	c.Energies = slices.Clone(h.Energies)
+	return &c
 }
 
 // cloneSolution deep-copies the solution's slices so callers may mutate

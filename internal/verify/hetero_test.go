@@ -1,0 +1,205 @@
+package verify_test
+
+// Property/oracle tests for the heterogeneous partitioned-rejection tier:
+// no solver's cost ever undercuts the certified HeteroLowerBound, every
+// solution survives the from-scratch heterogeneous partition oracle
+// (which includes per-processor EDF replay), and the metamorphic
+// processor-permutation relations hold — bit-identical solutions when the
+// permutation maps each processor to a bit-equal one (the profile vector
+// is unchanged, so determinism is the claim under test), and optimum-cost
+// agreement under arbitrary permutations.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvsreject/internal/gen"
+	"dvsreject/internal/multiproc"
+	"dvsreject/internal/power"
+	"dvsreject/internal/speed"
+	"dvsreject/internal/verify/oracle"
+)
+
+// heteroProperty is the corpus: two-type big.LITTLE vectors over the
+// continuous convex processor flavours the lower bound certifies.
+func heteroProperty(t *testing.T) []multiproc.HeteroInstance {
+	t.Helper()
+	vectors := [][]speed.Proc{
+		{
+			{Model: power.Cubic(), SMax: 1},
+			{Model: power.Cubic(), SMax: 0.5},
+		},
+		{
+			{Model: power.Cubic(), SMax: 1},
+			{Model: power.XScale(), SMin: 0.15, SMax: 0.6},
+			{Model: power.Cubic(), SMax: 0.5},
+		},
+		{
+			{Model: power.XScale(), SMax: 1},
+			{Model: power.XScale(), SMax: 1},
+			{Model: power.XScale(), SMax: 0.4},
+			{Model: power.XScale(), SMax: 0.4},
+		},
+	}
+	var corpus []multiproc.HeteroInstance
+	for seed := int64(0); seed < 5; seed++ {
+		for vi, procs := range vectors {
+			smaxTotal := 0.0
+			for _, p := range procs {
+				smaxTotal += p.SMax
+			}
+			set, err := gen.Frame(rand.New(rand.NewSource(seed*101+int64(vi))), gen.Config{
+				N: 8 + int(seed)%5, Load: (1.1 + float64(seed%3)*0.6) * smaxTotal,
+				Deadline: 50, Penalty: gen.PenaltyModel(seed % 3),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpus = append(corpus, multiproc.HeteroInstance{Tasks: set, Procs: procs})
+		}
+	}
+	return corpus
+}
+
+func heteroSolvers() []multiproc.HeteroSolver {
+	return []multiproc.HeteroSolver{
+		multiproc.HeteroPartition{},
+		multiproc.HeteroLTFReject{},
+		multiproc.HeteroLTFRejectLS{},
+	}
+}
+
+func partitionOf(s multiproc.Solution) oracle.PartitionSolution {
+	return oracle.PartitionSolution{
+		PerProc: s.PerProc, Rejected: s.Rejected,
+		Energies: s.Energies, Energy: s.Energy, Penalty: s.Penalty, Cost: s.Cost,
+	}
+}
+
+// TestHeteroCostNeverBelowLowerBound: every solver's cost dominates the
+// certified pooled-relaxation bound, and every solution recomputes cleanly
+// through the heterogeneous partition oracle — including the
+// per-processor EDF replay under each processor's own optimal profile.
+func TestHeteroCostNeverBelowLowerBound(t *testing.T) {
+	for i, in := range heteroProperty(t) {
+		lb, err := multiproc.HeteroLowerBound(in, 0)
+		if err != nil {
+			t.Fatalf("instance %d: lower bound: %v", i, err)
+		}
+		for _, s := range heteroSolvers() {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatalf("instance %d: %s: %v", i, s.Name(), err)
+			}
+			if err := oracle.CheckHeteroPartition(in.Tasks, in.Procs, partitionOf(sol)); err != nil {
+				t.Errorf("instance %d: %s: %v", i, s.Name(), err)
+			}
+			if err := oracle.CheckNotBelow(s.Name()+" vs HeteroLowerBound", sol.Cost, lb, 1e-9); err != nil {
+				t.Errorf("instance %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestHeteroCertifiedGap: the serve-facing certified wrapper reports a
+// non-negative gap consistent with its own lower bound on convex vectors.
+func TestHeteroCertifiedGap(t *testing.T) {
+	for i, in := range heteroProperty(t) {
+		res, err := multiproc.SolveHeteroCertified(in, multiproc.HeteroPartition{})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if res.Gap < 0 {
+			t.Errorf("instance %d: convex vector reported uncertified gap %g", i, res.Gap)
+		}
+		if res.Gap > 0 && res.Cost <= res.LowerBound {
+			t.Errorf("instance %d: gap %g inconsistent with cost %g ≤ bound %g", i, res.Gap, res.Cost, res.LowerBound)
+		}
+	}
+}
+
+// TestHeteroEqualTypePermutationBitIdentical: a permutation that maps
+// every processor to a bit-equal one leaves the profile vector unchanged,
+// so each (deterministic) solver must reproduce its solution bit for bit
+// — this pins solver determinism, including map-iteration independence.
+func TestHeteroEqualTypePermutationBitIdentical(t *testing.T) {
+	big := speed.Proc{Model: power.Cubic(), SMax: 1}
+	little := speed.Proc{Model: power.XScale(), SMin: 0.15, SMax: 0.5}
+	set, err := gen.Frame(rand.New(rand.NewSource(7)), gen.Config{
+		N: 10, Load: 3.5, Deadline: 50, Penalty: gen.PenaltyProportional,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := multiproc.HeteroInstance{Tasks: set, Procs: []speed.Proc{big, little, big, little}}
+	// Swap positions 0↔2 (both big) and 1↔3 (both little): the vector is
+	// bit-unchanged.
+	perm := multiproc.HeteroInstance{Tasks: set, Procs: []speed.Proc{
+		in.Procs[2], in.Procs[3], in.Procs[0], in.Procs[1],
+	}}
+	for _, s := range heteroSolvers() {
+		a, err := s.Solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		b, err := s.Solve(perm)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := oracle.EqualPartitionSolutions(partitionOf(a), partitionOf(b)); err != nil {
+			t.Errorf("%s: equal-type permutation changed the solution: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestHeteroArbitraryPermutationOptimum: reordering the whole vector
+// cannot change the exhaustive optimum cost (the search order and float
+// summation order change, so agreement is up to reassociation tolerance),
+// and remapping the optimal solution through the permutation stays valid
+// under the oracle.
+func TestHeteroArbitraryPermutationOptimum(t *testing.T) {
+	set, err := gen.Frame(rand.New(rand.NewSource(11)), gen.Config{
+		N: 7, Load: 2.2, Deadline: 40, Penalty: gen.PenaltyUniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := []speed.Proc{
+		{Model: power.Cubic(), SMax: 1},
+		{Model: power.XScale(), SMin: 0.15, SMax: 0.6},
+		{Model: power.Cubic(), SMax: 0.5},
+	}
+	in := multiproc.HeteroInstance{Tasks: set, Procs: procs}
+	sigma := []int{2, 0, 1} // position i of the permuted vector holds procs[sigma[i]]
+	perm := multiproc.HeteroInstance{Tasks: set, Procs: []speed.Proc{
+		procs[sigma[0]], procs[sigma[1]], procs[sigma[2]],
+	}}
+	a, err := (multiproc.HeteroExhaustive{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (multiproc.HeteroExhaustive{}).Solve(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.CheckExactAgreement("hetero permutation", a.Cost, b.Cost, 1e-12); err != nil {
+		t.Error(err)
+	}
+	// Remap a's per-processor lists through the permutation and re-check.
+	remapped := partitionOf(a)
+	remapped.PerProc = make([][]int, len(procs))
+	remapped.Energies = make([]float64, len(procs))
+	for i, src := range sigma {
+		remapped.PerProc[i] = a.PerProc[src]
+		remapped.Energies[i] = a.Energies[src]
+	}
+	energy := 0.0
+	for _, e := range remapped.Energies {
+		energy += e
+	}
+	remapped.Energy = energy
+	remapped.Cost = energy + remapped.Penalty
+	if err := oracle.CheckHeteroPartition(perm.Tasks, perm.Procs, remapped); err != nil {
+		t.Errorf("remapped optimum rejected by the oracle: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"dvsreject/internal/sched/edf"
 	"dvsreject/internal/speed"
 	"dvsreject/internal/task"
 )
@@ -32,6 +33,22 @@ type PartitionSolution struct {
 // The recomputation follows multiproc.Evaluate's arithmetic order exactly,
 // so all float comparisons are bitwise.
 func CheckPartition(set task.Set, proc speed.Proc, m int, sol PartitionSolution) error {
+	procs := make([]speed.Proc, m)
+	for i := range procs {
+		procs[i] = proc
+	}
+	return CheckHeteroPartition(set, procs, sol)
+}
+
+// CheckHeteroPartition is CheckPartition over a per-processor profile
+// vector (the heterogeneous big.LITTLE setting): each processor's load is
+// checked against *its own* capacity and each Energies[m] against its own
+// speed.Proc.Assign, bit-exactly, following multiproc.EvaluateHetero's
+// arithmetic order. Additionally every processor's accepted set replays
+// through the EDF simulator under that processor's own optimal profile —
+// the mechanical per-processor schedulability check.
+func CheckHeteroPartition(set task.Set, procs []speed.Proc, sol PartitionSolution) error {
+	m := len(procs)
 	var d Diff
 	if len(sol.PerProc) != m {
 		d.Add("PerProc has %d processors, want %d", len(sol.PerProc), m)
@@ -87,13 +104,13 @@ func CheckPartition(set task.Set, proc speed.Proc, m int, sol PartitionSolution)
 	d.F64("penalty recompute", sol.Penalty, penalty)
 
 	var energy float64
-	capacity := proc.Capacity(set.Deadline)
 	for p := 0; p < m; p++ {
+		capacity := procs[p].Capacity(set.Deadline)
 		if float64(loads[p]) > capacity*(1+feasibilitySlack) {
 			d.Add("processor %d load %d exceeds capacity %g", p, loads[p], capacity)
 			continue
 		}
-		a, err := proc.Assign(float64(loads[p]), set.Deadline)
+		a, err := procs[p].Assign(float64(loads[p]), set.Deadline)
 		if err != nil {
 			d.Add("processor %d recompute: %v", p, err)
 			continue
@@ -102,6 +119,16 @@ func CheckPartition(set task.Set, proc speed.Proc, m int, sol PartitionSolution)
 			d.F64("energy recompute (processor)", sol.Energies[p], a.Total)
 		}
 		energy += a.Total
+		// Per-processor EDF replay under this processor's own profile.
+		if len(sol.PerProc[p]) > 0 {
+			jobs := edf.FrameJobs(set, sol.PerProc[p])
+			r, err := edf.Simulate(jobs, a.Profile(0))
+			if err != nil {
+				d.Add("processor %d EDF replay: %v", p, err)
+			} else if !r.Feasible() {
+				d.Add("processor %d EDF replay missed %d deadlines", p, r.Misses)
+			}
+		}
 	}
 	d.Int("energies length", len(sol.Energies), m)
 	d.F64("energy recompute (total)", sol.Energy, energy)
